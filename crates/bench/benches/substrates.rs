@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the simulator substrates themselves: address
+//! translation, device command throughput, LLC access, and full-
+//! machine simulation rate. These track the cost of simulating, not
+//! the simulated system's metrics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hammertime::machine::{Machine, MachineConfig};
+use hammertime::taxonomy::DefenseKind;
+use hammertime_cache::{CacheConfig, Llc};
+use hammertime_common::geometry::BankId;
+use hammertime_common::{CacheLineAddr, Cycle, DomainId, Geometry};
+use hammertime_dram::{DdrCommand, DramConfig, DramModule};
+use hammertime_memctrl::addrmap::{AddressMap, MappingScheme};
+use hammertime_workloads::{StreamWorkload, Workload};
+
+fn bench_addrmap(c: &mut Criterion) {
+    let g = Geometry::server();
+    let mut group = c.benchmark_group("addrmap");
+    for scheme in [
+        MappingScheme::CacheLineInterleave,
+        MappingScheme::XorPermute,
+        MappingScheme::SubarrayIsolated,
+    ] {
+        let map = AddressMap::new(scheme, g).unwrap();
+        let total = g.total_lines();
+        group.throughput(Throughput::Elements(1024));
+        group.bench_function(format!("{scheme:?}/round_trip"), |b| {
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    let line = CacheLineAddr((i * 7_919) % total);
+                    let coord = map.to_coord(black_box(line)).unwrap();
+                    black_box(map.to_line(&coord).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram_commands(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("act_pre_cycles", |b| {
+        b.iter_batched(
+            || DramModule::new(DramConfig::test_config(1_000_000)).unwrap(),
+            |mut m| {
+                let bank = BankId {
+                    channel: 0,
+                    rank: 0,
+                    bank_group: 0,
+                    bank: 0,
+                };
+                let mut now = Cycle::ZERO;
+                for i in 0..1_000u32 {
+                    let act = DdrCommand::Act { bank, row: i % 32 };
+                    now = now.max(m.earliest(&act));
+                    m.issue(&act, now).unwrap();
+                    let pre = DdrCommand::Pre { bank };
+                    now = now.max(m.earliest(&pre));
+                    m.issue(&pre, now).unwrap();
+                }
+                m
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("llc");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("mixed_access", |b| {
+        b.iter_batched(
+            || Llc::new(CacheConfig::server()).unwrap(),
+            |mut llc| {
+                for i in 0..10_000u64 {
+                    llc.access(CacheLineAddr(i * 31 % 65_536), i % 5 == 0);
+                }
+                llc
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("benign_stream_2k_ops", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 1_000_000)).unwrap();
+            let d = DomainId(1);
+            let arena = m.add_tenant(d, 4).unwrap();
+            m.set_workload(d, Box::new(StreamWorkload::new(arena, 2_000, 8)))
+                .unwrap();
+            m.run(10_000_000);
+            black_box(m.report())
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("zipfian_10k_ops", |b| {
+        let arena: Vec<CacheLineAddr> = (0..4_096).map(CacheLineAddr).collect();
+        b.iter(|| {
+            let mut w = hammertime_workloads::ZipfianWorkload::new(
+                arena.clone(),
+                10_000,
+                0.99,
+                hammertime_common::DetRng::new(1),
+            );
+            let mut n = 0u64;
+            while let Some(op) = w.next_op() {
+                n += op.line().line_index();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets = bench_addrmap, bench_dram_commands, bench_llc, bench_machine,
+              bench_workload_generation
+}
+criterion_main!(substrates);

@@ -1,0 +1,54 @@
+//! Benchmark-harness support: runs experiments in full mode, prints
+//! the tables the evaluation reports, and persists them under
+//! `target/experiments/` as both text and JSON so EXPERIMENTS.md can
+//! be regenerated mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hammertime::experiments::ExpTable;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory experiment artifacts are written to.
+pub fn artifact_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a table and saves it as `<id>.txt` and `<id>.json`.
+pub fn print_and_save(table: &ExpTable) {
+    println!("{table}");
+    let dir = artifact_dir();
+    let _ = fs::write(dir.join(format!("{}.txt", table.id)), table.to_string());
+    if let Ok(json) = serde_json::to_string_pretty(table) {
+        let _ = fs::write(dir.join(format!("{}.json", table.id)), json);
+    }
+}
+
+/// Runs an experiment in full mode (once), printing and saving the
+/// table; panics on failure so benches fail loudly.
+pub fn run_full(name: &str, f: impl Fn(bool) -> hammertime_common::Result<ExpTable>) -> ExpTable {
+    let table = f(false).unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    print_and_save(&table);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammertime::experiments;
+
+    #[test]
+    fn artifacts_round_trip() {
+        let t = experiments::e6_scaling().unwrap();
+        print_and_save(&t);
+        let dir = artifact_dir();
+        let txt = std::fs::read_to_string(dir.join("E6.txt")).unwrap();
+        assert!(txt.contains("graphene"));
+        let json = std::fs::read_to_string(dir.join("E6.json")).unwrap();
+        let back: experiments::ExpTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+}

@@ -1,0 +1,13 @@
+//! Last-level cache model for the `hammertime` workspace.
+//!
+//! Provides the two cache-level mechanisms the paper's
+//! frequency-centric defenses depend on: way locking (pin hot lines so
+//! they stop generating ACTs, §4.2) and PMU miss-address sampling (the
+//! ANVIL-style input that is blind to DMA, §1). See [`llc`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod llc;
+
+pub use llc::{AccessResult, CacheConfig, CacheStats, Llc, MissSample};

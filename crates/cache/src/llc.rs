@@ -1,0 +1,545 @@
+//! A set-associative, write-back, write-allocate last-level cache.
+//!
+//! Two features exist specifically for the paper's defenses:
+//!
+//! - **Way locking** ([`Llc::lock`]): pin a line into its set so it can
+//!   never be evicted — the cache-line-locking mechanism the paper
+//!   notes is already available on many ARM parts and proposes using
+//!   as a frequency-centric first line of defense (§4.2). Locked
+//!   capacity per set is bounded so demand traffic always retains at
+//!   least one victim way.
+//! - **PMU miss sampling** ([`Llc::drain_samples`]): a PEBS-like
+//!   sampler that records the address of every Nth *core* miss. DMA
+//!   traffic never reaches the cache (it bypasses it at the machine
+//!   level), which is precisely the ANVIL blind spot (§1).
+
+use hammertime_common::{CacheLineAddr, Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Cache shape and sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Maximum locked lines per set (must be `< ways`).
+    pub max_locked_ways: usize,
+    /// Sample every Nth core miss into the PMU buffer (0 disables).
+    pub pmu_sample_period: u64,
+}
+
+impl CacheConfig {
+    /// A small test cache: 16 sets x 4 ways, lock up to 2 ways,
+    /// sample every miss.
+    pub fn small_test() -> CacheConfig {
+        CacheConfig {
+            sets: 16,
+            ways: 4,
+            max_locked_ways: 2,
+            pmu_sample_period: 1,
+        }
+    }
+
+    /// A server-ish LLC: 2048 sets x 16 ways (2 MiB of 64 B lines).
+    pub fn server() -> CacheConfig {
+        CacheConfig {
+            sets: 2048,
+            ways: 16,
+            max_locked_ways: 4,
+            pmu_sample_period: 64,
+        }
+    }
+
+    /// Validates shape constraints.
+    pub fn validate(&self) -> Result<()> {
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err(Error::Config(format!(
+                "cache sets {} must be a non-zero power of two",
+                self.sets
+            )));
+        }
+        if self.ways == 0 {
+            return Err(Error::Config("cache needs at least one way".into()));
+        }
+        if self.max_locked_ways >= self.ways {
+            return Err(Error::Config(format!(
+                "max_locked_ways {} must leave at least one unlocked way of {}",
+                self.max_locked_ways, self.ways
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    line: CacheLineAddr,
+    dirty: bool,
+    locked: bool,
+    last_use: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// The access hit in the cache.
+    pub hit: bool,
+    /// A dirty line evicted to make room (must be written back to
+    /// memory by the caller).
+    pub writeback: Option<CacheLineAddr>,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Evictions (clean or dirty).
+    pub evictions: u64,
+    /// Dirty evictions written back.
+    pub writebacks: u64,
+    /// Explicit flushes.
+    pub flushes: u64,
+    /// Flushes that hit a locked line and were refused.
+    pub flushes_blocked: u64,
+    /// Lock operations performed.
+    pub locks: u64,
+    /// Lock attempts rejected for lack of lockable ways.
+    pub lock_failures: u64,
+}
+
+/// A PMU miss sample: address and whether the miss was a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissSample {
+    /// The missing line.
+    pub line: CacheLineAddr,
+    /// Write miss (vs. read miss).
+    pub is_write: bool,
+}
+
+/// The last-level cache.
+#[derive(Debug)]
+pub struct Llc {
+    config: CacheConfig,
+    sets: Vec<Vec<Entry>>,
+    tick: u64,
+    miss_count: u64,
+    samples: Vec<MissSample>,
+    stats: CacheStats,
+}
+
+impl Llc {
+    /// Builds a cache.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for invalid shapes.
+    pub fn new(config: CacheConfig) -> Result<Llc> {
+        config.validate()?;
+        Ok(Llc {
+            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            tick: 0,
+            miss_count: 0,
+            samples: Vec::new(),
+            stats: CacheStats::default(),
+            config,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, line: CacheLineAddr) -> usize {
+        (line.line_index() % self.config.sets as u64) as usize
+    }
+
+    /// Accesses `line` from a CPU core. On a miss the line is
+    /// allocated; the evicted dirty victim (if any) is returned for
+    /// write-back. The caller is responsible for fetching the line
+    /// from memory on a miss.
+    pub fn access(&mut self, line: CacheLineAddr, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.line == line) {
+            e.last_use = tick;
+            e.dirty |= is_write;
+            self.stats.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.stats.misses += 1;
+        self.miss_count += 1;
+        if self.config.pmu_sample_period > 0 && self.miss_count % self.config.pmu_sample_period == 0
+        {
+            self.samples.push(MissSample { line, is_write });
+        }
+        let mut writeback = None;
+        if set.len() >= self.config.ways {
+            // Evict LRU among unlocked entries; at least one exists
+            // because locked ways are bounded below the associativity.
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.locked)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("lock bound guarantees an unlocked way");
+            let victim = set.swap_remove(victim_idx);
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                writeback = Some(victim.line);
+            }
+        }
+        set.push(Entry {
+            line,
+            dirty: is_write,
+            locked: false,
+            last_use: tick,
+        });
+        AccessResult {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Flushes `line` (clflush): removes it, returning it for
+    /// write-back if dirty.
+    ///
+    /// Locked lines are immune: the host-privileged pin (§4.2)
+    /// overrides user-level cache maintenance, otherwise an attacker
+    /// would trivially un-pin its aggressor lines with `clflush` and
+    /// the defense would be useless. The flush of a locked line is a
+    /// counted no-op.
+    pub fn flush(&mut self, line: CacheLineAddr) -> Option<CacheLineAddr> {
+        let set_idx = self.set_index(line);
+        let set = &mut self.sets[set_idx];
+        self.stats.flushes += 1;
+        if let Some(pos) = set.iter().position(|e| e.line == line) {
+            if set[pos].locked {
+                self.stats.flushes_blocked += 1;
+                return None;
+            }
+            let e = set.swap_remove(pos);
+            if e.dirty {
+                self.stats.writebacks += 1;
+                return Some(e.line);
+            }
+        }
+        None
+    }
+
+    /// Locks `line` into the cache (allocating it if absent) so it can
+    /// never be evicted — the paper's cache-line-locking defense
+    /// (§4.2). The line stops generating memory traffic (and therefore
+    /// ACTs) until unlocked.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Exhausted`] when the set already holds the maximum
+    /// number of locked ways; the caller falls back to data remapping
+    /// (exactly the fallback the paper describes).
+    pub fn lock(&mut self, line: CacheLineAddr) -> Result<AccessResult> {
+        let set_idx = self.set_index(line);
+        let locked = self.sets[set_idx].iter().filter(|e| e.locked).count();
+        if let Some(e) = self.sets[set_idx].iter_mut().find(|e| e.line == line) {
+            if !e.locked && locked >= self.config.max_locked_ways {
+                self.stats.lock_failures += 1;
+                return Err(Error::Exhausted(format!(
+                    "set {set_idx} already holds {locked} locked ways"
+                )));
+            }
+            e.locked = true;
+            self.stats.locks += 1;
+            return Ok(AccessResult {
+                hit: true,
+                writeback: None,
+            });
+        }
+        if locked >= self.config.max_locked_ways {
+            self.stats.lock_failures += 1;
+            return Err(Error::Exhausted(format!(
+                "set {set_idx} already holds {locked} locked ways"
+            )));
+        }
+        let result = self.access(line, false);
+        let set = &mut self.sets[set_idx];
+        let e = set
+            .iter_mut()
+            .find(|e| e.line == line)
+            .expect("just inserted");
+        e.locked = true;
+        self.stats.locks += 1;
+        Ok(result)
+    }
+
+    /// Unlocks `line`, making it evictable again.
+    pub fn unlock(&mut self, line: CacheLineAddr) {
+        let set_idx = self.set_index(line);
+        if let Some(e) = self.sets[set_idx].iter_mut().find(|e| e.line == line) {
+            e.locked = false;
+        }
+    }
+
+    /// Unlocks everything (end of a refresh interval, §4.2).
+    pub fn unlock_all(&mut self) {
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                e.locked = false;
+            }
+        }
+    }
+
+    /// Returns whether `line` is currently resident.
+    pub fn contains(&self, line: CacheLineAddr) -> bool {
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|e| e.line == line)
+    }
+
+    /// Returns whether `line` is currently locked.
+    pub fn is_locked(&self, line: CacheLineAddr) -> bool {
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|e| e.line == line && e.locked)
+    }
+
+    /// Number of locked lines across the cache.
+    pub fn locked_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|e| e.locked).count())
+            .sum()
+    }
+
+    /// Drains accumulated PMU miss samples (ANVIL's input).
+    pub fn drain_samples(&mut self) -> Vec<MissSample> {
+        std::mem::take(&mut self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc() -> Llc {
+        Llc::new(CacheConfig::small_test()).unwrap()
+    }
+
+    /// Lines mapping to the same set, distinct tags.
+    fn same_set_lines(n: usize) -> Vec<CacheLineAddr> {
+        (0..n).map(|i| CacheLineAddr(16 * i as u64 + 3)).collect()
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = llc();
+        let line = CacheLineAddr(5);
+        assert!(!c.access(line, false).hit);
+        assert!(c.access(line, false).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_and_dirty_writeback() {
+        let mut c = llc();
+        let lines = same_set_lines(5);
+        c.access(lines[0], true); // dirty, will become LRU
+        for l in &lines[1..4] {
+            c.access(*l, false);
+        }
+        // Fifth insert evicts lines[0] (LRU, dirty).
+        let r = c.access(lines[4], false);
+        assert!(!r.hit);
+        assert_eq!(r.writeback, Some(lines[0]));
+        assert!(!c.contains(lines[0]));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = llc();
+        let lines = same_set_lines(5);
+        for l in &lines[..4] {
+            c.access(*l, false);
+        }
+        let r = c.access(lines[4], false);
+        assert_eq!(r.writeback, None);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn flush_removes_and_writes_back_dirty() {
+        let mut c = llc();
+        let line = CacheLineAddr(9);
+        c.access(line, true);
+        assert_eq!(c.flush(line), Some(line));
+        assert!(!c.contains(line));
+        // Flushing an absent line is a no-op.
+        assert_eq!(c.flush(line), None);
+        assert_eq!(c.stats().flushes, 2);
+    }
+
+    #[test]
+    fn locked_lines_survive_eviction_pressure() {
+        let mut c = llc();
+        let lines = same_set_lines(10);
+        c.lock(lines[0]).unwrap();
+        for l in &lines[1..] {
+            c.access(*l, false);
+        }
+        assert!(c.contains(lines[0]), "locked line evicted");
+        assert!(c.is_locked(lines[0]));
+        assert_eq!(c.locked_lines(), 1);
+    }
+
+    #[test]
+    fn lock_capacity_bounded_per_set() {
+        let mut c = llc(); // max_locked_ways = 2
+        let lines = same_set_lines(4);
+        c.lock(lines[0]).unwrap();
+        c.lock(lines[1]).unwrap();
+        let err = c.lock(lines[2]);
+        assert!(matches!(err, Err(Error::Exhausted(_))));
+        assert_eq!(c.stats().lock_failures, 1);
+        // Other sets are unaffected.
+        c.lock(CacheLineAddr(4)).unwrap();
+    }
+
+    #[test]
+    fn unlock_restores_evictability() {
+        let mut c = llc();
+        let lines = same_set_lines(6);
+        c.lock(lines[0]).unwrap();
+        c.unlock(lines[0]);
+        for l in &lines[1..6] {
+            c.access(*l, false);
+        }
+        assert!(!c.contains(lines[0]), "unlocked line must be evictable");
+    }
+
+    #[test]
+    fn locked_lines_resist_flush() {
+        let mut c = llc();
+        let line = CacheLineAddr(11);
+        c.access(line, true);
+        c.lock(line).unwrap();
+        assert_eq!(c.flush(line), None, "flush of a locked line is refused");
+        assert!(c.contains(line));
+        assert!(c.is_locked(line));
+        assert_eq!(c.stats().flushes_blocked, 1);
+        // After unlock, flushing works again.
+        c.unlock(line);
+        assert_eq!(c.flush(line), Some(line));
+    }
+
+    #[test]
+    fn unlock_all_clears_every_lock() {
+        let mut c = llc();
+        c.lock(CacheLineAddr(1)).unwrap();
+        c.lock(CacheLineAddr(2)).unwrap();
+        assert_eq!(c.locked_lines(), 2);
+        c.unlock_all();
+        assert_eq!(c.locked_lines(), 0);
+    }
+
+    #[test]
+    fn locking_resident_line_upgrades_in_place() {
+        let mut c = llc();
+        let line = CacheLineAddr(3);
+        c.access(line, true);
+        let r = c.lock(line).unwrap();
+        assert!(r.hit);
+        assert!(c.is_locked(line));
+    }
+
+    #[test]
+    fn pmu_samples_misses_at_period() {
+        let mut c = Llc::new(CacheConfig {
+            pmu_sample_period: 2,
+            ..CacheConfig::small_test()
+        })
+        .unwrap();
+        for i in 0..8 {
+            c.access(CacheLineAddr(1000 + i * 16), false);
+        }
+        let samples = c.drain_samples();
+        assert_eq!(samples.len(), 4, "every 2nd miss sampled");
+        assert!(c.drain_samples().is_empty());
+    }
+
+    #[test]
+    fn pmu_disabled_records_nothing() {
+        let mut c = Llc::new(CacheConfig {
+            pmu_sample_period: 0,
+            ..CacheConfig::small_test()
+        })
+        .unwrap();
+        for i in 0..8 {
+            c.access(CacheLineAddr(i * 16), false);
+        }
+        assert!(c.drain_samples().is_empty());
+    }
+
+    #[test]
+    fn hits_are_not_sampled() {
+        let mut c = llc();
+        let line = CacheLineAddr(7);
+        c.access(line, false);
+        c.drain_samples();
+        for _ in 0..10 {
+            c.access(line, false);
+        }
+        assert!(c.drain_samples().is_empty(), "hits must not be sampled");
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig {
+            sets: 0,
+            ..CacheConfig::small_test()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            sets: 3,
+            ..CacheConfig::small_test()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            ways: 0,
+            ..CacheConfig::small_test()
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            max_locked_ways: 4,
+            ..CacheConfig::small_test()
+        }
+        .validate()
+        .is_err());
+        assert_eq!(CacheConfig::small_test().capacity_lines(), 64);
+        CacheConfig::server().validate().unwrap();
+    }
+}

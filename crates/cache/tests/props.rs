@@ -1,0 +1,115 @@
+//! Property tests for the LLC model.
+
+use hammertime_cache::{CacheConfig, Llc};
+use hammertime_common::{CacheLineAddr, DetRng};
+use proptest::prelude::*;
+
+fn config() -> CacheConfig {
+    CacheConfig {
+        sets: 16,
+        ways: 4,
+        max_locked_ways: 2,
+        pmu_sample_period: 3,
+    }
+}
+
+proptest! {
+    /// Under arbitrary access sequences the cache never exceeds its
+    /// capacity, hit/miss counts add up, and a hit immediately after
+    /// an access to the same line always holds.
+    #[test]
+    fn capacity_and_accounting(ops in prop::collection::vec((any::<u64>(), any::<bool>()), 1..300)) {
+        let mut c = Llc::new(config()).unwrap();
+        let mut accesses = 0;
+        for (line, is_write) in ops {
+            let line = CacheLineAddr(line % 512);
+            c.access(line, is_write);
+            accesses += 1;
+            prop_assert!(c.contains(line), "just-accessed line resident");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses);
+        // Residency bounded by capacity: evictions at least
+        // misses - capacity.
+        prop_assert!(s.evictions + config().capacity_lines() as u64 >= s.misses);
+    }
+
+    /// Locked lines survive arbitrary eviction pressure and flushes.
+    #[test]
+    fn locks_are_durable(
+        locked_tag in 0u64..8,
+        traffic in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        let mut c = Llc::new(config()).unwrap();
+        let locked = CacheLineAddr(locked_tag * 16 + 5); // set 5
+        c.lock(locked).unwrap();
+        for t in traffic {
+            let line = CacheLineAddr(t % 1024);
+            if line != locked {
+                c.access(line, t % 3 == 0);
+                if t % 7 == 0 {
+                    c.flush(line);
+                }
+            }
+            if t % 5 == 0 {
+                c.flush(locked); // attacker tries to dislodge the pin
+            }
+        }
+        prop_assert!(c.contains(locked));
+        prop_assert!(c.is_locked(locked));
+        c.unlock_all();
+        prop_assert_eq!(c.locked_lines(), 0);
+    }
+
+    /// The per-set lock bound always holds, and lock failures are
+    /// reported rather than silently over-locking.
+    #[test]
+    fn lock_bound_enforced(tags in prop::collection::vec(0u64..16, 1..32)) {
+        let mut c = Llc::new(config()).unwrap();
+        for tag in tags {
+            let line = CacheLineAddr(tag * 16 + 3); // all map to set 3
+            let _ = c.lock(line);
+            let locked_in_set = (0..16u64)
+                .map(|t| CacheLineAddr(t * 16 + 3))
+                .filter(|&l| c.is_locked(l))
+                .count();
+            prop_assert!(locked_in_set <= config().max_locked_ways);
+        }
+    }
+
+    /// PMU sampling records exactly every Nth miss, never hits.
+    #[test]
+    fn pmu_sampling_rate(misses in 1usize..200) {
+        let mut c = Llc::new(config()).unwrap();
+        // Distinct lines in distinct sets: all misses.
+        for i in 0..misses {
+            c.access(CacheLineAddr(i as u64 * 17), false);
+        }
+        let samples = c.drain_samples();
+        prop_assert_eq!(samples.len(), misses / 3);
+    }
+
+    /// Write-back correctness: every dirty eviction reports the line
+    /// that was actually dirty; clean evictions never report.
+    #[test]
+    fn writeback_accounting(seed in any::<u64>(), n in 10usize..200) {
+        let mut c = Llc::new(config()).unwrap();
+        let mut rng = DetRng::new(seed);
+        let mut dirty = std::collections::HashSet::new();
+        let mut writebacks = 0u64;
+        for _ in 0..n {
+            let line = CacheLineAddr(rng.below(256));
+            let is_write = rng.chance(0.4);
+            let r = c.access(line, is_write);
+            if is_write {
+                dirty.insert(line);
+            }
+            if let Some(wb) = r.writeback {
+                prop_assert!(dirty.contains(&wb), "clean line written back");
+                dirty.remove(&wb);
+                writebacks += 1;
+            }
+        }
+        prop_assert_eq!(c.stats().writebacks, writebacks);
+    }
+}

@@ -1,0 +1,242 @@
+//! `hammertime` — command-line front end for the Rowhammer mitigation
+//! simulator.
+//!
+//! ```text
+//! hammertime-cli catalog                          # the defense taxonomy
+//! hammertime-cli attack --defense none            # run an attack scenario
+//! hammertime-cli attack --defense victim-refresh/instr --attack many:8
+//! hammertime-cli experiments [--full] [E1 E2 ..]  # regenerate tables
+//! hammertime-cli generations                      # the E1 worsening sweep
+//! ```
+
+use hammertime::experiments::{self, ExpTable};
+use hammertime::machine::MachineConfig;
+use hammertime::scenario::CloudScenario;
+use hammertime::taxonomy::DefenseKind;
+use hammertime_common::Result;
+
+/// Which attack pattern the `attack` subcommand arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttackSpec {
+    Double,
+    Many(usize),
+    Fuzzed(usize),
+    Dma,
+}
+
+impl AttackSpec {
+    fn parse(s: &str) -> Option<AttackSpec> {
+        if s == "double" {
+            return Some(AttackSpec::Double);
+        }
+        if s == "dma" {
+            return Some(AttackSpec::Dma);
+        }
+        if let Some(n) = s.strip_prefix("many:") {
+            return n.parse().ok().map(AttackSpec::Many);
+        }
+        if let Some(n) = s.strip_prefix("fuzzed:") {
+            return n.parse().ok().map(AttackSpec::Fuzzed);
+        }
+        None
+    }
+}
+
+fn parse_defense(name: &str, mac: u64) -> Option<DefenseKind> {
+    DefenseKind::catalog(mac)
+        .into_iter()
+        .find(|d| d.name() == name)
+}
+
+fn cmd_catalog() {
+    println!(
+        "{:<26} {:<18} {:<18} {:<9} {}",
+        "name", "class", "locus", "proposed", "needs precise interrupts"
+    );
+    for d in DefenseKind::catalog(10_000) {
+        println!(
+            "{:<26} {:<18} {:<18} {:<9} {}",
+            d.name(),
+            d.class()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+            d.locus()
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".into()),
+            d.is_proposed(),
+            d.needs_precise_interrupts(),
+        );
+    }
+}
+
+fn cmd_attack(args: &[String]) -> Result<()> {
+    let mut defense = DefenseKind::None;
+    let mut attack = AttackSpec::Double;
+    let mut accesses: u64 = 4_000;
+    let mut mac: u64 = 24;
+    let mut seed: u64 = 42;
+    let mut windows: u64 = 60;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1).cloned().unwrap_or_default();
+        match flag {
+            "--defense" => {
+                defense = parse_defense(&value, mac).unwrap_or_else(|| {
+                    eprintln!("unknown defense '{value}' (see `hammertime catalog`)");
+                    std::process::exit(2);
+                });
+            }
+            "--attack" => {
+                attack = AttackSpec::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown attack '{value}' (double | many:N | fuzzed:N | dma)");
+                    std::process::exit(2);
+                });
+            }
+            "--accesses" => accesses = value.parse().unwrap_or(accesses),
+            "--mac" => mac = value.parse().unwrap_or(mac),
+            "--seed" => seed = value.parse().unwrap_or(seed),
+            "--windows" => windows = value.parse().unwrap_or(windows),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let mut cfg = MachineConfig::fast(defense, mac);
+    cfg.seed = seed;
+    let mut s = CloudScenario::build_sized(
+        cfg,
+        if matches!(attack, AttackSpec::Double | AttackSpec::Dma) {
+            4
+        } else {
+            16
+        },
+    )?;
+    let targeting = match attack {
+        AttackSpec::Double => s.arm_double_sided(accesses)?,
+        AttackSpec::Many(n) => s.arm_many_sided(n, accesses)?,
+        AttackSpec::Fuzzed(n) => s.arm_fuzzed(n, accesses)?,
+        AttackSpec::Dma => s.arm_dma(accesses)?,
+    };
+    s.victim_reads(accesses / 10 + 1)?;
+    s.run_windows(windows);
+    let r = s.report();
+    println!("defense:            {}", r.defense);
+    println!("attack:             {attack:?} ({accesses} accesses, targeting {targeting:?})");
+    println!("simulated cycles:   {}", r.cycles);
+    println!("total flips:        {}", r.flips_total);
+    println!("flips vs victim:    {}", r.cross_flips_against(2));
+    println!("interrupts:         {}", r.overhead.interrupts);
+    println!("victim refreshes:   {}", r.overhead.refresh_ops);
+    println!("pages remapped:     {}", r.overhead.pages_remapped);
+    println!("lines locked:       {}", r.overhead.lines_locked);
+    println!("throttle cycles:    {}", r.overhead.throttle_cycles);
+    println!("dram energy proxy:  {:.3e}", r.energy);
+    println!(
+        "verdict:            {}",
+        if r.cross_flips_against(2) == 0 {
+            "attack DEFEATED"
+        } else {
+            "attack SUCCEEDED"
+        }
+    );
+    Ok(())
+}
+
+fn all_experiments(quick: bool) -> Vec<(&'static str, Result<ExpTable>)> {
+    vec![
+        ("T1", experiments::t1_defense_matrix(quick)),
+        ("F1", experiments::f1_rowbuffer()),
+        ("F2", experiments::f2_interleaving(quick)),
+        ("E1", experiments::e1_generations(quick)),
+        ("E2", experiments::e2_trr_bypass(quick)),
+        ("E3", experiments::e3_dma_blindspot(quick)),
+        ("E4", experiments::e4_frequency(quick)),
+        ("E5", experiments::e5_refresh(quick)),
+        ("E6", experiments::e6_scaling()),
+        ("E7", experiments::e7_inference(quick)),
+        ("E8", experiments::e8_enclave(quick)),
+        ("E9", experiments::e9_overhead(quick)),
+        ("E10", experiments::e10_ecc(quick)),
+        ("E11", experiments::e11_page_policy(quick)),
+    ]
+}
+
+fn cmd_experiments(args: &[String]) -> Result<()> {
+    let full = args.iter().any(|a| a == "--full");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_uppercase())
+        .collect();
+    for (id, table) in all_experiments(!full) {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        println!("{}", table?);
+    }
+    Ok(())
+}
+
+fn cmd_generations() -> Result<()> {
+    println!("{}", experiments::e1_generations(false)?);
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "hammertime-cli — Rowhammer mitigation simulator (HotOS '21 'Stop! Hammer Time')\n\
+         \n\
+         USAGE:\n\
+           hammertime-cli catalog\n\
+           hammertime-cli attack [--defense NAME] [--attack double|many:N|fuzzed:N|dma]\n\
+                             [--accesses N] [--mac N] [--seed N] [--windows N]\n\
+           hammertime-cli experiments [--full] [IDS...]\n\
+           hammertime-cli generations"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let result = match cmd.as_str() {
+        "catalog" => {
+            cmd_catalog();
+            Ok(())
+        }
+        "attack" => cmd_attack(&args[1..]),
+        "experiments" => cmd_experiments(&args[1..]),
+        "generations" => cmd_generations(),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attack_spec_parsing() {
+        assert_eq!(AttackSpec::parse("double"), Some(AttackSpec::Double));
+        assert_eq!(AttackSpec::parse("dma"), Some(AttackSpec::Dma));
+        assert_eq!(AttackSpec::parse("many:8"), Some(AttackSpec::Many(8)));
+        assert_eq!(AttackSpec::parse("fuzzed:5"), Some(AttackSpec::Fuzzed(5)));
+        assert_eq!(AttackSpec::parse("bogus"), None);
+        assert_eq!(AttackSpec::parse("many:x"), None);
+    }
+
+    #[test]
+    fn defense_parsing_matches_catalog() {
+        for d in DefenseKind::catalog(100) {
+            assert_eq!(parse_defense(d.name(), 100), Some(d));
+        }
+        assert_eq!(parse_defense("nope", 100), None);
+    }
+}

@@ -1,0 +1,233 @@
+//! Address newtypes.
+//!
+//! The simulator distinguishes three address spaces:
+//!
+//! - [`VirtAddr`]: a guest/process virtual address, translated by the
+//!   model OS page tables.
+//! - [`PhysAddr`]: a CPU physical address, the input to the memory
+//!   controller's address mapping.
+//! - [`CacheLineAddr`]: a physical address with the line offset
+//!   stripped; the granularity at which the cache and the memory
+//!   controller operate.
+//!
+//! Keeping them as distinct types prevents the classic simulator bug of
+//! feeding a virtual address into the DRAM address map.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Bytes per cache line (and per DRAM column burst as seen by the MC).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Bytes per OS page frame.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Cache lines per OS page.
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / CACHE_LINE_BYTES;
+
+/// A CPU physical address.
+///
+/// # Examples
+///
+/// ```
+/// use hammertime_common::PhysAddr;
+///
+/// let pa = PhysAddr(0x12345);
+/// assert_eq!(pa.line().line_index(), 0x12345 / 64);
+/// assert_eq!(pa.page_frame(), 0x12);
+/// assert_eq!(pa.page_offset(), 0x345);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Returns the cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> CacheLineAddr {
+        CacheLineAddr(self.0 / CACHE_LINE_BYTES)
+    }
+
+    /// Returns the page frame number containing this address.
+    #[inline]
+    pub const fn page_frame(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Returns the byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+
+    /// Constructs the physical address of the first byte of a page
+    /// frame.
+    #[inline]
+    pub const fn from_frame(frame: u64) -> PhysAddr {
+        PhysAddr(frame * PAGE_BYTES)
+    }
+
+    /// Returns this address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+/// A virtual address within some trust domain's address space.
+///
+/// # Examples
+///
+/// ```
+/// use hammertime_common::VirtAddr;
+///
+/// let va = VirtAddr(0x7000_1234);
+/// assert_eq!(va.page_number(), 0x7000_1234 / 4096);
+/// assert_eq!(va.page_offset(), 0x234);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Returns the virtual page number containing this address.
+    #[inline]
+    pub const fn page_number(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Returns the byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+
+    /// Constructs the virtual address of the first byte of a virtual
+    /// page.
+    #[inline]
+    pub const fn from_page(page: u64) -> VirtAddr {
+        VirtAddr(page * PAGE_BYTES)
+    }
+
+    /// Returns this address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+/// A physical cache-line address: a [`PhysAddr`] divided by
+/// [`CACHE_LINE_BYTES`].
+///
+/// This is the unit the LLC and the memory controller operate on, and
+/// the address granularity the paper's precise ACT interrupt reports.
+///
+/// # Examples
+///
+/// ```
+/// use hammertime_common::{CacheLineAddr, PhysAddr};
+///
+/// let line = PhysAddr(0x1040).line();
+/// assert_eq!(line, CacheLineAddr(0x41));
+/// assert_eq!(line.base(), PhysAddr(0x1040));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CacheLineAddr(pub u64);
+
+impl CacheLineAddr {
+    /// Returns the raw line index (physical address / 64).
+    #[inline]
+    pub const fn line_index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical address of the first byte of the line.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 * CACHE_LINE_BYTES)
+    }
+
+    /// Returns the page frame number containing this line.
+    #[inline]
+    pub const fn page_frame(self) -> u64 {
+        self.base().page_frame()
+    }
+
+    /// Returns the index of this line within its page (0..64).
+    #[inline]
+    pub const fn index_in_page(self) -> u64 {
+        self.0 % LINES_PER_PAGE
+    }
+}
+
+impl fmt::Display for CacheLineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cl:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_decomposition() {
+        let pa = PhysAddr(2 * PAGE_BYTES + 3 * CACHE_LINE_BYTES + 7);
+        assert_eq!(pa.page_frame(), 2);
+        assert_eq!(pa.page_offset(), 3 * CACHE_LINE_BYTES + 7);
+        assert_eq!(pa.line().index_in_page(), 3);
+        assert_eq!(PhysAddr::from_frame(2).page_frame(), 2);
+        assert_eq!(PhysAddr::from_frame(2).page_offset(), 0);
+    }
+
+    #[test]
+    fn virt_addr_decomposition() {
+        let va = VirtAddr::from_page(9).offset(100);
+        assert_eq!(va.page_number(), 9);
+        assert_eq!(va.page_offset(), 100);
+    }
+
+    #[test]
+    fn line_round_trips_to_base() {
+        for raw in [0u64, 63, 64, 65, 4095, 4096, 123_456_789] {
+            let pa = PhysAddr(raw);
+            let line = pa.line();
+            assert_eq!(line.base().0, (raw / 64) * 64);
+            assert_eq!(line.base().line(), line);
+        }
+    }
+
+    #[test]
+    fn lines_per_page_consistent() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        let frame = 5u64;
+        let first = PhysAddr::from_frame(frame).line();
+        let last = PhysAddr::from_frame(frame).offset(PAGE_BYTES - 1).line();
+        assert_eq!(last.line_index() - first.line_index() + 1, LINES_PER_PAGE);
+        assert_eq!(first.page_frame(), frame);
+        assert_eq!(last.page_frame(), frame);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhysAddr(0x10).to_string(), "pa:0x10");
+        assert_eq!(VirtAddr(0x10).to_string(), "va:0x10");
+        assert_eq!(CacheLineAddr(0x10).to_string(), "cl:0x10");
+    }
+}

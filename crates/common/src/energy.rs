@@ -1,0 +1,100 @@
+//! Per-command energy constants.
+//!
+//! The evaluation reports an *energy proxy*: a weighted sum of DDR
+//! command counts. The weights below follow the relative magnitudes of
+//! published DDR4 IDD-based current profiles (activate/precharge pairs
+//! dominate; refresh is expensive per command but infrequent). Absolute
+//! joules are not the point — defense-induced *extra* ACT/REF energy
+//! relative to baseline is, and relative weights capture that.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy cost weights per DDR command, in picojoule-scale arbitrary
+/// units.
+///
+/// # Examples
+///
+/// ```
+/// use hammertime_common::energy::EnergyModel;
+///
+/// let m = EnergyModel::ddr4();
+/// let total = m.act * 2.0 + m.rd * 10.0;
+/// assert!(total > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per ACT/PRE pair (row open + close).
+    pub act: f64,
+    /// Energy per RD burst.
+    pub rd: f64,
+    /// Energy per WR burst.
+    pub wr: f64,
+    /// Energy per all-bank REF command.
+    pub refresh: f64,
+    /// Energy per targeted neighbor refresh (REF_NEIGHBORS per row).
+    pub ref_neighbors_per_row: f64,
+    /// Static background energy per kilocycle (standby, clocking).
+    pub background_per_kcycle: f64,
+}
+
+impl EnergyModel {
+    /// DDR4-flavored relative weights.
+    pub fn ddr4() -> EnergyModel {
+        EnergyModel {
+            act: 15.0,
+            rd: 5.0,
+            wr: 5.5,
+            refresh: 200.0,
+            ref_neighbors_per_row: 18.0,
+            background_per_kcycle: 2.0,
+        }
+    }
+
+    /// Computes the energy proxy from command counts and elapsed time.
+    pub fn total(
+        &self,
+        acts: u64,
+        rds: u64,
+        wrs: u64,
+        refs: u64,
+        neighbor_rows: u64,
+        cycles: u64,
+    ) -> f64 {
+        self.act * acts as f64
+            + self.rd * rds as f64
+            + self.wr * wrs as f64
+            + self.refresh * refs as f64
+            + self.ref_neighbors_per_row * neighbor_rows as f64
+            + self.background_per_kcycle * (cycles as f64 / 1000.0)
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::ddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_monotone_in_each_component() {
+        let m = EnergyModel::ddr4();
+        let base = m.total(10, 10, 10, 1, 0, 1000);
+        assert!(m.total(11, 10, 10, 1, 0, 1000) > base);
+        assert!(m.total(10, 11, 10, 1, 0, 1000) > base);
+        assert!(m.total(10, 10, 11, 1, 0, 1000) > base);
+        assert!(m.total(10, 10, 10, 2, 0, 1000) > base);
+        assert!(m.total(10, 10, 10, 1, 1, 1000) > base);
+        assert!(m.total(10, 10, 10, 1, 0, 2000) > base);
+    }
+
+    #[test]
+    fn zero_activity_costs_only_background() {
+        let m = EnergyModel::ddr4();
+        assert_eq!(m.total(0, 0, 0, 0, 0, 0), 0.0);
+        assert!(m.total(0, 0, 0, 0, 0, 1000) > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! The workspace-wide error type.
+//!
+//! The simulator treats protocol violations (issuing a RD to a bank
+//! with no open row, activating an already-active bank, violating a
+//! timing constraint) as *errors*, not panics: a defense or scheduler
+//! bug should surface as a diagnosable `Err`, and tests assert on the
+//! specific variant.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Error {
+    /// A configuration value is invalid (zero field, non-power-of-two
+    /// count, inconsistent sweep, ...).
+    Config(String),
+    /// A DDR protocol rule was violated (e.g. ACT to an already-active
+    /// bank, RD with no open row).
+    Protocol(String),
+    /// A DDR timing constraint was violated (command issued before its
+    /// earliest legal cycle).
+    Timing(String),
+    /// An address could not be translated (unmapped virtual page,
+    /// out-of-range physical address).
+    Translation(String),
+    /// A resource was exhausted (out of frames, queue full, no free
+    /// LLC lock way).
+    Exhausted(String),
+    /// An operation required a privilege the caller lacks (e.g. a guest
+    /// issuing the host-privileged `refresh` instruction).
+    Privilege(String),
+    /// The simulated machine detected unrecoverable corruption and
+    /// locked up (the enclave integrity-check DoS path, §4.4).
+    MachineLockup(String),
+}
+
+impl Error {
+    /// Returns the human-readable message regardless of variant.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Config(m)
+            | Error::Protocol(m)
+            | Error::Timing(m)
+            | Error::Translation(m)
+            | Error::Exhausted(m)
+            | Error::Privilege(m)
+            | Error::MachineLockup(m) => m,
+        }
+    }
+
+    /// Returns a short static name for the variant, for metrics keys.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Config(_) => "config",
+            Error::Protocol(_) => "protocol",
+            Error::Timing(_) => "timing",
+            Error::Translation(_) => "translation",
+            Error::Exhausted(_) => "exhausted",
+            Error::Privilege(_) => "privilege",
+            Error::MachineLockup(_) => "lockup",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_and_kind_round_trip() {
+        let e = Error::Timing("tRCD violated".into());
+        assert_eq!(e.kind(), "timing");
+        assert_eq!(e.message(), "tRCD violated");
+        assert_eq!(e.to_string(), "timing: tRCD violated");
+    }
+
+    #[test]
+    fn all_variants_have_distinct_kinds() {
+        let variants = [
+            Error::Config(String::new()),
+            Error::Protocol(String::new()),
+            Error::Timing(String::new()),
+            Error::Translation(String::new()),
+            Error::Exhausted(String::new()),
+            Error::Privilege(String::new()),
+            Error::MachineLockup(String::new()),
+        ];
+        let kinds: std::collections::HashSet<_> = variants.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), variants.len());
+    }
+}

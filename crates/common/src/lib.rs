@@ -1,0 +1,34 @@
+//! Shared foundation types for the `hammertime` workspace.
+//!
+//! This crate holds the vocabulary every other crate speaks:
+//!
+//! - [`time`]: simulation time as DRAM command-clock cycles.
+//! - [`addr`]: physical/virtual/cache-line address newtypes.
+//! - [`geometry`]: DRAM organization (channels, ranks, banks, subarrays,
+//!   rows, columns) and coordinate decomposition.
+//! - [`domain`]: trust domains (ASIDs) and request sources (core vs. DMA).
+//! - [`rng`]: deterministic, seedable RNG so every simulation is
+//!   reproducible bit-for-bit.
+//! - [`energy`]: per-command energy constants for the energy proxy.
+//! - [`error`]: the shared error type.
+//!
+//! Nothing here depends on the rest of the workspace; the dependency DAG
+//! is `common <- dram <- memctrl <- cache/os <- core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod domain;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod rng;
+pub mod time;
+
+pub use addr::{CacheLineAddr, PhysAddr, VirtAddr, CACHE_LINE_BYTES, PAGE_BYTES};
+pub use domain::{DomainId, RequestSource};
+pub use error::{Error, Result};
+pub use geometry::{DramCoord, Geometry};
+pub use rng::DetRng;
+pub use time::Cycle;

@@ -1,0 +1,115 @@
+//! Property tests for the foundation types.
+
+use hammertime_common::time::{cycles_to_ns, ns_to_cycles};
+use hammertime_common::{CacheLineAddr, Cycle, DetRng, Geometry, PhysAddr, VirtAddr};
+use proptest::prelude::*;
+
+proptest! {
+    /// Cycle offset/delta are inverse operations.
+    #[test]
+    fn cycle_offset_delta_inverse(base in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t = Cycle(base);
+        let later = t + d;
+        prop_assert_eq!(later.delta(t), d);
+        prop_assert_eq!(later - t, d);
+    }
+
+    /// max/min are consistent with ordering.
+    #[test]
+    fn cycle_max_min(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (Cycle(a), Cycle(b));
+        prop_assert_eq!(x.max(y).raw(), a.max(b));
+        prop_assert_eq!(x.min(y).raw(), a.min(b));
+    }
+
+    /// ns→cycles never rounds down (JEDEC constraints are minimums).
+    #[test]
+    fn ns_to_cycles_rounds_up(ns in 0.0f64..1e9, mhz in 1u64..10_000) {
+        let cycles = ns_to_cycles(ns, mhz);
+        let back = cycles_to_ns(cycles, mhz);
+        prop_assert!(back >= ns - 1e-6, "{back} < {ns}");
+    }
+
+    /// Physical address decomposition reassembles exactly.
+    #[test]
+    fn phys_addr_decomposition_reassembles(raw in any::<u64>()) {
+        let pa = PhysAddr(raw);
+        let rebuilt = PhysAddr::from_frame(pa.page_frame()).offset(pa.page_offset());
+        prop_assert_eq!(rebuilt, pa);
+        // Line containment.
+        prop_assert!(pa.line().base().0 <= raw);
+        prop_assert!(raw < pa.line().base().0 + 64);
+    }
+
+    /// Virtual address decomposition reassembles exactly.
+    #[test]
+    fn virt_addr_decomposition_reassembles(raw in any::<u64>() ) {
+        let va = VirtAddr(raw % (u64::MAX / 2));
+        let rebuilt = VirtAddr::from_page(va.page_number()).offset(va.page_offset());
+        prop_assert_eq!(rebuilt, va);
+    }
+
+    /// Line index ↔ base address round trip.
+    #[test]
+    fn line_round_trip(idx in any::<u32>()) {
+        let line = CacheLineAddr(idx as u64);
+        prop_assert_eq!(line.base().line(), line);
+    }
+
+    /// Same seed ⇒ identical stream; fork(salt) is deterministic.
+    #[test]
+    fn rng_determinism(seed in any::<u64>(), salt in any::<u64>()) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut fa = a.fork(salt);
+        let mut fb = b.fork(salt);
+        prop_assert_eq!(fa.next_u64(), fb.next_u64());
+    }
+
+    /// below() respects its bound for arbitrary bounds.
+    #[test]
+    fn rng_below_bound(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Shuffle always yields a permutation.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), len in 0usize..64) {
+        let mut rng = DetRng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Power-of-two geometries validate; derived counts are consistent.
+    #[test]
+    fn geometry_counts_consistent(
+        ch in 0u32..2, rk in 0u32..2, bg in 0u32..3, ba in 0u32..3,
+        sa in 0u32..4, rows in 3u32..8, cols in 3u32..8,
+    ) {
+        let g = Geometry {
+            channels: 1 << ch,
+            ranks: 1 << rk,
+            bank_groups: 1 << bg,
+            banks_per_group: 1 << ba,
+            subarrays_per_bank: 1 << sa,
+            rows_per_subarray: 1 << rows,
+            columns: 1 << cols,
+        };
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.total_rows(), g.total_banks() * g.rows_per_bank() as u64);
+        prop_assert_eq!(g.capacity_bytes(), g.total_lines() * 64);
+        // Subarray classification covers every row exactly once.
+        for row in [0, g.rows_per_bank() - 1] {
+            prop_assert!(g.subarray_of_row(row) < g.subarrays_per_bank);
+        }
+    }
+}

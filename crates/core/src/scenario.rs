@@ -1,0 +1,379 @@
+//! Multi-tenant scenario construction.
+//!
+//! The paper's threat model is a cloud host: an attacker VM tries to
+//! flip bits in a victim VM's memory (§1). [`CloudScenario`] builds
+//! that setup on a [`Machine`]: interleaved allocations (so
+//! cross-domain adjacency exists unless an isolation defense prevents
+//! it), attack-pattern targeting helpers that reproduce the published
+//! attack methodologies, and optional benign background tenants for
+//! overhead measurement.
+
+use crate::machine::{Machine, MachineConfig};
+use crate::metrics::SimReport;
+use hammertime_common::geometry::BankId;
+use hammertime_common::{CacheLineAddr, DetRng, DomainId, Result};
+use hammertime_workloads::{
+    DmaHammer, HammerPattern, RandomWorkload, StreamWorkload, ZipfianWorkload,
+};
+use serde::{Deserialize, Serialize};
+
+/// How an armed attack relates to the victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackTargeting {
+    /// Aggressor rows sandwich (or neighbor) victim-owned rows: the
+    /// cross-domain attack is physically possible.
+    CrossDomain,
+    /// Isolation prevented adjacency; the attacker can only hammer
+    /// within its own allocation.
+    IntraDomainOnly,
+}
+
+/// A two-domain attack scenario plus optional background tenants.
+pub struct CloudScenario {
+    /// The machine under test.
+    pub machine: Machine,
+    /// Attacker domain.
+    pub attacker: DomainId,
+    /// Victim domain.
+    pub victim: DomainId,
+    next_benign: u32,
+}
+
+impl CloudScenario {
+    /// Builds the canonical two-tenant scenario: attacker pages,
+    /// victim pages, attacker pages again — interleaving their row
+    /// stripes wherever the placement policy allows it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction/allocation failures.
+    pub fn build(cfg: MachineConfig) -> Result<CloudScenario> {
+        Self::build_sized(cfg, 2)
+    }
+
+    /// Like [`CloudScenario::build`] with `chunk` pages per
+    /// allocation round (attacker gets `2 * chunk`, victim `chunk`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine construction/allocation failures.
+    pub fn build_sized(cfg: MachineConfig, chunk: u64) -> Result<CloudScenario> {
+        let mut machine = Machine::new(cfg)?;
+        let attacker = DomainId(1);
+        let victim = DomainId(2);
+        machine.add_tenant(attacker, chunk)?;
+        machine.add_tenant(victim, chunk)?;
+        machine.add_tenant(attacker, chunk)?;
+        Ok(CloudScenario {
+            machine,
+            attacker,
+            victim,
+            next_benign: 10,
+        })
+    }
+
+    /// Finds a double-sided sandwich: two attacker rows `r`, `r+2` in
+    /// one bank with a victim-owned row between them. Falls back to
+    /// the closest available pair when the exact sandwich doesn't
+    /// exist; the returned targeting reflects whether any victim-owned
+    /// row actually sits inside the pair's blast radius.
+    pub fn find_double_sided(&self) -> (CacheLineAddr, CacheLineAddr, AttackTargeting) {
+        let rows = self.machine.rows_of_domain(self.attacker);
+        let radius = self.machine.config().assumed_radius;
+        let victim_in_radius = |bank: &BankId, row: u32| {
+            (1..=radius).any(|d| {
+                [row.checked_sub(d), row.checked_add(d)]
+                    .into_iter()
+                    .flatten()
+                    .any(|v| self.machine.owner_of_row(bank, v) == Some(self.victim))
+            })
+        };
+        let targeting_of = |bank: &BankId, r1: u32, r2: u32| {
+            if victim_in_radius(bank, r1) || victim_in_radius(bank, r2) {
+                AttackTargeting::CrossDomain
+            } else {
+                AttackTargeting::IntraDomainOnly
+            }
+        };
+        // Preferred: an exact sandwich around a victim row.
+        for (b1, r1, l1) in &rows {
+            for (b2, r2, l2) in &rows {
+                if b1 == b2 && *r2 == r1 + 2 {
+                    if self.machine.owner_of_row(b1, r1 + 1) == Some(self.victim) {
+                        return (l1[0], l2[0], AttackTargeting::CrossDomain);
+                    }
+                }
+            }
+        }
+        // Fallback: a gap-2 pair, then any pair in one bank.
+        for want_gap in [Some(2u32), None] {
+            for (b1, r1, l1) in &rows {
+                for (b2, r2, l2) in &rows {
+                    if b1 == b2 && *r2 > *r1 && want_gap.map_or(true, |g| r2 - r1 == g) {
+                        return (l1[0], l2[0], targeting_of(b1, *r1, *r2));
+                    }
+                }
+            }
+        }
+        panic!("attacker owns fewer than two rows in any bank");
+    }
+
+    /// Picks `n` attacker rows in one bank for a many-sided
+    /// (TRRespass-style) pattern, preferring rows adjacent to
+    /// victim-owned rows.
+    pub fn find_many_sided(&self, n: usize) -> (Vec<CacheLineAddr>, AttackTargeting) {
+        let rows = self.machine.rows_of_domain(self.attacker);
+        // Group attacker rows per bank.
+        let mut by_bank: std::collections::BTreeMap<
+            (u32, u32, u32, u32),
+            Vec<(u32, CacheLineAddr)>,
+        > = std::collections::BTreeMap::new();
+        for (b, r, l) in &rows {
+            by_bank
+                .entry((b.channel, b.rank, b.bank_group, b.bank))
+                .or_default()
+                .push((*r, l[0]));
+        }
+        let mut best: Option<(Vec<CacheLineAddr>, usize)> = None;
+        for ((ch, rk, bg, ba), mut rws) in by_bank {
+            rws.sort_unstable_by_key(|(r, _)| *r);
+            if rws.len() < 2 {
+                continue;
+            }
+            let bank = BankId {
+                channel: ch,
+                rank: rk,
+                bank_group: bg,
+                bank: ba,
+            };
+            // Space aggressors at least two rows apart: contiguous
+            // aggressors refresh each other's victims with their own
+            // ACTs (an own-ACT repairs the row, §2.1), so effective
+            // many-sided patterns leave victim gaps — exactly how
+            // TRRespass structures its sets.
+            let mut take: Vec<(u32, CacheLineAddr)> = Vec::new();
+            for (r, l) in rws {
+                if take.last().map_or(true, |(prev, _)| r >= prev + 2) {
+                    take.push((r, l));
+                    if take.len() == n {
+                        break;
+                    }
+                }
+            }
+            let adjacency = take
+                .iter()
+                .filter(|(r, _)| {
+                    [r.checked_sub(1), Some(r + 1)]
+                        .into_iter()
+                        .flatten()
+                        .any(|v| self.machine.owner_of_row(&bank, v) == Some(self.victim))
+                })
+                .count();
+            let lines: Vec<CacheLineAddr> = take.into_iter().map(|(_, l)| l).collect();
+            if best.as_ref().map_or(true, |(b, a)| {
+                lines.len() > b.len() || (lines.len() == b.len() && adjacency > *a)
+            }) {
+                best = Some((lines, adjacency));
+            }
+        }
+        let (lines, adjacency) = best.expect("attacker owns rows in some bank");
+        let targeting = if adjacency > 0 {
+            AttackTargeting::CrossDomain
+        } else {
+            AttackTargeting::IntraDomainOnly
+        };
+        (lines, targeting)
+    }
+
+    /// Arms a CPU double-sided hammer on the attacker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload attachment failures.
+    pub fn arm_double_sided(&mut self, accesses: u64) -> Result<AttackTargeting> {
+        let (above, below, targeting) = self.find_double_sided();
+        self.machine.set_workload(
+            self.attacker,
+            Box::new(HammerPattern::double_sided(above, below, accesses)),
+        )?;
+        Ok(targeting)
+    }
+
+    /// Arms a many-sided hammer with `n` aggressors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload attachment failures.
+    pub fn arm_many_sided(&mut self, n: usize, accesses: u64) -> Result<AttackTargeting> {
+        let (aggressors, targeting) = self.find_many_sided(n);
+        self.machine.set_workload(
+            self.attacker,
+            Box::new(HammerPattern::many_sided(aggressors, accesses)),
+        )?;
+        Ok(targeting)
+    }
+
+    /// Arms a Blacksmith-style fuzzed hammer with `n` aggressors
+    /// (non-uniform intensities, shuffled schedule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload attachment failures.
+    pub fn arm_fuzzed(&mut self, n: usize, accesses: u64) -> Result<AttackTargeting> {
+        let (aggressors, targeting) = self.find_many_sided(n);
+        let mut rng = self.machine.fork_rng();
+        self.machine.set_workload(
+            self.attacker,
+            Box::new(hammertime_workloads::FuzzedHammer::generate(
+                &mut rng,
+                &aggressors,
+                accesses,
+            )),
+        )?;
+        Ok(targeting)
+    }
+
+    /// Arms a DMA-based double-sided hammer (bypasses cache + PMU).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload attachment failures.
+    pub fn arm_dma(&mut self, accesses: u64) -> Result<AttackTargeting> {
+        let (above, below, targeting) = self.find_double_sided();
+        self.machine.set_workload(
+            self.attacker,
+            Box::new(DmaHammer::new(0, vec![above, below], accesses)),
+        )?;
+        Ok(targeting)
+    }
+
+    /// Gives the victim a read workload over its own memory (so
+    /// enclave integrity checks and corruption observations trigger).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/attachment failures.
+    pub fn victim_reads(&mut self, accesses: u64) -> Result<()> {
+        let rows = self.machine.rows_of_domain(self.victim);
+        let arena: Vec<CacheLineAddr> = rows.iter().flat_map(|(_, _, l)| l.clone()).collect();
+        self.machine.set_workload(
+            self.victim,
+            Box::new(StreamWorkload::new(arena, accesses, 0)),
+        )
+    }
+
+    /// Adds a benign background tenant with the given traffic shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/attachment failures.
+    pub fn add_benign(&mut self, kind: BenignKind, pages: u64, accesses: u64) -> Result<DomainId> {
+        let domain = DomainId(self.next_benign);
+        self.next_benign += 1;
+        let arena = self.machine.add_tenant(domain, pages)?;
+        let rng = DetRng::new(self.machine.config().seed ^ domain.0 as u64);
+        let workload: Box<dyn hammertime_workloads::Workload> = match kind {
+            BenignKind::Stream => Box::new(StreamWorkload::new(arena, accesses, 8)),
+            BenignKind::Random => Box::new(RandomWorkload::new(arena, accesses, 0.2, rng)),
+            BenignKind::Zipfian => Box::new(ZipfianWorkload::new(arena, accesses, 0.99, rng)),
+        };
+        self.machine.set_workload(domain, workload)?;
+        Ok(domain)
+    }
+
+    /// Runs for `windows` refresh windows.
+    pub fn run_windows(&mut self, windows: u64) {
+        let t_refw = self.machine.config().timing.t_refw;
+        self.machine.run(windows * t_refw);
+    }
+
+    /// Produces the report.
+    pub fn report(&mut self) -> SimReport {
+        self.machine.report()
+    }
+}
+
+/// Background traffic shapes for overhead measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenignKind {
+    /// Sequential sweep.
+    Stream,
+    /// Uniform random.
+    Random,
+    /// Zipf-skewed.
+    Zipfian,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::DefenseKind;
+
+    #[test]
+    fn default_placement_permits_cross_domain_targeting() {
+        let s = CloudScenario::build(MachineConfig::fast(DefenseKind::None, 1_000)).unwrap();
+        let (_, _, targeting) = s.find_double_sided();
+        assert_eq!(targeting, AttackTargeting::CrossDomain);
+    }
+
+    #[test]
+    fn subarray_isolation_forces_intra_domain() {
+        let s = CloudScenario::build(MachineConfig::fast(DefenseKind::SubarrayIsolation, 1_000))
+            .unwrap();
+        let (_, _, targeting) = s.find_double_sided();
+        assert_eq!(targeting, AttackTargeting::IntraDomainOnly);
+    }
+
+    #[test]
+    fn bank_partition_forces_intra_domain() {
+        let s = CloudScenario::build(MachineConfig::fast(
+            DefenseKind::BankPartitionIsolation,
+            1_000,
+        ))
+        .unwrap();
+        let (_, _, targeting) = s.find_double_sided();
+        assert_eq!(targeting, AttackTargeting::IntraDomainOnly);
+    }
+
+    #[test]
+    fn zebram_guard_forces_intra_domain() {
+        let s = CloudScenario::build(MachineConfig::fast(DefenseKind::ZebramGuard, 1_000)).unwrap();
+        let (_, _, targeting) = s.find_double_sided();
+        assert_eq!(targeting, AttackTargeting::IntraDomainOnly);
+    }
+
+    #[test]
+    fn many_sided_finds_requested_aggressors() {
+        let cfg = MachineConfig::fast(DefenseKind::None, 1_000);
+        let mut s = CloudScenario::build_sized(cfg, 8).unwrap();
+        let (aggressors, targeting) = s.find_many_sided(6);
+        assert!(aggressors.len() >= 4, "got {}", aggressors.len());
+        assert_eq!(targeting, AttackTargeting::CrossDomain);
+        s.arm_many_sided(6, 100).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_attack_and_report() {
+        let mut s = CloudScenario::build(MachineConfig::fast(DefenseKind::None, 24)).unwrap();
+        let targeting = s.arm_double_sided(3_000).unwrap();
+        assert_eq!(targeting, AttackTargeting::CrossDomain);
+        s.victim_reads(200).unwrap();
+        s.run_windows(200);
+        let r = s.report();
+        assert!(r.flips_cross_domain > 0);
+        assert!(r.ops_by_tenant[&2] > 0, "victim made progress");
+    }
+
+    #[test]
+    fn benign_tenants_add_throughput() {
+        let mut s = CloudScenario::build(MachineConfig::fast(DefenseKind::None, 1_000)).unwrap();
+        s.add_benign(BenignKind::Stream, 2, 300).unwrap();
+        s.add_benign(BenignKind::Random, 2, 300).unwrap();
+        s.add_benign(BenignKind::Zipfian, 2, 300).unwrap();
+        s.run_windows(500);
+        let r = s.report();
+        assert_eq!(r.ops_by_tenant[&10], 300);
+        assert_eq!(r.ops_by_tenant[&11], 300);
+        assert_eq!(r.ops_by_tenant[&12], 300);
+    }
+}

@@ -1,0 +1,314 @@
+//! The paper's taxonomy of Rowhammer mitigations, as an API.
+//!
+//! §2.2 derives three necessary conditions for a successful attack and
+//! one mitigation class per condition:
+//!
+//! | Condition broken | Class | Paper's primitive |
+//! |---|---|---|
+//! | victim within blast radius of aggressor | [`MitigationClass::Isolation`] | subarray-isolated interleaving (§4.1) |
+//! | aggressor exceeds MAC | [`MitigationClass::Frequency`] | precise ACT interrupts (§4.2) |
+//! | victim unrefreshed before MAC crossing | [`MitigationClass::Refresh`] | `refresh` instruction / REF_NEIGHBORS (§4.3) |
+//!
+//! [`DefenseKind`] enumerates every concrete defense the evaluation
+//! compares — the paper's proposals, the hardware baselines, and the
+//! software baselines — each tagged with its class and where it lives
+//! ([`Locus`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which attack precondition a mitigation removes (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MitigationClass {
+    /// No cross-domain aggressor/victim pairs can exist.
+    Isolation,
+    /// No aggressor can exceed the MAC.
+    Frequency,
+    /// Victims are refreshed before aggressors reach the MAC.
+    Refresh,
+}
+
+impl fmt::Display for MitigationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MitigationClass::Isolation => "isolation-centric",
+            MitigationClass::Frequency => "frequency-centric",
+            MitigationClass::Refresh => "refresh-centric",
+        })
+    }
+}
+
+/// Where a defense's mechanism lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Locus {
+    /// Inside the DRAM device (blackbox, unfixable post-purchase).
+    InDram,
+    /// In the CPU's integrated memory controller.
+    MemCtrl,
+    /// Host software using MC primitives (the paper's proposal space).
+    Software,
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Locus::InDram => "in-DRAM",
+            Locus::MemCtrl => "memory-controller",
+            Locus::Software => "software",
+        })
+    }
+}
+
+/// Every defense configuration the evaluation can run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DefenseKind {
+    /// No defense: the vulnerable baseline.
+    None,
+    /// Vendor blackbox TRR inside the module.
+    InDramTrr {
+        /// Tracker entries per bank.
+        table_size: usize,
+    },
+    /// PARA in the memory controller.
+    Para {
+        /// Per-ACT neighbor refresh probability.
+        prob: f64,
+    },
+    /// Graphene-style Misra-Gries tracker in the MC.
+    Graphene {
+        /// Tracker entries per bank.
+        table_size: usize,
+    },
+    /// BlockHammer-style CBF throttling in the MC.
+    BlockHammer {
+        /// Throttle delay per blacklisted ACT, cycles.
+        delay: u64,
+    },
+    /// TWiCe-style pruned counter table in the MC.
+    TwiceLite {
+        /// Tracker entries per bank.
+        table_size: usize,
+    },
+    /// White-box oracle refresher (upper bound, unimplementable).
+    Oracle,
+    /// The paper's isolation-centric proposal: subarray-isolated
+    /// interleaving + subarray-aware allocation (§4.1).
+    SubarrayIsolation,
+    /// Prior isolation approach: per-domain banks, interleaving off.
+    BankPartitionIsolation,
+    /// Prior isolation approach: ZebRAM-style guard rows.
+    ZebramGuard,
+    /// The paper's frequency-centric proposal: precise ACT interrupts
+    /// + page remapping (ACT wear-leveling, §4.2).
+    AggressorRemap,
+    /// The paper's frequency-centric proposal: precise ACT interrupts
+    /// + LLC line locking with remap fallback (§4.2).
+    LineLocking,
+    /// The paper's refresh-centric proposal: precise interrupts + the
+    /// host-privileged refresh instruction (§4.3).
+    VictimRefreshInstr,
+    /// Refresh-centric with the optional REF_NEIGHBORS DRAM command.
+    VictimRefreshRefNeighbors,
+    /// Refresh-centric but limited to today's convoluted flush+load
+    /// path (what software can do *without* the primitive).
+    VictimRefreshConvoluted,
+    /// ANVIL baseline: PMU sampling + convoluted refresh.
+    Anvil {
+        /// Sampled misses per row before reacting.
+        miss_threshold: u32,
+    },
+}
+
+impl DefenseKind {
+    /// The taxonomy class this defense belongs to (`None` for the
+    /// undefended baseline).
+    pub fn class(&self) -> Option<MitigationClass> {
+        use DefenseKind::*;
+        Some(match self {
+            None => return Option::None,
+            SubarrayIsolation | BankPartitionIsolation | ZebramGuard => MitigationClass::Isolation,
+            BlockHammer { .. } | AggressorRemap | LineLocking => MitigationClass::Frequency,
+            InDramTrr { .. }
+            | Para { .. }
+            | Graphene { .. }
+            | TwiceLite { .. }
+            | Oracle
+            | VictimRefreshInstr
+            | VictimRefreshRefNeighbors
+            | VictimRefreshConvoluted
+            | Anvil { .. } => MitigationClass::Refresh,
+        })
+    }
+
+    /// Where the defense's mechanism lives.
+    pub fn locus(&self) -> Option<Locus> {
+        use DefenseKind::*;
+        Some(match self {
+            None => return Option::None,
+            InDramTrr { .. } => Locus::InDram,
+            Para { .. } | Graphene { .. } | BlockHammer { .. } | TwiceLite { .. } | Oracle => {
+                Locus::MemCtrl
+            }
+            SubarrayIsolation
+            | BankPartitionIsolation
+            | ZebramGuard
+            | AggressorRemap
+            | LineLocking
+            | VictimRefreshInstr
+            | VictimRefreshRefNeighbors
+            | VictimRefreshConvoluted
+            | Anvil { .. } => Locus::Software,
+        })
+    }
+
+    /// Whether the defense needs the paper's precise ACT interrupt
+    /// primitive (§4.2) to function.
+    pub fn needs_precise_interrupts(&self) -> bool {
+        matches!(
+            self,
+            DefenseKind::AggressorRemap
+                | DefenseKind::LineLocking
+                | DefenseKind::VictimRefreshInstr
+                | DefenseKind::VictimRefreshRefNeighbors
+                | DefenseKind::VictimRefreshConvoluted
+        )
+    }
+
+    /// Whether the defense is one of the paper's proposals (vs. a
+    /// baseline).
+    pub fn is_proposed(&self) -> bool {
+        matches!(
+            self,
+            DefenseKind::SubarrayIsolation
+                | DefenseKind::AggressorRemap
+                | DefenseKind::LineLocking
+                | DefenseKind::VictimRefreshInstr
+                | DefenseKind::VictimRefreshRefNeighbors
+        )
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        use DefenseKind::*;
+        match self {
+            None => "none",
+            InDramTrr { .. } => "trr",
+            Para { .. } => "para",
+            Graphene { .. } => "graphene",
+            BlockHammer { .. } => "blockhammer",
+            TwiceLite { .. } => "twice",
+            Oracle => "oracle",
+            SubarrayIsolation => "subarray-isolation",
+            BankPartitionIsolation => "bank-partition",
+            ZebramGuard => "zebram-guard",
+            AggressorRemap => "aggressor-remap",
+            LineLocking => "line-locking",
+            VictimRefreshInstr => "victim-refresh/instr",
+            VictimRefreshRefNeighbors => "victim-refresh/refn",
+            VictimRefreshConvoluted => "victim-refresh/convoluted",
+            Anvil { .. } => "anvil",
+        }
+    }
+
+    /// The full catalog with representative parameters for a module
+    /// whose MAC is `mac` — the defense axis of experiments T1 and E9.
+    pub fn catalog(mac: u64) -> Vec<DefenseKind> {
+        vec![
+            DefenseKind::None,
+            DefenseKind::InDramTrr { table_size: 4 },
+            DefenseKind::Para {
+                prob: (8.0 / mac as f64).min(1.0),
+            },
+            DefenseKind::Graphene { table_size: 16 },
+            DefenseKind::BlockHammer { delay: 2_000 },
+            DefenseKind::TwiceLite { table_size: 16 },
+            DefenseKind::Oracle,
+            DefenseKind::SubarrayIsolation,
+            DefenseKind::BankPartitionIsolation,
+            DefenseKind::ZebramGuard,
+            DefenseKind::AggressorRemap,
+            DefenseKind::LineLocking,
+            DefenseKind::VictimRefreshInstr,
+            DefenseKind::VictimRefreshRefNeighbors,
+            DefenseKind::VictimRefreshConvoluted,
+            DefenseKind::Anvil { miss_threshold: 4 },
+        ]
+    }
+}
+
+impl fmt::Display for DefenseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_classes_and_loci() {
+        let catalog = DefenseKind::catalog(10_000);
+        let classes: std::collections::HashSet<_> =
+            catalog.iter().filter_map(|d| d.class()).collect();
+        assert_eq!(classes.len(), 3, "all three taxonomy classes present");
+        let loci: std::collections::HashSet<_> = catalog.iter().filter_map(|d| d.locus()).collect();
+        assert_eq!(loci.len(), 3, "in-DRAM, MC, and software all present");
+    }
+
+    #[test]
+    fn baseline_has_no_class() {
+        assert_eq!(DefenseKind::None.class(), None);
+        assert_eq!(DefenseKind::None.locus(), None);
+        assert!(!DefenseKind::None.is_proposed());
+    }
+
+    #[test]
+    fn proposed_defenses_use_the_primitives() {
+        for d in DefenseKind::catalog(1000) {
+            if d.is_proposed() && d != DefenseKind::SubarrayIsolation {
+                assert!(
+                    d.needs_precise_interrupts(),
+                    "{d} is proposed but needs no primitive?"
+                );
+            }
+        }
+        // Baselines never need the new primitive.
+        assert!(!DefenseKind::InDramTrr { table_size: 4 }.needs_precise_interrupts());
+        assert!(!DefenseKind::Anvil { miss_threshold: 4 }.needs_precise_interrupts());
+    }
+
+    #[test]
+    fn classes_match_the_paper_table() {
+        assert_eq!(
+            DefenseKind::SubarrayIsolation.class(),
+            Some(MitigationClass::Isolation)
+        );
+        assert_eq!(
+            DefenseKind::AggressorRemap.class(),
+            Some(MitigationClass::Frequency)
+        );
+        assert_eq!(
+            DefenseKind::LineLocking.class(),
+            Some(MitigationClass::Frequency)
+        );
+        assert_eq!(
+            DefenseKind::VictimRefreshInstr.class(),
+            Some(MitigationClass::Refresh)
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let catalog = DefenseKind::catalog(1000);
+        let names: std::collections::HashSet<_> = catalog.iter().map(|d| d.name()).collect();
+        assert_eq!(names.len(), catalog.len());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DefenseKind::Oracle.to_string(), "oracle");
+        assert_eq!(MitigationClass::Isolation.to_string(), "isolation-centric");
+        assert_eq!(Locus::Software.to_string(), "software");
+    }
+}

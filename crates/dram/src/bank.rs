@@ -1,0 +1,609 @@
+//! Per-bank state machine with DDR timing enforcement.
+//!
+//! A bank is a grid of rows with one shared row buffer (paper Fig. 1).
+//! The FSM enforces protocol legality — commands in an illegal state or
+//! before their earliest legal cycle return [`Error::Protocol`] /
+//! [`Error::Timing`] rather than silently corrupting the model.
+//!
+//! Bank-local constraints enforced here: tRCD (ACT→RD/WR), tRAS
+//! (ACT→PRE), tRP (PRE→ACT), tRC (ACT→ACT same bank), tRTP (RD→PRE),
+//! write recovery (WR data→PRE). Rank-level constraints (tRRD, tFAW,
+//! tRFC) live in [`crate::module`].
+//!
+//! Each row additionally carries its disturbance bookkeeping
+//! ([`VictimState`]) and an activation counter; `act` returns the
+//! *flip opportunities* its disturbance created so the module can
+//! sample actual bit flips.
+
+use crate::disturb::{DisturbanceProfile, VictimState};
+use crate::timing::TimingParams;
+use hammertime_common::{Cycle, Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// The row-buffer state of a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankState {
+    /// All rows precharged; the row buffer is empty.
+    Idle,
+    /// `row` is connected to the row buffer.
+    Active {
+        /// The open row.
+        row: u32,
+        /// When the ACT was issued (for tRAS/tRC accounting).
+        opened_at: Cycle,
+    },
+}
+
+/// Per-row bookkeeping within a bank.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RowState {
+    /// Disturbance accumulation for this row as a *victim*.
+    pub victim: VictimState,
+    /// ACTs of this row since its own last refresh (its life as an
+    /// *aggressor*); the ground truth frequency-centric defenses try
+    /// to bound.
+    pub acts_since_refresh: u32,
+    /// Lifetime ACT count (wear statistics).
+    pub total_acts: u64,
+}
+
+/// A disturbance notification produced by an ACT: the victim row and
+/// how many new flip opportunities the pressure crossing created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disturbance {
+    /// Victim row (in-bank index).
+    pub victim_row: u32,
+    /// Fresh flip opportunities (see [`VictimState::add_pressure`]).
+    pub opportunities: u32,
+}
+
+/// One bank: FSM, timing bookkeeping, and per-row state.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest cycle an ACT may issue (tRP/tRC effects).
+    ready_act: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS/tRTP/tWR effects).
+    ready_pre: Cycle,
+    /// Earliest cycle a RD/WR may issue (tRCD effect); meaningful only
+    /// while `Active`.
+    ready_rdwr: Cycle,
+    rows: Vec<RowState>,
+    rows_per_subarray: u32,
+    /// Row-buffer statistics.
+    pub acts: u64,
+    /// PRE count (including auto-precharges).
+    pub pres: u64,
+}
+
+impl Bank {
+    /// Creates an idle bank with `rows` rows organized in subarrays of
+    /// `rows_per_subarray`.
+    pub fn new(rows: u32, rows_per_subarray: u32) -> Bank {
+        assert!(rows > 0 && rows_per_subarray > 0 && rows % rows_per_subarray == 0);
+        Bank {
+            state: BankState::Idle,
+            ready_act: Cycle::ZERO,
+            ready_pre: Cycle::ZERO,
+            ready_rdwr: Cycle::ZERO,
+            rows: vec![RowState::default(); rows as usize],
+            rows_per_subarray,
+            acts: 0,
+            pres: 0,
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// The open row, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        match self.state {
+            BankState::Active { row, .. } => Some(row),
+            BankState::Idle => None,
+        }
+    }
+
+    /// Number of rows in the bank.
+    pub fn rows(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    /// Immutable view of a row's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row_state(&self, row: u32) -> &RowState {
+        &self.rows[row as usize]
+    }
+
+    /// Earliest cycle an ACT may legally issue.
+    pub fn earliest_act(&self) -> Cycle {
+        match self.state {
+            BankState::Idle => self.ready_act,
+            // Must PRE first; an ACT is never legal while active.
+            BankState::Active { .. } => Cycle::MAX,
+        }
+    }
+
+    /// Earliest cycle a RD/WR may legally issue (only while active).
+    pub fn earliest_rdwr(&self) -> Cycle {
+        match self.state {
+            BankState::Active { .. } => self.ready_rdwr,
+            BankState::Idle => Cycle::MAX,
+        }
+    }
+
+    /// Earliest cycle a PRE may legally issue. PRE of an idle bank is a
+    /// legal no-op, available immediately.
+    pub fn earliest_pre(&self) -> Cycle {
+        match self.state {
+            BankState::Active { .. } => self.ready_pre,
+            BankState::Idle => Cycle::ZERO,
+        }
+    }
+
+    fn subarray_bounds(&self, row: u32) -> (u32, u32) {
+        let sa = row / self.rows_per_subarray;
+        let lo = sa * self.rows_per_subarray;
+        (lo, lo + self.rows_per_subarray - 1)
+    }
+
+    /// Activates `row` at `now`, applying disturbance to its in-subarray
+    /// neighbors.
+    ///
+    /// Returns the set of victims whose pressure crossed flip
+    /// thresholds; the caller samples actual bit flips from these
+    /// opportunities. The ACT also refreshes `row` itself (paper §2.1:
+    /// "an ACT of a row also repairs the row as a side effect").
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if the bank is active; [`Error::Timing`] if
+    /// `now` is before the earliest legal ACT; [`Error::Protocol`] if
+    /// `row` is out of range.
+    pub fn act(
+        &mut self,
+        row: u32,
+        now: Cycle,
+        timing: &TimingParams,
+        profile: &DisturbanceProfile,
+    ) -> Result<Vec<Disturbance>> {
+        if row >= self.rows() {
+            return Err(Error::Protocol(format!(
+                "ACT row {row} out of range ({} rows)",
+                self.rows()
+            )));
+        }
+        match self.state {
+            BankState::Active { row: open, .. } => {
+                return Err(Error::Protocol(format!(
+                    "ACT r{row} while r{open} is open (PRE first)"
+                )));
+            }
+            BankState::Idle => {}
+        }
+        if now < self.ready_act {
+            return Err(Error::Timing(format!(
+                "ACT r{row} at {now} before earliest {}",
+                self.ready_act
+            )));
+        }
+
+        self.state = BankState::Active {
+            row,
+            opened_at: now,
+        };
+        self.ready_rdwr = now + timing.t_rcd;
+        self.ready_pre = now + timing.t_ras;
+        self.acts += 1;
+
+        // The aggressor row itself is repaired by its own activation.
+        let rs = &mut self.rows[row as usize];
+        rs.victim.refresh(now);
+        rs.acts_since_refresh += 1;
+        rs.total_acts += 1;
+
+        // Disturb in-subarray neighbors out to the blast radius.
+        // Subarrays are electromagnetically isolated (paper §4.1), so
+        // pressure never crosses a subarray boundary — the physical
+        // fact the isolation-centric primitive builds on.
+        let (lo, hi) = self.subarray_bounds(row);
+        let mut out = Vec::new();
+        for d in 1..=profile.blast_radius {
+            let w = profile.pressure_at(d);
+            for victim in [row.checked_sub(d), row.checked_add(d)]
+                .into_iter()
+                .flatten()
+            {
+                if victim < lo || victim > hi {
+                    continue;
+                }
+                let fresh = self.rows[victim as usize].victim.add_pressure(w, profile);
+                if fresh > 0 {
+                    out.push(Disturbance {
+                        victim_row: victim,
+                        opportunities: fresh,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Precharges the bank at `now`. PRE of an idle bank is a legal
+    /// no-op (the paper's refresh-instruction sequence begins with an
+    /// unconditional PRE, §4.3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timing`] if the bank is active and `now` is before the
+    /// earliest legal PRE.
+    pub fn pre(&mut self, now: Cycle, timing: &TimingParams) -> Result<()> {
+        match self.state {
+            BankState::Idle => Ok(()), // No-op; does not reset ready_act.
+            BankState::Active { opened_at, .. } => {
+                if now < self.ready_pre {
+                    return Err(Error::Timing(format!(
+                        "PRE at {now} before earliest {}",
+                        self.ready_pre
+                    )));
+                }
+                self.close(now, opened_at, timing);
+                Ok(())
+            }
+        }
+    }
+
+    fn close(&mut self, pre_time: Cycle, opened_at: Cycle, timing: &TimingParams) {
+        self.state = BankState::Idle;
+        self.ready_act = (pre_time + timing.t_rp).max(opened_at + timing.t_rc);
+        self.pres += 1;
+    }
+
+    /// Reads column `col` of the open row at `now`.
+    ///
+    /// Returns the open row and the cycle at which data completes on
+    /// the bus (`now + CL + tBL`). With `auto_pre` the bank precharges
+    /// itself at the earliest legal point after the read.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if no row is open; [`Error::Timing`] before
+    /// tRCD has elapsed.
+    pub fn rd(
+        &mut self,
+        _col: u32,
+        now: Cycle,
+        auto_pre: bool,
+        timing: &TimingParams,
+    ) -> Result<(u32, Cycle)> {
+        let (row, opened_at) = match self.state {
+            BankState::Active { row, opened_at } => (row, opened_at),
+            BankState::Idle => {
+                return Err(Error::Protocol("RD with no open row".into()));
+            }
+        };
+        if now < self.ready_rdwr {
+            return Err(Error::Timing(format!(
+                "RD at {now} before tRCD satisfied at {}",
+                self.ready_rdwr
+            )));
+        }
+        let data_done = now + timing.cl + timing.t_bl;
+        self.ready_pre = self.ready_pre.max(now + timing.t_rtp);
+        if auto_pre {
+            let pre_time = self.ready_pre;
+            self.close(pre_time, opened_at, timing);
+        }
+        Ok((row, data_done))
+    }
+
+    /// Writes column `col` of the open row at `now`.
+    ///
+    /// Returns the open row and the cycle at which the write burst (and
+    /// recovery) completes. With `auto_pre` the bank precharges itself
+    /// at the earliest legal point after write recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if no row is open; [`Error::Timing`] before
+    /// tRCD has elapsed.
+    pub fn wr(
+        &mut self,
+        _col: u32,
+        now: Cycle,
+        auto_pre: bool,
+        timing: &TimingParams,
+    ) -> Result<(u32, Cycle)> {
+        let (row, opened_at) = match self.state {
+            BankState::Active { row, opened_at } => (row, opened_at),
+            BankState::Idle => {
+                return Err(Error::Protocol("WR with no open row".into()));
+            }
+        };
+        if now < self.ready_rdwr {
+            return Err(Error::Timing(format!(
+                "WR at {now} before tRCD satisfied at {}",
+                self.ready_rdwr
+            )));
+        }
+        let data_end = now + timing.cwl + timing.t_bl;
+        self.ready_pre = self.ready_pre.max(data_end + timing.t_wr);
+        if auto_pre {
+            let pre_time = self.ready_pre;
+            self.close(pre_time, opened_at, timing);
+        }
+        Ok((row, data_end))
+    }
+
+    /// Refreshes `row` in place (REF slot coverage, REF_NEIGHBORS, or
+    /// the refresh instruction's ACT): clears its disturbance pressure
+    /// and aggressor counter.
+    ///
+    /// This is a state update, not a timed command — the *caller*
+    /// accounts for the bank-busy time of whichever command performed
+    /// the refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn refresh_row(&mut self, row: u32, now: Cycle) {
+        let rs = &mut self.rows[row as usize];
+        rs.victim.refresh(now);
+        rs.acts_since_refresh = 0;
+    }
+
+    /// Blocks the bank until `until` (used while a rank-level REF or a
+    /// multi-row REF_NEIGHBORS occupies it).
+    pub fn block_until(&mut self, until: Cycle) {
+        self.ready_act = self.ready_act.max(until);
+    }
+
+    /// Returns the in-subarray neighbors of `row` within `radius`
+    /// (potential victims of `row` as an aggressor).
+    pub fn neighbors_within(&self, row: u32, radius: u32) -> Vec<u32> {
+        let (lo, hi) = self.subarray_bounds(row);
+        let mut out = Vec::new();
+        for d in 1..=radius {
+            if let Some(v) = row.checked_sub(d) {
+                if v >= lo {
+                    out.push(v);
+                }
+            }
+            if let Some(v) = row.checked_add(d) {
+                if v <= hi {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp() -> TimingParams {
+        TimingParams::tiny_test()
+    }
+
+    fn profile(mac: u64) -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac,
+            blast_radius: 2,
+            distance_decay: 0.5,
+            flip_prob: 1.0,
+            overshoot_step: 0.05,
+        }
+    }
+
+    fn bank() -> Bank {
+        Bank::new(32, 16)
+    }
+
+    #[test]
+    fn act_then_rd_respects_trcd() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(3, Cycle(0), &t, &p).unwrap();
+        assert_eq!(b.open_row(), Some(3));
+        // Too early: tRCD = 4.
+        assert!(matches!(
+            b.rd(0, Cycle(3), false, &t),
+            Err(Error::Timing(_))
+        ));
+        let (row, done) = b.rd(0, Cycle(4), false, &t).unwrap();
+        assert_eq!(row, 3);
+        assert_eq!(done, Cycle(4 + t.cl + t.t_bl));
+    }
+
+    #[test]
+    fn act_while_active_is_protocol_error() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(1, Cycle(0), &t, &p).unwrap();
+        assert!(matches!(
+            b.act(2, Cycle(100), &t, &p),
+            Err(Error::Protocol(_))
+        ));
+        assert_eq!(b.earliest_act(), Cycle::MAX);
+    }
+
+    #[test]
+    fn rd_wr_without_open_row_is_protocol_error() {
+        let t = tp();
+        let mut b = bank();
+        assert!(matches!(
+            b.rd(0, Cycle(0), false, &t),
+            Err(Error::Protocol(_))
+        ));
+        assert!(matches!(
+            b.wr(0, Cycle(0), false, &t),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn pre_respects_tras_and_enables_act_after_trp() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(1, Cycle(0), &t, &p).unwrap();
+        // tRAS = 10: PRE at 9 illegal.
+        assert!(matches!(b.pre(Cycle(9), &t), Err(Error::Timing(_))));
+        b.pre(Cycle(10), &t).unwrap();
+        // Next ACT: max(pre + tRP, act + tRC) = max(14, 14) = 14.
+        assert_eq!(b.earliest_act(), Cycle(14));
+        assert!(matches!(b.act(2, Cycle(13), &t, &p), Err(Error::Timing(_))));
+        b.act(2, Cycle(14), &t, &p).unwrap();
+    }
+
+    #[test]
+    fn pre_idle_bank_is_noop() {
+        let t = tp();
+        let mut b = bank();
+        assert_eq!(b.earliest_pre(), Cycle::ZERO);
+        b.pre(Cycle(0), &t).unwrap();
+        assert_eq!(b.state(), BankState::Idle);
+        assert_eq!(b.pres, 0, "idle PRE should not count as a row close");
+    }
+
+    #[test]
+    fn read_pushes_out_pre_via_trtp() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(1, Cycle(0), &t, &p).unwrap();
+        // Read late so now + tRTP exceeds tRAS.
+        b.rd(0, Cycle(9), false, &t).unwrap();
+        // ready_pre = max(0+tRAS, 9+tRTP) = max(10, 12) = 12.
+        assert!(matches!(b.pre(Cycle(11), &t), Err(Error::Timing(_))));
+        b.pre(Cycle(12), &t).unwrap();
+    }
+
+    #[test]
+    fn write_recovery_delays_pre() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(1, Cycle(0), &t, &p).unwrap();
+        let (_, data_end) = b.wr(0, Cycle(4), false, &t).unwrap();
+        assert_eq!(data_end, Cycle(4 + t.cwl + t.t_bl));
+        let earliest = data_end + t.t_wr;
+        assert!(matches!(
+            b.pre(Cycle(earliest.raw() - 1), &t),
+            Err(Error::Timing(_))
+        ));
+        b.pre(earliest, &t).unwrap();
+    }
+
+    #[test]
+    fn auto_precharge_closes_bank() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(1, Cycle(0), &t, &p).unwrap();
+        b.rd(0, Cycle(4), true, &t).unwrap();
+        assert_eq!(b.state(), BankState::Idle);
+        // Auto-pre time = max(ready_pre) = max(tRAS=10, 4+tRTP=7) = 10;
+        // next ACT = max(10 + tRP, 0 + tRC) = 14.
+        assert_eq!(b.earliest_act(), Cycle(14));
+    }
+
+    #[test]
+    fn act_disturbs_neighbors_within_subarray_only() {
+        let (t, p) = (tp(), profile(2)); // MAC 2: flips fast
+        let mut b = bank();
+        // Row 15 is the last row of subarray 0 (rows 0..16); its +1 and
+        // +2 neighbors (16, 17) are in subarray 1 and must be immune.
+        let mut now = Cycle(0);
+        let mut victims = std::collections::HashSet::new();
+        for _ in 0..20 {
+            for d in b.act(15, now, &t, &p).unwrap() {
+                victims.insert(d.victim_row);
+            }
+            now = now + t.t_ras;
+            b.pre(now, &t).unwrap();
+            now = b.earliest_act();
+        }
+        assert!(victims.contains(&13));
+        assert!(victims.contains(&14));
+        assert!(!victims.contains(&16), "cross-subarray disturbance");
+        assert!(!victims.contains(&17), "cross-subarray disturbance");
+    }
+
+    #[test]
+    fn own_act_refreshes_row() {
+        let (t, p) = (tp(), profile(3));
+        let mut b = bank();
+        let mut now = Cycle(0);
+        // Hammer row 5; row 6 accumulates pressure. Then activate row 6
+        // itself: its pressure must clear.
+        for _ in 0..3 {
+            b.act(5, now, &t, &p).unwrap();
+            now = now + t.t_ras;
+            b.pre(now, &t).unwrap();
+            now = b.earliest_act();
+        }
+        assert!(b.row_state(6).victim.pressure > 0.0);
+        b.act(6, now, &t, &p).unwrap();
+        assert_eq!(b.row_state(6).victim.pressure, 0.0);
+        assert_eq!(b.row_state(6).acts_since_refresh, 1);
+    }
+
+    #[test]
+    fn refresh_row_clears_counters() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.act(5, Cycle(0), &t, &p).unwrap();
+        b.pre(Cycle(10), &t).unwrap();
+        assert_eq!(b.row_state(5).acts_since_refresh, 1);
+        assert_eq!(b.row_state(5).total_acts, 1);
+        b.refresh_row(5, Cycle(20));
+        assert_eq!(b.row_state(5).acts_since_refresh, 0);
+        assert_eq!(b.row_state(5).total_acts, 1, "lifetime count survives");
+        assert_eq!(b.row_state(5).victim.last_refresh, Cycle(20));
+    }
+
+    #[test]
+    fn neighbors_within_respects_subarray_and_edges() {
+        let b = bank();
+        assert_eq!(b.neighbors_within(0, 2), vec![1, 2]);
+        let n15 = b.neighbors_within(15, 2);
+        assert!(n15.contains(&14) && n15.contains(&13));
+        assert!(!n15.contains(&16) && !n15.contains(&17));
+        let n16 = b.neighbors_within(16, 2);
+        assert!(n16.contains(&17) && n16.contains(&18));
+        assert!(!n16.contains(&15));
+    }
+
+    #[test]
+    fn block_until_delays_act() {
+        let (t, p) = (tp(), profile(1000));
+        let mut b = bank();
+        b.block_until(Cycle(50));
+        assert!(matches!(b.act(0, Cycle(49), &t, &p), Err(Error::Timing(_))));
+        b.act(0, Cycle(50), &t, &p).unwrap();
+    }
+
+    #[test]
+    fn sustained_hammer_crosses_mac() {
+        let (t, p) = (tp(), profile(10));
+        let mut b = bank();
+        let mut now = Cycle(0);
+        let mut opportunities = 0;
+        for _ in 0..30 {
+            for d in b.act(8, now, &t, &p).unwrap() {
+                opportunities += d.opportunities;
+            }
+            now = now + t.t_ras;
+            b.pre(now, &t).unwrap();
+            now = b.earliest_act();
+        }
+        assert!(
+            opportunities > 0,
+            "30 ACTs at MAC 10 must create flip opportunities"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The DDR command set as seen on the command bus.
+//!
+//! The memory controller drives the device model exclusively through
+//! [`DdrCommand`]s, mirroring how a real integrated memory controller
+//! programs a module (paper §2.1). Two commands go beyond baseline
+//! DDR4:
+//!
+//! - [`DdrCommand::RefNeighbors`] — the paper's proposed optional DRAM
+//!   assistance (§4.3): the device refreshes all potential victims
+//!   within a caller-supplied blast radius of an aggressor row.
+//! - Auto-precharge variants (`RdA`/`WrA`) are folded into the `auto_pre`
+//!   flag on [`DdrCommand::Rd`]/[`DdrCommand::Wr`].
+
+use hammertime_common::geometry::BankId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A command on one channel's DDR command bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DdrCommand {
+    /// Activate `row` in `bank`, connecting it to the bank's row buffer.
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// In-bank row index.
+        row: u32,
+    },
+    /// Precharge (close) the open row in `bank`.
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Precharge every bank in `rank` of `channel`.
+    PreAll {
+        /// Target channel.
+        channel: u32,
+        /// Target rank.
+        rank: u32,
+    },
+    /// Read the cache-line burst at `col` of the open row in `bank`.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+        /// Column burst index.
+        col: u32,
+        /// Issue an implicit precharge after the burst (RDA).
+        auto_pre: bool,
+    },
+    /// Write the cache-line burst at `col` of the open row in `bank`.
+    Wr {
+        /// Target bank.
+        bank: BankId,
+        /// Column burst index.
+        col: u32,
+        /// Issue an implicit precharge after the burst (WRA).
+        auto_pre: bool,
+    },
+    /// All-bank auto-refresh for one rank: recharges the next refresh
+    /// group of rows in every bank of the rank.
+    Ref {
+        /// Target channel.
+        channel: u32,
+        /// Target rank.
+        rank: u32,
+    },
+    /// Proposed command (paper §4.3): refresh every row within
+    /// `radius` rows of `row` (excluding `row` itself) that shares its
+    /// subarray, i.e. all potential victims of that aggressor.
+    RefNeighbors {
+        /// Bank containing the aggressor.
+        bank: BankId,
+        /// Aggressor row whose neighbors are refreshed.
+        row: u32,
+        /// Blast radius to cover (rows on each side).
+        radius: u32,
+    },
+}
+
+impl DdrCommand {
+    /// Returns the channel this command occupies.
+    pub fn channel(&self) -> u32 {
+        match self {
+            DdrCommand::Act { bank, .. }
+            | DdrCommand::Pre { bank }
+            | DdrCommand::Rd { bank, .. }
+            | DdrCommand::Wr { bank, .. }
+            | DdrCommand::RefNeighbors { bank, .. } => bank.channel,
+            DdrCommand::PreAll { channel, .. } | DdrCommand::Ref { channel, .. } => *channel,
+        }
+    }
+
+    /// Returns the rank this command targets.
+    pub fn rank(&self) -> u32 {
+        match self {
+            DdrCommand::Act { bank, .. }
+            | DdrCommand::Pre { bank }
+            | DdrCommand::Rd { bank, .. }
+            | DdrCommand::Wr { bank, .. }
+            | DdrCommand::RefNeighbors { bank, .. } => bank.rank,
+            DdrCommand::PreAll { rank, .. } | DdrCommand::Ref { rank, .. } => *rank,
+        }
+    }
+
+    /// Returns the bank this command targets, if it targets a single
+    /// bank.
+    pub fn bank(&self) -> Option<BankId> {
+        match self {
+            DdrCommand::Act { bank, .. }
+            | DdrCommand::Pre { bank }
+            | DdrCommand::Rd { bank, .. }
+            | DdrCommand::Wr { bank, .. }
+            | DdrCommand::RefNeighbors { bank, .. } => Some(*bank),
+            DdrCommand::PreAll { .. } | DdrCommand::Ref { .. } => None,
+        }
+    }
+
+    /// Short mnemonic, as a trace would print it.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DdrCommand::Act { .. } => "ACT",
+            DdrCommand::Pre { .. } => "PRE",
+            DdrCommand::PreAll { .. } => "PREA",
+            DdrCommand::Rd {
+                auto_pre: false, ..
+            } => "RD",
+            DdrCommand::Rd { auto_pre: true, .. } => "RDA",
+            DdrCommand::Wr {
+                auto_pre: false, ..
+            } => "WR",
+            DdrCommand::Wr { auto_pre: true, .. } => "WRA",
+            DdrCommand::Ref { .. } => "REF",
+            DdrCommand::RefNeighbors { .. } => "REFN",
+        }
+    }
+}
+
+impl fmt::Display for DdrCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdrCommand::Act { bank, row } => write!(f, "ACT {bank} r{row}"),
+            DdrCommand::Pre { bank } => write!(f, "PRE {bank}"),
+            DdrCommand::PreAll { channel, rank } => write!(f, "PREA ch{channel}/rk{rank}"),
+            DdrCommand::Rd {
+                bank,
+                col,
+                auto_pre,
+            } => {
+                write!(f, "{} {bank} c{col}", if *auto_pre { "RDA" } else { "RD" })
+            }
+            DdrCommand::Wr {
+                bank,
+                col,
+                auto_pre,
+            } => {
+                write!(f, "{} {bank} c{col}", if *auto_pre { "WRA" } else { "WR" })
+            }
+            DdrCommand::Ref { channel, rank } => write!(f, "REF ch{channel}/rk{rank}"),
+            DdrCommand::RefNeighbors { bank, row, radius } => {
+                write!(f, "REFN {bank} r{row} b{radius}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BankId {
+        BankId {
+            channel: 1,
+            rank: 0,
+            bank_group: 2,
+            bank: 3,
+        }
+    }
+
+    #[test]
+    fn channel_rank_extraction() {
+        let act = DdrCommand::Act {
+            bank: bank(),
+            row: 5,
+        };
+        assert_eq!(act.channel(), 1);
+        assert_eq!(act.rank(), 0);
+        assert_eq!(act.bank(), Some(bank()));
+
+        let rf = DdrCommand::Ref {
+            channel: 0,
+            rank: 1,
+        };
+        assert_eq!(rf.channel(), 0);
+        assert_eq!(rf.rank(), 1);
+        assert_eq!(rf.bank(), None);
+    }
+
+    #[test]
+    fn mnemonics_distinguish_auto_precharge() {
+        let rd = DdrCommand::Rd {
+            bank: bank(),
+            col: 0,
+            auto_pre: false,
+        };
+        let rda = DdrCommand::Rd {
+            bank: bank(),
+            col: 0,
+            auto_pre: true,
+        };
+        assert_eq!(rd.mnemonic(), "RD");
+        assert_eq!(rda.mnemonic(), "RDA");
+        let wr = DdrCommand::Wr {
+            bank: bank(),
+            col: 0,
+            auto_pre: false,
+        };
+        let wra = DdrCommand::Wr {
+            bank: bank(),
+            col: 0,
+            auto_pre: true,
+        };
+        assert_eq!(wr.mnemonic(), "WR");
+        assert_eq!(wra.mnemonic(), "WRA");
+    }
+
+    #[test]
+    fn display_includes_coordinates() {
+        let s = DdrCommand::Act {
+            bank: bank(),
+            row: 7,
+        }
+        .to_string();
+        assert!(s.contains("ACT") && s.contains("r7"), "{s}");
+        let s = DdrCommand::RefNeighbors {
+            bank: bank(),
+            row: 9,
+            radius: 2,
+        }
+        .to_string();
+        assert!(
+            s.contains("REFN") && s.contains("r9") && s.contains("b2"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! Sparse row-data storage with bit-flip application.
+//!
+//! Simulated capacities reach gigabytes, but only rows a workload
+//! actually wrote need backing bytes, so storage is a sparse map from
+//! `(flat_bank, internal_row)` to a boxed row buffer. Disturbance flips
+//! XOR a bit in the stored row when present; flips against unwritten
+//! rows are still tracked in a *poisoned-bits* set so later readers and
+//! integrity checks observe the corruption (the enclave path, §4.4,
+//! detects exactly this).
+
+use hammertime_common::addr::CACHE_LINE_BYTES;
+use std::collections::{HashMap, HashSet};
+
+/// Key addressing one row's backing store.
+pub type RowKey = (usize, u32);
+
+/// Data bits per ECC codeword (SEC-DED over 64-bit words, as on
+/// server DIMMs).
+pub const ECC_WORD_BITS: u64 = 64;
+
+/// What ECC observed while reading one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum EccOutcome {
+    /// No flipped bits in the line.
+    Clean,
+    /// Every flipped word had a single flipped bit: all corrected
+    /// (count of corrected bits).
+    Corrected(u32),
+    /// At least one word held two or more flips: detected but
+    /// uncorrectable (count of such words). Cojocar et al. (S&P'19,
+    /// cited in the paper's §1) show attackers can even aim for
+    /// miscorrection; we model the detectable-failure case.
+    Uncorrectable(u32),
+}
+
+/// Sparse backing store for row contents.
+#[derive(Debug, Default)]
+pub struct RowDataStore {
+    row_bytes: usize,
+    rows: HashMap<RowKey, Box<[u8]>>,
+    /// Bits flipped in rows (written or not): `(bank, row, bit)`.
+    poisoned: HashSet<(usize, u32, u64)>,
+}
+
+impl RowDataStore {
+    /// Creates a store for rows of `row_bytes` bytes.
+    pub fn new(row_bytes: usize) -> RowDataStore {
+        assert!(row_bytes > 0 && row_bytes % CACHE_LINE_BYTES as usize == 0);
+        RowDataStore {
+            row_bytes,
+            rows: HashMap::new(),
+            poisoned: HashSet::new(),
+        }
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Writes one cache line (`col`-th 64-byte burst) of a row,
+    /// materializing the row (zero-filled) if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one cache line or `col` is out
+    /// of range.
+    pub fn write_line(&mut self, key: RowKey, col: u32, data: &[u8]) {
+        assert_eq!(data.len(), CACHE_LINE_BYTES as usize);
+        let off = col as usize * CACHE_LINE_BYTES as usize;
+        assert!(off + data.len() <= self.row_bytes, "column out of range");
+        let row = self
+            .rows
+            .entry(key)
+            .or_insert_with(|| vec![0u8; self.row_bytes].into_boxed_slice());
+        row[off..off + data.len()].copy_from_slice(data);
+        // A write re-establishes the intended value of these bits.
+        let lo = off as u64 * 8;
+        let hi = lo + CACHE_LINE_BYTES * 8;
+        self.poisoned
+            .retain(|&(b, r, bit)| (b, r) != key || !(lo..hi).contains(&bit));
+    }
+
+    /// Reads one cache line of a row. Returns zeros for never-written
+    /// rows (DRAM powers up to an arbitrary-but-stable pattern; zero is
+    /// the conventional model).
+    pub fn read_line(&self, key: RowKey, col: u32) -> Vec<u8> {
+        let off = col as usize * CACHE_LINE_BYTES as usize;
+        assert!(off + CACHE_LINE_BYTES as usize <= self.row_bytes);
+        match self.rows.get(&key) {
+            Some(row) => row[off..off + CACHE_LINE_BYTES as usize].to_vec(),
+            None => vec![0u8; CACHE_LINE_BYTES as usize],
+        }
+    }
+
+    /// Applies a disturbance flip of `bit` in the row, XORing backing
+    /// data if present and recording the poison either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` exceeds the row size.
+    pub fn flip_bit(&mut self, key: RowKey, bit: u64) {
+        assert!((bit as usize) < self.row_bytes * 8, "bit out of range");
+        if let Some(row) = self.rows.get_mut(&key) {
+            row[bit as usize / 8] ^= 1 << (bit % 8);
+        }
+        // Poison set is a toggle: flipping the same bit twice restores it.
+        if !self.poisoned.remove(&(key.0, key.1, bit)) {
+            self.poisoned.insert((key.0, key.1, bit));
+        }
+    }
+
+    /// Reads one cache line through a SEC-DED ECC model: single-bit
+    /// flips per 64-bit word are corrected in the returned data;
+    /// multi-bit words are returned as-is and reported uncorrectable.
+    pub fn read_line_ecc(&self, key: RowKey, col: u32) -> (Vec<u8>, EccOutcome) {
+        let mut data = self.read_line(key, col);
+        let lo = col as u64 * CACHE_LINE_BYTES * 8;
+        let hi = lo + CACHE_LINE_BYTES * 8;
+        // Group this line's poisoned bits by ECC word.
+        let mut words: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(b, r, bit) in &self.poisoned {
+            if (b, r) == key && (lo..hi).contains(&bit) {
+                let line_bit = bit - lo;
+                words
+                    .entry(line_bit / ECC_WORD_BITS)
+                    .or_default()
+                    .push(line_bit);
+            }
+        }
+        if words.is_empty() {
+            return (data, EccOutcome::Clean);
+        }
+        let mut corrected = 0u32;
+        let mut uncorrectable = 0u32;
+        for bits in words.values() {
+            if bits.len() == 1 {
+                // SEC: flip the bit back in the returned data.
+                let bit = bits[0];
+                data[bit as usize / 8] ^= 1 << (bit % 8);
+                corrected += 1;
+            } else {
+                uncorrectable += 1;
+            }
+        }
+        if uncorrectable > 0 {
+            (data, EccOutcome::Uncorrectable(uncorrectable))
+        } else {
+            (data, EccOutcome::Corrected(corrected))
+        }
+    }
+
+    /// Returns `true` if any bit of the given cache line is poisoned —
+    /// the integrity-check primitive enclaves rely on (§4.4).
+    pub fn line_is_poisoned(&self, key: RowKey, col: u32) -> bool {
+        let lo = col as u64 * CACHE_LINE_BYTES * 8;
+        let hi = lo + CACHE_LINE_BYTES * 8;
+        self.poisoned
+            .iter()
+            .any(|&(b, r, bit)| (b, r) == key && (lo..hi).contains(&bit))
+    }
+
+    /// Returns `true` if any bit of the row is poisoned.
+    pub fn row_is_poisoned(&self, key: RowKey) -> bool {
+        self.poisoned.iter().any(|&(b, r, _)| (b, r) == key)
+    }
+
+    /// Total poisoned bits across the device (metrics).
+    pub fn poisoned_bits(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// Number of materialized rows (memory accounting).
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Copies an entire row's contents to another location (the OS
+    /// remap/wear-leveling path uses this via the data path; provided
+    /// here for verification in tests).
+    pub fn copy_row(&mut self, from: RowKey, to: RowKey) {
+        let data = self.rows.get(&from).cloned();
+        match data {
+            Some(d) => {
+                self.rows.insert(to, d);
+            }
+            None => {
+                self.rows.remove(&to);
+            }
+        }
+        // Poison travels with the data.
+        let moved: Vec<u64> = self
+            .poisoned
+            .iter()
+            .filter(|&&(b, r, _)| (b, r) == from)
+            .map(|&(_, _, bit)| bit)
+            .collect();
+        self.poisoned
+            .retain(|&(b, r, _)| (b, r) != to && (b, r) != from);
+        for bit in moved {
+            self.poisoned.insert((to.0, to.1, bit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: usize = CACHE_LINE_BYTES as usize;
+
+    fn store() -> RowDataStore {
+        RowDataStore::new(8 * LINE)
+    }
+
+    fn line(fill: u8) -> Vec<u8> {
+        vec![fill; LINE]
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = store();
+        s.write_line((0, 5), 3, &line(0xAB));
+        assert_eq!(s.read_line((0, 5), 3), line(0xAB));
+        assert_eq!(s.read_line((0, 5), 2), line(0x00), "untouched column");
+        assert_eq!(s.materialized_rows(), 1);
+    }
+
+    #[test]
+    fn unwritten_rows_read_zero() {
+        let s = store();
+        assert_eq!(s.read_line((1, 9), 0), line(0));
+        assert_eq!(s.materialized_rows(), 0);
+    }
+
+    #[test]
+    fn flip_corrupts_written_data_and_is_detectable() {
+        let mut s = store();
+        s.write_line((0, 1), 0, &line(0x00));
+        s.flip_bit((0, 1), 10); // byte 1, bit 2
+        let read = s.read_line((0, 1), 0);
+        assert_eq!(read[1], 0b100);
+        assert!(s.line_is_poisoned((0, 1), 0));
+        assert!(!s.line_is_poisoned((0, 1), 1));
+        assert!(s.row_is_poisoned((0, 1)));
+        assert_eq!(s.poisoned_bits(), 1);
+    }
+
+    #[test]
+    fn flip_on_unwritten_row_is_tracked() {
+        let mut s = store();
+        s.flip_bit((2, 7), 100);
+        assert!(s.row_is_poisoned((2, 7)));
+        assert_eq!(s.materialized_rows(), 0);
+    }
+
+    #[test]
+    fn double_flip_restores_bit() {
+        let mut s = store();
+        s.write_line((0, 0), 0, &line(0xFF));
+        s.flip_bit((0, 0), 4);
+        s.flip_bit((0, 0), 4);
+        assert_eq!(s.read_line((0, 0), 0), line(0xFF));
+        assert!(!s.row_is_poisoned((0, 0)));
+    }
+
+    #[test]
+    fn rewrite_clears_poison_for_that_line_only() {
+        let mut s = store();
+        s.write_line((0, 0), 0, &line(0));
+        s.write_line((0, 0), 1, &line(0));
+        s.flip_bit((0, 0), 5); // line 0
+        s.flip_bit((0, 0), LINE as u64 * 8 + 5); // line 1
+        s.write_line((0, 0), 0, &line(0x11));
+        assert!(!s.line_is_poisoned((0, 0), 0), "rewrite heals line 0");
+        assert!(s.line_is_poisoned((0, 0), 1), "line 1 still poisoned");
+    }
+
+    #[test]
+    fn copy_row_moves_data_and_poison() {
+        let mut s = store();
+        s.write_line((0, 3), 2, &line(0x77));
+        s.flip_bit((0, 3), 9);
+        s.copy_row((0, 3), (1, 8));
+        assert_eq!(s.read_line((1, 8), 2), line(0x77));
+        assert!(s.row_is_poisoned((1, 8)));
+        // Destination had stale poison? ensure copy overwrote cleanly.
+        s.write_line((0, 4), 0, &line(1));
+        s.copy_row((0, 9), (0, 4)); // copy from unwritten row clears dest
+        assert_eq!(s.read_line((0, 4), 0), line(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bit out of range")]
+    fn flip_out_of_range_panics() {
+        let mut s = store();
+        s.flip_bit((0, 0), (8 * LINE * 8) as u64);
+    }
+
+    #[test]
+    fn ecc_clean_line_reads_clean() {
+        let mut s = store();
+        s.write_line((0, 0), 0, &line(0x42));
+        let (data, outcome) = s.read_line_ecc((0, 0), 0);
+        assert_eq!(outcome, EccOutcome::Clean);
+        assert_eq!(data, line(0x42));
+    }
+
+    #[test]
+    fn ecc_corrects_single_bit_per_word() {
+        let mut s = store();
+        s.write_line((0, 0), 0, &line(0x00));
+        // Two flips in two *different* 64-bit words of the same line.
+        s.flip_bit((0, 0), 3); // word 0
+        s.flip_bit((0, 0), 64 + 7); // word 1
+        let (data, outcome) = s.read_line_ecc((0, 0), 0);
+        assert_eq!(outcome, EccOutcome::Corrected(2));
+        assert_eq!(data, line(0x00), "corrected data matches the original");
+        // The raw read still shows the corruption.
+        assert_ne!(s.read_line((0, 0), 0), line(0x00));
+    }
+
+    #[test]
+    fn ecc_detects_double_bit_in_one_word() {
+        let mut s = store();
+        s.write_line((0, 0), 0, &line(0x00));
+        s.flip_bit((0, 0), 10); // word 0
+        s.flip_bit((0, 0), 20); // word 0 again
+        s.flip_bit((0, 0), 70); // word 1: single, correctable
+        let (data, outcome) = s.read_line_ecc((0, 0), 0);
+        assert_eq!(outcome, EccOutcome::Uncorrectable(1));
+        // Word 1's bit was still corrected; word 0 stays corrupted.
+        assert_eq!(data[8], 0, "word 1 corrected");
+        assert_ne!(data[1] & 0b100, 0, "word 0 bit 10 still flipped");
+    }
+
+    #[test]
+    fn ecc_is_scoped_to_the_requested_line() {
+        let mut s = store();
+        s.write_line((0, 0), 0, &line(0));
+        s.write_line((0, 0), 1, &line(0));
+        s.flip_bit((0, 0), 5); // line 0
+        let (_, outcome1) = s.read_line_ecc((0, 0), 1);
+        assert_eq!(outcome1, EccOutcome::Clean, "line 1 unaffected");
+    }
+}

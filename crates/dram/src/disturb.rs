@@ -1,0 +1,416 @@
+//! The DRAM disturbance (Rowhammer) fault model.
+//!
+//! Physics recap (paper §2.1–2.2): every ACT of an *aggressor* row
+//! electromagnetically disturbs physically-proximate rows in the same
+//! subarray, up to `blast_radius` rows away. A *victim* row accumulates
+//! disturbance ("hammer pressure") from all its aggressors since the
+//! victim's own last refresh; once accumulated pressure exceeds the
+//! module's maximum activation count (MAC), bits in the victim may
+//! flip. Refreshing the victim — via the regular REF cycle, an ACT of
+//! the victim itself, the proposed `refresh` instruction, or
+//! REF_NEIGHBORS — resets its pressure.
+//!
+//! The model is parameterised by a [`DisturbanceProfile`]. The presets
+//! follow the *shape* of published measurements (Kim et al. ISCA'20):
+//! successive DRAM generations have order-of-magnitude lower MACs and
+//! wider blast radii, which is the worsening-problem premise of the
+//! paper's §3.
+
+use hammertime_common::time::Cycle;
+use hammertime_common::DomainId;
+use serde::{Deserialize, Serialize};
+
+/// Disturbance parameters for one DRAM module generation.
+///
+/// # Examples
+///
+/// ```
+/// use hammertime_dram::disturb::DisturbanceProfile;
+///
+/// let old = DisturbanceProfile::ddr3_2014();
+/// let new = DisturbanceProfile::ddr4_2020();
+/// // The Rowhammer problem worsens: newer modules flip with far
+/// // fewer activations and disturb more distant rows.
+/// assert!(new.mac < old.mac / 10);
+/// assert!(new.blast_radius > old.blast_radius);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbanceProfile {
+    /// Maximum activation count: hammer pressure a victim tolerates
+    /// within a refresh window before bits may flip.
+    pub mac: u64,
+    /// How many rows to each side of an aggressor are disturbed.
+    pub blast_radius: u32,
+    /// Per-distance attenuation: an ACT at distance `d` contributes
+    /// `decay^(d-1)` pressure. In `(0, 1]`.
+    pub distance_decay: f64,
+    /// Probability that each threshold crossing beyond the MAC flips a
+    /// bit (see [`VictimState::add_pressure`]).
+    pub flip_prob: f64,
+    /// Fraction of the MAC between successive flip opportunities once
+    /// pressure exceeds the MAC.
+    pub overshoot_step: f64,
+}
+
+impl DisturbanceProfile {
+    /// DDR3-era module (Kim et al. ISCA'14 measurements): high MAC,
+    /// immediate neighbors only.
+    pub fn ddr3_2014() -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac: 139_000,
+            blast_radius: 1,
+            distance_decay: 0.5,
+            flip_prob: 0.5,
+            overshoot_step: 0.05,
+        }
+    }
+
+    /// First-generation DDR4 (c. 2017).
+    pub fn ddr4_2017() -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac: 50_000,
+            blast_radius: 2,
+            distance_decay: 0.4,
+            flip_prob: 0.5,
+            overshoot_step: 0.05,
+        }
+    }
+
+    /// LPDDR4 (c. 2019).
+    pub fn lpddr4_2019() -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac: 16_000,
+            blast_radius: 2,
+            distance_decay: 0.45,
+            flip_prob: 0.55,
+            overshoot_step: 0.05,
+        }
+    }
+
+    /// Recent DDR4 (c. 2020): MACs near 10 K, blast radius up to 4.
+    pub fn ddr4_2020() -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac: 10_000,
+            blast_radius: 4,
+            distance_decay: 0.5,
+            flip_prob: 0.6,
+            overshoot_step: 0.05,
+        }
+    }
+
+    /// Extrapolated future node (the paper's "worsening" trend): MAC
+    /// under 5 K, blast radius 6.
+    pub fn future_node() -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac: 4_800,
+            blast_radius: 6,
+            distance_decay: 0.55,
+            flip_prob: 0.65,
+            overshoot_step: 0.05,
+        }
+    }
+
+    /// A profile scaled down by `factor` for fast tests/benches: the
+    /// MAC shrinks, everything else is preserved, so attack/defense
+    /// *shapes* are unchanged while simulations run `factor`x faster.
+    pub fn scaled_down(&self, factor: u64) -> DisturbanceProfile {
+        DisturbanceProfile {
+            mac: (self.mac / factor).max(1),
+            ..*self
+        }
+    }
+
+    /// The five generation presets, oldest first, with display names —
+    /// the sweep axis of experiment E1.
+    pub fn generations() -> Vec<(&'static str, DisturbanceProfile)> {
+        vec![
+            ("DDR3-2014", Self::ddr3_2014()),
+            ("DDR4-2017", Self::ddr4_2017()),
+            ("LPDDR4-2019", Self::lpddr4_2019()),
+            ("DDR4-2020", Self::ddr4_2020()),
+            ("Future", Self::future_node()),
+        ]
+    }
+
+    /// Pressure contributed to a victim at `distance` rows from the
+    /// aggressor (0 outside the blast radius).
+    #[inline]
+    pub fn pressure_at(&self, distance: u32) -> f64 {
+        if distance == 0 || distance > self.blast_radius {
+            return 0.0;
+        }
+        self.distance_decay.powi(distance as i32 - 1)
+    }
+
+    /// Checks parameter sanity.
+    pub fn validate(&self) -> hammertime_common::Result<()> {
+        use hammertime_common::Error;
+        if self.mac == 0 {
+            return Err(Error::Config("mac is zero".into()));
+        }
+        if self.blast_radius == 0 {
+            return Err(Error::Config("blast_radius is zero".into()));
+        }
+        if !(self.distance_decay > 0.0 && self.distance_decay <= 1.0) {
+            return Err(Error::Config(format!(
+                "distance_decay {} outside (0,1]",
+                self.distance_decay
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.flip_prob) {
+            return Err(Error::Config(format!(
+                "flip_prob {} outside [0,1]",
+                self.flip_prob
+            )));
+        }
+        if !(self.overshoot_step > 0.0) {
+            return Err(Error::Config("overshoot_step must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DisturbanceProfile {
+    fn default() -> Self {
+        DisturbanceProfile::ddr4_2020()
+    }
+}
+
+/// Per-victim-row disturbance bookkeeping.
+///
+/// Lives inside each bank's row-state table. `pressure` accumulates
+/// weighted aggressor ACTs since this row's last refresh;
+/// `flip_opportunities` counts how many overshoot thresholds have been
+/// crossed so far (so each crossing yields at most one Bernoulli flip
+/// draw, keeping flip counts monotone in pressure and independent of
+/// ACT batching).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VictimState {
+    /// Accumulated hammer pressure since last refresh.
+    pub pressure: f64,
+    /// Overshoot thresholds already consumed (see `add_pressure`).
+    pub flip_opportunities: u32,
+    /// When this row was last refreshed (REF slot, own ACT, targeted
+    /// refresh).
+    pub last_refresh: Cycle,
+}
+
+impl VictimState {
+    /// Adds `amount` pressure and returns how many *new* flip
+    /// opportunities this crossing creates.
+    ///
+    /// Opportunities are the integer thresholds
+    /// `mac * (1 + k * overshoot_step)`, `k = 0, 1, 2, ...`: the first
+    /// opportunity arises when pressure first exceeds the MAC, then one
+    /// more per additional `mac * overshoot_step` of pressure. The
+    /// caller draws one Bernoulli(`flip_prob`) bit flip per
+    /// opportunity.
+    pub fn add_pressure(&mut self, amount: f64, profile: &DisturbanceProfile) -> u32 {
+        debug_assert!(amount >= 0.0);
+        self.pressure += amount;
+        let mac = profile.mac as f64;
+        if self.pressure <= mac {
+            return 0;
+        }
+        let step = mac * profile.overshoot_step;
+        // Total opportunities warranted by current pressure.
+        let total = 1 + ((self.pressure - mac) / step) as u32;
+        let fresh = total.saturating_sub(self.flip_opportunities);
+        self.flip_opportunities = total;
+        fresh
+    }
+
+    /// Resets disturbance state; called whenever the row is refreshed.
+    pub fn refresh(&mut self, now: Cycle) {
+        self.pressure = 0.0;
+        self.flip_opportunities = 0;
+        self.last_refresh = now;
+    }
+}
+
+/// One recorded bit-flip event: the evaluation's ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipEvent {
+    /// When the flip occurred.
+    pub time: Cycle,
+    /// Flat bank index of the victim.
+    pub flat_bank: usize,
+    /// Victim row (in-bank index, internal/physical ordering).
+    pub victim_row: u32,
+    /// The aggressor row whose ACT tipped the victim over.
+    pub aggressor_row: u32,
+    /// Bit index within the row that flipped.
+    pub bit: u64,
+    /// Trust domain owning the victim row's frame at flip time, if the
+    /// caller annotated ownership (`None` for unowned/unallocated).
+    pub victim_domain: Option<DomainId>,
+    /// Trust domain that issued the aggressor ACT, if known.
+    pub aggressor_domain: Option<DomainId>,
+}
+
+impl FlipEvent {
+    /// Returns `true` if the flip crossed trust-domain boundaries — the
+    /// multi-tenant disaster case the paper opens with (§1).
+    pub fn is_cross_domain(&self) -> bool {
+        match (self.victim_domain, self.aggressor_domain) {
+            (Some(v), Some(a)) => v != a,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_worsen() {
+        let gens = DisturbanceProfile::generations();
+        for (_, p) in &gens {
+            p.validate().unwrap();
+        }
+        for w in gens.windows(2) {
+            assert!(
+                w[1].1.mac <= w[0].1.mac,
+                "MAC must not increase across generations"
+            );
+            assert!(w[1].1.blast_radius >= w[0].1.blast_radius);
+        }
+    }
+
+    #[test]
+    fn pressure_decays_with_distance() {
+        let p = DisturbanceProfile::ddr4_2020();
+        assert_eq!(p.pressure_at(0), 0.0);
+        assert_eq!(p.pressure_at(1), 1.0);
+        assert!(p.pressure_at(2) < p.pressure_at(1));
+        assert!(p.pressure_at(p.blast_radius) > 0.0);
+        assert_eq!(p.pressure_at(p.blast_radius + 1), 0.0);
+    }
+
+    #[test]
+    fn no_opportunities_below_mac() {
+        let p = DisturbanceProfile {
+            mac: 100,
+            ..DisturbanceProfile::ddr4_2020()
+        };
+        let mut v = VictimState::default();
+        for _ in 0..100 {
+            assert_eq!(v.add_pressure(1.0, &p), 0);
+        }
+        assert_eq!(v.flip_opportunities, 0);
+    }
+
+    #[test]
+    fn opportunities_scale_with_overshoot() {
+        let p = DisturbanceProfile {
+            mac: 100,
+            overshoot_step: 0.1, // one extra opportunity per 10 pressure beyond MAC
+            ..DisturbanceProfile::ddr4_2020()
+        };
+        let mut v = VictimState::default();
+        assert_eq!(v.add_pressure(100.0, &p), 0); // exactly at MAC: none
+        assert_eq!(v.add_pressure(1.0, &p), 1); // first crossing
+        assert_eq!(v.add_pressure(9.0, &p), 1); // 110 -> second threshold
+        assert_eq!(v.add_pressure(20.0, &p), 2); // 130 -> two more
+                                                 // Opportunities do not double count.
+        assert_eq!(v.add_pressure(0.0, &p), 0);
+    }
+
+    #[test]
+    fn batched_and_incremental_pressure_agree() {
+        let p = DisturbanceProfile {
+            mac: 50,
+            overshoot_step: 0.05,
+            ..DisturbanceProfile::ddr4_2020()
+        };
+        let mut a = VictimState::default();
+        let mut total_a = 0;
+        for _ in 0..200 {
+            total_a += a.add_pressure(1.0, &p);
+        }
+        let mut b = VictimState::default();
+        let total_b = b.add_pressure(200.0, &p);
+        assert_eq!(total_a, total_b);
+        assert_eq!(a.flip_opportunities, b.flip_opportunities);
+    }
+
+    #[test]
+    fn refresh_clears_state() {
+        let p = DisturbanceProfile {
+            mac: 10,
+            ..DisturbanceProfile::ddr4_2020()
+        };
+        let mut v = VictimState::default();
+        v.add_pressure(50.0, &p);
+        assert!(v.pressure > 0.0);
+        v.refresh(Cycle(123));
+        assert_eq!(v.pressure, 0.0);
+        assert_eq!(v.flip_opportunities, 0);
+        assert_eq!(v.last_refresh, Cycle(123));
+        // After refresh the budget starts over.
+        assert_eq!(v.add_pressure(10.0, &p), 0);
+    }
+
+    #[test]
+    fn scaled_profile_preserves_shape() {
+        let p = DisturbanceProfile::ddr3_2014().scaled_down(100);
+        assert_eq!(p.mac, 1_390);
+        assert_eq!(p.blast_radius, DisturbanceProfile::ddr3_2014().blast_radius);
+        let tiny = DisturbanceProfile::ddr3_2014().scaled_down(u64::MAX);
+        assert_eq!(tiny.mac, 1);
+    }
+
+    #[test]
+    fn cross_domain_detection() {
+        let mk = |v, a| FlipEvent {
+            time: Cycle::ZERO,
+            flat_bank: 0,
+            victim_row: 1,
+            aggressor_row: 2,
+            bit: 0,
+            victim_domain: v,
+            aggressor_domain: a,
+        };
+        assert!(mk(Some(DomainId(1)), Some(DomainId(2))).is_cross_domain());
+        assert!(!mk(Some(DomainId(1)), Some(DomainId(1))).is_cross_domain());
+        assert!(!mk(None, Some(DomainId(1))).is_cross_domain());
+        assert!(!mk(Some(DomainId(1)), None).is_cross_domain());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let base = DisturbanceProfile::ddr4_2020();
+        assert!(DisturbanceProfile { mac: 0, ..base }.validate().is_err());
+        assert!(DisturbanceProfile {
+            blast_radius: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DisturbanceProfile {
+            distance_decay: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DisturbanceProfile {
+            distance_decay: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DisturbanceProfile {
+            flip_prob: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(DisturbanceProfile {
+            overshoot_step: 0.0,
+            ..base
+        }
+        .validate()
+        .is_err());
+    }
+}

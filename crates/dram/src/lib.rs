@@ -1,0 +1,69 @@
+//! Command-level DRAM device model with a Rowhammer disturbance fault
+//! model.
+//!
+//! This crate is the lowest substrate of the `hammertime` workspace:
+//! a DDR module the memory controller programs with
+//! [`command::DdrCommand`]s, enforcing protocol and timing
+//! legality, cycling refresh groups, and — the part everything else
+//! exists for — accumulating activation-induced disturbance that flips
+//! bits in victim rows once aggressors exceed the module's MAC within a
+//! refresh window (paper §2).
+//!
+//! Layers:
+//!
+//! - [`command`]: the DDR command vocabulary (ACT/PRE/RD/WR/REF plus
+//!   the proposed REF_NEIGHBORS).
+//! - [`timing`]: JEDEC-style timing parameter sets.
+//! - [`bank`]: per-bank FSM and bank-local timing.
+//! - [`disturb`]: the parametric Rowhammer model (MAC, blast radius,
+//!   per-generation presets).
+//! - [`trr`]: the in-DRAM blackbox Target Row Refresh baseline and its
+//!   TRRespass-style bypass behaviour.
+//! - [`remap`]: internal row remapping (logical vs. internal
+//!   adjacency).
+//! - [`data`]: sparse row contents with poison (flip) tracking.
+//! - [`module`]: the assembled device.
+//!
+//! # Examples
+//!
+//! ```
+//! use hammertime_dram::module::{DramConfig, DramModule};
+//! use hammertime_dram::command::DdrCommand;
+//! use hammertime_common::geometry::BankId;
+//! use hammertime_common::Cycle;
+//!
+//! // A module that flips after ~10 activations of a neighbor.
+//! let mut dram = DramModule::new(DramConfig::test_config(10)).unwrap();
+//! let bank = BankId { channel: 0, rank: 0, bank_group: 0, bank: 0 };
+//! let mut now = Cycle::ZERO;
+//! let mut flips = 0;
+//! for _ in 0..40 {
+//!     let act = DdrCommand::Act { bank, row: 8 };
+//!     now = now.max(dram.earliest(&act));
+//!     flips += dram.issue(&act, now).unwrap().flips_generated;
+//!     let pre = DdrCommand::Pre { bank };
+//!     now = now.max(dram.earliest(&pre));
+//!     dram.issue(&pre, now).unwrap();
+//! }
+//! assert!(flips > 0, "hammering past the MAC flips neighbors");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod command;
+pub mod data;
+pub mod disturb;
+pub mod module;
+pub mod remap;
+pub mod stats;
+pub mod timing;
+pub mod trr;
+
+pub use command::DdrCommand;
+pub use disturb::{DisturbanceProfile, FlipEvent};
+pub use module::{CommandOutcome, DramConfig, DramModule};
+pub use stats::DramStats;
+pub use timing::TimingParams;
+pub use trr::{TrrConfig, TrrSamplerKind};

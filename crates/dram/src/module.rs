@@ -1,0 +1,999 @@
+//! The DRAM module: ranks of banks behind one command interface.
+//!
+//! [`DramModule`] is the device the memory controller programs. It
+//! owns:
+//!
+//! - per-bank FSMs with bank-local timing ([`crate::bank`]);
+//! - rank-level constraints (tRRD same/different bank group, the tFAW
+//!   four-activate window, tRFC refresh occupancy);
+//! - the refresh-group cursor each REF advances through (every row is
+//!   covered once per tREFW, paper §2.1);
+//! - internal row remapping ([`crate::remap`]) — commands address
+//!   *logical* rows; disturbance physics run on *internal* rows;
+//! - the disturbance model and flip sampling ([`crate::disturb`]);
+//! - the optional in-DRAM TRR engine ([`crate::trr`]);
+//! - sparse row data with poison tracking ([`crate::data`]).
+//!
+//! Flip events are queued and drained by the caller
+//! ([`DramModule::drain_flips`]); rows in those events are reported in
+//! logical coordinates, the only ones visible outside the device.
+
+use crate::bank::Bank;
+use crate::command::DdrCommand;
+use crate::data::{EccOutcome, RowDataStore};
+use crate::disturb::{DisturbanceProfile, FlipEvent};
+use crate::remap::{RemapConfig, RowRemap};
+use crate::stats::DramStats;
+use crate::timing::TimingParams;
+use crate::trr::{TrrConfig, TrrEngine};
+use hammertime_common::geometry::BankId;
+use hammertime_common::{Cycle, DetRng, Error, Geometry, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Whether the module/controller pair runs ECC on the data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EccMode {
+    /// Non-ECC DIMM: every flip reaches software.
+    None,
+    /// SEC-DED over 64-bit words: single-bit flips corrected, double
+    /// flips detected (the server-DIMM configuration; Cojocar et al.
+    /// showed it raises, not removes, the bar — experiment E10).
+    SecDed,
+}
+
+/// Full device configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Organization.
+    pub geometry: Geometry,
+    /// Timing constraints.
+    pub timing: TimingParams,
+    /// Disturbance (Rowhammer) parameters.
+    pub disturbance: DisturbanceProfile,
+    /// In-DRAM TRR, if the module ships one.
+    pub trr: Option<TrrConfig>,
+    /// Internal row remapping.
+    pub remap: RemapConfig,
+    /// RNG seed for flip sampling, remap layout, and TRR reservoirs.
+    pub seed: u64,
+    /// ECC mode on the data path.
+    pub ecc: EccMode,
+}
+
+impl DramConfig {
+    /// A small, fast configuration for tests: tiny geometry and timing,
+    /// aggressive disturbance, no TRR, no remapping.
+    pub fn test_config(mac: u64) -> DramConfig {
+        DramConfig {
+            geometry: Geometry::small_test(),
+            timing: TimingParams::tiny_test(),
+            disturbance: DisturbanceProfile {
+                mac,
+                blast_radius: 2,
+                distance_decay: 0.5,
+                flip_prob: 1.0,
+                overshoot_step: 0.05,
+            },
+            trr: None,
+            remap: RemapConfig::identity(),
+            seed: 42,
+            ecc: EccMode::None,
+        }
+    }
+
+    /// Validates the whole configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        self.disturbance.validate()?;
+        Ok(())
+    }
+}
+
+/// Rank-level timing state.
+#[derive(Debug, Clone)]
+struct RankState {
+    /// Last ACT in this rank: (time, bank group).
+    last_act: Option<(Cycle, u32)>,
+    /// Times of the most recent 4 ACTs (tFAW window).
+    faw: VecDeque<Cycle>,
+    /// Rank unusable until this time (tRFC after REF).
+    busy_until: Cycle,
+    /// Next refresh group the REF cursor will cover.
+    next_group: u32,
+}
+
+impl RankState {
+    fn new() -> RankState {
+        RankState {
+            last_act: None,
+            faw: VecDeque::with_capacity(4),
+            busy_until: Cycle::ZERO,
+            next_group: 0,
+        }
+    }
+
+    fn earliest_act(&self, bank_group: u32, t: &TimingParams) -> Cycle {
+        let mut earliest = self.busy_until;
+        if let Some((when, bg)) = self.last_act {
+            let gap = if bg == bank_group {
+                t.t_rrd_l
+            } else {
+                t.t_rrd_s
+            };
+            earliest = earliest.max(when + gap);
+        }
+        if self.faw.len() == 4 {
+            earliest = earliest.max(*self.faw.front().expect("len checked") + t.t_faw);
+        }
+        earliest
+    }
+
+    fn record_act(&mut self, now: Cycle, bank_group: u32) {
+        self.last_act = Some((now, bank_group));
+        if self.faw.len() == 4 {
+            self.faw.pop_front();
+        }
+        self.faw.push_back(now);
+    }
+}
+
+/// Outcome of issuing one command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandOutcome {
+    /// When the command's effect completes: data on the bus for RD/WR,
+    /// rank free again for REF, bank free for REF_NEIGHBORS; equals the
+    /// issue time for ACT/PRE.
+    pub done: Cycle,
+    /// Bit flips this command's disturbance generated.
+    pub flips_generated: u32,
+}
+
+/// The simulated DRAM device.
+#[derive(Debug)]
+pub struct DramModule {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    remaps: Vec<RowRemap>,
+    ranks: Vec<RankState>,
+    trr: Option<TrrEngine>,
+    data: RowDataStore,
+    rng: DetRng,
+    flips: Vec<FlipEvent>,
+    stats: DramStats,
+    rows_per_group: u32,
+}
+
+impl DramModule {
+    /// Builds a device from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the configuration is inconsistent.
+    pub fn new(config: DramConfig) -> Result<DramModule> {
+        config.validate()?;
+        let g = config.geometry;
+        let mut rng = DetRng::new(config.seed);
+        let mut remap_rng = rng.fork(0xEEAA);
+        let total_banks = g.total_banks() as usize;
+        let banks: Vec<Bank> = (0..total_banks)
+            .map(|_| Bank::new(g.rows_per_bank(), g.rows_per_subarray))
+            .collect();
+        let remaps: Vec<RowRemap> = (0..total_banks)
+            .map(|_| {
+                RowRemap::new(
+                    g.rows_per_bank(),
+                    g.rows_per_subarray,
+                    config.remap,
+                    &mut remap_rng,
+                )
+            })
+            .collect();
+        let trr = config
+            .trr
+            .map(|c| TrrEngine::new(c, total_banks, rng.fork(0x7171)));
+        let refs_per_window = config.timing.refs_per_window().max(1);
+        let rows_per_group =
+            ((g.rows_per_bank() as u64 + refs_per_window - 1) / refs_per_window).max(1) as u32;
+        Ok(DramModule {
+            banks,
+            remaps,
+            ranks: (0..(g.channels * g.ranks) as usize)
+                .map(|_| RankState::new())
+                .collect(),
+            trr,
+            data: RowDataStore::new(g.row_bytes() as usize),
+            rng,
+            flips: Vec::new(),
+            stats: DramStats::default(),
+            rows_per_group,
+            config,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Device statistics so far.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Drains and returns accumulated flip events (logical rows).
+    pub fn drain_flips(&mut self) -> Vec<FlipEvent> {
+        std::mem::take(&mut self.flips)
+    }
+
+    /// Rows covered per REF command.
+    pub fn rows_per_refresh_group(&self) -> u32 {
+        self.rows_per_group
+    }
+
+    fn rank_index(&self, channel: u32, rank: u32) -> usize {
+        (channel * self.config.geometry.ranks + rank) as usize
+    }
+
+    fn flat_bank(&self, bank: &BankId) -> usize {
+        bank.flat(&self.config.geometry)
+    }
+
+    /// The earliest cycle at which `cmd` may legally issue, or
+    /// [`Cycle::MAX`] if it is not legal in the current state (e.g. REF
+    /// with a bank open — the controller must precharge first).
+    pub fn earliest(&self, cmd: &DdrCommand) -> Cycle {
+        let t = &self.config.timing;
+        match cmd {
+            DdrCommand::Act { bank, .. } => {
+                let b = self.flat_bank(bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                self.banks[b]
+                    .earliest_act()
+                    .max(self.ranks[r].earliest_act(bank.bank_group, t))
+            }
+            DdrCommand::Pre { bank } => {
+                let b = self.flat_bank(bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                self.banks[b].earliest_pre().max(self.ranks[r].busy_until)
+            }
+            DdrCommand::PreAll { channel, rank } => {
+                let r = self.rank_index(*channel, *rank);
+                let mut earliest = self.ranks[r].busy_until;
+                for (i, bank) in self.banks.iter().enumerate() {
+                    if self.bank_in_rank(i, *channel, *rank) {
+                        earliest = earliest.max(bank.earliest_pre());
+                    }
+                }
+                earliest
+            }
+            DdrCommand::Rd { bank, .. } | DdrCommand::Wr { bank, .. } => {
+                let b = self.flat_bank(bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                self.banks[b].earliest_rdwr().max(self.ranks[r].busy_until)
+            }
+            DdrCommand::Ref { channel, rank } => {
+                let r = self.rank_index(*channel, *rank);
+                let mut earliest = self.ranks[r].busy_until;
+                for (i, bank) in self.banks.iter().enumerate() {
+                    if self.bank_in_rank(i, *channel, *rank) {
+                        if bank.open_row().is_some() {
+                            return Cycle::MAX; // must PRE first
+                        }
+                        earliest = earliest.max(bank.earliest_act());
+                    }
+                }
+                earliest
+            }
+            DdrCommand::RefNeighbors { bank, .. } => {
+                let b = self.flat_bank(bank);
+                if self.banks[b].open_row().is_some() {
+                    return Cycle::MAX;
+                }
+                let r = self.rank_index(bank.channel, bank.rank);
+                self.banks[b].earliest_act().max(self.ranks[r].busy_until)
+            }
+        }
+    }
+
+    fn bank_in_rank(&self, flat: usize, channel: u32, rank: u32) -> bool {
+        let g = &self.config.geometry;
+        let per_rank = g.banks_per_rank() as usize;
+        let rank_idx = flat / per_rank;
+        rank_idx == (channel * g.ranks + rank) as usize
+    }
+
+    fn banks_of_rank(&self, channel: u32, rank: u32) -> Vec<usize> {
+        (0..self.banks.len())
+            .filter(|&i| self.bank_in_rank(i, channel, rank))
+            .collect()
+    }
+
+    /// Issues `cmd` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timing`] if `now` precedes [`DramModule::earliest`];
+    /// [`Error::Protocol`] for illegal state transitions.
+    pub fn issue(&mut self, cmd: &DdrCommand, now: Cycle) -> Result<CommandOutcome> {
+        let earliest = self.earliest(cmd);
+        if now < earliest {
+            return Err(Error::Timing(format!(
+                "{cmd} at {now} before earliest {earliest}"
+            )));
+        }
+        let t = self.config.timing;
+        match *cmd {
+            DdrCommand::Act { bank, row } => {
+                let b = self.flat_bank(&bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                let g = self.config.geometry;
+                if row >= g.rows_per_bank() {
+                    return Err(Error::Protocol(format!(
+                        "ACT row {row} out of range ({} rows/bank)",
+                        g.rows_per_bank()
+                    )));
+                }
+                let internal = self.remaps[b].to_internal(row);
+                let profile = self.config.disturbance;
+                let disturbances = self.banks[b].act(internal, now, &t, &profile)?;
+                self.ranks[r].record_act(now, bank.bank_group);
+                self.stats.acts += 1;
+                if let Some(trr) = &mut self.trr {
+                    trr.observe_act(b, internal);
+                }
+                let mut flips_generated = 0;
+                let row_bits = self.config.geometry.row_bytes() * 8;
+                for d in disturbances {
+                    for _ in 0..d.opportunities {
+                        if self.rng.chance(profile.flip_prob) {
+                            let bit = self.rng.below(row_bits);
+                            self.data.flip_bit((b, d.victim_row), bit);
+                            self.stats.flips += 1;
+                            flips_generated += 1;
+                            self.flips.push(FlipEvent {
+                                time: now,
+                                flat_bank: b,
+                                victim_row: self.remaps[b].to_logical(d.victim_row),
+                                aggressor_row: row,
+                                bit,
+                                victim_domain: None,
+                                aggressor_domain: None,
+                            });
+                        }
+                    }
+                }
+                Ok(CommandOutcome {
+                    done: now,
+                    flips_generated,
+                })
+            }
+            DdrCommand::Pre { bank } => {
+                let b = self.flat_bank(&bank);
+                self.banks[b].pre(now, &t)?;
+                self.stats.pres += 1;
+                Ok(CommandOutcome {
+                    done: now,
+                    flips_generated: 0,
+                })
+            }
+            DdrCommand::PreAll { channel, rank } => {
+                for b in self.banks_of_rank(channel, rank) {
+                    self.banks[b].pre(now, &t)?;
+                }
+                self.stats.pres += 1;
+                Ok(CommandOutcome {
+                    done: now,
+                    flips_generated: 0,
+                })
+            }
+            DdrCommand::Rd {
+                bank,
+                col,
+                auto_pre,
+            } => {
+                let b = self.flat_bank(&bank);
+                if col >= self.config.geometry.columns {
+                    return Err(Error::Protocol(format!("RD col {col} out of range")));
+                }
+                let (_, done) = self.banks[b].rd(col, now, auto_pre, &t)?;
+                self.stats.rds += 1;
+                Ok(CommandOutcome {
+                    done,
+                    flips_generated: 0,
+                })
+            }
+            DdrCommand::Wr {
+                bank,
+                col,
+                auto_pre,
+            } => {
+                let b = self.flat_bank(&bank);
+                if col >= self.config.geometry.columns {
+                    return Err(Error::Protocol(format!("WR col {col} out of range")));
+                }
+                let (_, done) = self.banks[b].wr(col, now, auto_pre, &t)?;
+                self.stats.wrs += 1;
+                Ok(CommandOutcome {
+                    done,
+                    flips_generated: 0,
+                })
+            }
+            DdrCommand::Ref { channel, rank } => {
+                let r = self.rank_index(channel, rank);
+                let done = now + t.t_rfc;
+                let banks = self.banks_of_rank(channel, rank);
+                // Refresh the current group of internal rows in every bank.
+                let group = self.ranks[r].next_group;
+                let lo = group * self.rows_per_group;
+                let hi = (lo + self.rows_per_group).min(self.config.geometry.rows_per_bank());
+                for &b in &banks {
+                    for internal in lo..hi {
+                        self.banks[b].refresh_row(internal, now);
+                    }
+                    self.banks[b].block_until(done);
+                }
+                let groups = (self.config.geometry.rows_per_bank() + self.rows_per_group - 1)
+                    / self.rows_per_group;
+                self.ranks[r].next_group = (group + 1) % groups;
+                self.ranks[r].busy_until = done;
+                self.stats.refs += 1;
+                // TRR piggybacks targeted refreshes on the REF.
+                if let Some(trr) = &mut self.trr {
+                    let radius = trr.radius();
+                    let targets = trr.on_ref(&banks);
+                    for (b, aggressor_rows) in targets {
+                        for agg in aggressor_rows {
+                            for victim in self.banks[b].neighbors_within(agg, radius) {
+                                self.banks[b].refresh_row(victim, now);
+                                self.stats.trr_refresh_rows += 1;
+                            }
+                        }
+                    }
+                }
+                Ok(CommandOutcome {
+                    done,
+                    flips_generated: 0,
+                })
+            }
+            DdrCommand::RefNeighbors { bank, row, radius } => {
+                let b = self.flat_bank(&bank);
+                let g = self.config.geometry;
+                if row >= g.rows_per_bank() {
+                    return Err(Error::Protocol(format!("REFN row {row} out of range")));
+                }
+                let internal = self.remaps[b].to_internal(row);
+                let victims = self.banks[b].neighbors_within(internal, radius);
+                // Each refreshed row costs one internal row cycle.
+                let done = now + t.t_rc * victims.len().max(1) as u64;
+                for v in &victims {
+                    self.banks[b].refresh_row(*v, now);
+                    self.stats.ref_neighbor_rows += 1;
+                }
+                self.banks[b].block_until(done);
+                Ok(CommandOutcome {
+                    done,
+                    flips_generated: 0,
+                })
+            }
+        }
+    }
+
+    /// Functional data write of one cache line (logical coordinates).
+    ///
+    /// The timing of the enclosing WR command is handled by
+    /// [`DramModule::issue`]; this is the data path.
+    pub fn write_line(&mut self, bank: &BankId, logical_row: u32, col: u32, data: &[u8]) {
+        let b = self.flat_bank(bank);
+        let internal = self.remaps[b].to_internal(logical_row);
+        self.data.write_line((b, internal), col, data);
+    }
+
+    /// Functional data read of one cache line (logical coordinates).
+    ///
+    /// Returns the bytes and whether software observes corruption:
+    /// without ECC, any poisoned bit; with SEC-DED, only uncorrectable
+    /// (multi-bit-per-word) damage — single flips are silently
+    /// corrected in the returned data.
+    pub fn read_line(&self, bank: &BankId, logical_row: u32, col: u32) -> (Vec<u8>, bool) {
+        let (data, outcome) = self.read_line_detailed(bank, logical_row, col);
+        let visible = match (self.config.ecc, outcome) {
+            (EccMode::None, EccOutcome::Clean) => false,
+            (EccMode::None, _) => true,
+            (EccMode::SecDed, EccOutcome::Uncorrectable(_)) => true,
+            (EccMode::SecDed, _) => false,
+        };
+        (data, visible)
+    }
+
+    /// Like [`DramModule::read_line`] but reporting the full ECC
+    /// outcome (used by the ECC ablation, E10). Without ECC the raw
+    /// bytes are returned but the outcome still classifies the
+    /// underlying damage.
+    pub fn read_line_detailed(
+        &self,
+        bank: &BankId,
+        logical_row: u32,
+        col: u32,
+    ) -> (Vec<u8>, EccOutcome) {
+        let b = self.flat_bank(bank);
+        let internal = self.remaps[b].to_internal(logical_row);
+        let key = (b, internal);
+        match self.config.ecc {
+            EccMode::SecDed => self.data.read_line_ecc(key, col),
+            EccMode::None => {
+                let (_, outcome) = self.data.read_line_ecc(key, col);
+                (self.data.read_line(key, col), outcome)
+            }
+        }
+    }
+
+    /// Returns `true` if any bit of the logical row is poisoned.
+    pub fn row_is_poisoned(&self, bank: &BankId, logical_row: u32) -> bool {
+        let b = self.flat_bank(bank);
+        let internal = self.remaps[b].to_internal(logical_row);
+        self.data.row_is_poisoned((b, internal))
+    }
+
+    /// Checks retention of a logical row at `now`: if the row has gone
+    /// unrefreshed for longer than `margin` refresh windows, its cells
+    /// decay — a retention failure is recorded and the method returns
+    /// `true`. Models what happens when a defense (or attack) starves
+    /// the refresh schedule.
+    pub fn check_retention(
+        &mut self,
+        bank: &BankId,
+        logical_row: u32,
+        now: Cycle,
+        margin: f64,
+    ) -> bool {
+        let b = self.flat_bank(bank);
+        let internal = self.remaps[b].to_internal(logical_row);
+        let last = self.banks[b].row_state(internal).victim.last_refresh;
+        let limit = (self.config.timing.t_refw as f64 * margin) as u64;
+        if now.delta(last) > limit {
+            self.stats.retention_decays += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hammer pressure currently accumulated on a logical row —
+    /// white-box introspection for tests and the oracle defense.
+    pub fn row_pressure(&self, bank: &BankId, logical_row: u32) -> f64 {
+        let b = self.flat_bank(bank);
+        let internal = self.remaps[b].to_internal(logical_row);
+        self.banks[b].row_state(internal).victim.pressure
+    }
+
+    /// ACT count of a logical row since its last refresh (white-box).
+    pub fn row_acts_since_refresh(&self, bank: &BankId, logical_row: u32) -> u32 {
+        let b = self.flat_bank(bank);
+        let internal = self.remaps[b].to_internal(logical_row);
+        self.banks[b].row_state(internal).acts_since_refresh
+    }
+
+    /// The logical rows whose *internal* position differs from their
+    /// logical one, per bank (used by inference accuracy scoring).
+    pub fn remapped_logical_rows(&self, bank: &BankId) -> Vec<u32> {
+        let b = self.flat_bank(bank);
+        (0..self.config.geometry.rows_per_bank())
+            .filter(|&r| self.remaps[b].to_internal(r) != r)
+            .collect()
+    }
+
+    /// The open row of a bank, if any (controller-visible state).
+    pub fn open_row(&self, bank: &BankId) -> Option<u32> {
+        let b = self.flat_bank(bank);
+        self.banks[b]
+            .open_row()
+            .map(|internal| self.remaps[b].to_logical(internal))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank0() -> BankId {
+        BankId {
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+        }
+    }
+
+    fn bank1() -> BankId {
+        BankId {
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 1,
+        }
+    }
+
+    fn module(mac: u64) -> DramModule {
+        DramModule::new(DramConfig::test_config(mac)).unwrap()
+    }
+
+    /// Open/close a row repeatedly, respecting timing.
+    fn hammer(m: &mut DramModule, bank: BankId, row: u32, times: usize) -> (Cycle, u32) {
+        let mut now = Cycle::ZERO;
+        let mut flips = 0;
+        for _ in 0..times {
+            let act = DdrCommand::Act { bank, row };
+            now = now.max(m.earliest(&act));
+            flips += m.issue(&act, now).unwrap().flips_generated;
+            let pre = DdrCommand::Pre { bank };
+            now = now.max(m.earliest(&pre));
+            m.issue(&pre, now).unwrap();
+        }
+        (now, flips)
+    }
+
+    #[test]
+    fn act_rd_pre_sequence_works() {
+        let mut m = module(1_000_000);
+        let act = DdrCommand::Act {
+            bank: bank0(),
+            row: 3,
+        };
+        m.issue(&act, Cycle::ZERO).unwrap();
+        let rd = DdrCommand::Rd {
+            bank: bank0(),
+            col: 2,
+            auto_pre: false,
+        };
+        let t = m.earliest(&rd);
+        let out = m.issue(&rd, t).unwrap();
+        assert!(out.done > t);
+        assert_eq!(m.open_row(&bank0()), Some(3));
+        let pre = DdrCommand::Pre { bank: bank0() };
+        m.issue(&pre, m.earliest(&pre)).unwrap();
+        assert_eq!(m.open_row(&bank0()), None);
+        let s = m.stats();
+        assert_eq!((s.acts, s.rds, s.pres), (1, 1, 1));
+    }
+
+    #[test]
+    fn timing_violation_rejected() {
+        let mut m = module(1_000_000);
+        m.issue(
+            &DdrCommand::Act {
+                bank: bank0(),
+                row: 0,
+            },
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let rd = DdrCommand::Rd {
+            bank: bank0(),
+            col: 0,
+            auto_pre: false,
+        };
+        assert!(matches!(m.issue(&rd, Cycle(1)), Err(Error::Timing(_))));
+    }
+
+    #[test]
+    fn trrd_separates_acts_across_banks() {
+        let m0 = module(1_000_000);
+        let t = m0.config().timing;
+        let mut m = m0;
+        m.issue(
+            &DdrCommand::Act {
+                bank: bank0(),
+                row: 0,
+            },
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let act1 = DdrCommand::Act {
+            bank: bank1(),
+            row: 0,
+        };
+        // Same bank group: tRRD_L applies.
+        assert_eq!(m.earliest(&act1), Cycle(t.t_rrd_l));
+        assert!(matches!(
+            m.issue(&act1, Cycle(t.t_rrd_l - 1)),
+            Err(Error::Timing(_))
+        ));
+        m.issue(&act1, Cycle(t.t_rrd_l)).unwrap();
+    }
+
+    #[test]
+    fn faw_limits_act_bursts() {
+        // Give the geometry more banks so 5 ACTs can target distinct banks.
+        let mut cfg = DramConfig::test_config(1_000_000);
+        cfg.geometry.banks_per_group = 8;
+        let t = cfg.timing;
+        let mut m = DramModule::new(cfg).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut acts = Vec::new();
+        for i in 0..5u32 {
+            let bank = BankId {
+                channel: 0,
+                rank: 0,
+                bank_group: 0,
+                bank: i,
+            };
+            let act = DdrCommand::Act { bank, row: 0 };
+            now = now.max(m.earliest(&act));
+            m.issue(&act, now).unwrap();
+            acts.push(now);
+        }
+        // The 5th ACT must wait for the tFAW window of the first.
+        assert!(acts[4] >= acts[0] + t.t_faw, "tFAW not enforced: {acts:?}");
+    }
+
+    #[test]
+    fn ref_requires_precharged_banks_and_occupies_rank() {
+        let mut m = module(1_000_000);
+        let t = m.config().timing;
+        m.issue(
+            &DdrCommand::Act {
+                bank: bank0(),
+                row: 0,
+            },
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let rf = DdrCommand::Ref {
+            channel: 0,
+            rank: 0,
+        };
+        assert_eq!(m.earliest(&rf), Cycle::MAX, "REF with open row illegal");
+        let pre = DdrCommand::Pre { bank: bank0() };
+        let pt = m.earliest(&pre);
+        m.issue(&pre, pt).unwrap();
+        let rt = m.earliest(&rf).max(pt);
+        let out = m.issue(&rf, rt).unwrap();
+        assert_eq!(out.done, rt + t.t_rfc);
+        // Bank busy during tRFC.
+        let act = DdrCommand::Act {
+            bank: bank0(),
+            row: 1,
+        };
+        assert!(m.earliest(&act) >= out.done);
+    }
+
+    #[test]
+    fn hammering_generates_flips_and_neighbors_get_hit() {
+        let mut m = module(10);
+        let (_, flips) = hammer(&mut m, bank0(), 8, 40);
+        assert!(flips > 0, "MAC 10 x 40 ACTs must flip");
+        let events = m.drain_flips();
+        assert_eq!(events.len() as u64, m.stats().flips);
+        for e in &events {
+            assert_eq!(e.aggressor_row, 8);
+            let d = (e.victim_row as i64 - 8).unsigned_abs() as u32;
+            assert!(d >= 1 && d <= m.config().disturbance.blast_radius);
+        }
+        // Draining empties the queue.
+        assert!(m.drain_flips().is_empty());
+    }
+
+    #[test]
+    fn refresh_clears_pressure_and_prevents_flips() {
+        let mut m = module(30);
+        // Hammer row 8 for 20 ACTs: below MAC, no flips.
+        let (mut now, flips) = hammer(&mut m, bank0(), 8, 20);
+        assert_eq!(flips, 0);
+        assert!(m.row_pressure(&bank0(), 7) > 0.0);
+        // Refresh the whole bank by cycling REF through all groups.
+        let groups = m.config().geometry.rows_per_bank() / m.rows_per_refresh_group();
+        for _ in 0..groups {
+            let rf = DdrCommand::Ref {
+                channel: 0,
+                rank: 0,
+            };
+            now = now.max(m.earliest(&rf));
+            now = m.issue(&rf, now).unwrap().done;
+        }
+        assert_eq!(
+            m.row_pressure(&bank0(), 7),
+            0.0,
+            "REF cycle must clear pressure"
+        );
+        // Another 20 ACTs still below MAC: still no flips.
+        let mut flips2 = 0;
+        for _ in 0..20 {
+            let act = DdrCommand::Act {
+                bank: bank0(),
+                row: 8,
+            };
+            now = now.max(m.earliest(&act));
+            flips2 += m.issue(&act, now).unwrap().flips_generated;
+            let pre = DdrCommand::Pre { bank: bank0() };
+            now = now.max(m.earliest(&pre));
+            m.issue(&pre, now).unwrap();
+        }
+        assert_eq!(flips2, 0, "refresh must reset the hammer budget");
+    }
+
+    #[test]
+    fn ref_neighbors_protects_victims() {
+        let mut m = module(30);
+        hammer(&mut m, bank0(), 8, 25);
+        let refn = DdrCommand::RefNeighbors {
+            bank: bank0(),
+            row: 8,
+            radius: 2,
+        };
+        let now = m.earliest(&refn);
+        assert!(now < Cycle::MAX);
+        m.issue(&refn, now).unwrap();
+        assert_eq!(m.row_pressure(&bank0(), 7), 0.0);
+        assert_eq!(m.row_pressure(&bank0(), 9), 0.0);
+        assert_eq!(m.row_pressure(&bank0(), 10), 0.0);
+        assert!(m.stats().ref_neighbor_rows >= 4);
+    }
+
+    #[test]
+    fn trr_defends_single_aggressor_but_not_many_sided() {
+        let trr = TrrConfig {
+            table_size: 2,
+            kind: crate::trr::TrrSamplerKind::MisraGries,
+            targets_per_ref: 1,
+            radius: 2,
+            min_count: 1,
+        };
+
+        // Scenario A: one aggressor, REFs interleaved: TRR keeps up.
+        let mut cfg = DramConfig::test_config(25);
+        cfg.trr = Some(trr);
+        let mut m = DramModule::new(cfg).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut flips_single = 0;
+        for i in 0..60 {
+            let act = DdrCommand::Act {
+                bank: bank0(),
+                row: 8,
+            };
+            now = now.max(m.earliest(&act));
+            flips_single += m.issue(&act, now).unwrap().flips_generated;
+            let pre = DdrCommand::Pre { bank: bank0() };
+            now = now.max(m.earliest(&pre));
+            m.issue(&pre, now).unwrap();
+            if i % 10 == 9 {
+                let rf = DdrCommand::Ref {
+                    channel: 0,
+                    rank: 0,
+                };
+                now = now.max(m.earliest(&rf));
+                now = m.issue(&rf, now).unwrap().done;
+            }
+        }
+        assert_eq!(flips_single, 0, "TRR must stop a single-aggressor hammer");
+
+        // Scenario B: many-sided (6 aggressors > table 2): TRR loses.
+        let mut cfg = DramConfig::test_config(25);
+        cfg.trr = Some(trr);
+        let mut m = DramModule::new(cfg).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut flips_many = 0;
+        let aggressors = [2u32, 5, 8, 11, 14, 1];
+        for i in 0..60 {
+            for &row in &aggressors {
+                let act = DdrCommand::Act { bank: bank0(), row };
+                now = now.max(m.earliest(&act));
+                flips_many += m.issue(&act, now).unwrap().flips_generated;
+                let pre = DdrCommand::Pre { bank: bank0() };
+                now = now.max(m.earliest(&pre));
+                m.issue(&pre, now).unwrap();
+            }
+            if i % 10 == 9 {
+                let rf = DdrCommand::Ref {
+                    channel: 0,
+                    rank: 0,
+                };
+                now = now.max(m.earliest(&rf));
+                now = m.issue(&rf, now).unwrap().done;
+            }
+        }
+        assert!(flips_many > 0, "many-sided hammer must bypass small TRR");
+    }
+
+    #[test]
+    fn data_write_read_and_poison() {
+        let mut m = module(10);
+        let data = vec![0x5A; 64];
+        m.write_line(&bank0(), 7, 1, &data);
+        let (read, poisoned) = m.read_line(&bank0(), 7, 1);
+        assert_eq!(read, data);
+        assert!(!poisoned);
+        hammer(&mut m, bank0(), 8, 40);
+        assert!(m.stats().flips > 0);
+        // Some neighbor row got poisoned; row 7 is within radius 2 of 8.
+        let any_poisoned = (5..=10).any(|r| m.row_is_poisoned(&bank0(), r));
+        assert!(any_poisoned);
+    }
+
+    #[test]
+    fn remapped_rows_report_logical_coordinates() {
+        let mut cfg = DramConfig::test_config(8);
+        cfg.remap = RemapConfig {
+            remap_fraction: 0.5,
+            within_subarray: true,
+        };
+        cfg.geometry = Geometry::medium();
+        let mut m = DramModule::new(cfg).unwrap();
+        let remapped = m.remapped_logical_rows(&bank0());
+        assert!(!remapped.is_empty(), "expected some remapped rows");
+        // Hammer a remapped logical row; flips must be reported against
+        // logical victims whose *internal* rows neighbor the internal
+        // aggressor.
+        let agg = remapped[0];
+        hammer(&mut m, bank0(), agg, 60);
+        let events = m.drain_flips();
+        assert!(!events.is_empty());
+        for e in &events {
+            assert_eq!(e.aggressor_row, agg);
+            assert!(e.victim_row < m.config().geometry.rows_per_bank());
+        }
+    }
+
+    #[test]
+    fn retention_check_fires_without_refresh() {
+        let mut m = module(1_000_000);
+        let t_refw = m.config().timing.t_refw;
+        assert!(!m.check_retention(&bank0(), 3, Cycle(t_refw / 2), 1.0));
+        assert!(m.check_retention(&bank0(), 3, Cycle(t_refw * 2), 1.0));
+        assert_eq!(m.stats().retention_decays, 1);
+    }
+
+    #[test]
+    fn refresh_groups_cycle_through_all_rows() {
+        let mut m = module(1_000_000);
+        let g = m.config().geometry;
+        let groups = g.rows_per_bank() / m.rows_per_refresh_group();
+        // Pressure a row, then check exactly one full REF cycle clears it.
+        hammer(&mut m, bank0(), 8, 5);
+        assert!(m.row_pressure(&bank0(), 9) > 0.0);
+        let mut now = Cycle(100_000);
+        let mut cleared_at_ref: Option<u32> = None;
+        for i in 0..groups {
+            let rf = DdrCommand::Ref {
+                channel: 0,
+                rank: 0,
+            };
+            now = now.max(m.earliest(&rf));
+            now = m.issue(&rf, now).unwrap().done;
+            if cleared_at_ref.is_none() && m.row_pressure(&bank0(), 9) == 0.0 {
+                cleared_at_ref = Some(i);
+            }
+        }
+        assert!(cleared_at_ref.is_some(), "full REF cycle must cover row 9");
+        assert_eq!(m.stats().refs as u32, groups);
+    }
+
+    #[test]
+    fn out_of_range_commands_rejected() {
+        let mut m = module(100);
+        let bad_act = DdrCommand::Act {
+            bank: bank0(),
+            row: 9999,
+        };
+        assert!(matches!(
+            m.issue(&bad_act, Cycle::ZERO),
+            Err(Error::Protocol(_))
+        ));
+        m.issue(
+            &DdrCommand::Act {
+                bank: bank0(),
+                row: 0,
+            },
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let bad_rd = DdrCommand::Rd {
+            bank: bank0(),
+            col: 999,
+            auto_pre: false,
+        };
+        let t = m.earliest(&bad_rd);
+        assert!(matches!(m.issue(&bad_rd, t), Err(Error::Protocol(_))));
+    }
+}

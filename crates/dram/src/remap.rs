@@ -1,0 +1,175 @@
+//! Internal row remapping.
+//!
+//! DRAM devices occasionally remap logically-adjacent rows to
+//! different internal locations (redundancy repair, vendor layout
+//! quirks — paper §2.1). Disturbance physics follow *internal*
+//! adjacency, so a defense that reasons about logical row numbers
+//! without accounting for remaps protects the wrong rows. The paper
+//! notes internal adjacency can be recovered from software by observing
+//! which hammer attacks succeed; experiment E7 reproduces that
+//! inference against this model.
+//!
+//! The model applies a seeded set of pairwise transpositions to a
+//! fraction of rows per bank, which matches the "sparse repair remap"
+//! character of real devices while keeping the permutation involutive
+//! (its own inverse) and cheap to invert.
+
+use hammertime_common::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Remapping configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemapConfig {
+    /// Fraction of rows (0.0–1.0) involved in a transposition.
+    pub remap_fraction: f64,
+    /// Whether transpositions may cross subarray boundaries. Real
+    /// repairs stay within a subarray (spare rows are subarray-local),
+    /// which also keeps the paper's subarray-isolation story sound.
+    pub within_subarray: bool,
+}
+
+impl RemapConfig {
+    /// No remapping: logical order is internal order.
+    pub fn identity() -> RemapConfig {
+        RemapConfig {
+            remap_fraction: 0.0,
+            within_subarray: true,
+        }
+    }
+
+    /// A realistic light remap: ~6% of rows swapped, subarray-local.
+    pub fn sparse() -> RemapConfig {
+        RemapConfig {
+            remap_fraction: 0.06,
+            within_subarray: true,
+        }
+    }
+}
+
+/// A per-bank logical→internal row permutation.
+#[derive(Debug, Clone)]
+pub struct RowRemap {
+    /// `forward[logical] = internal`. Involutive by construction.
+    forward: Vec<u32>,
+}
+
+impl RowRemap {
+    /// Builds the permutation for one bank of `rows` rows organized in
+    /// subarrays of `rows_per_subarray`.
+    pub fn new(
+        rows: u32,
+        rows_per_subarray: u32,
+        config: RemapConfig,
+        rng: &mut DetRng,
+    ) -> RowRemap {
+        assert!(rows > 0 && rows_per_subarray > 0 && rows % rows_per_subarray == 0);
+        let mut forward: Vec<u32> = (0..rows).collect();
+        let swaps = ((rows as f64 * config.remap_fraction) / 2.0).round() as u32;
+        for _ in 0..swaps {
+            let a = rng.below(rows as u64) as u32;
+            let b = if config.within_subarray {
+                let sa = a / rows_per_subarray;
+                sa * rows_per_subarray + rng.below(rows_per_subarray as u64) as u32
+            } else {
+                rng.below(rows as u64) as u32
+            };
+            // Only swap rows that are still in their home positions, so
+            // the permutation stays a product of disjoint transpositions
+            // (hence involutive).
+            if forward[a as usize] == a && forward[b as usize] == b && a != b {
+                forward.swap(a as usize, b as usize);
+            }
+        }
+        RowRemap { forward }
+    }
+
+    /// An identity permutation over `rows` rows.
+    pub fn identity(rows: u32) -> RowRemap {
+        RowRemap {
+            forward: (0..rows).collect(),
+        }
+    }
+
+    /// Logical → internal.
+    #[inline]
+    pub fn to_internal(&self, logical: u32) -> u32 {
+        self.forward[logical as usize]
+    }
+
+    /// Internal → logical. Involutive permutations are their own
+    /// inverse.
+    #[inline]
+    pub fn to_logical(&self, internal: u32) -> u32 {
+        self.forward[internal as usize]
+    }
+
+    /// Number of rows whose internal position differs from their
+    /// logical one.
+    pub fn remapped_count(&self) -> usize {
+        self.forward
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| *i as u32 != v)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_config_maps_straight_through() {
+        let mut rng = DetRng::new(1);
+        let r = RowRemap::new(64, 16, RemapConfig::identity(), &mut rng);
+        for i in 0..64 {
+            assert_eq!(r.to_internal(i), i);
+            assert_eq!(r.to_logical(i), i);
+        }
+        assert_eq!(r.remapped_count(), 0);
+    }
+
+    #[test]
+    fn sparse_remap_is_a_permutation_and_involutive() {
+        let mut rng = DetRng::new(2);
+        let r = RowRemap::new(256, 64, RemapConfig::sparse(), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256 {
+            let internal = r.to_internal(i);
+            assert!(seen.insert(internal), "not a permutation");
+            assert_eq!(r.to_logical(internal), i, "not involutive");
+        }
+        assert!(r.remapped_count() > 0, "sparse remap should move rows");
+    }
+
+    #[test]
+    fn within_subarray_swaps_stay_local() {
+        let mut rng = DetRng::new(3);
+        let config = RemapConfig {
+            remap_fraction: 0.5,
+            within_subarray: true,
+        };
+        let rows_per_subarray = 32;
+        let r = RowRemap::new(128, rows_per_subarray, config, &mut rng);
+        for i in 0..128u32 {
+            assert_eq!(
+                i / rows_per_subarray,
+                r.to_internal(i) / rows_per_subarray,
+                "row {i} escaped its subarray"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_same_seed() {
+        let mk = |seed| {
+            let mut rng = DetRng::new(seed);
+            RowRemap::new(128, 32, RemapConfig::sparse(), &mut rng)
+        };
+        let a = mk(7);
+        let b = mk(7);
+        for i in 0..128 {
+            assert_eq!(a.to_internal(i), b.to_internal(i));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! DDR timing parameters.
+//!
+//! All values are in command-clock cycles (see
+//! [`hammertime_common::time`]). Presets are derived from JEDEC-style
+//! datasheet values for representative speed grades; what matters for
+//! the evaluation is that the *ratios* between row cycle time, burst
+//! time, refresh interval, and refresh window are realistic, since they
+//! determine achievable hammer rates (ACTs per refresh window) and the
+//! cost of defense-induced extra ACTs/REFs.
+
+use hammertime_common::time::ns_to_cycles;
+use serde::{Deserialize, Serialize};
+
+/// Timing constraints for one DRAM module, in command-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Command clock frequency in MHz (for reporting only; constraints
+    /// below are already in cycles).
+    pub clock_mhz: u64,
+    /// ACT-to-RD/WR delay (row activation latency).
+    pub t_rcd: u64,
+    /// PRE-to-ACT delay (precharge latency).
+    pub t_rp: u64,
+    /// ACT-to-PRE minimum (row must stay open this long).
+    pub t_ras: u64,
+    /// ACT-to-ACT same bank (row cycle time); `>= t_ras + t_rp`.
+    pub t_rc: u64,
+    /// ACT-to-ACT different bank, different bank group.
+    pub t_rrd_s: u64,
+    /// ACT-to-ACT different bank, same bank group.
+    pub t_rrd_l: u64,
+    /// Four-activate window: at most 4 ACTs per rank in any window of
+    /// this many cycles.
+    pub t_faw: u64,
+    /// RD-to-PRE minimum.
+    pub t_rtp: u64,
+    /// Write recovery: end of write burst to PRE.
+    pub t_wr: u64,
+    /// Write-to-read turnaround.
+    pub t_wtr: u64,
+    /// CAS (read) latency: RD to first data.
+    pub cl: u64,
+    /// CAS write latency: WR to first data.
+    pub cwl: u64,
+    /// Burst length in cycles on the data bus (BL8 at DDR = 4 clocks).
+    pub t_bl: u64,
+    /// Refresh command duration (rank busy).
+    pub t_rfc: u64,
+    /// Average refresh command interval.
+    pub t_refi: u64,
+    /// Refresh window: every row must be refreshed at least once per
+    /// window (typically 64 ms).
+    pub t_refw: u64,
+}
+
+impl TimingParams {
+    /// DDR4-2400 (1200 MHz command clock), 17-17-17-ish grade.
+    pub fn ddr4_2400() -> TimingParams {
+        let mhz = 1200;
+        TimingParams {
+            clock_mhz: mhz,
+            t_rcd: ns_to_cycles(14.16, mhz),
+            t_rp: ns_to_cycles(14.16, mhz),
+            t_ras: ns_to_cycles(32.0, mhz),
+            t_rc: ns_to_cycles(46.16, mhz),
+            t_rrd_s: ns_to_cycles(3.3, mhz),
+            t_rrd_l: ns_to_cycles(4.9, mhz),
+            t_faw: ns_to_cycles(21.0, mhz),
+            t_rtp: ns_to_cycles(7.5, mhz),
+            t_wr: ns_to_cycles(15.0, mhz),
+            t_wtr: ns_to_cycles(7.5, mhz),
+            cl: 17,
+            cwl: 12,
+            t_bl: 4,
+            t_rfc: ns_to_cycles(350.0, mhz),
+            t_refi: ns_to_cycles(7_800.0, mhz),
+            t_refw: ns_to_cycles(64_000_000.0, mhz),
+        }
+    }
+
+    /// DDR3-1600 (800 MHz command clock).
+    pub fn ddr3_1600() -> TimingParams {
+        let mhz = 800;
+        TimingParams {
+            clock_mhz: mhz,
+            t_rcd: ns_to_cycles(13.75, mhz),
+            t_rp: ns_to_cycles(13.75, mhz),
+            t_ras: ns_to_cycles(35.0, mhz),
+            t_rc: ns_to_cycles(48.75, mhz),
+            t_rrd_s: ns_to_cycles(6.0, mhz),
+            t_rrd_l: ns_to_cycles(6.0, mhz),
+            t_faw: ns_to_cycles(30.0, mhz),
+            t_rtp: ns_to_cycles(7.5, mhz),
+            t_wr: ns_to_cycles(15.0, mhz),
+            t_wtr: ns_to_cycles(7.5, mhz),
+            cl: 11,
+            cwl: 8,
+            t_bl: 4,
+            t_rfc: ns_to_cycles(260.0, mhz),
+            t_refi: ns_to_cycles(7_800.0, mhz),
+            t_refw: ns_to_cycles(64_000_000.0, mhz),
+        }
+    }
+
+    /// DDR5-4800 (2400 MHz command clock).
+    pub fn ddr5_4800() -> TimingParams {
+        let mhz = 2400;
+        TimingParams {
+            clock_mhz: mhz,
+            t_rcd: ns_to_cycles(14.16, mhz),
+            t_rp: ns_to_cycles(14.16, mhz),
+            t_ras: ns_to_cycles(32.0, mhz),
+            t_rc: ns_to_cycles(46.16, mhz),
+            t_rrd_s: ns_to_cycles(2.5, mhz),
+            t_rrd_l: ns_to_cycles(5.0, mhz),
+            t_faw: ns_to_cycles(13.333, mhz),
+            t_rtp: ns_to_cycles(7.5, mhz),
+            t_wr: ns_to_cycles(30.0, mhz),
+            t_wtr: ns_to_cycles(10.0, mhz),
+            cl: 40,
+            cwl: 38,
+            t_bl: 8,
+            t_rfc: ns_to_cycles(295.0, mhz),
+            t_refi: ns_to_cycles(3_900.0, mhz),
+            t_refw: ns_to_cycles(32_000_000.0, mhz),
+        }
+    }
+
+    /// A deliberately compressed timing set for unit tests: small round
+    /// numbers so tests can assert exact cycles, and a tiny refresh
+    /// window so refresh behaviour is exercised quickly.
+    pub fn tiny_test() -> TimingParams {
+        TimingParams {
+            clock_mhz: 1000,
+            t_rcd: 4,
+            t_rp: 4,
+            t_ras: 10,
+            t_rc: 14,
+            t_rrd_s: 2,
+            t_rrd_l: 3,
+            t_faw: 12,
+            t_rtp: 3,
+            t_wr: 5,
+            t_wtr: 3,
+            cl: 5,
+            cwl: 4,
+            t_bl: 2,
+            t_rfc: 20,
+            t_refi: 100,
+            t_refw: 800,
+        }
+    }
+
+    /// Like [`TimingParams::tiny_test`] but with a realistic
+    /// window-to-MAC ratio: the refresh window holds ~570 row cycles
+    /// (vs. 57), matching the real-DDR4 property that an attacker can
+    /// fit tens of MACs worth of ACTs into one window. Used by the
+    /// machine-level experiments.
+    pub fn tiny_wide() -> TimingParams {
+        TimingParams {
+            t_refi: 200,
+            t_refw: 8_000,
+            ..TimingParams::tiny_test()
+        }
+    }
+
+    /// Checks internal consistency of the parameter set.
+    pub fn validate(&self) -> hammertime_common::Result<()> {
+        use hammertime_common::Error;
+        if self.t_rc < self.t_ras + self.t_rp {
+            return Err(Error::Config(format!(
+                "tRC ({}) < tRAS ({}) + tRP ({})",
+                self.t_rc, self.t_ras, self.t_rp
+            )));
+        }
+        if self.t_refi >= self.t_refw {
+            return Err(Error::Config(format!(
+                "tREFI ({}) >= tREFW ({})",
+                self.t_refi, self.t_refw
+            )));
+        }
+        if self.t_rrd_l < self.t_rrd_s {
+            return Err(Error::Config(format!(
+                "tRRD_L ({}) < tRRD_S ({})",
+                self.t_rrd_l, self.t_rrd_s
+            )));
+        }
+        for (name, v) in [
+            ("t_rcd", self.t_rcd),
+            ("t_rp", self.t_rp),
+            ("t_ras", self.t_ras),
+            ("t_rc", self.t_rc),
+            ("t_bl", self.t_bl),
+            ("t_rfc", self.t_rfc),
+            ("t_refi", self.t_refi),
+            ("t_refw", self.t_refw),
+        ] {
+            if v == 0 {
+                return Err(Error::Config(format!("timing field {name} is zero")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of REF commands the controller issues per refresh
+    /// window (`tREFW / tREFI`), which is also the number of refresh
+    /// groups the device cycles through.
+    pub fn refs_per_window(&self) -> u64 {
+        self.t_refw / self.t_refi
+    }
+
+    /// An upper bound on single-bank ACTs per refresh window — the
+    /// budget a hammering attacker works with (paper §2.2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hammertime_dram::timing::TimingParams;
+    ///
+    /// // DDR4-2400 sustains on the order of a million single-bank
+    /// // ACTs per 64 ms window — comfortably above published MACs,
+    /// // which is why Rowhammer is exploitable at all.
+    /// let t = TimingParams::ddr4_2400();
+    /// assert!(t.max_acts_per_window() > 1_000_000);
+    /// ```
+    pub fn max_acts_per_window(&self) -> u64 {
+        self.t_refw / self.t_rc
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::ddr4_2400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TimingParams::ddr3_1600().validate().unwrap();
+        TimingParams::ddr4_2400().validate().unwrap();
+        TimingParams::ddr5_4800().validate().unwrap();
+        TimingParams::tiny_test().validate().unwrap();
+        TimingParams::tiny_wide().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_inconsistency() {
+        let mut t = TimingParams::tiny_test();
+        t.t_rc = 5; // < tRAS + tRP = 14
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::tiny_test();
+        t.t_refi = t.t_refw;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::tiny_test();
+        t.t_rrd_l = 1; // < tRRD_S = 2
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::tiny_test();
+        t.t_rcd = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn refresh_arithmetic() {
+        let t = TimingParams::tiny_test();
+        assert_eq!(t.refs_per_window(), 8);
+        assert_eq!(t.max_acts_per_window(), 800 / 14);
+    }
+
+    #[test]
+    fn ddr4_hammer_budget_matches_reality() {
+        // ~64 ms / ~46 ns row cycle ~= 1.39 M ACTs; the classic
+        // DDR3-era MAC of 139 K is 10x under budget, so attacks fit
+        // easily inside one refresh window.
+        let t = TimingParams::ddr4_2400();
+        let budget = t.max_acts_per_window();
+        assert!(budget > 1_300_000 && budget < 1_500_000, "budget {budget}");
+    }
+}

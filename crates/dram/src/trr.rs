@@ -1,0 +1,380 @@
+//! In-DRAM Target Row Refresh (TRR): the blackbox vendor mitigation.
+//!
+//! Real modules ship an undocumented sampler that watches ACTs and,
+//! piggybacking on REF commands, refreshes the neighbors of rows it
+//! believes are aggressors. TRRespass (Frigo et al., S&P'20 — paper
+//! §3) showed these samplers track only a small number `n` of
+//! candidate aggressors and are bypassed by hammering more than `n`
+//! rows. This module reproduces that behaviour with two sampler
+//! policies, so experiment E2 can regenerate the bypass curve.
+//!
+//! The sampler is per-bank, as on real modules. It sees only what the
+//! device sees — row activations — and acts only at REF time, which is
+//! exactly why it cannot adapt (the paper's motivation for host-level
+//! defenses).
+
+use hammertime_common::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Which sampling structure the device uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrrSamplerKind {
+    /// Misra-Gries frequent-elements counters: deterministic, finds
+    /// heavy hitters, thrashes when distinct aggressors exceed the
+    /// table size.
+    MisraGries,
+    /// Reservoir sampling of recent activations: probabilistic; under
+    /// many-sided attacks each aggressor is selected too rarely.
+    Reservoir,
+}
+
+/// TRR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrrConfig {
+    /// Tracker entries per bank (the `n` TRRespass defeats).
+    pub table_size: usize,
+    /// Sampler policy.
+    pub kind: TrrSamplerKind,
+    /// How many tracked aggressors get their neighbors refreshed per
+    /// REF command.
+    pub targets_per_ref: usize,
+    /// How far to each side the device refreshes (its belief about the
+    /// blast radius; vendors under-provision this too).
+    pub radius: u32,
+    /// Internal confidence threshold: an entry only triggers a
+    /// targeted refresh once its count reaches this value. This is
+    /// the mechanism TRRespass exploits — with more aggressors than
+    /// table entries, Misra-Gries thrashing keeps every count below
+    /// the threshold and the device never reacts.
+    pub min_count: u64,
+}
+
+impl TrrConfig {
+    /// A vendor-flavored default: 4-entry Misra-Gries, one target per
+    /// REF, radius 1, confidence threshold 4.
+    pub fn vendor_default() -> TrrConfig {
+        TrrConfig {
+            table_size: 4,
+            kind: TrrSamplerKind::MisraGries,
+            targets_per_ref: 1,
+            radius: 1,
+            min_count: 4,
+        }
+    }
+}
+
+/// One bank's sampler state.
+#[derive(Debug, Clone)]
+enum Sampler {
+    MisraGries {
+        /// (row, count) pairs, at most `table_size`.
+        entries: Vec<(u32, u64)>,
+    },
+    Reservoir {
+        slots: Vec<u32>,
+        seen: u64,
+    },
+}
+
+/// Per-bank TRR engine.
+#[derive(Debug, Clone)]
+pub struct TrrEngine {
+    config: TrrConfig,
+    samplers: Vec<Sampler>,
+    rng: DetRng,
+    /// Total targeted refreshes performed (stats).
+    pub targeted_refreshes: u64,
+}
+
+impl TrrEngine {
+    /// Creates a TRR engine covering `banks` banks.
+    pub fn new(config: TrrConfig, banks: usize, rng: DetRng) -> TrrEngine {
+        let mk = || match config.kind {
+            TrrSamplerKind::MisraGries => Sampler::MisraGries {
+                entries: Vec::with_capacity(config.table_size),
+            },
+            TrrSamplerKind::Reservoir => Sampler::Reservoir {
+                slots: Vec::with_capacity(config.table_size),
+                seen: 0,
+            },
+        };
+        TrrEngine {
+            config,
+            samplers: (0..banks).map(|_| mk()).collect(),
+            rng,
+            targeted_refreshes: 0,
+        }
+    }
+
+    /// The configured radius (how far the device refreshes around a
+    /// suspected aggressor).
+    pub fn radius(&self) -> u32 {
+        self.config.radius
+    }
+
+    /// Feeds one observed ACT to the bank's sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_bank` exceeds the bank count given at
+    /// construction.
+    pub fn observe_act(&mut self, flat_bank: usize, row: u32) {
+        let cap = self.config.table_size;
+        match &mut self.samplers[flat_bank] {
+            Sampler::MisraGries { entries } => {
+                if let Some(e) = entries.iter_mut().find(|(r, _)| *r == row) {
+                    e.1 += 1;
+                } else if entries.len() < cap {
+                    entries.push((row, 1));
+                } else {
+                    // Classic Misra-Gries: decrement everyone; drop zeros.
+                    for e in entries.iter_mut() {
+                        e.1 -= 1;
+                    }
+                    entries.retain(|(_, c)| *c > 0);
+                }
+            }
+            Sampler::Reservoir { slots, seen } => {
+                *seen += 1;
+                if slots.len() < cap {
+                    slots.push(row);
+                } else {
+                    // Reservoir sampling: replace a slot with prob cap/seen.
+                    let j = self.rng.below(*seen);
+                    if (j as usize) < cap {
+                        slots[j as usize] = row;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Called when the rank receives a REF: returns, for each bank in
+    /// `banks`, the suspected-aggressor rows whose neighbors the device
+    /// will refresh during this REF. Consumes the selected entries.
+    pub fn on_ref(&mut self, banks: &[usize]) -> Vec<(usize, Vec<u32>)> {
+        let mut out = Vec::new();
+        for &b in banks {
+            let targets = self.select_targets(b);
+            if !targets.is_empty() {
+                self.targeted_refreshes += targets.len() as u64;
+                out.push((b, targets));
+            }
+        }
+        out
+    }
+
+    fn select_targets(&mut self, flat_bank: usize) -> Vec<u32> {
+        let k = self.config.targets_per_ref;
+        let min_count = self.config.min_count;
+        match &mut self.samplers[flat_bank] {
+            Sampler::MisraGries { entries } => {
+                // Take the k highest-count rows above the confidence
+                // threshold and drop them: the device believes it has
+                // dealt with them.
+                entries.sort_by(|a, b| b.1.cmp(&a.1));
+                let take = entries
+                    .iter()
+                    .take_while(|(_, c)| *c >= min_count)
+                    .count()
+                    .min(k);
+                let targets: Vec<u32> = entries[..take].iter().map(|(r, _)| *r).collect();
+                entries.drain(..take);
+                targets
+            }
+            Sampler::Reservoir { slots, seen } => {
+                let mut targets = Vec::new();
+                for _ in 0..k {
+                    if slots.is_empty() {
+                        break;
+                    }
+                    let i = self.rng.below(slots.len() as u64) as usize;
+                    targets.push(slots.swap_remove(i));
+                }
+                if slots.is_empty() {
+                    *seen = 0;
+                }
+                targets
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(table_size: usize, kind: TrrSamplerKind) -> TrrEngine {
+        TrrEngine::new(
+            TrrConfig {
+                table_size,
+                kind,
+                targets_per_ref: 1,
+                radius: 1,
+                min_count: 1,
+            },
+            2,
+            DetRng::new(1),
+        )
+    }
+
+    #[test]
+    fn misra_gries_finds_single_heavy_hitter() {
+        let mut e = engine(4, TrrSamplerKind::MisraGries);
+        for _ in 0..100 {
+            e.observe_act(0, 42);
+        }
+        for r in 0..3 {
+            e.observe_act(0, r);
+        }
+        let targets = e.on_ref(&[0]);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].0, 0);
+        assert_eq!(targets[0].1, vec![42]);
+    }
+
+    #[test]
+    fn misra_gries_tracks_up_to_n_aggressors() {
+        let mut e = engine(4, TrrSamplerKind::MisraGries);
+        // 4 aggressors, interleaved evenly: all fit in the table.
+        for _ in 0..50 {
+            for r in [10, 20, 30, 40] {
+                e.observe_act(0, r);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            for (_, ts) in e.on_ref(&[0]) {
+                seen.extend(ts);
+            }
+        }
+        assert_eq!(seen, [10u32, 20, 30, 40].into_iter().collect());
+    }
+
+    #[test]
+    fn misra_gries_thrashes_beyond_n_aggressors() {
+        // 16 aggressors against a 4-entry table, round-robin: classic
+        // TRRespass. Counts keep being decremented, so the table holds
+        // low-confidence residue and most REFs target at most a small
+        // subset — the device cannot cover all 16.
+        let mut e = engine(4, TrrSamplerKind::MisraGries);
+        let aggressors: Vec<u32> = (0..16).map(|i| i * 10).collect();
+        let mut covered = std::collections::HashSet::new();
+        for _ in 0..20 {
+            for &r in &aggressors {
+                e.observe_act(0, r);
+            }
+            for (_, ts) in e.on_ref(&[0]) {
+                covered.extend(ts);
+            }
+        }
+        // 20 REFs x 1 target can cover at most 20 rows, but thrashing
+        // means far fewer distinct aggressors actually get serviced in
+        // time; the key property is the device falls behind the 16x20
+        // activations it observed.
+        assert!(
+            covered.len() < aggressors.len(),
+            "table of 4 should not cover all 16 aggressors ({} covered)",
+            covered.len()
+        );
+    }
+
+    #[test]
+    fn reservoir_eventually_samples_heavy_hitter() {
+        let mut e = engine(2, TrrSamplerKind::Reservoir);
+        for _ in 0..200 {
+            e.observe_act(1, 7);
+        }
+        let targets = e.on_ref(&[1]);
+        assert!(!targets.is_empty());
+        assert!(targets[0].1.iter().all(|&r| r == 7));
+    }
+
+    #[test]
+    fn banks_have_independent_samplers() {
+        let mut e = engine(4, TrrSamplerKind::MisraGries);
+        e.observe_act(0, 5);
+        let t1 = e.on_ref(&[1]);
+        assert!(t1.is_empty(), "bank 1 saw nothing");
+        let t0 = e.on_ref(&[0]);
+        assert_eq!(t0[0].1, vec![5]);
+    }
+
+    #[test]
+    fn selected_targets_are_consumed() {
+        let mut e = engine(4, TrrSamplerKind::MisraGries);
+        for _ in 0..10 {
+            e.observe_act(0, 3);
+        }
+        assert_eq!(e.on_ref(&[0])[0].1, vec![3]);
+        assert!(e.on_ref(&[0]).is_empty(), "entry consumed by first REF");
+        assert_eq!(e.targeted_refreshes, 1);
+    }
+
+    #[test]
+    fn confidence_threshold_silences_thrashed_tracker() {
+        // The TRRespass mechanism: with a confidence threshold, a
+        // few aggressors cross it and get serviced, while many
+        // round-robin aggressors keep every count at ~1 and the
+        // device never reacts.
+        let mk = || {
+            TrrEngine::new(
+                TrrConfig {
+                    table_size: 4,
+                    kind: TrrSamplerKind::MisraGries,
+                    targets_per_ref: 1,
+                    radius: 1,
+                    min_count: 4,
+                },
+                1,
+                DetRng::new(9),
+            )
+        };
+        // Two aggressors: counts grow past the threshold.
+        let mut few = mk();
+        for _ in 0..20 {
+            few.observe_act(0, 10);
+            few.observe_act(0, 20);
+        }
+        assert!(
+            !few.on_ref(&[0]).is_empty(),
+            "few aggressors must be serviced"
+        );
+        // Twelve aggressors against 4 entries: thrash keeps counts low.
+        let mut many = mk();
+        for _ in 0..20 {
+            for r in 0..12 {
+                many.observe_act(0, r * 3);
+            }
+        }
+        for _ in 0..10 {
+            assert!(
+                many.on_ref(&[0]).is_empty(),
+                "thrashed tracker must stay silent (the TRRespass bypass)"
+            );
+        }
+    }
+
+    #[test]
+    fn targets_per_ref_bounds_work() {
+        let mut e = TrrEngine::new(
+            TrrConfig {
+                table_size: 8,
+                kind: TrrSamplerKind::MisraGries,
+                targets_per_ref: 3,
+                radius: 2,
+                min_count: 1,
+            },
+            1,
+            DetRng::new(2),
+        );
+        for r in [1u32, 2, 3, 4, 5] {
+            for _ in 0..10 {
+                e.observe_act(0, r);
+            }
+        }
+        let ts = e.on_ref(&[0]);
+        assert_eq!(ts[0].1.len(), 3);
+        assert_eq!(e.radius(), 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! ACT counters and the paper's precise ACT interrupt primitive.
+//!
+//! Modern Intel memory controllers already count activations per
+//! channel and can interrupt after a configurable number of ACTs, but
+//! report *no address*, leaving software "powerless to determine which
+//! address(es) to take action on" (paper §4.2). The paper's primitive
+//! augments the existing ACT_COUNT overflow event to report the
+//! physical (cache-line) address of the RD/WR that triggered the most
+//! recent ACT.
+//!
+//! [`ActCounterBlock`] implements both variants behind one switch:
+//! with [`Precision::AddressReporting`] the interrupt carries the
+//! triggering line; with [`Precision::CountOnly`] (status quo) it does
+//! not. The host OS programs the overflow threshold and the *reset
+//! value* written back after each overflow; a randomized reset window
+//! prevents attackers pacing their ACTs to dodge sampling (§4.2).
+
+use hammertime_common::{CacheLineAddr, Cycle, DetRng};
+use serde::{Deserialize, Serialize};
+
+/// Whether overflow interrupts carry the triggering address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// Status quo: a count overflowed somewhere on the channel.
+    CountOnly,
+    /// The paper's primitive: report the physical cache-line address
+    /// of the RD/WR that caused the latest ACT.
+    AddressReporting,
+}
+
+/// An ACT_COUNT overflow interrupt delivered to the host OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActInterrupt {
+    /// Channel whose counter overflowed.
+    pub channel: u32,
+    /// When the overflow occurred.
+    pub time: Cycle,
+    /// Triggering cache line — `Some` only with
+    /// [`Precision::AddressReporting`].
+    pub addr: Option<CacheLineAddr>,
+}
+
+/// Host-programmable counter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActCounterConfig {
+    /// Counts from the reset value up; overflow at this many ACTs.
+    pub threshold: u64,
+    /// Reset values are drawn uniformly from
+    /// `[0, randomize_reset_window]` after each overflow; `0` means a
+    /// deterministic reset to zero (predictable, dodgeable).
+    pub randomize_reset_window: u64,
+    /// Interrupt precision.
+    pub precision: Precision,
+}
+
+impl ActCounterConfig {
+    /// The paper's recommended setup: precise interrupts with a
+    /// randomized reset so attackers cannot pace around sampling.
+    pub fn precise(threshold: u64) -> ActCounterConfig {
+        ActCounterConfig {
+            threshold,
+            randomize_reset_window: (threshold / 4).max(1),
+            precision: Precision::AddressReporting,
+        }
+    }
+
+    /// The status-quo counter: same threshold, no address,
+    /// deterministic reset.
+    pub fn legacy(threshold: u64) -> ActCounterConfig {
+        ActCounterConfig {
+            threshold,
+            randomize_reset_window: 0,
+            precision: Precision::CountOnly,
+        }
+    }
+}
+
+/// Per-channel ACT counters with an interrupt queue.
+#[derive(Debug)]
+pub struct ActCounterBlock {
+    config: ActCounterConfig,
+    counts: Vec<u64>,
+    pending: Vec<ActInterrupt>,
+    rng: DetRng,
+    /// Total overflows raised (stats).
+    pub overflows: u64,
+}
+
+impl ActCounterBlock {
+    /// Creates counters for `channels` channels.
+    pub fn new(config: ActCounterConfig, channels: u32, rng: DetRng) -> ActCounterBlock {
+        ActCounterBlock {
+            config,
+            counts: vec![0; channels as usize],
+            pending: Vec::new(),
+            rng,
+            overflows: 0,
+        }
+    }
+
+    /// Reconfigures the counters (host OS MSR write).
+    pub fn reconfigure(&mut self, config: ActCounterConfig) {
+        self.config = config;
+        for c in &mut self.counts {
+            *c = 0;
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> ActCounterConfig {
+        self.config
+    }
+
+    /// Records an ACT on `channel` triggered by a RD/WR to `line`,
+    /// raising an interrupt on overflow.
+    pub fn on_act(&mut self, channel: u32, line: CacheLineAddr, now: Cycle) {
+        if self.config.threshold == 0 {
+            return; // counters disabled
+        }
+        let c = &mut self.counts[channel as usize];
+        *c += 1;
+        if *c >= self.config.threshold {
+            self.overflows += 1;
+            let reset = if self.config.randomize_reset_window == 0 {
+                0
+            } else {
+                self.rng.below(self.config.randomize_reset_window + 1)
+            };
+            *c = reset;
+            self.pending.push(ActInterrupt {
+                channel,
+                time: now,
+                addr: match self.config.precision {
+                    Precision::AddressReporting => Some(line),
+                    Precision::CountOnly => None,
+                },
+            });
+        }
+    }
+
+    /// Drains pending interrupts (the host OS handler runs on these).
+    pub fn drain(&mut self) -> Vec<ActInterrupt> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Current counter value on `channel` (host-readable MSR).
+    pub fn count(&self, channel: u32) -> u64 {
+        self.counts[channel as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(config: ActCounterConfig) -> ActCounterBlock {
+        ActCounterBlock::new(config, 2, DetRng::new(1))
+    }
+
+    #[test]
+    fn precise_interrupt_reports_triggering_address() {
+        let mut b = block(ActCounterConfig {
+            threshold: 3,
+            randomize_reset_window: 0,
+            precision: Precision::AddressReporting,
+        });
+        for i in 0..3 {
+            b.on_act(0, CacheLineAddr(100 + i), Cycle(i));
+        }
+        let ints = b.drain();
+        assert_eq!(ints.len(), 1);
+        assert_eq!(
+            ints[0].addr,
+            Some(CacheLineAddr(102)),
+            "latest RD/WR address"
+        );
+        assert_eq!(ints[0].channel, 0);
+        assert_eq!(ints[0].time, Cycle(2));
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn legacy_interrupt_reports_no_address() {
+        let mut b = block(ActCounterConfig::legacy(2));
+        b.on_act(1, CacheLineAddr(7), Cycle(0));
+        b.on_act(1, CacheLineAddr(8), Cycle(1));
+        let ints = b.drain();
+        assert_eq!(ints.len(), 1);
+        assert_eq!(ints[0].addr, None, "status quo is address-blind");
+    }
+
+    #[test]
+    fn channels_count_independently() {
+        let mut b = block(ActCounterConfig::legacy(3));
+        b.on_act(0, CacheLineAddr(0), Cycle(0));
+        b.on_act(0, CacheLineAddr(0), Cycle(1));
+        b.on_act(1, CacheLineAddr(0), Cycle(2));
+        assert_eq!(b.count(0), 2);
+        assert_eq!(b.count(1), 1);
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn deterministic_reset_restarts_from_zero() {
+        let mut b = block(ActCounterConfig::legacy(2));
+        for i in 0..6 {
+            b.on_act(0, CacheLineAddr(0), Cycle(i));
+        }
+        assert_eq!(b.overflows, 3);
+        assert_eq!(b.count(0), 0);
+    }
+
+    #[test]
+    fn randomized_reset_varies_overflow_spacing() {
+        let mut b = block(ActCounterConfig {
+            threshold: 100,
+            randomize_reset_window: 90,
+            precision: Precision::AddressReporting,
+        });
+        let mut spacings = Vec::new();
+        let mut last = 0u64;
+        for i in 0..5_000u64 {
+            b.on_act(0, CacheLineAddr(0), Cycle(i));
+            let n = b.overflows;
+            if n > 0 && b.count(0) != last {
+                // record at overflow boundaries
+            }
+            last = b.count(0);
+            if last == b.count(0) && b.count(0) < 100 {
+                // no-op: spacing measured below via overflow count deltas
+            }
+            if i % 1000 == 999 {
+                spacings.push(n);
+            }
+        }
+        // With randomized resets the counter starts anywhere in [0,90],
+        // so per-1000-ACT overflow counts vary around 1000/(100-45).
+        assert!(b.overflows > 5_000 / 100, "randomization shortens periods");
+    }
+
+    #[test]
+    fn zero_threshold_disables_counters() {
+        let mut b = block(ActCounterConfig {
+            threshold: 0,
+            randomize_reset_window: 0,
+            precision: Precision::AddressReporting,
+        });
+        for i in 0..100 {
+            b.on_act(0, CacheLineAddr(0), Cycle(i));
+        }
+        assert!(b.drain().is_empty());
+        assert_eq!(b.overflows, 0);
+    }
+
+    #[test]
+    fn reconfigure_clears_counts() {
+        let mut b = block(ActCounterConfig::legacy(10));
+        for i in 0..5 {
+            b.on_act(0, CacheLineAddr(0), Cycle(i));
+        }
+        assert_eq!(b.count(0), 5);
+        b.reconfigure(ActCounterConfig::precise(4));
+        assert_eq!(b.count(0), 0);
+        assert_eq!(b.config().precision, Precision::AddressReporting);
+    }
+}

@@ -1,0 +1,496 @@
+//! Physical-address → DRAM-coordinate mapping.
+//!
+//! The memory controller converts CPU physical addresses into DDR
+//! logical coordinates according to a fixed mapping (paper §2.1). The
+//! choice of mapping is where the paper's isolation-centric primitive
+//! lives:
+//!
+//! - [`MappingScheme::CacheLineInterleave`] — production default:
+//!   consecutive cache lines spread across channels and banks for
+//!   bank-level parallelism, mixing all tenants in every bank.
+//! - [`MappingScheme::XorPermute`] — interleave plus an XOR bank
+//!   permutation (Zhang et al., MICRO'00) to spread row-conflict
+//!   streaks.
+//! - [`MappingScheme::BankPartition`] — interleaving disabled (the
+//!   BIOS option the paper deems an undesirable fix, §4.1): each page
+//!   lives in a single bank, enabling bank-aware allocation at the
+//!   cost of parallelism.
+//! - [`MappingScheme::SubarrayIsolated`] — the paper's proposal:
+//!   interleaving stays fully enabled across channels/banks, but the
+//!   *subarray* bits sit at the top of the address, partitioning the
+//!   physical address space into per-subarray-group regions the host
+//!   allocator can hand to distinct trust domains (§4.1, Fig. 2).
+//!
+//! Every scheme is a bijection between [`CacheLineAddr`] and
+//! [`DramCoord`]; property tests verify the round trip for arbitrary
+//! geometries.
+
+use hammertime_common::addr::LINES_PER_PAGE;
+use hammertime_common::geometry::BankId;
+use hammertime_common::{CacheLineAddr, DramCoord, Error, Geometry, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which address-mapping scheme the controller uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// Consecutive lines interleave across channels, then banks.
+    CacheLineInterleave,
+    /// Interleave plus XOR bank permutation keyed by row bits.
+    XorPermute,
+    /// No interleaving: a page occupies a single bank.
+    BankPartition,
+    /// Subarray-isolated interleaving (the paper's primitive).
+    SubarrayIsolated,
+}
+
+/// A field of the line-address bit layout, LSB-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Channel,
+    Rank,
+    BankGroup,
+    Bank,
+    Col,
+    Row,
+    RowInSub,
+    Subarray,
+}
+
+/// The concrete mapping for one geometry.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    scheme: MappingScheme,
+    geometry: Geometry,
+    /// (field, bit width), lowest-order field first.
+    layout: Vec<(Field, u32)>,
+}
+
+fn log2(v: u32) -> u32 {
+    debug_assert!(v.is_power_of_two());
+    v.trailing_zeros()
+}
+
+impl AddressMap {
+    /// Builds the mapping for `geometry` under `scheme`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the geometry is invalid or too small for
+    /// the scheme's page-granularity guarantees (a 4 KiB page must fit
+    /// within one subarray group for [`MappingScheme::SubarrayIsolated`]
+    /// and within one bank for [`MappingScheme::BankPartition`]).
+    pub fn new(scheme: MappingScheme, geometry: Geometry) -> Result<AddressMap> {
+        geometry.validate()?;
+        let g = &geometry;
+        let ch = log2(g.channels);
+        let rk = log2(g.ranks);
+        let bg = log2(g.bank_groups);
+        let ba = log2(g.banks_per_group);
+        let co = log2(g.columns);
+        let ro = log2(g.rows_per_bank());
+        let rs = log2(g.rows_per_subarray);
+        let sa = log2(g.subarrays_per_bank);
+        let page_bits = LINES_PER_PAGE.trailing_zeros();
+
+        let layout: Vec<(Field, u32)> = match scheme {
+            MappingScheme::CacheLineInterleave | MappingScheme::XorPermute => vec![
+                (Field::Channel, ch),
+                (Field::BankGroup, bg),
+                (Field::Bank, ba),
+                (Field::Col, co),
+                (Field::Rank, rk),
+                (Field::Row, ro),
+            ],
+            MappingScheme::BankPartition => {
+                if co + ro < page_bits {
+                    return Err(Error::Config(format!(
+                        "bank partition needs col+row bits >= {page_bits} to keep a page in one bank"
+                    )));
+                }
+                vec![
+                    (Field::Col, co),
+                    (Field::Row, ro),
+                    (Field::Bank, ba),
+                    (Field::BankGroup, bg),
+                    (Field::Rank, rk),
+                    (Field::Channel, ch),
+                ]
+            }
+            MappingScheme::SubarrayIsolated => {
+                if ch + bg + ba + co + rk + rs < page_bits {
+                    return Err(Error::Config(format!(
+                        "subarray isolation needs >= {page_bits} bits below the subarray field"
+                    )));
+                }
+                vec![
+                    (Field::Channel, ch),
+                    (Field::BankGroup, bg),
+                    (Field::Bank, ba),
+                    (Field::Col, co),
+                    (Field::Rank, rk),
+                    (Field::RowInSub, rs),
+                    (Field::Subarray, sa),
+                ]
+            }
+        };
+        Ok(AddressMap {
+            scheme,
+            geometry,
+            layout,
+        })
+    }
+
+    /// The scheme this map implements.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// The geometry this map covers.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    fn xor_bank(&self, mut bank: u32, mut bank_group: u32, row: u32) -> (u32, u32) {
+        // Involutive permutation: XOR bank bits with the low row bits,
+        // bank-group bits with the next row bits.
+        let g = &self.geometry;
+        bank ^= row & (g.banks_per_group - 1);
+        bank_group ^= (row >> log2(g.banks_per_group)) & (g.bank_groups - 1);
+        (bank, bank_group)
+    }
+
+    /// Maps a cache line to its DRAM coordinate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Translation`] if the line is beyond the installed
+    /// capacity.
+    pub fn to_coord(&self, line: CacheLineAddr) -> Result<DramCoord> {
+        let mut v = line.line_index();
+        if v >= self.geometry.total_lines() {
+            return Err(Error::Translation(format!(
+                "{line} beyond capacity ({} lines)",
+                self.geometry.total_lines()
+            )));
+        }
+        let (mut channel, mut rank, mut bank_group, mut bank) = (0u32, 0u32, 0u32, 0u32);
+        let (mut col, mut row, mut row_in_sub, mut subarray) = (0u32, 0u32, 0u32, 0u32);
+        for &(field, bits) in &self.layout {
+            let part = (v & ((1u64 << bits) - 1)) as u32;
+            v >>= bits;
+            match field {
+                Field::Channel => channel = part,
+                Field::Rank => rank = part,
+                Field::BankGroup => bank_group = part,
+                Field::Bank => bank = part,
+                Field::Col => col = part,
+                Field::Row => row = part,
+                Field::RowInSub => row_in_sub = part,
+                Field::Subarray => subarray = part,
+            }
+        }
+        if self.scheme == MappingScheme::SubarrayIsolated {
+            row = subarray * self.geometry.rows_per_subarray + row_in_sub;
+        }
+        if self.scheme == MappingScheme::XorPermute {
+            let (b, bg) = self.xor_bank(bank, bank_group, row);
+            bank = b;
+            bank_group = bg;
+        }
+        Ok(DramCoord {
+            channel,
+            rank,
+            bank_group,
+            bank,
+            row,
+            col,
+        })
+    }
+
+    /// Maps a DRAM coordinate back to its cache line (inverse of
+    /// [`AddressMap::to_coord`]).
+    pub fn to_line(&self, coord: &DramCoord) -> Result<CacheLineAddr> {
+        coord.validate(&self.geometry)?;
+        let (mut bank, mut bank_group) = (coord.bank, coord.bank_group);
+        if self.scheme == MappingScheme::XorPermute {
+            // XOR permutation is involutive: applying it again undoes it.
+            let (b, bg) = self.xor_bank(bank, bank_group, coord.row);
+            bank = b;
+            bank_group = bg;
+        }
+        let row_in_sub = coord.row % self.geometry.rows_per_subarray;
+        let subarray = coord.row / self.geometry.rows_per_subarray;
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        for &(field, bits) in &self.layout {
+            let part = match field {
+                Field::Channel => coord.channel,
+                Field::Rank => coord.rank,
+                Field::BankGroup => bank_group,
+                Field::Bank => bank,
+                Field::Col => coord.col,
+                Field::Row => coord.row,
+                Field::RowInSub => row_in_sub,
+                Field::Subarray => subarray,
+            };
+            debug_assert!(part < (1 << bits) || bits == 0);
+            v |= (part as u64) << shift;
+            shift += bits;
+        }
+        Ok(CacheLineAddr(v))
+    }
+
+    /// Number of subarray groups the scheme exposes (1 for schemes
+    /// without subarray isolation).
+    pub fn subarray_groups(&self) -> u32 {
+        match self.scheme {
+            MappingScheme::SubarrayIsolated => self.geometry.subarrays_per_bank,
+            _ => 1,
+        }
+    }
+
+    /// The subarray group a page frame belongs to under subarray-
+    /// isolated interleaving (`0` under other schemes).
+    pub fn group_of_frame(&self, frame: u64) -> u32 {
+        if self.scheme != MappingScheme::SubarrayIsolated {
+            return 0;
+        }
+        let frames_per_group = self.frames_per_group();
+        (frame / frames_per_group) as u32
+    }
+
+    /// Frames per subarray group (the allocation granule the host
+    /// allocator partitions among trust domains).
+    pub fn frames_per_group(&self) -> u64 {
+        self.geometry.total_frames() / self.subarray_groups() as u64
+    }
+
+    /// The contiguous frame range forming subarray group `group`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if `group` is out of range.
+    pub fn frames_of_group(&self, group: u32) -> Result<std::ops::Range<u64>> {
+        if group >= self.subarray_groups() {
+            return Err(Error::Config(format!(
+                "group {group} out of range ({} groups)",
+                self.subarray_groups()
+            )));
+        }
+        let per = self.frames_per_group();
+        Ok(group as u64 * per..(group as u64 + 1) * per)
+    }
+
+    /// The flat bank a frame occupies under [`MappingScheme::BankPartition`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for other schemes (frames span many banks);
+    /// [`Error::Translation`] if out of range.
+    pub fn bank_of_frame(&self, frame: u64) -> Result<BankId> {
+        if self.scheme != MappingScheme::BankPartition {
+            return Err(Error::Config(
+                "bank_of_frame only meaningful under BankPartition".into(),
+            ));
+        }
+        let line = CacheLineAddr(frame * LINES_PER_PAGE);
+        let coord = self.to_coord(line)?;
+        Ok(BankId::of(&coord))
+    }
+
+    /// The row-stripe index of a frame: the in-bank row its lines map
+    /// to. Meaningful for interleaved schemes where a frame's lines all
+    /// share one row index across banks; used by guard-row placement.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Translation`] if the frame is out of range, or
+    /// [`Error::Config`] if the frame's lines straddle two rows (the
+    /// scheme does not form row stripes).
+    pub fn row_stripe_of_frame(&self, frame: u64) -> Result<u32> {
+        let first = self.to_coord(CacheLineAddr(frame * LINES_PER_PAGE))?;
+        let last = self.to_coord(CacheLineAddr((frame + 1) * LINES_PER_PAGE - 1))?;
+        if first.row != last.row {
+            return Err(Error::Config(format!(
+                "frame {frame} straddles rows {} and {}",
+                first.row, last.row
+            )));
+        }
+        Ok(first.row)
+    }
+
+    /// All frames whose lines map to in-bank row `row` (the inverse of
+    /// [`AddressMap::row_stripe_of_frame`] for stripe-forming schemes).
+    pub fn frames_of_row_stripe(&self, row: u32) -> Vec<u64> {
+        (0..self.geometry.total_frames())
+            .filter(|&f| {
+                self.row_stripe_of_frame(f)
+                    .map(|r| r == row)
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemes() -> [MappingScheme; 4] {
+        [
+            MappingScheme::CacheLineInterleave,
+            MappingScheme::XorPermute,
+            MappingScheme::BankPartition,
+            MappingScheme::SubarrayIsolated,
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_schemes_medium_geometry() {
+        let g = Geometry::medium();
+        for scheme in schemes() {
+            let map = AddressMap::new(scheme, g).unwrap();
+            for idx in 0..g.total_lines() {
+                let line = CacheLineAddr(idx);
+                let coord = map.to_coord(line).unwrap();
+                coord.validate(&g).unwrap();
+                assert_eq!(map.to_line(&coord).unwrap(), line, "{scheme:?} at {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_line_rejected() {
+        let g = Geometry::small_test();
+        let map = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        assert!(map.to_coord(CacheLineAddr(g.total_lines())).is_err());
+    }
+
+    #[test]
+    fn interleave_spreads_consecutive_lines_across_banks() {
+        let g = Geometry::medium(); // 1 channel, 4 banks
+        let map = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        let banks: std::collections::HashSet<usize> = (0..4)
+            .map(|i| map.to_coord(CacheLineAddr(i)).unwrap().flat_bank(&g))
+            .collect();
+        assert_eq!(banks.len(), 4, "4 consecutive lines should hit 4 banks");
+    }
+
+    #[test]
+    fn bank_partition_keeps_page_in_one_bank() {
+        let g = Geometry::medium();
+        let map = AddressMap::new(MappingScheme::BankPartition, g).unwrap();
+        for frame in 0..g.total_frames() {
+            let banks: std::collections::HashSet<usize> = (0..LINES_PER_PAGE)
+                .map(|i| {
+                    map.to_coord(CacheLineAddr(frame * LINES_PER_PAGE + i))
+                        .unwrap()
+                        .flat_bank(&g)
+                })
+                .collect();
+            assert_eq!(banks.len(), 1, "frame {frame} spans banks");
+            assert_eq!(
+                map.bank_of_frame(frame).unwrap().flat(&g),
+                *banks.iter().next().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn subarray_isolated_keeps_page_in_one_group_but_spreads_banks() {
+        let g = Geometry::medium(); // 4 subarrays
+        let map = AddressMap::new(MappingScheme::SubarrayIsolated, g).unwrap();
+        assert_eq!(map.subarray_groups(), 4);
+        for frame in 0..g.total_frames() {
+            let group = map.group_of_frame(frame);
+            let mut banks = std::collections::HashSet::new();
+            for i in 0..LINES_PER_PAGE {
+                let coord = map
+                    .to_coord(CacheLineAddr(frame * LINES_PER_PAGE + i))
+                    .unwrap();
+                assert_eq!(
+                    coord.subarray(&g),
+                    group,
+                    "frame {frame} line {i} left its group"
+                );
+                banks.insert(coord.flat_bank(&g));
+            }
+            assert!(
+                banks.len() > 1,
+                "subarray isolation must preserve bank-level interleaving"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_of_group_partition_the_frame_space() {
+        let g = Geometry::medium();
+        let map = AddressMap::new(MappingScheme::SubarrayIsolated, g).unwrap();
+        let mut covered = 0;
+        for group in 0..map.subarray_groups() {
+            let range = map.frames_of_group(group).unwrap();
+            for f in range.clone() {
+                assert_eq!(map.group_of_frame(f), group);
+            }
+            covered += range.end - range.start;
+        }
+        assert_eq!(covered, g.total_frames());
+        assert!(map.frames_of_group(map.subarray_groups()).is_err());
+    }
+
+    #[test]
+    fn xor_permute_differs_from_plain_interleave_but_round_trips() {
+        let g = Geometry::medium();
+        let plain = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        let xored = AddressMap::new(MappingScheme::XorPermute, g).unwrap();
+        let mut differs = false;
+        for idx in 0..g.total_lines() {
+            let a = plain.to_coord(CacheLineAddr(idx)).unwrap();
+            let b = xored.to_coord(CacheLineAddr(idx)).unwrap();
+            assert_eq!(a.row, b.row);
+            assert_eq!(a.col, b.col);
+            if (a.bank, a.bank_group) != (b.bank, b.bank_group) {
+                differs = true;
+            }
+        }
+        assert!(differs, "XOR permutation should move some banks");
+    }
+
+    #[test]
+    fn row_stripes_are_consistent_for_interleaved_schemes() {
+        let g = Geometry::medium();
+        for scheme in [
+            MappingScheme::CacheLineInterleave,
+            MappingScheme::SubarrayIsolated,
+        ] {
+            let map = AddressMap::new(scheme, g).unwrap();
+            for frame in 0..g.total_frames() {
+                let row = map.row_stripe_of_frame(frame).unwrap();
+                assert!(map.frames_of_row_stripe(row).contains(&frame));
+            }
+        }
+    }
+
+    #[test]
+    fn bank_of_frame_rejected_for_interleaved_scheme() {
+        let g = Geometry::medium();
+        let map = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        assert!(map.bank_of_frame(0).is_err());
+    }
+
+    #[test]
+    fn too_small_geometry_rejected_for_subarray_isolation() {
+        // Only 2 bits (1 col + 1 row-in-sub) below the subarray field —
+        // cannot hold a 64-line page within one subarray group.
+        let g = Geometry {
+            channels: 1,
+            ranks: 1,
+            bank_groups: 1,
+            banks_per_group: 1,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 2,
+            columns: 2,
+        };
+        assert!(AddressMap::new(MappingScheme::SubarrayIsolated, g).is_err());
+    }
+}

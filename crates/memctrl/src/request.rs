@@ -1,0 +1,103 @@
+//! Memory requests and completions at the controller boundary.
+
+use hammertime_common::{CacheLineAddr, Cycle, DomainId, RequestSource};
+use serde::{Deserialize, Serialize};
+
+/// What a request asks the memory system to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Demand read of one cache line.
+    Read,
+    /// Demand write of one cache line.
+    Write,
+    /// The paper's host-privileged `refresh` instruction (§4.3): PRE,
+    /// ACT of the target row, optional auto-precharge. No data moves.
+    Refresh {
+        /// Precharge after the activation (`ap` bit).
+        auto_pre: bool,
+    },
+    /// The proposed REF_NEIGHBORS command (§4.3): device-side refresh
+    /// of all rows within `radius` of the target row.
+    RefNeighbors {
+        /// Blast radius to cover.
+        radius: u32,
+    },
+}
+
+impl RequestKind {
+    /// Returns `true` for the maintenance kinds that carry no data.
+    pub fn is_maintenance(self) -> bool {
+        matches!(
+            self,
+            RequestKind::Refresh { .. } | RequestKind::RefNeighbors { .. }
+        )
+    }
+}
+
+/// One request submitted to the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Caller-chosen identifier echoed in the completion.
+    pub id: u64,
+    /// Target cache line.
+    pub line: CacheLineAddr,
+    /// Operation.
+    pub kind: RequestKind,
+    /// Issuing agent (core or DMA device).
+    pub source: RequestSource,
+    /// Trust domain on whose behalf the request runs (the ASID tag the
+    /// paper's subarray-isolated interleaving checks, §4.1).
+    pub domain: DomainId,
+    /// When the request reaches the controller.
+    pub arrival: Cycle,
+}
+
+/// A finished request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Identifier from the originating request.
+    pub id: u64,
+    /// Target cache line.
+    pub line: CacheLineAddr,
+    /// Operation that completed.
+    pub kind: RequestKind,
+    /// When the data burst (or maintenance operation) finished.
+    pub done: Cycle,
+    /// When the request arrived (for latency accounting).
+    pub arrival: Cycle,
+    /// Whether the access hit the open row buffer directly.
+    pub row_hit: bool,
+}
+
+impl Completion {
+    /// Request latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.done.delta(self.arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maintenance_predicate() {
+        assert!(RequestKind::Refresh { auto_pre: true }.is_maintenance());
+        assert!(RequestKind::RefNeighbors { radius: 2 }.is_maintenance());
+        assert!(!RequestKind::Read.is_maintenance());
+        assert!(!RequestKind::Write.is_maintenance());
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = Completion {
+            id: 1,
+            line: CacheLineAddr(0),
+            kind: RequestKind::Read,
+            done: Cycle(150),
+            arrival: Cycle(100),
+            row_hit: false,
+        };
+        assert_eq!(c.latency(), 50);
+    }
+}

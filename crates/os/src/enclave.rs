@@ -1,0 +1,191 @@
+//! Enclave memory under Rowhammer (paper §4.4).
+//!
+//! In enclave execution contexts (SGX/TDX/SEV) the host OS is
+//! *untrusted*, so the host-run defenses elsewhere in this crate do
+//! not apply. The paper's analysis:
+//!
+//! - If enclave memory is **integrity-checked on access**, a flip can
+//!   only cause a system-wide denial of service: the integrity check
+//!   fails and the machine locks up until reset. Since the host could
+//!   already tamper with enclave pages, DoS is outside the enclave
+//!   threat model — "safe" in the confidentiality/integrity sense.
+//! - If memory is **not** integrity-checked, flips silently corrupt
+//!   enclave state — the dangerous case needing the CPU to deliver
+//!   ACT interrupts *to the enclave* so it can react (exit peacefully
+//!   or request a remap).
+
+use hammertime_common::{Cycle, DomainId, Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// How an enclave responds to learning it is under hammer attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackResponse {
+    /// Exit gracefully before corruption can matter.
+    Exit,
+    /// Ask the (untrusted but functionally cooperative) host to remap
+    /// its pages elsewhere.
+    RequestRemap,
+    /// Ignore the signal (the vulnerable configuration).
+    Ignore,
+}
+
+/// What the enclave decided after an interrupt; the machine layer
+/// carries it out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnclaveReaction {
+    /// Nothing to do.
+    None,
+    /// Tear the enclave down cleanly.
+    Exit,
+    /// Migrate the enclave's frames.
+    Remap,
+}
+
+/// Enclave lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnclaveStatus {
+    /// Executing normally.
+    Running,
+    /// Exited cleanly (possibly in response to an attack signal).
+    Exited,
+    /// State was silently corrupted (unchecked memory + flip) — the
+    /// security failure the paper's mechanisms exist to prevent.
+    Corrupted,
+}
+
+/// One enclave instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Enclave {
+    /// The trust domain the enclave runs in.
+    pub domain: DomainId,
+    /// Whether loads verify integrity (SGX-style MACs).
+    pub integrity_checked: bool,
+    /// Response policy for delivered ACT interrupts.
+    pub response: AttackResponse,
+    /// Current status.
+    pub status: EnclaveStatus,
+    /// ACT interrupts delivered to this enclave.
+    pub interrupts_seen: u64,
+    /// Reads that touched poisoned lines.
+    pub poisoned_reads: u64,
+}
+
+impl Enclave {
+    /// Creates a running enclave.
+    pub fn new(domain: DomainId, integrity_checked: bool, response: AttackResponse) -> Enclave {
+        Enclave {
+            domain,
+            integrity_checked,
+            response,
+            status: EnclaveStatus::Running,
+            interrupts_seen: 0,
+            poisoned_reads: 0,
+        }
+    }
+
+    /// Models one enclave load. `poisoned` reports whether the line
+    /// carries disturbance flips.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MachineLockup`] when an integrity check fails: the
+    /// whole platform halts and needs a reset (system-wide DoS,
+    /// paper §4.4 citing SGX-Bomb).
+    pub fn on_read(&mut self, poisoned: bool, now: Cycle) -> Result<()> {
+        if self.status != EnclaveStatus::Running {
+            return Err(Error::Privilege(format!(
+                "read from non-running enclave ({:?})",
+                self.status
+            )));
+        }
+        if !poisoned {
+            return Ok(());
+        }
+        self.poisoned_reads += 1;
+        if self.integrity_checked {
+            return Err(Error::MachineLockup(format!(
+                "enclave {} integrity check failed at {now}; platform reset required",
+                self.domain
+            )));
+        }
+        // Unchecked memory: the flip silently corrupts enclave state.
+        self.status = EnclaveStatus::Corrupted;
+        Ok(())
+    }
+
+    /// Delivers an ACT interrupt to the enclave (the paper's proposal:
+    /// the CPU reports attack telemetry directly to the enclave so it
+    /// can protect itself without trusting the host, §4.4).
+    pub fn on_act_interrupt(&mut self) -> EnclaveReaction {
+        if self.status != EnclaveStatus::Running {
+            return EnclaveReaction::None;
+        }
+        self.interrupts_seen += 1;
+        match self.response {
+            AttackResponse::Ignore => EnclaveReaction::None,
+            AttackResponse::Exit => {
+                self.status = EnclaveStatus::Exited;
+                EnclaveReaction::Exit
+            }
+            AttackResponse::RequestRemap => EnclaveReaction::Remap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_reads_pass() {
+        let mut e = Enclave::new(DomainId(5), true, AttackResponse::Ignore);
+        for _ in 0..10 {
+            e.on_read(false, Cycle(1)).unwrap();
+        }
+        assert_eq!(e.status, EnclaveStatus::Running);
+        assert_eq!(e.poisoned_reads, 0);
+    }
+
+    #[test]
+    fn integrity_checked_flip_is_dos_not_corruption() {
+        let mut e = Enclave::new(DomainId(5), true, AttackResponse::Ignore);
+        let err = e.on_read(true, Cycle(7)).unwrap_err();
+        assert!(matches!(err, Error::MachineLockup(_)));
+        // Status is NOT Corrupted: integrity held; availability didn't.
+        assert_eq!(e.status, EnclaveStatus::Running);
+        assert_eq!(e.poisoned_reads, 1);
+    }
+
+    #[test]
+    fn unchecked_flip_silently_corrupts() {
+        let mut e = Enclave::new(DomainId(5), false, AttackResponse::Ignore);
+        e.on_read(true, Cycle(7)).unwrap();
+        assert_eq!(e.status, EnclaveStatus::Corrupted);
+    }
+
+    #[test]
+    fn exit_policy_reacts_to_interrupt() {
+        let mut e = Enclave::new(DomainId(5), false, AttackResponse::Exit);
+        assert_eq!(e.on_act_interrupt(), EnclaveReaction::Exit);
+        assert_eq!(e.status, EnclaveStatus::Exited);
+        // Further interrupts are moot.
+        assert_eq!(e.on_act_interrupt(), EnclaveReaction::None);
+        assert_eq!(e.interrupts_seen, 1);
+    }
+
+    #[test]
+    fn remap_policy_requests_migration_and_keeps_running() {
+        let mut e = Enclave::new(DomainId(5), false, AttackResponse::RequestRemap);
+        assert_eq!(e.on_act_interrupt(), EnclaveReaction::Remap);
+        assert_eq!(e.status, EnclaveStatus::Running);
+        assert_eq!(e.on_act_interrupt(), EnclaveReaction::Remap);
+        assert_eq!(e.interrupts_seen, 2);
+    }
+
+    #[test]
+    fn reads_from_dead_enclaves_error() {
+        let mut e = Enclave::new(DomainId(5), false, AttackResponse::Exit);
+        e.on_act_interrupt();
+        assert!(e.on_read(false, Cycle(1)).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Model host OS for the `hammertime` workspace.
+//!
+//! Everything the paper asks the *software* side of the co-design to
+//! do lives here:
+//!
+//! - [`frame_alloc`]: the physical frame allocator with
+//!   Rowhammer-aware placement policies (isolation-centric defenses
+//!   are allocation policies, §4.1);
+//! - [`page_table`]: per-domain address spaces and the page-remap
+//!   primitive;
+//! - [`defense`]: the runtime defense daemons — frequency-centric
+//!   (aggressor remapping, cache-line locking, §4.2), refresh-centric
+//!   (victim refresh via the proposed instruction, §4.3), and the
+//!   ANVIL baseline with its DMA blind spot;
+//! - [`adjacency`]: inference of subarray boundaries and internal row
+//!   remaps from hammer-probe outcomes (§2.1, §4.1);
+//! - [`enclave`]: enclave-memory behaviour under attack (§4.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod defense;
+pub mod enclave;
+pub mod frame_alloc;
+pub mod page_table;
+
+pub use adjacency::AdjacencyMap;
+pub use defense::{DefenseAction, NoDefense, SoftwareDefense, Topology};
+pub use enclave::{AttackResponse, Enclave, EnclaveReaction, EnclaveStatus};
+pub use frame_alloc::{FrameAllocator, PlacementPolicy};
+pub use page_table::{AddressSpaces, PageTable};

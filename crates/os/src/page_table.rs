@@ -1,0 +1,191 @@
+//! Per-domain page tables.
+//!
+//! A deliberately small model: one flat virtual-page → physical-frame
+//! map per trust domain, enough to express the paper's software
+//! defenses — allocation placement, and *remapping* a page to a new
+//! frame as the ACT wear-leveling response to a precise ACT interrupt
+//! (§4.2).
+
+use hammertime_common::{DomainId, Error, PhysAddr, Result, VirtAddr};
+use std::collections::HashMap;
+
+/// One domain's address space.
+#[derive(Debug, Default, Clone)]
+pub struct PageTable {
+    mappings: HashMap<u64, u64>,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Maps virtual page `vpage` to physical `frame`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the page is already mapped.
+    pub fn map(&mut self, vpage: u64, frame: u64) -> Result<()> {
+        if self.mappings.contains_key(&vpage) {
+            return Err(Error::Config(format!("vpage {vpage} already mapped")));
+        }
+        self.mappings.insert(vpage, frame);
+        Ok(())
+    }
+
+    /// Unmaps `vpage`, returning the frame it pointed to.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Translation`] if not mapped.
+    pub fn unmap(&mut self, vpage: u64) -> Result<u64> {
+        self.mappings
+            .remove(&vpage)
+            .ok_or_else(|| Error::Translation(format!("vpage {vpage} not mapped")))
+    }
+
+    /// Points `vpage` at a new frame (the remap defense primitive),
+    /// returning the old frame.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Translation`] if not mapped.
+    pub fn remap(&mut self, vpage: u64, new_frame: u64) -> Result<u64> {
+        let slot = self
+            .mappings
+            .get_mut(&vpage)
+            .ok_or_else(|| Error::Translation(format!("vpage {vpage} not mapped")))?;
+        Ok(std::mem::replace(slot, new_frame))
+    }
+
+    /// Translates a virtual address to a physical address.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Translation`] for unmapped pages.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr> {
+        let frame = self
+            .mappings
+            .get(&va.page_number())
+            .ok_or_else(|| Error::Translation(format!("{va} not mapped")))?;
+        Ok(PhysAddr::from_frame(*frame).offset(va.page_offset()))
+    }
+
+    /// Reverse lookup: the virtual page mapped to `frame`, if any.
+    pub fn vpage_of_frame(&self, frame: u64) -> Option<u64> {
+        self.mappings
+            .iter()
+            .find(|(_, &f)| f == frame)
+            .map(|(&v, _)| v)
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Whether no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// Iterates over `(vpage, frame)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.mappings.iter().map(|(&v, &f)| (v, f))
+    }
+}
+
+/// Page tables for every domain in the system.
+#[derive(Debug, Default)]
+pub struct AddressSpaces {
+    tables: HashMap<DomainId, PageTable>,
+}
+
+impl AddressSpaces {
+    /// Creates an empty registry.
+    pub fn new() -> AddressSpaces {
+        AddressSpaces::default()
+    }
+
+    /// The table for `domain`, created on first use.
+    pub fn table_mut(&mut self, domain: DomainId) -> &mut PageTable {
+        self.tables.entry(domain).or_default()
+    }
+
+    /// The table for `domain`, if it exists.
+    pub fn table(&self, domain: DomainId) -> Option<&PageTable> {
+        self.tables.get(&domain)
+    }
+
+    /// Translates within a domain.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Translation`] for unknown domains or unmapped pages.
+    pub fn translate(&self, domain: DomainId, va: VirtAddr) -> Result<PhysAddr> {
+        self.table(domain)
+            .ok_or_else(|| Error::Translation(format!("{domain} has no address space")))?
+            .translate(va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_round_trip() {
+        let mut pt = PageTable::new();
+        pt.map(5, 42).unwrap();
+        let pa = pt.translate(VirtAddr::from_page(5).offset(100)).unwrap();
+        assert_eq!(pa, PhysAddr::from_frame(42).offset(100));
+        assert_eq!(pt.vpage_of_frame(42), Some(5));
+        assert_eq!(pt.len(), 1);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(1, 10).unwrap();
+        assert!(pt.map(1, 11).is_err());
+    }
+
+    #[test]
+    fn unmap_then_translate_fails() {
+        let mut pt = PageTable::new();
+        pt.map(1, 10).unwrap();
+        assert_eq!(pt.unmap(1).unwrap(), 10);
+        assert!(pt.translate(VirtAddr::from_page(1)).is_err());
+        assert!(pt.unmap(1).is_err());
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn remap_returns_old_frame() {
+        let mut pt = PageTable::new();
+        pt.map(7, 100).unwrap();
+        assert_eq!(pt.remap(7, 200).unwrap(), 100);
+        assert_eq!(
+            pt.translate(VirtAddr::from_page(7)).unwrap(),
+            PhysAddr::from_frame(200)
+        );
+        assert!(pt.remap(8, 300).is_err());
+    }
+
+    #[test]
+    fn address_spaces_isolate_domains() {
+        let mut spaces = AddressSpaces::new();
+        spaces.table_mut(DomainId(1)).map(0, 10).unwrap();
+        spaces.table_mut(DomainId(2)).map(0, 20).unwrap();
+        assert_eq!(
+            spaces.translate(DomainId(1), VirtAddr(0)).unwrap(),
+            PhysAddr::from_frame(10)
+        );
+        assert_eq!(
+            spaces.translate(DomainId(2), VirtAddr(0)).unwrap(),
+            PhysAddr::from_frame(20)
+        );
+        assert!(spaces.translate(DomainId(3), VirtAddr(0)).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the host-OS layer.
+
+use hammertime_common::{DomainId, Geometry, VirtAddr};
+use hammertime_memctrl::addrmap::{AddressMap, MappingScheme};
+use hammertime_os::frame_alloc::{FrameAllocator, PlacementPolicy};
+use hammertime_os::page_table::PageTable;
+use proptest::prelude::*;
+
+proptest! {
+    /// The allocator never double-allocates, never loses frames, and
+    /// free/alloc counts always balance — under arbitrary interleaved
+    /// alloc/release sequences from multiple domains.
+    #[test]
+    fn allocator_conservation(ops in prop::collection::vec((0u8..4, any::<u64>()), 1..200)) {
+        let map = AddressMap::new(MappingScheme::CacheLineInterleave, Geometry::medium()).unwrap();
+        let total = map.geometry().total_frames();
+        let mut a = FrameAllocator::new(PlacementPolicy::Default, map).unwrap();
+        for d in 1..=3 {
+            a.register_domain(DomainId(d)).unwrap();
+        }
+        let mut live: Vec<u64> = Vec::new();
+        for (op, arg) in ops {
+            match op {
+                0..=2 => {
+                    let d = DomainId(op as u32 + 1);
+                    if let Ok(f) = a.alloc(d) {
+                        prop_assert!(!live.contains(&f), "double allocation");
+                        prop_assert_eq!(a.owner_of(f), Some(d));
+                        live.push(f);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let f = live.swap_remove((arg % live.len() as u64) as usize);
+                        a.release(f).unwrap();
+                        prop_assert_eq!(a.owner_of(f), None);
+                    }
+                }
+            }
+            prop_assert_eq!(a.free_frames(), total - live.len() as u64);
+        }
+    }
+
+    /// SubarrayGroup placement: every allocation lands in its domain's
+    /// group, for arbitrary allocation interleavings.
+    #[test]
+    fn subarray_placement_invariant(ops in prop::collection::vec(0u8..4, 1..120)) {
+        let map = AddressMap::new(MappingScheme::SubarrayIsolated, Geometry::medium()).unwrap();
+        let mut a = FrameAllocator::new(PlacementPolicy::SubarrayGroup, map).unwrap();
+        for d in 1..=4 {
+            a.register_domain(DomainId(d)).unwrap();
+        }
+        for op in ops {
+            let d = DomainId(op as u32 + 1);
+            if let Ok(f) = a.alloc(d) {
+                prop_assert_eq!(a.map().group_of_frame(f), a.region_of(d).unwrap());
+            }
+        }
+    }
+
+    /// ZebRAM guard invariant: after any allocation interleaving, no
+    /// two frames of different domains are within the guard radius in
+    /// row-stripe space.
+    #[test]
+    fn zebram_guard_invariant(ops in prop::collection::vec(0u8..2, 1..60), radius in 1u32..3) {
+        let map = AddressMap::new(MappingScheme::CacheLineInterleave, Geometry::medium()).unwrap();
+        let mut a = FrameAllocator::new(PlacementPolicy::ZebramGuard { radius }, map).unwrap();
+        let d1 = DomainId(1);
+        let d2 = DomainId(2);
+        a.register_domain(d1).unwrap();
+        a.register_domain(d2).unwrap();
+        let mut placed: Vec<(u32, DomainId)> = Vec::new();
+        for op in ops {
+            let d = if op == 0 { d1 } else { d2 };
+            if let Ok(f) = a.alloc(d) {
+                let stripe = a.map().row_stripe_of_frame(f).unwrap();
+                placed.push((stripe, d));
+            }
+        }
+        for &(s1, o1) in &placed {
+            for &(s2, o2) in &placed {
+                if o1 != o2 {
+                    prop_assert!(
+                        s1.abs_diff(s2) > radius,
+                        "domains {o1}/{o2} within radius: stripes {s1},{s2}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Page tables: map/remap/unmap maintain a consistent bijection
+    /// between mapped vpages and frames.
+    #[test]
+    fn page_table_consistency(ops in prop::collection::vec((0u8..3, 0u64..32, any::<u64>()), 1..150)) {
+        let mut pt = PageTable::new();
+        let mut model = std::collections::HashMap::<u64, u64>::new();
+        let mut next_frame = 1_000u64;
+        for (op, vpage, arg) in ops {
+            match op {
+                0 => {
+                    let frame = next_frame;
+                    next_frame += 1;
+                    let r = pt.map(vpage, frame);
+                    if model.contains_key(&vpage) {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(vpage, frame);
+                    }
+                }
+                1 => {
+                    let r = pt.unmap(vpage);
+                    match model.remove(&vpage) {
+                        Some(f) => prop_assert_eq!(r.unwrap(), f),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                _ => {
+                    let new_frame = 100_000 + arg % 1_000;
+                    let r = pt.remap(vpage, new_frame);
+                    match model.get_mut(&vpage) {
+                        Some(f) => {
+                            prop_assert_eq!(r.unwrap(), *f);
+                            *f = new_frame;
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+            // Translation agrees with the model everywhere.
+            for (&v, &f) in &model {
+                let pa = pt.translate(VirtAddr::from_page(v)).unwrap();
+                prop_assert_eq!(pa.page_frame(), f);
+            }
+            prop_assert_eq!(pt.len(), model.len());
+        }
+    }
+
+    /// Adjacency inference never invents boundaries inside a
+    /// continuously-probed subarray: for synthetic flip data with full
+    /// coverage, boundaries appear exactly at subarray seams.
+    #[test]
+    fn inference_exact_on_full_coverage(sa_bits in 2u32..5, n_sa in 1u32..4) {
+        use hammertime_os::AdjacencyMap;
+        let rps = 1u32 << sa_bits;
+        let rows = rps * n_sa;
+        let mut probe = |r: u32| -> Vec<u32> {
+            let mut v = Vec::new();
+            for d in [-1i64, 1] {
+                let x = r as i64 + d;
+                if x >= 0 && (x as u32) < rows && (x as u32) / rps == r / rps {
+                    v.push(x as u32);
+                }
+            }
+            v
+        };
+        let map = AdjacencyMap::build(rows, &mut probe);
+        let expected: Vec<u32> = (1..n_sa).map(|i| i * rps).collect();
+        prop_assert_eq!(map.infer_boundaries(rows), expected);
+        prop_assert!(map.infer_remap_suspects(1).is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Replayable access traces.
+//!
+//! A [`Trace`] is a recorded operation sequence with a source tag —
+//! the exchange format between workload generation and replay (and
+//! between runs: traces serialize with serde so an experiment can be
+//! rerun bit-identically from its recorded input).
+
+use crate::ops::{AccessOp, Workload};
+use hammertime_common::RequestSource;
+use serde::{Deserialize, Serialize};
+
+/// A recorded operation stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Display name.
+    pub name: String,
+    /// Who issues the stream.
+    pub source: RequestSource,
+    /// The operations in order.
+    pub ops: Vec<AccessOp>,
+}
+
+impl Trace {
+    /// Records a workload to completion (capped at `max_ops` to keep
+    /// unbounded generators finite).
+    pub fn record(workload: &mut dyn Workload, max_ops: usize) -> Trace {
+        let mut ops = Vec::new();
+        while ops.len() < max_ops {
+            match workload.next_op() {
+                Some(op) => ops.push(op),
+                None => break,
+            }
+        }
+        Trace {
+            name: workload.name().to_string(),
+            source: workload.source(),
+            ops,
+        }
+    }
+
+    /// A replayer over this trace.
+    pub fn replay(&self) -> TraceReplayer<'_> {
+        TraceReplayer {
+            trace: self,
+            pos: 0,
+        }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Replays a [`Trace`] as a [`Workload`].
+#[derive(Debug)]
+pub struct TraceReplayer<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl Workload for TraceReplayer<'_> {
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+
+    fn source(&self) -> RequestSource {
+        self.trace.source
+    }
+
+    fn next_op(&mut self) -> Option<AccessOp> {
+        let op = self.trace.ops.get(self.pos).copied();
+        self.pos += op.is_some() as usize;
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::HammerPattern;
+    use hammertime_common::CacheLineAddr;
+
+    #[test]
+    fn record_and_replay_round_trip() {
+        let mut w = HammerPattern::single_sided(CacheLineAddr(5), 3);
+        let trace = Trace::record(&mut w, 1000);
+        assert_eq!(trace.len(), 6); // 3 flush+read pairs
+        assert_eq!(trace.name, "single-sided");
+        let mut replay = trace.replay();
+        let replayed: Vec<_> = std::iter::from_fn(|| replay.next_op()).collect();
+        assert_eq!(replayed, trace.ops);
+        assert_eq!(replay.source(), trace.source);
+    }
+
+    #[test]
+    fn record_caps_at_max_ops() {
+        let mut w = HammerPattern::single_sided(CacheLineAddr(5), 1_000_000);
+        let trace = Trace::record(&mut w, 10);
+        assert_eq!(trace.len(), 10);
+    }
+
+    #[test]
+    fn trace_serializes() {
+        let mut w = HammerPattern::single_sided(CacheLineAddr(5), 2);
+        let trace = Trace::record(&mut w, 100);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

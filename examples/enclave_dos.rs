@@ -1,0 +1,74 @@
+//! Enclave memory under Rowhammer (paper §4.4): integrity-checked
+//! memory converts corruption into a platform denial-of-service, while
+//! unchecked memory silently corrupts — unless the CPU delivers ACT
+//! interrupts to the enclave so it can exit or request a remap.
+//!
+//! ```sh
+//! cargo run --release --example enclave_dos
+//! ```
+
+use hammertime::machine::MachineConfig;
+use hammertime::scenario::CloudScenario;
+use hammertime::taxonomy::DefenseKind;
+use hammertime_os::AttackResponse;
+
+fn run(label: &str, integrity_checked: bool, response: AttackResponse, interrupts: bool) {
+    // MAC above the victim's own activation volume; the host runs no
+    // defense of its own — the enclave is on its own (§4.4's threat
+    // model: the host OS is untrusted).
+    let mut cfg = MachineConfig::fast(DefenseKind::None, 64);
+    cfg.force_act_counters = interrupts;
+    let mut s = CloudScenario::build_sized(cfg, 4).expect("build");
+    let victim = s.victim;
+    s.machine.make_enclave(victim, integrity_checked, response);
+    s.arm_double_sided(3_000).expect("attack");
+    s.victim_reads(400).expect("enclave workload");
+    s.run_windows(50);
+    let enclave = s.machine.enclave(victim).cloned().expect("enclave exists");
+    let r = s.report();
+    println!("{label}:");
+    println!("  enclave status:     {:?}", enclave.status);
+    println!("  poisoned reads:     {}", enclave.poisoned_reads);
+    println!("  interrupts to it:   {}", enclave.interrupts_seen);
+    println!("  flips in its pages: {}", r.cross_flips_against(victim.0));
+    match &r.lockup {
+        Some(msg) => println!("  PLATFORM LOCKUP:    {msg}"),
+        None => println!("  platform:           healthy"),
+    }
+    println!();
+}
+
+fn main() {
+    println!("== enclave memory under a hammering co-tenant (§4.4) ==\n");
+    run(
+        "1. SGX-style integrity-checked memory, no interrupt delivery",
+        true,
+        AttackResponse::Ignore,
+        false,
+    );
+    run(
+        "2. Unchecked memory, no interrupt delivery (the dangerous case)",
+        false,
+        AttackResponse::Ignore,
+        false,
+    );
+    run(
+        "3. Unchecked memory + enclave-visible ACT interrupts, exit policy",
+        false,
+        AttackResponse::Exit,
+        true,
+    );
+    run(
+        "4. Unchecked memory + enclave-visible ACT interrupts, remap policy",
+        false,
+        AttackResponse::RequestRemap,
+        true,
+    );
+    println!(
+        "Takeaways: (1) integrity checking bounds the damage to DoS — the\n\
+         machine locks up before corrupted state is consumed; (2) without\n\
+         checks the enclave is silently corrupted; (3)-(4) the paper's\n\
+         enclave-visible interrupts restore safety without trusting the\n\
+         host: exit beats corruption, remap even preserves availability."
+    );
+}

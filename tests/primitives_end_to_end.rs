@@ -1,0 +1,169 @@
+//! End-to-end behaviour of the paper's three memory-controller
+//! primitives themselves (Table 1), independent of any full defense
+//! policy: subarray-isolated interleaving, precise ACT interrupts, and
+//! the refresh instruction / REF_NEIGHBORS.
+
+use hammertime::machine::{Machine, MachineConfig};
+use hammertime::taxonomy::DefenseKind;
+use hammertime_common::addr::LINES_PER_PAGE;
+use hammertime_common::{CacheLineAddr, DomainId};
+use hammertime_memctrl::{ActCounterConfig, Precision};
+use hammertime_workloads::HammerPattern;
+
+/// §4.1 — subarray-isolated interleaving: every page still spreads its
+/// lines across banks (parallelism preserved), yet never leaves its
+/// domain's subarray group (isolation preserved).
+#[test]
+fn subarray_isolated_interleaving_properties() {
+    let mut m = Machine::new(MachineConfig::fast(DefenseKind::SubarrayIsolation, 1_000)).unwrap();
+    let g = m.config().geometry;
+    let d1 = DomainId(1);
+    let d2 = DomainId(2);
+    let a1 = m.add_tenant(d1, 4).unwrap();
+    let a2 = m.add_tenant(d2, 4).unwrap();
+    for (domain, arena) in [(d1, &a1), (d2, &a2)] {
+        let mut groups = std::collections::HashSet::new();
+        for chunk in arena.chunks(LINES_PER_PAGE as usize) {
+            let mut banks = std::collections::HashSet::new();
+            for &vline in chunk {
+                let p = m.translate(domain, vline).unwrap();
+                let coord = m.mc().map().to_coord(p).unwrap();
+                banks.insert(coord.flat_bank(&g));
+                groups.insert(coord.subarray(&g));
+            }
+            assert!(
+                banks.len() > 1,
+                "page must interleave across banks (got {banks:?})"
+            );
+        }
+        assert_eq!(groups.len(), 1, "{domain} must stay in one subarray group");
+    }
+}
+
+/// §4.2 — the precise interrupt reports the hammering address; the
+/// legacy counter reports nothing actionable. Identical attack, only
+/// the primitive differs.
+#[test]
+fn precise_vs_legacy_interrupts() {
+    let run = |precision: Precision| {
+        let mut cfg = MachineConfig::fast(DefenseKind::None, 1_000_000);
+        cfg.force_act_counters = true;
+        let mut m = Machine::new(cfg).unwrap();
+        let d = DomainId(1);
+        let arena = m.add_tenant(d, 4).unwrap();
+        // Reconfigure the counter block to the requested precision.
+        m.configure_act_counters(ActCounterConfig {
+            threshold: 50,
+            randomize_reset_window: 0,
+            precision,
+        });
+        let rows = m.rows_of_domain(d);
+        let (_, _, l1) = &rows[0];
+        let (_, _, l2) = &rows[1];
+        m.set_workload(d, Box::new(HammerPattern::double_sided(l1[0], l2[0], 500)))
+            .unwrap();
+        let aggressor_phys: Vec<CacheLineAddr> = [l1[0], l2[0]]
+            .iter()
+            .map(|&v| m.translate(d, v).unwrap())
+            .collect();
+        m.run(2_000_000);
+        (m.drain_interrupt_log(), aggressor_phys)
+    };
+    let (precise, aggressors) = run(Precision::AddressReporting);
+    assert!(!precise.is_empty());
+    for int in &precise {
+        let addr = int.addr.expect("precise interrupts carry addresses");
+        assert!(
+            aggressors.contains(&addr),
+            "reported {addr} is not an aggressor line"
+        );
+    }
+    let (legacy, _) = run(Precision::CountOnly);
+    assert!(!legacy.is_empty());
+    assert!(
+        legacy.iter().all(|i| i.addr.is_none()),
+        "legacy counters must not report addresses"
+    );
+}
+
+/// §4.3 — the refresh instruction resets a victim's accumulated
+/// pressure mid-attack, without needing any DRAM support.
+///
+/// Background REF is disabled so the observed pressure comes from the
+/// primitive under test alone.
+#[test]
+fn refresh_instruction_neutralizes_pressure() {
+    let mut cfg = MachineConfig::fast(DefenseKind::None, 1_000_000);
+    cfg.refresh_enabled = false;
+    let mut m = Machine::new(cfg).unwrap();
+    let d = DomainId(1);
+    let _ = m.add_tenant(d, 4).unwrap();
+    let rows = m.rows_of_domain(d);
+    let (bank, r0, l0) = rows[0].clone();
+    let (_, _, l1) = rows[1].clone();
+    // Aggressors are rows r0 and r0+1; the interesting victim is
+    // r0+2 (a non-aggressor, so nothing self-refreshes it).
+    m.set_workload(d, Box::new(HammerPattern::double_sided(l0[0], l1[0], 200)))
+        .unwrap();
+    m.run(100_000);
+    let victim_row = r0 + 2;
+    assert!(
+        m.mc().dram().row_pressure(&bank, victim_row) > 0.0,
+        "hammering must have pressured the victim"
+    );
+    // Host issues the refresh instruction on the victim row.
+    let topo = m.topology();
+    let victim_line = topo.line_of_row(&bank, victim_row).unwrap();
+    m.host_refresh_row(victim_line, true).unwrap();
+    m.run(10_000);
+    assert_eq!(m.mc().dram().row_pressure(&bank, victim_row), 0.0);
+}
+
+/// §4.3 — REF_NEIGHBORS takes the blast radius as an argument, so
+/// software adapts coverage without new silicon: radius 1 leaves
+/// distance-2 pressure standing, radius 2 clears it.
+#[test]
+fn ref_neighbors_radius_is_adaptable() {
+    for (radius, expect_clear) in [(1u32, false), (2, true)] {
+        let mut cfg = MachineConfig::fast(DefenseKind::None, 1_000_000);
+        cfg.refresh_enabled = false;
+        let mut m = Machine::new(cfg).unwrap();
+        let d = DomainId(1);
+        let _ = m.add_tenant(d, 4).unwrap();
+        let rows = m.rows_of_domain(d);
+        let (bank, r0, l0) = rows[0].clone();
+        let (_, _, l1) = rows[1].clone();
+        m.set_workload(d, Box::new(HammerPattern::double_sided(l0[0], l1[0], 200)))
+            .unwrap();
+        m.run(100_000);
+        let d2_victim = r0 + 2; // distance 2 from aggressor r0
+        assert!(m.mc().dram().row_pressure(&bank, d2_victim) > 0.0);
+        let topo = m.topology();
+        let agg_line = topo.line_of_row(&bank, r0).unwrap();
+        m.host_ref_neighbors(agg_line, radius).unwrap();
+        m.run(10_000);
+        let cleared = m.mc().dram().row_pressure(&bank, d2_victim) == 0.0;
+        assert_eq!(
+            cleared, expect_clear,
+            "radius {radius}: distance-2 victim cleared={cleared}"
+        );
+    }
+}
+
+/// Guests can never issue the host-privileged maintenance operations.
+#[test]
+fn maintenance_is_host_privileged() {
+    use hammertime_common::{Cycle, RequestSource};
+    use hammertime_memctrl::request::{MemRequest, RequestKind};
+    let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 1_000)).unwrap();
+    let guest_refresh = MemRequest {
+        id: 1,
+        line: CacheLineAddr(0),
+        kind: RequestKind::Refresh { auto_pre: true },
+        source: RequestSource::Core(1),
+        domain: DomainId(3),
+        arrival: Cycle::ZERO,
+    };
+    let err = m.submit_raw(guest_refresh).unwrap_err();
+    assert_eq!(err.kind(), "privilege");
+}
