@@ -1,116 +1,30 @@
-//! One Criterion bench per table/figure of the evaluation.
+//! One Criterion bench per table/figure of the evaluation, driven by
+//! the experiment registry.
 //!
-//! Each target first regenerates its table in **full** mode — printing
-//! it and persisting it under `target/experiments/` (this is the data
-//! EXPERIMENTS.md records) — then lets Criterion time the quick
-//! variant, so `cargo bench` both reproduces the results and tracks
-//! the simulator's performance.
+//! Each registry entry first regenerates its table in **full** mode —
+//! printing it and persisting it under `target/experiments/` (this is
+//! the data EXPERIMENTS.md records) — then lets Criterion time the
+//! quick variant, so `cargo bench` both reproduces the results and
+//! tracks the simulator's performance. New experiments picked up from
+//! [`hammertime::experiments::registry`] are benched automatically.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hammertime::experiments;
+use hammertime::experiments::{registry, run_one};
 use hammertime_bench::run_full;
 
-fn bench_t1(c: &mut Criterion) {
-    run_full("T1", experiments::t1_defense_matrix);
-    c.bench_function("t1_defense_matrix", |b| {
-        b.iter(|| experiments::t1_defense_matrix(true).unwrap())
-    });
-}
-
-fn bench_f1(c: &mut Criterion) {
-    run_full("F1", |_| experiments::f1_rowbuffer());
-    c.bench_function("f1_rowbuffer", |b| {
-        b.iter(|| experiments::f1_rowbuffer().unwrap())
-    });
-}
-
-fn bench_f2(c: &mut Criterion) {
-    run_full("F2", experiments::f2_interleaving);
-    c.bench_function("f2_interleaving", |b| {
-        b.iter(|| experiments::f2_interleaving(true).unwrap())
-    });
-}
-
-fn bench_e1(c: &mut Criterion) {
-    run_full("E1", experiments::e1_generations);
-    c.bench_function("e1_generations", |b| {
-        b.iter(|| experiments::e1_generations(true).unwrap())
-    });
-}
-
-fn bench_e2(c: &mut Criterion) {
-    run_full("E2", experiments::e2_trr_bypass);
-    c.bench_function("e2_trr_bypass", |b| {
-        b.iter(|| experiments::e2_trr_bypass(true).unwrap())
-    });
-}
-
-fn bench_e3(c: &mut Criterion) {
-    run_full("E3", experiments::e3_dma_blindspot);
-    c.bench_function("e3_dma_blindspot", |b| {
-        b.iter(|| experiments::e3_dma_blindspot(true).unwrap())
-    });
-}
-
-fn bench_e4(c: &mut Criterion) {
-    run_full("E4", experiments::e4_frequency);
-    c.bench_function("e4_frequency", |b| {
-        b.iter(|| experiments::e4_frequency(true).unwrap())
-    });
-}
-
-fn bench_e5(c: &mut Criterion) {
-    run_full("E5", experiments::e5_refresh);
-    c.bench_function("e5_refresh", |b| {
-        b.iter(|| experiments::e5_refresh(true).unwrap())
-    });
-}
-
-fn bench_e6(c: &mut Criterion) {
-    run_full("E6", |_| experiments::e6_scaling());
-    c.bench_function("e6_scaling", |b| {
-        b.iter(|| experiments::e6_scaling().unwrap())
-    });
-}
-
-fn bench_e7(c: &mut Criterion) {
-    run_full("E7", experiments::e7_inference);
-    c.bench_function("e7_inference", |b| {
-        b.iter(|| experiments::e7_inference(true).unwrap())
-    });
-}
-
-fn bench_e8(c: &mut Criterion) {
-    run_full("E8", experiments::e8_enclave);
-    c.bench_function("e8_enclave", |b| {
-        b.iter(|| experiments::e8_enclave(true).unwrap())
-    });
-}
-
-fn bench_e9(c: &mut Criterion) {
-    run_full("E9", experiments::e9_overhead);
-    c.bench_function("e9_overhead", |b| {
-        b.iter(|| experiments::e9_overhead(true).unwrap())
-    });
-}
-
-fn bench_e10(c: &mut Criterion) {
-    run_full("E10", experiments::e10_ecc);
-    c.bench_function("e10_ecc", |b| b.iter(|| experiments::e10_ecc(true).unwrap()));
-}
-
-fn bench_e11(c: &mut Criterion) {
-    run_full("E11", experiments::e11_page_policy);
-    c.bench_function("e11_page_policy", |b| {
-        b.iter(|| experiments::e11_page_policy(true).unwrap())
-    });
+fn bench_registry(c: &mut Criterion) {
+    for exp in registry() {
+        let id = exp.id();
+        run_full(id, |quick| run_one(exp, quick));
+        c.bench_function(format!("{}_quick", id.to_lowercase()), |b| {
+            b.iter(|| run_one(exp, true).unwrap())
+        });
+    }
 }
 
 criterion_group! {
     name = tables;
     config = Criterion::default().sample_size(10);
-    targets = bench_t1, bench_f1, bench_f2, bench_e1, bench_e2, bench_e3,
-              bench_e4, bench_e5, bench_e6, bench_e7, bench_e8, bench_e9,
-              bench_e10, bench_e11
+    targets = bench_registry
 }
 criterion_main!(tables);

@@ -188,7 +188,10 @@ impl Llc {
         }
         self.stats.misses += 1;
         self.miss_count += 1;
-        if self.config.pmu_sample_period > 0 && self.miss_count % self.config.pmu_sample_period == 0
+        if self.config.pmu_sample_period > 0
+            && self
+                .miss_count
+                .is_multiple_of(self.config.pmu_sample_period)
         {
             self.samples.push(MissSample { line, is_write });
         }

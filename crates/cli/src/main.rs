@@ -5,11 +5,17 @@
 //! hammertime-cli catalog                          # the defense taxonomy
 //! hammertime-cli attack --defense none            # run an attack scenario
 //! hammertime-cli attack --defense victim-refresh/instr --attack many:8
-//! hammertime-cli experiments [--full] [E1 E2 ..]  # regenerate tables
+//! hammertime-cli experiments [--all] [--full] [--jobs N] [--filter E1,E2]
 //! hammertime-cli generations                      # the E1 worsening sweep
 //! ```
+//!
+//! `experiments` runs the registry through the parallel cell engine:
+//! `--jobs` sets the worker count (default: available parallelism),
+//! `--filter` (or bare ids) selects experiments, and per-cell progress
+//! lines go to stderr while the tables print to stdout in canonical
+//! order — byte-identical for any `--jobs` value.
 
-use hammertime::experiments::{self, ExpTable};
+use hammertime::experiments::{self, CellProgress, RunOptions};
 use hammertime::machine::MachineConfig;
 use hammertime::scenario::CloudScenario;
 use hammertime::taxonomy::DefenseKind;
@@ -50,8 +56,8 @@ fn parse_defense(name: &str, mac: u64) -> Option<DefenseKind> {
 
 fn cmd_catalog() {
     println!(
-        "{:<26} {:<18} {:<18} {:<9} {}",
-        "name", "class", "locus", "proposed", "needs precise interrupts"
+        "{:<26} {:<18} {:<18} {:<9} needs precise interrupts",
+        "name", "class", "locus", "proposed"
     );
     for d in DefenseKind::catalog(10_000) {
         println!(
@@ -145,37 +151,64 @@ fn cmd_attack(args: &[String]) -> Result<()> {
     Ok(())
 }
 
-fn all_experiments(quick: bool) -> Vec<(&'static str, Result<ExpTable>)> {
-    vec![
-        ("T1", experiments::t1_defense_matrix(quick)),
-        ("F1", experiments::f1_rowbuffer()),
-        ("F2", experiments::f2_interleaving(quick)),
-        ("E1", experiments::e1_generations(quick)),
-        ("E2", experiments::e2_trr_bypass(quick)),
-        ("E3", experiments::e3_dma_blindspot(quick)),
-        ("E4", experiments::e4_frequency(quick)),
-        ("E5", experiments::e5_refresh(quick)),
-        ("E6", experiments::e6_scaling()),
-        ("E7", experiments::e7_inference(quick)),
-        ("E8", experiments::e8_enclave(quick)),
-        ("E9", experiments::e9_overhead(quick)),
-        ("E10", experiments::e10_ecc(quick)),
-        ("E11", experiments::e11_page_policy(quick)),
-    ]
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn parse_experiment_args(args: &[String]) -> RunOptions {
+    let mut full = false;
+    let mut all = false;
+    let mut jobs = default_jobs();
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--quick" => full = false,
+            "--all" => all = true,
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--filter" => {
+                i += 1;
+                let list = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--filter needs a comma-separated id list (e.g. T1,E2)");
+                    std::process::exit(2);
+                });
+                ids.extend(list.split(',').map(|s| s.trim().to_uppercase()));
+            }
+            id if !id.starts_with("--") => ids.push(id.to_uppercase()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut opts = RunOptions::new(!full).jobs(jobs);
+    if !all && !ids.is_empty() {
+        opts = opts.filter(ids);
+    }
+    opts
 }
 
 fn cmd_experiments(args: &[String]) -> Result<()> {
-    let full = args.iter().any(|a| a == "--full");
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_uppercase())
-        .collect();
-    for (id, table) in all_experiments(!full) {
-        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
-            continue;
-        }
-        println!("{}", table?);
+    let opts = parse_experiment_args(args);
+    let progress = |p: &CellProgress<'_>| {
+        eprintln!(
+            "  [{:>3}/{}] {}/{} ({:.2?})",
+            p.completed, p.total, p.experiment, p.label, p.elapsed
+        );
+    };
+    let tables = experiments::run_suite(&experiments::registry(), &opts, &progress)?;
+    for t in tables {
+        println!("{t}");
     }
     Ok(())
 }
@@ -193,7 +226,7 @@ fn usage() -> ! {
            hammertime-cli catalog\n\
            hammertime-cli attack [--defense NAME] [--attack double|many:N|fuzzed:N|dma]\n\
                              [--accesses N] [--mac N] [--seed N] [--windows N]\n\
-           hammertime-cli experiments [--full] [IDS...]\n\
+           hammertime-cli experiments [--all] [--full] [--jobs N] [--filter IDS] [IDS...]\n\
            hammertime-cli generations"
     );
     std::process::exit(2);
@@ -230,6 +263,24 @@ mod tests {
         assert_eq!(AttackSpec::parse("fuzzed:5"), Some(AttackSpec::Fuzzed(5)));
         assert_eq!(AttackSpec::parse("bogus"), None);
         assert_eq!(AttackSpec::parse("many:x"), None);
+    }
+
+    #[test]
+    fn experiment_args_parsing() {
+        let args: Vec<String> = ["--quick", "--jobs", "3", "--filter", "t1,e2", "E10"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_experiment_args(&args);
+        assert!(opts.quick);
+        assert_eq!(opts.jobs, 3);
+        assert_eq!(
+            opts.filter.as_deref(),
+            Some(&["T1".to_string(), "E2".into(), "E10".into()][..])
+        );
+        // --all overrides any id selection.
+        let args: Vec<String> = ["--all", "E1"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_experiment_args(&args).filter, None);
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Shared fixtures: the fast machine scale and the canonical attack /
+//! benign scenario runners every experiment builds its cells from.
+
+use crate::machine::{Machine, MachineConfig};
+use crate::metrics::SimReport;
+use crate::scenario::{AttackTargeting, CloudScenario};
+use crate::taxonomy::DefenseKind;
+use hammertime_common::{DomainId, Result};
+
+/// The standard fast-scale MAC used across experiments.
+pub const FAST_MAC: u64 = 24;
+
+/// Attack length at the given scale.
+pub(crate) fn accesses(quick: bool) -> u64 {
+    if quick {
+        2_500
+    } else {
+        8_000
+    }
+}
+
+/// Runs one attack scenario: four tenants, `arm` installs the hammer,
+/// the victim reads its pages, and the machine runs a window budget.
+pub(crate) fn run_attack(
+    defense: DefenseKind,
+    mac: u64,
+    arm: impl FnOnce(&mut CloudScenario) -> Result<AttackTargeting>,
+    quick: bool,
+) -> Result<SimReport> {
+    let cfg = MachineConfig::fast(defense, mac);
+    let mut s = CloudScenario::build_sized(cfg, 4)?;
+    arm(&mut s)?;
+    s.victim_reads(if quick { 100 } else { 400 })?;
+    let windows = if quick { 40 } else { 150 };
+    s.run_windows(windows);
+    Ok(s.report())
+}
+
+/// Runs the canonical three-tenant benign mix (stream, random,
+/// zipfian) to completion under `defense`.
+pub(crate) fn run_benign(defense: DefenseKind, mac: u64, quick: bool) -> Result<SimReport> {
+    run_benign_with(MachineConfig::fast(defense, mac), quick)
+}
+
+/// Variant of [`run_benign`] that takes a pre-built config (used by
+/// the ablations that tweak controller knobs).
+pub(crate) fn run_benign_with(cfg: MachineConfig, quick: bool) -> Result<SimReport> {
+    use hammertime_common::DetRng;
+    use hammertime_workloads::{RandomWorkload, StreamWorkload, ZipfianWorkload};
+    let windows = if quick { 100 } else { 400 };
+    let t_refw = cfg.timing.t_refw;
+    let n = accesses(quick) / 4;
+    let mut m = Machine::new(cfg)?;
+    let seed = m.config().seed;
+    let a1 = m.add_tenant(DomainId(1), 2)?;
+    let a2 = m.add_tenant(DomainId(2), 2)?;
+    let a3 = m.add_tenant(DomainId(3), 2)?;
+    m.set_workload(DomainId(1), Box::new(StreamWorkload::new(a1, n, 8)))?;
+    m.set_workload(
+        DomainId(2),
+        Box::new(RandomWorkload::new(a2, n, 0.2, DetRng::new(seed ^ 2))),
+    )?;
+    m.set_workload(
+        DomainId(3),
+        Box::new(ZipfianWorkload::new(a3, n, 0.99, DetRng::new(seed ^ 3))),
+    )?;
+    // Run to completion (makespan), capped at the window budget so a
+    // throttled/broken configuration still terminates.
+    for _ in 0..windows {
+        m.run(t_refw);
+        if m.all_finished() {
+            break;
+        }
+    }
+    Ok(m.report())
+}

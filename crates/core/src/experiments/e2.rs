@@ -1,0 +1,53 @@
+//! **E2** (§3): TRRespass — flips vs. aggressor count against an
+//! in-DRAM TRR with a fixed-size tracker. Zero flips while the
+//! tracker covers the aggressors; bypass beyond.
+
+use super::common::{accesses, FAST_MAC};
+use super::engine::Cell;
+use super::Experiment;
+use crate::machine::MachineConfig;
+use crate::scenario::CloudScenario;
+use crate::taxonomy::DefenseKind;
+
+pub struct E2;
+
+impl Experiment for E2 {
+    fn id(&self) -> &'static str {
+        "E2"
+    }
+
+    fn title(&self) -> &'static str {
+        "TRR bypass: flips vs aggressor count (tracker size 4)"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["aggressors", "total flips", "xdom flips", "trr refreshes"]
+    }
+
+    fn cells(&self, quick: bool) -> Vec<Cell> {
+        let counts: &[usize] = if quick {
+            &[2, 6, 12]
+        } else {
+            &[2, 3, 4, 6, 8, 12, 16]
+        };
+        counts
+            .iter()
+            .map(|&n_aggr| {
+                Cell::new(format!("aggressors={n_aggr}"), move || {
+                    let cfg =
+                        MachineConfig::fast(DefenseKind::InDramTrr { table_size: 4 }, FAST_MAC);
+                    let mut s = CloudScenario::build_sized(cfg, 16)?;
+                    s.arm_many_sided(n_aggr, accesses(quick) * 2)?;
+                    s.run_windows(if quick { 80 } else { 300 });
+                    let r = s.report();
+                    Ok(vec![vec![
+                        n_aggr.to_string(),
+                        r.flips_total.to_string(),
+                        r.flips_cross_domain.to_string(),
+                        r.dram.trr_refresh_rows.to_string(),
+                    ]])
+                })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,68 @@
+//! **E5** (§4.3): refresh mechanisms — the proposed instruction vs
+//! REF_NEIGHBORS vs the convoluted flush+load path, plus the
+//! blast-radius adaptability sweep.
+
+use super::common::{accesses, FAST_MAC};
+use super::engine::Cell;
+use super::table::fmt_f;
+use super::Experiment;
+use crate::machine::MachineConfig;
+use crate::scenario::{BenignKind, CloudScenario};
+use crate::taxonomy::DefenseKind;
+
+pub struct E5;
+
+impl Experiment for E5 {
+    fn id(&self) -> &'static str {
+        "E5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Refresh mechanisms: effectiveness and cost"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "mechanism",
+            "assumed radius",
+            "xdom flips",
+            "refresh ops",
+            "convoluted ops",
+            "mean latency",
+        ]
+    }
+
+    fn cells(&self, quick: bool) -> Vec<Cell> {
+        let n = accesses(quick);
+        let cases = [
+            (DefenseKind::VictimRefreshInstr, 2u32),
+            (DefenseKind::VictimRefreshRefNeighbors, 2),
+            (DefenseKind::VictimRefreshConvoluted, 2),
+            // Radius mismatch: software believes radius 1, module is 2.
+            (DefenseKind::VictimRefreshInstr, 1),
+            (DefenseKind::VictimRefreshRefNeighbors, 1),
+        ];
+        cases
+            .into_iter()
+            .map(|(defense, assumed)| {
+                Cell::new(format!("{} r{assumed}", defense.name()), move || {
+                    let mut cfg = MachineConfig::fast(defense, FAST_MAC);
+                    cfg.assumed_radius = assumed;
+                    let mut s = CloudScenario::build_sized(cfg, 4)?;
+                    s.arm_double_sided(n)?;
+                    s.add_benign(BenignKind::Random, 2, n / 4)?;
+                    s.run_windows(if quick { 40 } else { 150 });
+                    let r = s.report();
+                    Ok(vec![vec![
+                        defense.name().to_string(),
+                        assumed.to_string(),
+                        r.cross_flips_against(2).to_string(),
+                        r.overhead.refresh_ops.to_string(),
+                        r.overhead.convoluted_refreshes.to_string(),
+                        fmt_f(r.mc.mean_latency()),
+                    ]])
+                })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,117 @@
+//! **E7** (§2.1/§4.1): inference of subarray boundaries and internal
+//! remaps from hammer-probe outcomes.
+
+use super::engine::Cell;
+use super::table::fmt_f;
+use super::Experiment;
+use crate::machine::{Machine, MachineConfig};
+use crate::taxonomy::DefenseKind;
+use hammertime_os::AdjacencyMap;
+
+pub struct E7;
+
+impl Experiment for E7 {
+    fn id(&self) -> &'static str {
+        "E7"
+    }
+
+    fn title(&self) -> &'static str {
+        "Subarray-boundary and remap inference accuracy"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "remap fraction",
+            "boundaries found",
+            "boundary precision",
+            "boundary recall",
+            "remap suspects",
+            "remap recall",
+        ]
+    }
+
+    fn cells(&self, quick: bool) -> Vec<Cell> {
+        [0.0, 0.06]
+            .into_iter()
+            .map(|remap_fraction| {
+                Cell::new(format!("remap={remap_fraction}"), move || {
+                    use hammertime_common::geometry::BankId;
+                    let mut cfg = MachineConfig::fast(DefenseKind::None, 12);
+                    cfg.remap = hammertime_dram::remap::RemapConfig {
+                        remap_fraction,
+                        within_subarray: true,
+                    };
+                    let mut m = Machine::new(cfg)?;
+                    let g = m.config().geometry;
+                    let bank = BankId {
+                        channel: 0,
+                        rank: 0,
+                        bank_group: 0,
+                        bank: 0,
+                    };
+                    let rows = if quick {
+                        g.rows_per_subarray * 2
+                    } else {
+                        g.rows_per_bank()
+                    };
+                    let rps = g.rows_per_subarray;
+                    let rounds = 40;
+                    let mut probe = |r: u32| -> Vec<u32> {
+                        // Dummy far away in the same subarray region
+                        // space.
+                        let dummy = if r % g.rows_per_bank() < rps {
+                            (r + rps / 2) % g.rows_per_bank()
+                        } else {
+                            r - rps / 2
+                        };
+                        let flips = m.probe_hammer(&bank, r, dummy, rounds).unwrap_or_default();
+                        flips
+                            .into_iter()
+                            .filter(|f| f.aggressor_row == r)
+                            .map(|f| f.victim_row)
+                            .collect()
+                    };
+                    let map = AdjacencyMap::build(rows, &mut probe);
+                    let found = map.infer_boundaries(rows);
+                    let truth: Vec<u32> = (1..rows).filter(|p| p % rps == 0).collect();
+                    let tp = found.iter().filter(|p| truth.contains(p)).count();
+                    let precision = if found.is_empty() {
+                        1.0
+                    } else {
+                        tp as f64 / found.len() as f64
+                    };
+                    let recall = if truth.is_empty() {
+                        1.0
+                    } else {
+                        tp as f64 / truth.len() as f64
+                    };
+                    let suspects = map.infer_remap_suspects(m.config().disturbance.blast_radius);
+                    let truth_remapped: Vec<u32> = m
+                        .mc()
+                        .dram()
+                        .remapped_logical_rows(&bank)
+                        .into_iter()
+                        .filter(|&r| r < rows)
+                        .collect();
+                    let remap_tp = suspects
+                        .iter()
+                        .filter(|s| truth_remapped.contains(s))
+                        .count();
+                    let remap_recall = if truth_remapped.is_empty() {
+                        1.0
+                    } else {
+                        remap_tp as f64 / truth_remapped.len() as f64
+                    };
+                    Ok(vec![vec![
+                        fmt_f(remap_fraction),
+                        found.len().to_string(),
+                        fmt_f(precision),
+                        fmt_f(recall),
+                        suspects.len().to_string(),
+                        fmt_f(remap_recall),
+                    ]])
+                })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,96 @@
+//! **E8** (§4.4): enclave outcomes — integrity-checked memory turns
+//! corruption into DoS; unchecked memory needs enclave-visible
+//! interrupts to stay safe.
+
+use super::common::accesses;
+use super::engine::Cell;
+use super::Experiment;
+use crate::machine::MachineConfig;
+use crate::scenario::CloudScenario;
+use crate::taxonomy::DefenseKind;
+use hammertime_os::AttackResponse;
+
+pub struct E8;
+
+impl Experiment for E8 {
+    fn id(&self) -> &'static str {
+        "E8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Enclave memory under attack"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "configuration",
+            "outcome",
+            "lockup",
+            "xdom flips",
+            "enclave interrupts",
+        ]
+    }
+
+    fn cells(&self, quick: bool) -> Vec<Cell> {
+        let n = accesses(quick);
+        let cases: [(&'static str, bool, AttackResponse, bool); 4] = [
+            (
+                "integrity-checked, ignore",
+                true,
+                AttackResponse::Ignore,
+                false,
+            ),
+            ("unchecked, ignore", false, AttackResponse::Ignore, false),
+            (
+                "unchecked, exit-on-interrupt",
+                false,
+                AttackResponse::Exit,
+                true,
+            ),
+            (
+                "unchecked, remap-on-interrupt",
+                false,
+                AttackResponse::RequestRemap,
+                true,
+            ),
+        ];
+        cases
+            .into_iter()
+            .map(|(label, checked, response, counters)| {
+                Cell::new(label, move || {
+                    // MAC above the victim's own per-window activation
+                    // count, so self-reads under attacker-induced row
+                    // conflicts don't flip the victim's relocated
+                    // pages (a fast-scale artifact real MACs are
+                    // orders of magnitude above).
+                    let mut cfg = MachineConfig::fast(DefenseKind::None, 64);
+                    cfg.force_act_counters = counters;
+                    let mut s = CloudScenario::build_sized(cfg, 4)?;
+                    let victim = s.victim;
+                    s.machine.make_enclave(victim, checked, response);
+                    s.arm_double_sided(n)?;
+                    s.victim_reads(if quick { 300 } else { 1_000 })?;
+                    s.run_windows(if quick { 40 } else { 150 });
+                    let enclave_ints = s
+                        .machine
+                        .enclave(victim)
+                        .map(|e| e.interrupts_seen)
+                        .unwrap_or(0);
+                    let status = s
+                        .machine
+                        .enclave(victim)
+                        .map(|e| format!("{:?}", e.status))
+                        .unwrap_or_default();
+                    let r = s.report();
+                    Ok(vec![vec![
+                        label.to_string(),
+                        status,
+                        r.lockup.is_some().to_string(),
+                        r.cross_flips_against(2).to_string(),
+                        enclave_ints.to_string(),
+                    ]])
+                })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,53 @@
+//! **E9**: the practicality axis — benign throughput, latency, and
+//! energy under every defense (no attack running).
+
+use super::common::{run_benign, FAST_MAC};
+use super::engine::Cell;
+use super::table::fmt_f;
+use super::Experiment;
+use crate::taxonomy::DefenseKind;
+
+pub struct E9;
+
+impl Experiment for E9 {
+    fn id(&self) -> &'static str {
+        "E9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Benign overhead per defense (no attack)"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "defense",
+            "ops/kcyc",
+            "mean latency",
+            "energy",
+            "extra refreshes",
+            "throttle cycles",
+        ]
+    }
+
+    fn cells(&self, quick: bool) -> Vec<Cell> {
+        DefenseKind::catalog(FAST_MAC)
+            .into_iter()
+            .map(|defense| {
+                Cell::new(defense.name(), move || {
+                    let r = run_benign(defense, FAST_MAC, quick)?;
+                    Ok(vec![vec![
+                        defense.name().to_string(),
+                        fmt_f(r.throughput()),
+                        fmt_f(r.mc.mean_latency()),
+                        format!("{:.3e}", r.energy),
+                        (r.dram.ref_neighbor_rows
+                            + r.dram.trr_refresh_rows
+                            + r.overhead.refresh_ops)
+                            .to_string(),
+                        r.overhead.throttle_cycles.to_string(),
+                    ]])
+                })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,204 @@
+//! The experiment engine: declarative scenario cells and the
+//! deterministic parallel runner.
+//!
+//! Every experiment declares its sweep as a list of [`Cell`]s — one
+//! label plus one closure that builds, seeds, and runs its own
+//! [`crate::machine::Machine`] and returns the row fragments it
+//! contributes. Cells share no state, so the engine may run them on
+//! any number of worker threads: results land in slots indexed by
+//! declaration order and each experiment's `reduce` assembles them in
+//! that order, which makes the output **byte-identical regardless of
+//! `--jobs`**.
+
+use super::{ExpTable, Experiment};
+use hammertime_common::Result;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The row fragments one cell contributes to its experiment's table.
+pub type CellRows = Vec<Vec<String>>;
+
+/// One independently runnable unit of an experiment's sweep.
+pub struct Cell {
+    label: String,
+    run: Box<dyn FnOnce() -> Result<CellRows> + Send>,
+}
+
+impl Cell {
+    /// Wraps a closure as a cell. The closure must be self-contained:
+    /// it builds and seeds its own machine, so cells can run on any
+    /// worker in any order.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl FnOnce() -> Result<CellRows> + Send + 'static,
+    ) -> Cell {
+        Cell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The cell's display label (used for progress lines).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Consumes the cell and produces its rows.
+    pub fn run(self) -> Result<CellRows> {
+        (self.run)()
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell").field("label", &self.label).finish()
+    }
+}
+
+/// How a suite run is scaled, parallelized, and filtered.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Quick scale (shrunk access counts, for tests).
+    pub quick: bool,
+    /// Worker threads pulling cells (1 = serial).
+    pub jobs: usize,
+    /// If set, only experiments whose id matches (case-insensitive).
+    pub filter: Option<Vec<String>>,
+}
+
+impl RunOptions {
+    /// Serial, unfiltered run at the given scale.
+    pub fn new(quick: bool) -> RunOptions {
+        RunOptions {
+            quick,
+            jobs: 1,
+            filter: None,
+        }
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> RunOptions {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Restricts the run to the given experiment ids.
+    #[must_use]
+    pub fn filter<S: Into<String>>(mut self, ids: impl IntoIterator<Item = S>) -> RunOptions {
+        self.filter = Some(ids.into_iter().map(Into::into).collect());
+        self
+    }
+
+    fn selects(&self, id: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(ids) => ids.iter().any(|f| f.eq_ignore_ascii_case(id)),
+        }
+    }
+}
+
+/// A completed cell, reported to the progress callback as workers
+/// finish (completion order, not declaration order).
+#[derive(Debug)]
+pub struct CellProgress<'a> {
+    /// Id of the experiment the cell belongs to.
+    pub experiment: &'a str,
+    /// The cell's label.
+    pub label: &'a str,
+    /// How many cells have completed, this one included.
+    pub completed: usize,
+    /// Total cells in the run.
+    pub total: usize,
+    /// Wall-clock time this cell took.
+    pub elapsed: Duration,
+}
+
+/// Progress callback that reports nothing.
+pub fn silent(_: &CellProgress<'_>) {}
+
+/// Runs the selected experiments' cells on `opts.jobs` workers and
+/// reduces each experiment's results in declaration order.
+///
+/// Tables come back in registry order and are byte-identical for any
+/// worker count; only the progress callback observes scheduling.
+pub fn run_suite(
+    experiments: &[&dyn Experiment],
+    opts: &RunOptions,
+    progress: &(dyn Fn(&CellProgress<'_>) + Sync),
+) -> Result<Vec<ExpTable>> {
+    let selected: Vec<&dyn Experiment> = experiments
+        .iter()
+        .copied()
+        .filter(|e| opts.selects(e.id()))
+        .collect();
+
+    // Flatten every experiment's cells into one global work list;
+    // `spans[i]` is the slot range belonging to experiment i.
+    let mut queue: Vec<Mutex<Option<(usize, Cell)>>> = Vec::new();
+    let mut spans: Vec<std::ops::Range<usize>> = Vec::new();
+    for (ei, exp) in selected.iter().enumerate() {
+        let start = queue.len();
+        for cell in exp.cells(opts.quick) {
+            queue.push(Mutex::new(Some((ei, cell))));
+        }
+        spans.push(start..queue.len());
+    }
+    let total = queue.len();
+    let results: Vec<Mutex<Option<Result<CellRows>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+
+    let workers = opts.jobs.clamp(1, total.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                if slot >= total {
+                    break;
+                }
+                let (ei, cell) = queue[slot]
+                    .lock()
+                    .expect("cell queue poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let label = cell.label.clone();
+                let started = Instant::now();
+                let out = cell.run();
+                *results[slot].lock().expect("result slot poisoned") = Some(out);
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress(&CellProgress {
+                    experiment: selected[ei].id(),
+                    label: &label,
+                    completed,
+                    total,
+                    elapsed: started.elapsed(),
+                });
+            });
+        }
+    });
+
+    let mut tables = Vec::with_capacity(selected.len());
+    for (exp, span) in selected.iter().zip(spans) {
+        let mut rows = Vec::with_capacity(span.len());
+        for slot in span {
+            let out = results[slot]
+                .lock()
+                .expect("result slot poisoned")
+                .take()
+                .expect("every slot was filled");
+            rows.push(out?);
+        }
+        tables.push(exp.reduce(opts.quick, rows)?);
+    }
+    Ok(tables)
+}
+
+/// Runs a single experiment serially (the compatibility path behind
+/// the per-experiment functions).
+pub fn run_one(exp: &dyn Experiment, quick: bool) -> Result<ExpTable> {
+    let rows: Result<Vec<CellRows>> = exp.cells(quick).into_iter().map(Cell::run).collect();
+    exp.reduce(quick, rows?)
+}

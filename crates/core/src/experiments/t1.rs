@@ -1,0 +1,63 @@
+//! **T1** (paper Table 1): the primitive × defense matrix. For every
+//! defense in the catalog, does it stop each attack class, and what
+//! does benign traffic pay?
+
+use super::common::{accesses, run_attack, run_benign, FAST_MAC};
+use super::engine::Cell;
+use super::table::fmt_f;
+use super::Experiment;
+use crate::taxonomy::DefenseKind;
+
+pub struct T1;
+
+impl Experiment for T1 {
+    fn id(&self) -> &'static str {
+        "T1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Defense matrix: cross-domain flips per attack, benign throughput"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "defense",
+            "class",
+            "locus",
+            "double-sided",
+            "many-sided(6)",
+            "dma",
+            "benign ops/kcyc",
+        ]
+    }
+
+    fn cells(&self, quick: bool) -> Vec<Cell> {
+        let n = accesses(quick);
+        DefenseKind::catalog(FAST_MAC)
+            .into_iter()
+            .map(|defense| {
+                Cell::new(defense.name(), move || {
+                    let double = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), quick)?;
+                    let many = run_attack(defense, FAST_MAC, |s| s.arm_many_sided(6, n), quick)?;
+                    let dma = run_attack(defense, FAST_MAC, |s| s.arm_dma(n), quick)?;
+                    let benign = run_benign(defense, FAST_MAC, quick)?;
+                    Ok(vec![vec![
+                        defense.name().to_string(),
+                        defense
+                            .class()
+                            .map(|c| c.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        defense
+                            .locus()
+                            .map(|l| l.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        double.cross_flips_against(2).to_string(),
+                        many.cross_flips_against(2).to_string(),
+                        dma.cross_flips_against(2).to_string(),
+                        fmt_f(benign.throughput()),
+                    ]])
+                })
+            })
+            .collect()
+    }
+}

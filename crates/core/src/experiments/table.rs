@@ -1,0 +1,72 @@
+//! The rendered-result type every experiment produces.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendered experiment result: one table or figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpTable {
+    /// Experiment id (e.g. "E2").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExpTable {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> ExpTable {
+        ExpTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Finds the value at (`row` matching first column, `column`).
+    pub fn get(&self, first_col: &str, column: &str) -> Option<&str> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == first_col)
+            .map(|r| r[ci].as_str())
+    }
+}
+
+impl fmt::Display for ExpTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float the way every table column expects.
+pub(crate) fn fmt_f(v: f64) -> String {
+    format!("{v:.2}")
+}

@@ -195,7 +195,9 @@ pub struct Machine {
     /// via [`Machine::drain_interrupt_log`]).
     interrupt_log: Vec<hammertime_memctrl::ActInterrupt>,
     lockup: Option<String>,
-    start: Cycle,
+    /// When the first [`Machine::run`] call began (`None` until then);
+    /// lets callers distinguish warm-up work from the measured run.
+    run_start: Option<Cycle>,
     rng: DetRng,
 }
 
@@ -362,9 +364,11 @@ impl Machine {
             }
             _ => Box::new(NoDefense),
         };
-        let mut overhead = DefenseOverhead::default();
-        overhead.sram_bits =
-            mitigation.sram_bits(cfg.geometry.total_banks(), cfg.geometry.rows_per_bank());
+        let overhead = DefenseOverhead {
+            sram_bits: mitigation
+                .sram_bits(cfg.geometry.total_banks(), cfg.geometry.rows_per_bank()),
+            ..DefenseOverhead::default()
+        };
         Ok(Machine {
             rng: DetRng::new(cfg.seed ^ 0x99AA),
             mc,
@@ -381,7 +385,7 @@ impl Machine {
             remapped_this_window: std::collections::HashSet::new(),
             interrupt_log: Vec::new(),
             lockup: None,
-            start: Cycle::ZERO,
+            run_start: None,
             cfg,
         })
     }
@@ -394,6 +398,12 @@ impl Machine {
     /// Current simulated time.
     pub fn now(&self) -> Cycle {
         self.mc.now()
+    }
+
+    /// The cycle at which the first [`Machine::run`] call started, or
+    /// `None` if the machine has never run.
+    pub fn run_start(&self) -> Option<Cycle> {
+        self.run_start
     }
 
     /// The host's topology view (for attack/defense construction).
@@ -520,8 +530,8 @@ impl Machine {
     /// lockup).
     pub fn run(&mut self, cycles: u64) {
         let end = self.mc.now() + cycles;
-        if self.start == Cycle::ZERO {
-            self.start = Cycle::ZERO; // runs are measured from zero
+        if self.run_start.is_none() {
+            self.run_start = Some(self.mc.now());
         }
         loop {
             if self.lockup.is_some() {
@@ -791,7 +801,7 @@ impl Machine {
     fn roll_windows(&mut self) {
         let t_refw = self.cfg.timing.t_refw;
         while self.mc.now().delta(self.window_start) >= t_refw {
-            self.window_start = self.window_start + t_refw;
+            self.window_start += t_refw;
             self.remapped_this_window.clear();
             let actions = self.daemon.on_window_rollover(self.mc.now());
             self.execute_actions(actions);
@@ -1163,6 +1173,21 @@ mod tests {
             let bank = bank_from_flat(&g, flat);
             assert_eq!(bank.flat(&g), flat);
         }
+    }
+
+    #[test]
+    fn run_start_records_first_run_cycle() {
+        let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 1_000_000)).unwrap();
+        let d = DomainId(1);
+        let arena = m.add_tenant(d, 4).unwrap();
+        m.set_workload(d, Box::new(StreamWorkload::new(arena, 500, 0)))
+            .unwrap();
+        assert_eq!(m.run_start(), None, "never ran yet");
+        m.run(1_000);
+        let first = m.run_start().expect("recorded on first run");
+        assert!(m.now() > first, "time advanced past the recorded start");
+        m.run(1_000);
+        assert_eq!(m.run_start(), Some(first), "start is sticky across runs");
     }
 
     #[test]

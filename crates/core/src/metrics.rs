@@ -184,8 +184,10 @@ mod tests {
 
     #[test]
     fn summary_contains_key_fields() {
-        let mut r = SimReport::default();
-        r.defense = "oracle".into();
+        let r = SimReport {
+            defense: "oracle".into(),
+            ..SimReport::default()
+        };
         let s = r.summary();
         assert!(s.contains("oracle") && s.contains("flips="));
     }

@@ -98,10 +98,11 @@ impl CloudScenario {
         // Preferred: an exact sandwich around a victim row.
         for (b1, r1, l1) in &rows {
             for (b2, r2, l2) in &rows {
-                if b1 == b2 && *r2 == r1 + 2 {
-                    if self.machine.owner_of_row(b1, r1 + 1) == Some(self.victim) {
-                        return (l1[0], l2[0], AttackTargeting::CrossDomain);
-                    }
+                if b1 == b2
+                    && *r2 == r1 + 2
+                    && self.machine.owner_of_row(b1, r1 + 1) == Some(self.victim)
+                {
+                    return (l1[0], l2[0], AttackTargeting::CrossDomain);
                 }
             }
         }
@@ -109,7 +110,7 @@ impl CloudScenario {
         for want_gap in [Some(2u32), None] {
             for (b1, r1, l1) in &rows {
                 for (b2, r2, l2) in &rows {
-                    if b1 == b2 && *r2 > *r1 && want_gap.map_or(true, |g| r2 - r1 == g) {
+                    if b1 == b2 && *r2 > *r1 && want_gap.is_none_or(|g| r2 - r1 == g) {
                         return (l1[0], l2[0], targeting_of(b1, *r1, *r2));
                     }
                 }
@@ -124,10 +125,9 @@ impl CloudScenario {
     pub fn find_many_sided(&self, n: usize) -> (Vec<CacheLineAddr>, AttackTargeting) {
         let rows = self.machine.rows_of_domain(self.attacker);
         // Group attacker rows per bank.
-        let mut by_bank: std::collections::BTreeMap<
-            (u32, u32, u32, u32),
-            Vec<(u32, CacheLineAddr)>,
-        > = std::collections::BTreeMap::new();
+        type RowsByBank =
+            std::collections::BTreeMap<(u32, u32, u32, u32), Vec<(u32, CacheLineAddr)>>;
+        let mut by_bank: RowsByBank = RowsByBank::new();
         for (b, r, l) in &rows {
             by_bank
                 .entry((b.channel, b.rank, b.bank_group, b.bank))
@@ -153,7 +153,7 @@ impl CloudScenario {
             // TRRespass structures its sets.
             let mut take: Vec<(u32, CacheLineAddr)> = Vec::new();
             for (r, l) in rws {
-                if take.last().map_or(true, |(prev, _)| r >= prev + 2) {
+                if take.last().is_none_or(|(prev, _)| r >= prev + 2) {
                     take.push((r, l));
                     if take.len() == n {
                         break;
@@ -170,7 +170,7 @@ impl CloudScenario {
                 })
                 .count();
             let lines: Vec<CacheLineAddr> = take.into_iter().map(|(_, l)| l).collect();
-            if best.as_ref().map_or(true, |(b, a)| {
+            if best.as_ref().is_none_or(|(b, a)| {
                 lines.len() > b.len() || (lines.len() == b.len() && adjacency > *a)
             }) {
                 best = Some((lines, adjacency));

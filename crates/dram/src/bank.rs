@@ -80,7 +80,7 @@ impl Bank {
     /// Creates an idle bank with `rows` rows organized in subarrays of
     /// `rows_per_subarray`.
     pub fn new(rows: u32, rows_per_subarray: u32) -> Bank {
-        assert!(rows > 0 && rows_per_subarray > 0 && rows % rows_per_subarray == 0);
+        assert!(rows > 0 && rows_per_subarray > 0 && rows.is_multiple_of(rows_per_subarray));
         Bank {
             state: BankState::Idle,
             ready_act: Cycle::ZERO,
@@ -523,7 +523,7 @@ mod tests {
             for d in b.act(15, now, &t, &p).unwrap() {
                 victims.insert(d.victim_row);
             }
-            now = now + t.t_ras;
+            now += t.t_ras;
             b.pre(now, &t).unwrap();
             now = b.earliest_act();
         }
@@ -542,7 +542,7 @@ mod tests {
         // itself: its pressure must clear.
         for _ in 0..3 {
             b.act(5, now, &t, &p).unwrap();
-            now = now + t.t_ras;
+            now += t.t_ras;
             b.pre(now, &t).unwrap();
             now = b.earliest_act();
         }
@@ -597,7 +597,7 @@ mod tests {
             for d in b.act(8, now, &t, &p).unwrap() {
                 opportunities += d.opportunities;
             }
-            now = now + t.t_ras;
+            now += t.t_ras;
             b.pre(now, &t).unwrap();
             now = b.earliest_act();
         }

@@ -45,7 +45,7 @@ pub struct RowDataStore {
 impl RowDataStore {
     /// Creates a store for rows of `row_bytes` bytes.
     pub fn new(row_bytes: usize) -> RowDataStore {
-        assert!(row_bytes > 0 && row_bytes % CACHE_LINE_BYTES as usize == 0);
+        assert!(row_bytes > 0 && row_bytes.is_multiple_of(CACHE_LINE_BYTES as usize));
         RowDataStore {
             row_bytes,
             rows: HashMap::new(),

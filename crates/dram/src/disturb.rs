@@ -163,7 +163,7 @@ impl DisturbanceProfile {
                 self.flip_prob
             )));
         }
-        if !(self.overshoot_step > 0.0) {
+        if self.overshoot_step <= 0.0 || self.overshoot_step.is_nan() {
             return Err(Error::Config("overshoot_step must be positive".into()));
         }
         Ok(())

@@ -194,8 +194,7 @@ impl DramModule {
             .trr
             .map(|c| TrrEngine::new(c, total_banks, rng.fork(0x7171)));
         let refs_per_window = config.timing.refs_per_window().max(1);
-        let rows_per_group =
-            ((g.rows_per_bank() as u64 + refs_per_window - 1) / refs_per_window).max(1) as u32;
+        let rows_per_group = (g.rows_per_bank() as u64).div_ceil(refs_per_window).max(1) as u32;
         Ok(DramModule {
             banks,
             remaps,
@@ -434,8 +433,11 @@ impl DramModule {
                     }
                     self.banks[b].block_until(done);
                 }
-                let groups = (self.config.geometry.rows_per_bank() + self.rows_per_group - 1)
-                    / self.rows_per_group;
+                let groups = self
+                    .config
+                    .geometry
+                    .rows_per_bank()
+                    .div_ceil(self.rows_per_group);
                 self.ranks[r].next_group = (group + 1) % groups;
                 self.ranks[r].busy_until = done;
                 self.stats.refs += 1;

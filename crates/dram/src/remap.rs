@@ -62,7 +62,7 @@ impl RowRemap {
         config: RemapConfig,
         rng: &mut DetRng,
     ) -> RowRemap {
-        assert!(rows > 0 && rows_per_subarray > 0 && rows % rows_per_subarray == 0);
+        assert!(rows > 0 && rows_per_subarray > 0 && rows.is_multiple_of(rows_per_subarray));
         let mut forward: Vec<u32> = (0..rows).collect();
         let swaps = ((rows as f64 * config.remap_fraction) / 2.0).round() as u32;
         for _ in 0..swaps {

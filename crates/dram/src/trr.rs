@@ -172,7 +172,7 @@ impl TrrEngine {
                 // Take the k highest-count rows above the confidence
                 // threshold and drop them: the device believes it has
                 // dealt with them.
-                entries.sort_by(|a, b| b.1.cmp(&a.1));
+                entries.sort_by_key(|e| std::cmp::Reverse(e.1));
                 let take = entries
                     .iter()
                     .take_while(|(_, c)| *c >= min_count)

@@ -600,7 +600,7 @@ impl MemCtrl {
         for ch in 0..g.channels {
             for rk in 0..g.ranks {
                 if let Some(c) = self.refresh_candidate(ch, rk) {
-                    if best.as_ref().map_or(true, |b| better(&c, b)) {
+                    if best.as_ref().is_none_or(|b| better(&c, b)) {
                         best = Some(c);
                     }
                 }
@@ -608,7 +608,7 @@ impl MemCtrl {
         }
         for i in 0..self.queue.len() {
             if let Some(c) = self.candidate_for(i) {
-                if best.as_ref().map_or(true, |b| better(&c, b)) {
+                if best.as_ref().is_none_or(|b| better(&c, b)) {
                     best = Some(c);
                 }
             } else if matches!(
@@ -652,7 +652,7 @@ impl MemCtrl {
                 if !need_pre {
                     let idx = self.rank_index(channel, rank);
                     let t_refi = self.dram.config().timing.t_refi;
-                    self.next_ref[idx] = self.next_ref[idx] + t_refi;
+                    self.next_ref[idx] += t_refi;
                     self.stats.refs_issued += 1;
                     let _ = outcome;
                 }

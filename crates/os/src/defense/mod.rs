@@ -222,7 +222,7 @@ mod tests {
             let (nb, nr) = t.locate(n).unwrap();
             assert_eq!(nb, bank, "victims live in the same bank");
             let d = nr.abs_diff(row);
-            assert!(d >= 1 && d <= 2);
+            assert!((1..=2).contains(&d));
         }
     }
 
@@ -234,7 +234,7 @@ mod tests {
         let neighbors = t.neighbor_row_lines(first_row_line, 3).unwrap();
         for n in neighbors {
             let (_, r) = t.locate(n).unwrap();
-            assert!(r >= 1 && r <= 3, "row 0 has only upward neighbors");
+            assert!((1..=3).contains(&r), "row 0 has only upward neighbors");
         }
     }
 

@@ -7,12 +7,16 @@
 //! (§4.2).
 
 use hammertime_common::{DomainId, Error, PhysAddr, Result, VirtAddr};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One domain's address space.
 #[derive(Debug, Default, Clone)]
 pub struct PageTable {
-    mappings: HashMap<u64, u64>,
+    // BTreeMap, deliberately: `iter()` feeds attack targeting and
+    // defense bookkeeping, and hash-order iteration would leak the
+    // process-random hasher seed into simulation results, breaking
+    // cross-process reproducibility.
+    mappings: BTreeMap<u64, u64>,
 }
 
 impl PageTable {
@@ -90,7 +94,7 @@ impl PageTable {
         self.mappings.is_empty()
     }
 
-    /// Iterates over `(vpage, frame)` pairs in unspecified order.
+    /// Iterates over `(vpage, frame)` pairs in ascending vpage order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.mappings.iter().map(|(&v, &f)| (v, f))
     }

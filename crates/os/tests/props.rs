@@ -102,11 +102,14 @@ proptest! {
                     let frame = next_frame;
                     next_frame += 1;
                     let r = pt.map(vpage, frame);
-                    if model.contains_key(&vpage) {
-                        prop_assert!(r.is_err());
-                    } else {
-                        prop_assert!(r.is_ok());
-                        model.insert(vpage, frame);
+                    match model.entry(vpage) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert!(r.is_err());
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            prop_assert!(r.is_ok());
+                            e.insert(frame);
+                        }
                     }
                 }
                 1 => {

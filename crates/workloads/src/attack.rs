@@ -333,7 +333,7 @@ mod tests {
             *counts.entry(*a).or_insert(0u32) += 1;
         }
         assert_eq!(counts.len(), 6);
-        for (_, c) in &counts {
+        for c in counts.values() {
             assert!((1..=4).contains(c));
         }
         // Flush+read structure like other hammers.

@@ -7,7 +7,7 @@
 //!   and DMA-based hammering (paper §1–3).
 //! - [`benign`]: stream/random/zipfian/row-conflict production traffic
 //!   for overhead measurement.
-//! - [`trace`]: record/replay.
+//! - [`trace`]: workload record/replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,52 @@
+//! The experiment engine's core guarantees: parallel runs are
+//! byte-identical to serial runs, and the registry covers every
+//! experiment the documentation records.
+
+use hammertime::experiments::{registry, run_all_with, RunOptions};
+
+/// Worker count must not leak into results: cells land in
+/// declaration-order slots, so an 8-worker run serializes to exactly
+/// the bytes of a serial run.
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let ids = ["F1", "E3", "E6", "E10"]; // cheap representative subset
+    let serial = run_all_with(&RunOptions::new(true).jobs(1).filter(ids)).unwrap();
+    let parallel = run_all_with(&RunOptions::new(true).jobs(8).filter(ids)).unwrap();
+    let a = serde_json::to_string(&serial).unwrap();
+    let b = serde_json::to_string(&parallel).unwrap();
+    assert_eq!(a, b, "jobs=8 output diverged from jobs=1");
+}
+
+/// Every experiment id recorded in EXPERIMENTS.md must resolve in the
+/// registry, and vice versa — the docs and the code cannot drift.
+#[test]
+fn registry_matches_experiments_md() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md is readable");
+    let documented: Vec<&str> = md
+        .lines()
+        .filter_map(|l| l.strip_prefix("== ")?.split_whitespace().next())
+        .collect();
+    assert!(!documented.is_empty(), "no table headers found");
+    let registered: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+    for id in &documented {
+        assert!(
+            registered.contains(id),
+            "EXPERIMENTS.md documents {id} but the registry lacks it"
+        );
+    }
+    for id in &registered {
+        assert!(
+            documented.contains(id),
+            "registry has {id} but EXPERIMENTS.md does not document it"
+        );
+    }
+}
+
+/// A filter naming no real experiment yields no tables (rather than
+/// erroring or running everything).
+#[test]
+fn unknown_filter_selects_nothing() {
+    let tables = run_all_with(&RunOptions::new(true).filter(["Z9"])).unwrap();
+    assert!(tables.is_empty());
+}

@@ -264,7 +264,7 @@ fn line_locking_bounds_locked_capacity() {
     // The per-set lock bound keeps evictable ways available: currently
     // resident locks never reach the total capacity.
     let cfg = s.machine.config().cache;
-    let max_lockable = (cfg.sets * cfg.max_locked_ways) as usize;
+    let max_lockable = cfg.sets * cfg.max_locked_ways;
     assert!(
         s.machine.llc().locked_lines() <= max_lockable,
         "resident locks exceed the per-set bound"

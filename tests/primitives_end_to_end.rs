@@ -50,7 +50,7 @@ fn precise_vs_legacy_interrupts() {
         cfg.force_act_counters = true;
         let mut m = Machine::new(cfg).unwrap();
         let d = DomainId(1);
-        let arena = m.add_tenant(d, 4).unwrap();
+        m.add_tenant(d, 4).unwrap();
         // Reconfigure the counter block to the requested precision.
         m.configure_act_counters(ActCounterConfig {
             threshold: 50,

@@ -1,0 +1,742 @@
+//! Offline stand-in for `serde`, vendored into this workspace.
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. This crate provides the subset the workspace
+//! uses: `#[derive(Serialize, Deserialize)]` plus blanket impls for
+//! the standard types that appear in reports, traces, and tables. The
+//! data model is JSON-only (that is the only format the workspace
+//! serializes to, via the sibling `serde_json` stand-in).
+//!
+//! Numbers are carried as raw token strings end to end so `u64` values
+//! above 2^53 round-trip exactly (the workload property tests
+//! serialize traces holding arbitrary `u64` addresses).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Deserialization/serialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds a "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> Error {
+        Error(format!("expected {what} while deserializing {context}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its raw token so integer width is preserved.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a JSON string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The raw number token, if this is a JSON number.
+    pub fn as_num(&self) -> Option<&str> {
+        match self {
+            Value::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a JSON array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is a JSON object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serialization into a JSON string.
+///
+/// Unlike real serde this is not format-generic; the workspace only
+/// ever serializes to JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialization from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Decodes `Self` from `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `v` does not have the expected shape.
+    fn deserialize_json(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Appends `"key":` to `out` (derive helper).
+pub fn write_json_key(out: &mut String, key: &str) {
+    write_json_string(out, key);
+    out.push(':');
+}
+
+/// Appends a JSON string literal (escaped) to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Extracts field `name` from an object's members (derive helper).
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(
+    obj: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field `{name}` in {context}")))?;
+    T::deserialize_json(v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &Value) -> Result<Self, Error> {
+                v.as_num()
+                    .ok_or_else(|| Error::expected("number", stringify!($t)))?
+                    .parse::<$t>()
+                    .map_err(|e| Error(format!("bad {}: {e}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's shortest-round-trip Display is valid JSON
+                    // for finite values and parses back exactly.
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => v
+                        .as_num()
+                        .ok_or_else(|| Error::expected("number", stringify!($t)))?
+                        .parse::<$t>()
+                        .map_err(|e| Error(format!("bad {}: {e}", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+/// Real serde deserializes `&'de str` by borrowing from the input;
+/// this stand-in parses into an owned `Value` first, so borrowing is
+/// impossible. Structs in this workspace only use `&'static str` for
+/// interned display names, so leaking the handful of deserialized
+/// names is acceptable.
+impl Deserialize for &'static str {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| Error::expected("string", "&str"))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, &self.to_string());
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::deserialize_json)
+            .collect()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let a = v
+            .as_arr()
+            .ok_or_else(|| Error::expected("array", "tuple"))?;
+        if a.len() != 2 {
+            return Err(Error::expected("2-element array", "tuple"));
+        }
+        Ok((A::deserialize_json(&a[0])?, B::deserialize_json(&a[1])?))
+    }
+}
+
+/// Map keys: JSON object keys are strings, so keyed collections need a
+/// string round trip for their key type.
+pub trait MapKey: Sized {
+    /// Encodes the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Decodes the key from a JSON object key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on malformed keys.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|e| Error(format!("bad map key: {e}")))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_key(out, &k.to_key());
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_obj().ok_or_else(|| Error::expected("object", "map"))?;
+        let mut map = BTreeMap::new();
+        for (k, val) in obj {
+            map.insert(K::from_key(k)?, V::deserialize_json(val)?);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        // Sort keys so serialization is deterministic regardless of
+        // hash iteration order — the determinism suite compares
+        // serialized reports byte for byte.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        out.push('{');
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_key(out, &k.to_key());
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for HashMap<K, V, S>
+{
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_obj().ok_or_else(|| Error::expected("object", "map"))?;
+        let mut map = HashMap::with_capacity_and_hasher(obj.len(), S::default());
+        for (k, val) in obj {
+            map.insert(K::from_key(k)?, V::deserialize_json(val)?);
+        }
+        Ok(map)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON text parsing (used by the serde_json stand-in).
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input.
+pub fn parse_json(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing data at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error("unexpected end of input".into()));
+    };
+    match c {
+        b'n' => expect_lit(b, pos, "null").map(|()| Value::Null),
+        b't' => expect_lit(b, pos, "true").map(|()| Value::Bool(true)),
+        b'f' => expect_lit(b, pos, "false").map(|()| Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(Error(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(members));
+                    }
+                    _ => return Err(Error(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            Ok(Value::Num(
+                std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| Error("invalid utf8 in number".into()))?
+                    .to_string(),
+            ))
+        }
+        other => Err(Error(format!("unexpected byte {other:#x} at {pos}"))),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{lit}` at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected '\"' at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error("unterminated string".into()));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err(Error("unterminated escape".into()));
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("bad \\u escape".into()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                        *pos += 4;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| Error("bad codepoint".into()))?,
+                        );
+                    }
+                    other => return Err(Error(format!("bad escape \\{}", other as char))),
+                }
+            }
+            c => {
+                // Re-decode multi-byte UTF-8 sequences.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let start = *pos - 1;
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(start..start + width)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| Error("invalid utf8 in string".into()))?;
+                    out.push_str(chunk);
+                    *pos = start + width;
+                }
+            }
+        }
+    }
+}
+
+/// Renders a [`Value`] back to compact JSON.
+pub fn render_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(n),
+        Value::Str(s) => write_json_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_key(out, k);
+                render_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a [`Value`] as indented multi-line JSON.
+pub fn render_pretty(v: &Value, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                render_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_json_string(out, k);
+                out.push_str(": ");
+                render_pretty(val, out, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => render_compact(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"{"a":[1,2.5,null,true],"b":"x\"y","c":{"k":18446744073709551615}}"#;
+        let v = parse_json(src).unwrap();
+        let mut out = String::new();
+        render_compact(&v, &mut out);
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let v = parse_json("18446744073709551615").unwrap();
+        assert_eq!(u64::deserialize_json(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\n\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+        let back = parse_json(&out).unwrap();
+        assert_eq!(back.as_str().unwrap(), "a\"b\\c\n\u{1}");
+    }
+
+    #[test]
+    fn maps_sort_keys() {
+        let mut m: HashMap<u32, u64> = HashMap::new();
+        m.insert(10, 1);
+        m.insert(2, 2);
+        let mut out = String::new();
+        m.serialize_json(&mut out);
+        assert_eq!(out, r#"{"2":2,"10":1}"#);
+    }
+}

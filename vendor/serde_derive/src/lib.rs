@@ -1,0 +1,375 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` stand-in.
+//!
+//! `syn`/`quote` are unavailable in this offline environment, so the
+//! item is parsed directly from the `proc_macro::TokenStream` and the
+//! impl is emitted as source text. Supported shapes are exactly what
+//! the workspace uses: non-generic structs (named, tuple, unit) and
+//! enums whose variants are unit, tuple, or struct-like. The JSON
+//! encoding mirrors serde's externally-tagged defaults:
+//!
+//! - named struct        → `{"field": value, …}`
+//! - 1-field tuple struct → the inner value (newtype transparency)
+//! - n-field tuple struct → `[v0, …]`
+//! - unit enum variant   → `"Variant"`
+//! - newtype variant     → `{"Variant": value}`
+//! - tuple variant       → `{"Variant": [v0, …]}`
+//! - struct variant      → `{"Variant": {"field": value, …}}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one parsed item looks like.
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+/// Field shape of a struct or enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields: just how many.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => {
+            let body = serialize_fields_body(fields, "self", None);
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let mut body = String::new();
+                        body.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":\");"));
+                        if *n == 1 {
+                            body.push_str("serde::Serialize::serialize_json(f0, out);");
+                        } else {
+                            body.push_str("out.push('[');");
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    body.push_str("out.push(',');");
+                                }
+                                body.push_str(&format!(
+                                    "serde::Serialize::serialize_json({b}, out);"
+                                ));
+                            }
+                            body.push_str("out.push(']');");
+                        }
+                        body.push_str("out.push('}');");
+                        arms.push_str(&format!("{name}::{vname}({pat}) => {{ {body} }}\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut body = String::new();
+                        body.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":{{\");"));
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                body.push_str("out.push(',');");
+                            }
+                            body.push_str(&format!(
+                                "serde::write_json_key(out, \"{f}\");\
+                                 serde::Serialize::serialize_json({f}, out);"
+                            ));
+                        }
+                        body.push_str("out.push('}');out.push('}');");
+                        arms.push_str(&format!("{name}::{vname} {{ {pat} }} => {{ {body} }}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut ::std::string::String) {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize) generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => {
+            let body = deserialize_fields_expr(fields, name, name);
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize_json(v: &serde::Value) -> ::std::result::Result<{name}, serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"))
+                    }
+                    _ => {
+                        let ctor = format!("{name}::{vname}");
+                        let expr = deserialize_fields_expr(fields, &ctor, name);
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let v = inner; return {expr}; }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize_json(v: &serde::Value) -> ::std::result::Result<{name}, serde::Error> {{\n\
+                 if let Some(s) = v.as_str() {{ match s {{ {unit_arms} _ => {{}} }} }}\n\
+                 if let Some(obj) = v.as_obj() {{\n\
+                   if let [(tag, inner)] = obj {{\n\
+                     #[allow(unused_variables)]\n\
+                     match tag.as_str() {{ {payload_arms} _ => {{}} }}\n\
+                   }}\n\
+                 }}\n\
+                 Err(serde::Error::expected(\"variant of {name}\", \"{name}\"))\n\
+                 }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize) generated invalid code")
+}
+
+/// Emits the statements serializing `fields` of `recv` (a named struct
+/// receiver, i.e. `self`).
+fn serialize_fields_body(fields: &Fields, recv: &str, _variant: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "out.push_str(\"null\");".to_string(),
+        Fields::Tuple(1) => {
+            format!("serde::Serialize::serialize_json(&{recv}.0, out);")
+        }
+        Fields::Tuple(n) => {
+            let mut body = String::from("out.push('[');");
+            for i in 0..*n {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "serde::Serialize::serialize_json(&{recv}.{i}, out);"
+                ));
+            }
+            body.push_str("out.push(']');");
+            body
+        }
+        Fields::Named(names) => {
+            let mut body = String::from("out.push('{');");
+            for (i, f) in names.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');");
+                }
+                body.push_str(&format!(
+                    "serde::write_json_key(out, \"{f}\");\
+                     serde::Serialize::serialize_json(&{recv}.{f}, out);"
+                ));
+            }
+            body.push_str("out.push('}');");
+            body
+        }
+    }
+}
+
+/// Emits an expression of type `Result<T, serde::Error>` that decodes
+/// `fields` from the in-scope `v: &serde::Value`, constructing via
+/// `ctor` (`Type` or `Type::Variant`).
+fn deserialize_fields_expr(fields: &Fields, ctor: &str, context: &str) -> String {
+    match fields {
+        Fields::Unit => format!("Ok({ctor})"),
+        Fields::Tuple(1) => format!("Ok({ctor}(serde::Deserialize::deserialize_json(v)?))"),
+        Fields::Tuple(n) => {
+            let mut args = String::new();
+            for i in 0..*n {
+                if i > 0 {
+                    args.push_str(", ");
+                }
+                args.push_str(&format!("serde::Deserialize::deserialize_json(&arr[{i}])?"));
+            }
+            format!(
+                "{{ let arr = v.as_arr().ok_or_else(|| serde::Error::expected(\"array\", \"{context}\"))?;\n\
+                 if arr.len() != {n} {{ return Err(serde::Error::expected(\"{n}-element array\", \"{context}\")); }}\n\
+                 Ok({ctor}({args})) }}"
+            )
+        }
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for f in names {
+                inits.push_str(&format!(
+                    "{f}: serde::field(obj, \"{f}\", \"{context}\")?,\n"
+                ));
+            }
+            format!(
+                "{{ let obj = v.as_obj().ok_or_else(|| serde::Error::expected(\"object\", \"{context}\"))?;\n\
+                 Ok({ctor} {{ {inits} }}) }}"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            // Named: `{ … }`; tuple: `( … ) ;`; unit: `;`.
+            match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Item::Struct(name, Fields::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Item::Struct(name, Fields::Tuple(count_tuple_fields(g.stream())))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct(name, Fields::Unit),
+                other => panic!("serde derive: malformed struct `{name}`: {other:?}"),
+            }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: malformed enum `{name}`: {other:?}"),
+            };
+            Item::Enum(name, parse_variants(body))
+        }
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Advances `i` past any leading `#[…]` attributes and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[…]`.
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // Optional `(crate)` / `(super)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<…>` as
+/// nesting (groups are already atomic token trees).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses `name: Type, …` returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&part, &mut i);
+            match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .count()
+}
+
+/// Parses enum variants: `Name`, `Name(Ty, …)`, `Name { f: Ty, … }`,
+/// optionally with discriminants (`Name = 3`).
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let mut i = 0usize;
+            skip_attrs_and_vis(&part, &mut i);
+            let name = match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let fields = match part.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                // `= discriminant` or nothing: unit variant.
+                _ => Fields::Unit,
+            };
+            (name, fields)
+        })
+        .collect()
+}

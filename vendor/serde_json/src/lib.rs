@@ -1,0 +1,64 @@
+//! Offline stand-in for `serde_json` over the vendored `serde`.
+//!
+//! Provides the three entry points the workspace uses: [`to_string`],
+//! [`to_string_pretty`], and [`from_str`].
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+///
+/// Infallible in practice (kept `Result` for API compatibility).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to indented JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the compact encoding is not valid JSON (a bug
+/// in a hand-written `Serialize` impl).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let parsed = serde::parse_json(&compact)?;
+    let mut out = String::new();
+    serde::render_pretty(&parsed, &mut out, 0);
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::parse_json(s)?;
+    T::deserialize_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1u64, u64::MAX, 0];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, format!("[1,{},0]", u64::MAX));
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v = vec![vec![1u32], vec![2]];
+        let p = to_string_pretty(&v).unwrap();
+        assert!(p.contains('\n'));
+        let back: Vec<Vec<u32>> = from_str(&p).unwrap();
+        assert_eq!(back, v);
+    }
+}
