@@ -157,11 +157,20 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-fn parse_experiment_args(args: &[String]) -> RunOptions {
+/// Parsed `experiments` invocation: engine options plus CLI-only
+/// extras (where to write the benchmark JSON, if anywhere).
+#[derive(Debug)]
+struct ExperimentArgs {
+    opts: RunOptions,
+    bench_json: Option<std::path::PathBuf>,
+}
+
+fn parse_experiment_args(args: &[String]) -> std::result::Result<ExperimentArgs, String> {
     let mut full = false;
     let mut all = false;
     let mut jobs = default_jobs();
     let mut ids: Vec<String> = Vec::new();
+    let mut bench_json = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -170,47 +179,126 @@ fn parse_experiment_args(args: &[String]) -> RunOptions {
             "--all" => all = true,
             "--jobs" => {
                 i += 1;
-                jobs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--jobs needs a positive integer");
-                    std::process::exit(2);
-                });
+                jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or("--jobs needs a positive integer")?;
             }
             "--filter" => {
                 i += 1;
-                let list = args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--filter needs a comma-separated id list (e.g. T1,E2)");
-                    std::process::exit(2);
-                });
-                ids.extend(list.split(',').map(|s| s.trim().to_uppercase()));
+                let list = args
+                    .get(i)
+                    .ok_or("--filter needs a comma-separated id list (e.g. T1,E2)")?;
+                ids.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_uppercase),
+                );
+            }
+            "--bench-json" => {
+                i += 1;
+                let path = args.get(i).ok_or("--bench-json needs a file path")?;
+                bench_json = Some(std::path::PathBuf::from(path));
             }
             id if !id.starts_with("--") => ids.push(id.to_uppercase()),
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
+            other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
+    // An id that matches nothing in the registry is a hard error: a
+    // typo'd `--filter E12` must not silently run zero experiments.
+    let known: Vec<&str> = experiments::registry().iter().map(|e| e.id()).collect();
+    for id in &ids {
+        if !known.iter().any(|k| k.eq_ignore_ascii_case(id)) {
+            return Err(format!(
+                "unknown experiment id '{id}' (valid: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    // Duplicate / overlapping selections (`--filter T1,E2 T1`) collapse
+    // to a single run of each experiment.
+    let mut seen = std::collections::HashSet::new();
+    ids.retain(|id| seen.insert(id.clone()));
     let mut opts = RunOptions::new(!full).jobs(jobs);
     if !all && !ids.is_empty() {
         opts = opts.filter(ids);
     }
-    opts
+    Ok(ExperimentArgs { opts, bench_json })
 }
 
 fn cmd_experiments(args: &[String]) -> Result<()> {
-    let opts = parse_experiment_args(args);
+    let parsed = parse_experiment_args(args).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let cells_done = std::sync::atomic::AtomicU64::new(0);
     let progress = |p: &CellProgress<'_>| {
+        cells_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         eprintln!(
             "  [{:>3}/{}] {}/{} ({:.2?})",
             p.completed, p.total, p.experiment, p.label, p.elapsed
         );
     };
-    let tables = experiments::run_suite(&experiments::registry(), &opts, &progress)?;
-    for t in tables {
+    let started = std::time::Instant::now();
+    let cycles_before = hammertime::metrics::sim_cycles();
+    let tables = experiments::run_suite(&experiments::registry(), &parsed.opts, &progress)?;
+    let wall = started.elapsed();
+    let cycles = hammertime::metrics::sim_cycles() - cycles_before;
+    for t in &tables {
         println!("{t}");
     }
+    if let Some(path) = &parsed.bench_json {
+        let report = bench_report(
+            &tables,
+            cells_done.load(std::sync::atomic::Ordering::Relaxed),
+            parsed.opts.jobs,
+            wall,
+            cycles,
+        );
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| hammertime_common::Error::Config(format!("bench json: {e}")))?;
+        std::fs::write(path, json + "\n").map_err(|e| {
+            hammertime_common::Error::Config(format!("write {}: {e}", path.display()))
+        })?;
+        eprintln!("bench report written to {}", path.display());
+    }
     Ok(())
+}
+
+/// Throughput summary for `--bench-json`: how fast the suite ran, in
+/// the units the perf trajectory tracks (cells/sec, simulated
+/// cycles/sec).
+#[derive(Debug, serde::Serialize)]
+struct BenchReport {
+    experiments: Vec<String>,
+    jobs: u64,
+    cells: u64,
+    wall_seconds: f64,
+    cells_per_sec: f64,
+    sim_cycles: u64,
+    sim_cycles_per_sec: f64,
+}
+
+fn bench_report(
+    tables: &[experiments::ExpTable],
+    cells: u64,
+    jobs: usize,
+    wall: std::time::Duration,
+    cycles: u64,
+) -> BenchReport {
+    let secs = wall.as_secs_f64().max(1e-9);
+    BenchReport {
+        experiments: tables.iter().map(|t| t.id.clone()).collect(),
+        jobs: jobs as u64,
+        cells,
+        wall_seconds: secs,
+        cells_per_sec: cells as f64 / secs,
+        sim_cycles: cycles,
+        sim_cycles_per_sec: cycles as f64 / secs,
+    }
 }
 
 fn cmd_generations() -> Result<()> {
@@ -265,22 +353,77 @@ mod tests {
         assert_eq!(AttackSpec::parse("many:x"), None);
     }
 
+    fn parse(args: &[&str]) -> std::result::Result<ExperimentArgs, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_experiment_args(&args)
+    }
+
     #[test]
     fn experiment_args_parsing() {
-        let args: Vec<String> = ["--quick", "--jobs", "3", "--filter", "t1,e2", "E10"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let opts = parse_experiment_args(&args);
-        assert!(opts.quick);
-        assert_eq!(opts.jobs, 3);
+        let parsed = parse(&["--quick", "--jobs", "3", "--filter", "t1,e2", "E10"]).unwrap();
+        assert!(parsed.opts.quick);
+        assert_eq!(parsed.opts.jobs, 3);
         assert_eq!(
-            opts.filter.as_deref(),
+            parsed.opts.filter.as_deref(),
             Some(&["T1".to_string(), "E2".into(), "E10".into()][..])
         );
+        assert_eq!(parsed.bench_json, None);
         // --all overrides any id selection.
-        let args: Vec<String> = ["--all", "E1"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_experiment_args(&args).filter, None);
+        assert_eq!(parse(&["--all", "E1"]).unwrap().opts.filter, None);
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_filter_ids_collapse() {
+        // The same id via --filter, a bare id, and a second --filter
+        // must select the experiment exactly once.
+        let parsed = parse(&["--filter", "T1,E2,t1", "e2", "--filter", "T1"]).unwrap();
+        assert_eq!(
+            parsed.opts.filter.as_deref(),
+            Some(&["T1".to_string(), "E2".into()][..])
+        );
+        // Empty segments (trailing comma, double comma) are ignored.
+        let parsed = parse(&["--filter", "T1,,E2,"]).unwrap();
+        assert_eq!(
+            parsed.opts.filter.as_deref(),
+            Some(&["T1".to_string(), "E2".into()][..])
+        );
+    }
+
+    #[test]
+    fn jobs_zero_is_an_error() {
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(err.contains("positive integer"), "got: {err}");
+        // As are a missing and a non-numeric value.
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn unknown_experiment_ids_are_an_error() {
+        let err = parse(&["--filter", "T1,E99"]).unwrap_err();
+        assert!(err.contains("unknown experiment id 'E99'"), "got: {err}");
+        // The message lists the valid ids so the fix is self-evident.
+        assert!(err.contains("T1") && err.contains("E11"), "got: {err}");
+        // Bare ids get the same validation as --filter values.
+        assert!(parse(&["BOGUS"]).is_err());
+        // ...but --all does not mask a bad explicit id.
+        assert!(parse(&["--all", "BOGUS"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_missing_values_are_errors() {
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+        assert!(parse(&["--filter"]).is_err());
+        assert!(parse(&["--bench-json"]).is_err());
+    }
+
+    #[test]
+    fn bench_json_path_is_captured() {
+        let parsed = parse(&["--bench-json", "out/bench.json", "T1"]).unwrap();
+        assert_eq!(
+            parsed.bench_json.as_deref(),
+            Some(std::path::Path::new("out/bench.json"))
+        );
     }
 
     #[test]

@@ -529,6 +529,12 @@ impl Machine {
     /// Runs the machine for `cycles` cycles (stops early on platform
     /// lockup).
     pub fn run(&mut self, cycles: u64) {
+        let start = self.mc.now();
+        self.run_inner(cycles);
+        crate::metrics::credit_sim_cycles(self.mc.now().raw() - start.raw());
+    }
+
+    fn run_inner(&mut self, cycles: u64) {
         let end = self.mc.now() + cycles;
         if self.run_start.is_none() {
             self.run_start = Some(self.mc.now());

@@ -13,6 +13,27 @@ use hammertime_dram::DramStats;
 use hammertime_memctrl::McStats;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of simulated controller cycles, summed across
+/// every [`crate::machine::Machine`] on every thread.
+///
+/// [`crate::machine::Machine::run`] credits the cycles it advances;
+/// throughput harnesses (`--bench-json`, the `step_loop` bench) read
+/// the delta around a run to report simulated cycles per wall-second.
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Current process-wide simulated-cycle count (monotonic; take deltas).
+pub fn sim_cycles() -> u64 {
+    SIM_CYCLES.load(Ordering::Relaxed)
+}
+
+/// Credits `n` simulated cycles to the process-wide counter.
+pub(crate) fn credit_sim_cycles(n: u64) {
+    if n > 0 {
+        SIM_CYCLES.fetch_add(n, Ordering::Relaxed);
+    }
+}
 
 /// Security + performance + cost outcome of one simulation.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]

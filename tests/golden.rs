@@ -1,0 +1,99 @@
+//! Golden-snapshot suite: pins the rendered quick-mode output of every
+//! registry experiment, byte for byte.
+//!
+//! The snapshots in `tests/golden/<ID>.txt` were generated from the
+//! pre-fast-path scheduler and disturbance model, so any optimisation
+//! that changes a single output byte fails here. To accept an
+//! *intentional* behaviour change, regenerate and commit the diff:
+//!
+//! ```text
+//! HAMMERTIME_REGEN_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! The suite honours `HAMMERTIME_GOLDEN_JOBS=N` (worker threads;
+//! defaults to available parallelism). Output is byte-identical for
+//! any worker count, so CI exercises several values.
+
+use hammertime::experiments::{registry, run_all_with, RunOptions};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+fn jobs() -> usize {
+    match std::env::var("HAMMERTIME_GOLDEN_JOBS") {
+        Ok(v) => v
+            .parse()
+            .expect("HAMMERTIME_GOLDEN_JOBS must be a positive integer"),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+fn regen() -> bool {
+    std::env::var("HAMMERTIME_REGEN_GOLDEN").is_ok_and(|v| v == "1")
+}
+
+#[test]
+fn quick_mode_suite_matches_goldens() {
+    let tables = run_all_with(&RunOptions::new(true).jobs(jobs())).expect("suite runs");
+    assert_eq!(
+        tables.len(),
+        registry().len(),
+        "every registry experiment must produce a table"
+    );
+
+    let dir = golden_dir();
+    if regen() {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+
+    let mut known = BTreeSet::new();
+    for table in &tables {
+        let name = format!("{}.txt", table.id);
+        let path = dir.join(&name);
+        known.insert(name);
+        let rendered = table.to_string();
+        if regen() {
+            fs::write(&path, &rendered)
+                .unwrap_or_else(|e| panic!("write golden {}: {e}", path.display()));
+            continue;
+        }
+        let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {}: {e}\n\
+                 regenerate with: HAMMERTIME_REGEN_GOLDEN=1 cargo test --test golden",
+                path.display()
+            )
+        });
+        assert!(
+            rendered == want,
+            "{} diverged from its golden snapshot ({})\n\
+             --- golden ---\n{}--- actual ---\n{}\
+             if this change is intentional, regenerate with:\n\
+             HAMMERTIME_REGEN_GOLDEN=1 cargo test --test golden",
+            table.id,
+            path.display(),
+            want,
+            rendered,
+        );
+    }
+
+    // A renamed or removed experiment must not leave its stale
+    // snapshot behind to rot.
+    for entry in fs::read_dir(&dir).expect("read tests/golden") {
+        let name = entry
+            .expect("golden dir entry")
+            .file_name()
+            .into_string()
+            .expect("golden file names are utf-8");
+        assert!(
+            known.contains(&name),
+            "stray golden file tests/golden/{name} matches no registry experiment"
+        );
+    }
+}
