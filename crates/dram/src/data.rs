@@ -9,7 +9,7 @@
 //! detects exactly this).
 
 use hammertime_common::addr::CACHE_LINE_BYTES;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// Key addressing one row's backing store.
 pub type RowKey = (usize, u32);
@@ -34,12 +34,23 @@ pub enum EccOutcome {
 }
 
 /// Sparse backing store for row contents.
+///
+/// Poison is indexed per row so the hot read/write paths touch only
+/// the queried row's flipped bits, never the device-wide set: a
+/// defense that remaps thousands of pages while thousands of bits are
+/// poisoned pays O(bits in this row), not O(bits in the device), per
+/// line. Rows with no poisoned bits carry no entry, so the common
+/// clean read is one hash probe.
 #[derive(Debug, Default)]
 pub struct RowDataStore {
     row_bytes: usize,
     rows: HashMap<RowKey, Box<[u8]>>,
-    /// Bits flipped in rows (written or not): `(bank, row, bit)`.
-    poisoned: HashSet<(usize, u32, u64)>,
+    /// Bits flipped per row (written or not). Invariant: no empty
+    /// sets — a row key is present iff at least one bit is poisoned.
+    poisoned: HashMap<RowKey, BTreeSet<u64>>,
+    /// Total poisoned bits across all rows (kept in step with
+    /// `poisoned` so the metrics read is O(1)).
+    poisoned_total: usize,
 }
 
 impl RowDataStore {
@@ -49,7 +60,8 @@ impl RowDataStore {
         RowDataStore {
             row_bytes,
             rows: HashMap::new(),
-            poisoned: HashSet::new(),
+            poisoned: HashMap::new(),
+            poisoned_total: 0,
         }
     }
 
@@ -77,8 +89,16 @@ impl RowDataStore {
         // A write re-establishes the intended value of these bits.
         let lo = off as u64 * 8;
         let hi = lo + CACHE_LINE_BYTES * 8;
-        self.poisoned
-            .retain(|&(b, r, bit)| (b, r) != key || !(lo..hi).contains(&bit));
+        if let Some(bits) = self.poisoned.get_mut(&key) {
+            let healed: Vec<u64> = bits.range(lo..hi).copied().collect();
+            for bit in healed {
+                bits.remove(&bit);
+                self.poisoned_total -= 1;
+            }
+            if bits.is_empty() {
+                self.poisoned.remove(&key);
+            }
+        }
     }
 
     /// Reads one cache line of a row. Returns zeros for never-written
@@ -105,8 +125,15 @@ impl RowDataStore {
             row[bit as usize / 8] ^= 1 << (bit % 8);
         }
         // Poison set is a toggle: flipping the same bit twice restores it.
-        if !self.poisoned.remove(&(key.0, key.1, bit)) {
-            self.poisoned.insert((key.0, key.1, bit));
+        let bits = self.poisoned.entry(key).or_default();
+        if bits.remove(&bit) {
+            self.poisoned_total -= 1;
+            if bits.is_empty() {
+                self.poisoned.remove(&key);
+            }
+        } else {
+            bits.insert(bit);
+            self.poisoned_total += 1;
         }
     }
 
@@ -119,8 +146,8 @@ impl RowDataStore {
         let hi = lo + CACHE_LINE_BYTES * 8;
         // Group this line's poisoned bits by ECC word.
         let mut words: HashMap<u64, Vec<u64>> = HashMap::new();
-        for &(b, r, bit) in &self.poisoned {
-            if (b, r) == key && (lo..hi).contains(&bit) {
+        if let Some(bits) = self.poisoned.get(&key) {
+            for &bit in bits.range(lo..hi) {
                 let line_bit = bit - lo;
                 words
                     .entry(line_bit / ECC_WORD_BITS)
@@ -156,18 +183,18 @@ impl RowDataStore {
         let lo = col as u64 * CACHE_LINE_BYTES * 8;
         let hi = lo + CACHE_LINE_BYTES * 8;
         self.poisoned
-            .iter()
-            .any(|&(b, r, bit)| (b, r) == key && (lo..hi).contains(&bit))
+            .get(&key)
+            .is_some_and(|bits| bits.range(lo..hi).next().is_some())
     }
 
     /// Returns `true` if any bit of the row is poisoned.
     pub fn row_is_poisoned(&self, key: RowKey) -> bool {
-        self.poisoned.iter().any(|&(b, r, _)| (b, r) == key)
+        self.poisoned.contains_key(&key)
     }
 
     /// Total poisoned bits across the device (metrics).
     pub fn poisoned_bits(&self) -> usize {
-        self.poisoned.len()
+        self.poisoned_total
     }
 
     /// Number of materialized rows (memory accounting).
@@ -189,16 +216,11 @@ impl RowDataStore {
             }
         }
         // Poison travels with the data.
-        let moved: Vec<u64> = self
-            .poisoned
-            .iter()
-            .filter(|&&(b, r, _)| (b, r) == from)
-            .map(|&(_, _, bit)| bit)
-            .collect();
-        self.poisoned
-            .retain(|&(b, r, _)| (b, r) != to && (b, r) != from);
-        for bit in moved {
-            self.poisoned.insert((to.0, to.1, bit));
+        if let Some(old) = self.poisoned.remove(&to) {
+            self.poisoned_total -= old.len();
+        }
+        if let Some(bits) = self.poisoned.remove(&from) {
+            self.poisoned.insert(to, bits);
         }
     }
 }
