@@ -63,7 +63,7 @@ pub mod trr;
 
 pub use command::DdrCommand;
 pub use disturb::{DisturbanceProfile, FlipEvent};
-pub use module::{CommandOutcome, DramConfig, DramModule};
+pub use module::{BankTiming, CommandOutcome, DramConfig, DramModule};
 pub use stats::DramStats;
 pub use timing::TimingParams;
 pub use trr::{TrrConfig, TrrSamplerKind};

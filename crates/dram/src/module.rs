@@ -260,10 +260,8 @@ impl DramModule {
             DdrCommand::PreAll { channel, rank } => {
                 let r = self.rank_index(*channel, *rank);
                 let mut earliest = self.ranks[r].busy_until;
-                for (i, bank) in self.banks.iter().enumerate() {
-                    if self.bank_in_rank(i, *channel, *rank) {
-                        earliest = earliest.max(bank.earliest_pre());
-                    }
+                for i in self.bank_range(*channel, *rank) {
+                    earliest = earliest.max(self.banks[i].earliest_pre());
                 }
                 earliest
             }
@@ -275,13 +273,11 @@ impl DramModule {
             DdrCommand::Ref { channel, rank } => {
                 let r = self.rank_index(*channel, *rank);
                 let mut earliest = self.ranks[r].busy_until;
-                for (i, bank) in self.banks.iter().enumerate() {
-                    if self.bank_in_rank(i, *channel, *rank) {
-                        if bank.open_row().is_some() {
-                            return Cycle::MAX; // must PRE first
-                        }
-                        earliest = earliest.max(bank.earliest_act());
+                for i in self.bank_range(*channel, *rank) {
+                    if self.banks[i].open_row().is_some() {
+                        return Cycle::MAX; // must PRE first
                     }
+                    earliest = earliest.max(self.banks[i].earliest_act());
                 }
                 earliest
             }
@@ -296,17 +292,14 @@ impl DramModule {
         }
     }
 
-    fn bank_in_rank(&self, flat: usize, channel: u32, rank: u32) -> bool {
-        let g = &self.config.geometry;
-        let per_rank = g.banks_per_rank() as usize;
-        let rank_idx = flat / per_rank;
-        rank_idx == (channel * g.ranks + rank) as usize
-    }
-
-    fn banks_of_rank(&self, channel: u32, rank: u32) -> Vec<usize> {
-        (0..self.banks.len())
-            .filter(|&i| self.bank_in_rank(i, channel, rank))
-            .collect()
+    /// Flat-bank index range of one rank. Banks are laid out
+    /// rank-contiguously (`flat = rank_index * banks_per_rank + bank`),
+    /// so a rank's banks form one dense range — no per-bank membership
+    /// filtering needed on the REF/PRE-all paths.
+    fn bank_range(&self, channel: u32, rank: u32) -> std::ops::Range<usize> {
+        let per_rank = self.config.geometry.banks_per_rank() as usize;
+        let start = self.rank_index(channel, rank) * per_rank;
+        start..start + per_rank
     }
 
     /// Issues `cmd` at time `now`.
@@ -378,7 +371,7 @@ impl DramModule {
                 })
             }
             DdrCommand::PreAll { channel, rank } => {
-                for b in self.banks_of_rank(channel, rank) {
+                for b in self.bank_range(channel, rank) {
                     self.banks[b].pre(now, &t)?;
                 }
                 self.stats.pres += 1;
@@ -422,7 +415,7 @@ impl DramModule {
             DdrCommand::Ref { channel, rank } => {
                 let r = self.rank_index(channel, rank);
                 let done = now + t.t_rfc;
-                let banks = self.banks_of_rank(channel, rank);
+                let banks: Vec<usize> = self.bank_range(channel, rank).collect();
                 // Refresh the current group of internal rows in every bank.
                 let group = self.ranks[r].next_group;
                 let lo = group * self.rows_per_group;
@@ -593,6 +586,50 @@ impl DramModule {
             .open_row()
             .map(|internal| self.remaps[b].to_logical(internal))
     }
+
+    /// One-probe scheduler snapshot of a bank: the open row plus the
+    /// earliest legal cycle per command class, exactly as
+    /// [`DramModule::earliest`] would report them. The controller's
+    /// fast path takes one snapshot per bank per scheduling scan and
+    /// prices every queued request against it, instead of re-deriving
+    /// the same rank/bank constraints once per request.
+    pub fn bank_timing(&self, bank: &BankId) -> BankTiming {
+        let b = self.flat_bank(bank);
+        let r = self.rank_index(bank.channel, bank.rank);
+        let t = &self.config.timing;
+        let rank = &self.ranks[r];
+        BankTiming {
+            open_row: self.banks[b]
+                .open_row()
+                .map(|internal| self.remaps[b].to_logical(internal)),
+            act: self.banks[b]
+                .earliest_act()
+                .max(rank.earliest_act(bank.bank_group, t)),
+            act_local: self.banks[b].earliest_act().max(rank.busy_until),
+            pre: self.banks[b].earliest_pre().max(rank.busy_until),
+            rdwr: self.banks[b].earliest_rdwr().max(rank.busy_until),
+        }
+    }
+}
+
+/// Per-bank scheduler snapshot returned by [`DramModule::bank_timing`]:
+/// the earliest legal issue cycle for each command class a queued
+/// request can need next, with rank-level constraints already folded
+/// in. Values match [`DramModule::earliest`] for the same command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankTiming {
+    /// Open row in logical coordinates, if any.
+    pub open_row: Option<u32>,
+    /// Earliest ACT (bank FSM + rank tRRD/tFAW/tRFC); [`Cycle::MAX`]
+    /// while a row is open.
+    pub act: Cycle,
+    /// Earliest REF_NEIGHBORS (bank FSM + rank busy, no inter-ACT
+    /// spacing); [`Cycle::MAX`] while a row is open.
+    pub act_local: Cycle,
+    /// Earliest PRE.
+    pub pre: Cycle,
+    /// Earliest RD/WR; [`Cycle::MAX`] while precharged.
+    pub rdwr: Cycle,
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ use crate::request::{Completion, MemRequest, RequestKind};
 use crate::stats::McStats;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId, DramCoord, Error, Result};
-use hammertime_dram::{DdrCommand, DramConfig, DramModule, DramStats, FlipEvent};
+use hammertime_dram::{BankTiming, DdrCommand, DramConfig, DramModule, DramStats, FlipEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -127,6 +127,13 @@ enum CandidateKind {
     Request { index: usize, cmd: DdrCommand },
 }
 
+/// FR-FCFS comparison: earliest issue first, then priority class, then
+/// age. Strict, so equal tuples keep the earlier-scanned candidate —
+/// the tie rule both scheduler implementations must share.
+fn better(a: &Candidate, b: &Candidate) -> bool {
+    (a.issue_at, a.priority, a.seq) < (b.issue_at, b.priority, b.seq)
+}
+
 /// The integrated memory controller.
 #[derive(Debug)]
 pub struct MemCtrl {
@@ -147,6 +154,20 @@ pub struct MemCtrl {
     data_bus_free: Vec<Cycle>,
     /// Throttled (bank, row) pairs: no ACT before the stored cycle.
     throttle: HashMap<(usize, u32), Cycle>,
+    /// Per-bank ready queues: indices into `queue`, keyed by flat bank.
+    /// The fast scheduler prices each bank's requests against a single
+    /// timing snapshot instead of probing the device per request.
+    by_bank: Vec<Vec<usize>>,
+    /// Memoized result of the last scheduling scan. Between mutations
+    /// (submit/issue/complete/throttle) the candidate set is a pure
+    /// function of controller state, and the clock only ever parks
+    /// strictly before the cached winner's issue time — so the scan
+    /// result stays exact and repeated `step` calls across an idle
+    /// stretch cost O(1) instead of a full rescan.
+    sched_cache: Option<Option<Candidate>>,
+    /// Queue index of a `Refresh { auto_pre: false }` whose ACT has
+    /// issued; it completes on the next step, before any other command.
+    acted_refresh: Option<usize>,
     stats: McStats,
     seq: u64,
 }
@@ -199,6 +220,9 @@ impl MemCtrl {
             cmd_bus_free: vec![Cycle::ZERO; g.channels as usize],
             data_bus_free: vec![Cycle::ZERO; g.channels as usize],
             throttle: HashMap::new(),
+            by_bank: vec![Vec::new(); g.total_banks() as usize],
+            sched_cache: None,
+            acted_refresh: None,
             stats: McStats::default(),
             seq: 0,
             config,
@@ -232,6 +256,9 @@ impl MemCtrl {
 
     /// Mutable white-box access to the device's functional data path.
     pub fn dram_mut(&mut self) -> &mut DramModule {
+        // The caller may mutate device state behind the scheduler's
+        // back; drop the memoized scan.
+        self.sched_cache = None;
         &mut self.dram
     }
 
@@ -335,8 +362,11 @@ impl MemCtrl {
     fn push_pending(&mut self, req: MemRequest, coord: DramCoord, internal: bool) {
         let seq = self.seq;
         self.seq += 1;
+        let bank = BankId::of(&coord);
+        self.sched_cache = None;
+        self.by_bank[bank.flat(self.map.geometry())].push(self.queue.len());
         self.queue.push(Pending {
-            bank: BankId::of(&coord),
+            bank,
             req,
             seq,
             coord,
@@ -449,13 +479,50 @@ impl MemCtrl {
         self.now
     }
 
+    /// [`MemCtrl::advance_to`] driven by the reference scheduler
+    /// ([`MemCtrl::step_reference`]); differential tests and benches.
+    pub fn advance_to_reference(&mut self, target: Cycle) {
+        while self.step_reference(target) {}
+        if self.now < target {
+            self.now = target;
+        }
+    }
+
+    /// [`MemCtrl::run_while_busy`] driven by the reference scheduler.
+    pub fn run_while_busy_reference(&mut self, target: Cycle) -> Cycle {
+        while !self.queue.is_empty() {
+            if !self.step_reference(target) {
+                break;
+            }
+        }
+        if !self.queue.is_empty() && self.now < target {
+            self.now = target;
+        }
+        self.now
+    }
+
+    /// [`MemCtrl::drain`] driven by the reference scheduler.
+    pub fn drain_reference(&mut self) -> Cycle {
+        while !self.queue.is_empty() {
+            if !self.step_reference(Cycle::MAX) {
+                break;
+            }
+        }
+        self.now
+    }
+
     fn rank_index(&self, channel: u32, rank: u32) -> usize {
         (channel * self.map.geometry().ranks + rank) as usize
     }
 
     /// Computes the next command a pending request needs.
     fn next_cmd(&self, p: &Pending) -> Option<DdrCommand> {
-        let open = self.dram.open_row(&p.bank);
+        self.next_cmd_given(p, self.dram.open_row(&p.bank))
+    }
+
+    /// [`MemCtrl::next_cmd`] with the bank's open row supplied by the
+    /// caller (the fast path reuses one snapshot per bank).
+    fn next_cmd_given(&self, p: &Pending, open: Option<u32>) -> Option<DdrCommand> {
         match p.req.kind {
             RequestKind::Read | RequestKind::Write => {
                 let is_write = matches!(p.req.kind, RequestKind::Write);
@@ -511,19 +578,49 @@ impl MemCtrl {
     fn candidate_for(&self, index: usize) -> Option<Candidate> {
         let p = &self.queue[index];
         let cmd = self.next_cmd(p)?;
-        let t = self.map.geometry();
-        let _ = t;
-        let timing = self.dram.config().timing;
         let ch = cmd.channel() as usize;
-        let mut at = self
+        let at = self
             .dram
             .earliest(&cmd)
             .max(p.req.arrival)
             .max(self.cmd_bus_free[ch])
             .max(self.now);
+        self.finish_candidate(index, cmd, at)
+    }
+
+    /// [`MemCtrl::candidate_for`] with the device probe replaced by a
+    /// per-bank timing snapshot: `bt` carries the earliest legal cycle
+    /// of every command class for this request's bank, so pricing a
+    /// whole bank's ready queue costs one probe total.
+    fn candidate_from_snapshot(&self, index: usize, bt: &BankTiming) -> Option<Candidate> {
+        let p = &self.queue[index];
+        let cmd = self.next_cmd_given(p, bt.open_row)?;
+        let class_at = match cmd {
+            DdrCommand::Act { .. } => bt.act,
+            DdrCommand::Pre { .. } => bt.pre,
+            DdrCommand::Rd { .. } | DdrCommand::Wr { .. } => bt.rdwr,
+            DdrCommand::RefNeighbors { .. } => bt.act_local,
+            DdrCommand::PreAll { .. } | DdrCommand::Ref { .. } => {
+                unreachable!("requests never need rank-scope commands")
+            }
+        };
+        let ch = cmd.channel() as usize;
+        let at = class_at
+            .max(p.req.arrival)
+            .max(self.cmd_bus_free[ch])
+            .max(self.now);
+        self.finish_candidate(index, cmd, at)
+    }
+
+    /// Shared tail of candidate pricing: throttle blacklist, data-bus
+    /// occupancy, and priority class.
+    fn finish_candidate(&self, index: usize, cmd: DdrCommand, mut at: Cycle) -> Option<Candidate> {
         if at == Cycle::MAX {
             return None;
         }
+        let p = &self.queue[index];
+        let timing = self.dram.config().timing;
+        let ch = cmd.channel() as usize;
         // Throttle map: blacklisted ACTs wait.
         if let DdrCommand::Act { bank, row } = cmd {
             let g = self.map.geometry();
@@ -591,12 +688,110 @@ impl MemCtrl {
 
     /// Issues at most one command at or before `target`. Returns `true`
     /// if it made progress (issued, or resolved a throttle decision).
+    ///
+    /// Fast path: the winning candidate from the last scan is memoized,
+    /// so repeated calls across an idle stretch (quantum polling, the
+    /// gaps between refresh slots) cost O(1) until a command actually
+    /// issues. Scans themselves price requests bank-by-bank from one
+    /// timing snapshot each and prune candidates that provably cannot
+    /// beat the current best. Byte-identical to
+    /// [`MemCtrl::step_reference`] by construction; the differential
+    /// suite in `tests/differential.rs` enforces it.
     fn step(&mut self, target: Cycle) -> bool {
+        self.stats.sched_steps += 1;
+        // A refresh instruction without auto-precharge completes as
+        // soon as its ACT has issued, before any further command.
+        if let Some(index) = self.acted_refresh.take() {
+            self.complete(index, self.now);
+            return true;
+        }
+        let best = match self.sched_cache {
+            Some(cached) => cached,
+            None => {
+                let b = self.compute_best();
+                self.sched_cache = Some(b);
+                b
+            }
+        };
+        let Some(c) = best else {
+            return false;
+        };
+        if c.issue_at > target {
+            return false;
+        }
+        self.issue_candidate(c)
+    }
+
+    /// One full scheduling scan: the earliest actionable event across
+    /// the refresh schedulers and every per-bank ready queue.
+    fn compute_best(&self) -> Option<Candidate> {
         let g = *self.map.geometry();
         let mut best: Option<Candidate> = None;
-        let better = |a: &Candidate, b: &Candidate| {
-            (a.issue_at, a.priority, a.seq) < (b.issue_at, b.priority, b.seq)
-        };
+        // Refresh candidates first, in (channel, rank) order: equal
+        // tuples keep the earlier scan position, exactly as in the
+        // reference scan. `due.max(bus).max(now)` lower-bounds the full
+        // candidate, so ranks that cannot win (`>=`: ties lose to the
+        // earlier position) skip the device probe entirely.
+        for ch in 0..g.channels {
+            for rk in 0..g.ranks {
+                let due = self.next_ref[self.rank_index(ch, rk)];
+                if due == Cycle::MAX {
+                    continue;
+                }
+                let lb = due.max(self.cmd_bus_free[ch as usize]).max(self.now);
+                if best.as_ref().is_some_and(|b| lb >= b.issue_at) {
+                    continue;
+                }
+                if let Some(c) = self.refresh_candidate(ch, rk) {
+                    if best.as_ref().is_none_or(|b| better(&c, b)) {
+                        best = Some(c);
+                    }
+                }
+            }
+        }
+        // Queued requests, one bank at a time. Request tuples are
+        // unique (distinct seq) and can never exactly tie a refresh
+        // candidate (priority 0 vs >= 1), so bank visiting order cannot
+        // change the winner. Per-request pruning must be strict (`>`):
+        // an equal-time candidate can still win on priority.
+        for list in &self.by_bank {
+            let Some(&first) = list.first() else {
+                continue;
+            };
+            let bank_id = self.queue[first].bank;
+            let floor = self.cmd_bus_free[bank_id.channel as usize].max(self.now);
+            if best.as_ref().is_some_and(|b| floor > b.issue_at) {
+                continue;
+            }
+            let bt = self.dram.bank_timing(&bank_id);
+            for &i in list {
+                let lb = floor.max(self.queue[i].req.arrival);
+                if best.as_ref().is_some_and(|b| lb > b.issue_at) {
+                    continue;
+                }
+                let Some(c) = self.candidate_from_snapshot(i, &bt) else {
+                    debug_assert!(
+                        false,
+                        "un-priceable request outside the acted-refresh case"
+                    );
+                    continue;
+                };
+                if best.as_ref().is_none_or(|b| better(&c, b)) {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    /// The pre-optimization scheduler: one linear FR-FCFS scan over
+    /// every refresh scheduler and queued request, re-probing timing
+    /// legality per request per step. Kept verbatim as the differential
+    /// oracle for [`MemCtrl::step`] and as the benchmark baseline.
+    pub fn step_reference(&mut self, target: Cycle) -> bool {
+        self.stats.sched_steps += 1;
+        let g = *self.map.geometry();
+        let mut best: Option<Candidate> = None;
         for ch in 0..g.channels {
             for rk in 0..g.ranks {
                 if let Some(c) = self.refresh_candidate(ch, rk) {
@@ -632,6 +827,8 @@ impl MemCtrl {
     }
 
     fn issue_candidate(&mut self, c: Candidate) -> bool {
+        // Issuing mutates device, bus, clock, and mitigation state.
+        self.sched_cache = None;
         match c.kind {
             CandidateKind::RankRefresh {
                 channel,
@@ -675,7 +872,10 @@ impl MemCtrl {
                     }
                     ActAction::Delay(d) => {
                         self.stats.throttle_events += 1;
-                        self.throttle.insert((flat, row), at + d);
+                        // A zero-cycle delay would re-elect the same
+                        // candidate at the same time forever, spinning
+                        // `advance_to`; postpone by at least one cycle.
+                        self.throttle.insert((flat, row), at + d.max(1));
                         return true; // decision made; retry later
                     }
                 }
@@ -693,8 +893,13 @@ impl MemCtrl {
         match cmd {
             DdrCommand::Act { bank, row } => {
                 p.had_miss = true;
-                if matches!(p.req.kind, RequestKind::Refresh { .. }) {
+                if let RequestKind::Refresh { auto_pre } = p.req.kind {
                     p.phase = Phase::Acted;
+                    if !auto_pre {
+                        // Completes on the next step, before any other
+                        // command (see `step`).
+                        self.acted_refresh = Some(index);
+                    }
                 }
                 let is_demand = !p.req.kind.is_maintenance();
                 let line = p.req.line;
@@ -764,6 +969,32 @@ impl MemCtrl {
     }
 
     fn complete(&mut self, index: usize, done: Cycle) {
+        self.sched_cache = None;
+        let g = *self.map.geometry();
+        let last = self.queue.len() - 1;
+        // Keep the per-bank lists and the acted-refresh pointer in sync
+        // with the swap_remove below: `index` leaves, `last` moves to
+        // `index`.
+        let flat = self.queue[index].bank.flat(&g);
+        let list = &mut self.by_bank[flat];
+        let pos = list
+            .iter()
+            .position(|&i| i == index)
+            .expect("queued request tracked in its bank list");
+        list.swap_remove(pos);
+        if index != last {
+            let moved_flat = self.queue[last].bank.flat(&g);
+            for slot in &mut self.by_bank[moved_flat] {
+                if *slot == last {
+                    *slot = index;
+                }
+            }
+        }
+        match self.acted_refresh {
+            Some(i) if i == index => self.acted_refresh = None,
+            Some(i) if i == last => self.acted_refresh = Some(index),
+            _ => {}
+        }
         let p = self.queue.swap_remove(index);
         match p.req.kind {
             RequestKind::Read => {

@@ -26,6 +26,11 @@ pub struct McStats {
     pub throttle_events: u64,
     /// Requests rejected by the subarray-group domain check.
     pub domain_violations: u64,
+    /// Scheduler step invocations. Bounds the scheduling work a run
+    /// performed: an idle advance must cost O(refresh slots) steps,
+    /// not O(cycles) — the regression `idle_advance_steps_are_bounded`
+    /// pins this down.
+    pub sched_steps: u64,
 }
 
 impl McStats {
