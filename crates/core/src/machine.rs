@@ -194,6 +194,12 @@ pub struct Machine {
     /// Every interrupt the machine serviced (observability; drained
     /// via [`Machine::drain_interrupt_log`]).
     interrupt_log: Vec<hammertime_memctrl::ActInterrupt>,
+    /// Memoized [`Machine::frames_of_row`] results. The address map is
+    /// fixed for the machine's lifetime, so entries never invalidate;
+    /// the interrupt path asks about the same few victim rows on every
+    /// overflow and would otherwise redo O(columns) translations each
+    /// time.
+    frames_cache: std::cell::RefCell<std::collections::HashMap<(usize, u32), Vec<u64>>>,
     lockup: Option<String>,
     /// When the first [`Machine::run`] call began (`None` until then);
     /// lets callers distinguish warm-up work from the measured run.
@@ -321,6 +327,9 @@ impl Machine {
             remap: cfg.remap,
             seed: cfg.seed ^ 0xD12A,
             ecc: cfg.ecc,
+            // Machine runs demand byte-identical flip logs across
+            // schedulers and job counts; keep per-ACT accounting.
+            batched_pressure: false,
         };
         let mc_config = MemCtrlConfig {
             mapping,
@@ -384,6 +393,7 @@ impl Machine {
             flips: Vec::new(),
             remapped_this_window: std::collections::HashSet::new(),
             interrupt_log: Vec::new(),
+            frames_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
             lockup: None,
             run_start: None,
             cfg,
@@ -961,8 +971,14 @@ impl Machine {
 
     /// Every distinct page frame overlapping `(bank, row)` — the unit
     /// an isolation- or migration-based response must cover.
+    /// Memoized: the address map never changes, so each `(bank, row)`
+    /// is translated once.
     pub fn frames_of_row(&self, bank: &BankId, row: u32) -> Vec<u64> {
         let g = self.cfg.geometry;
+        let key = (bank.flat(&g), row);
+        if let Some(frames) = self.frames_cache.borrow().get(&key) {
+            return frames.clone();
+        }
         let mut frames: Vec<u64> = (0..g.columns)
             .filter_map(|col| {
                 let coord = hammertime_common::DramCoord {
@@ -978,6 +994,7 @@ impl Machine {
             .collect();
         frames.sort_unstable();
         frames.dedup();
+        self.frames_cache.borrow_mut().insert(key, frames.clone());
         frames
     }
 
@@ -1179,6 +1196,19 @@ mod tests {
             let bank = bank_from_flat(&g, flat);
             assert_eq!(bank.flat(&g), flat);
         }
+    }
+
+    #[test]
+    fn frames_of_row_memo_matches_fresh_translation() {
+        let m = Machine::new(MachineConfig::fast(DefenseKind::None, 1_000_000)).unwrap();
+        let g = m.cfg.geometry;
+        let bank = bank_from_flat(&g, 0);
+        let first = m.frames_of_row(&bank, 3);
+        assert!(!first.is_empty());
+        // Second call is served from the cache and must be identical.
+        assert_eq!(m.frames_of_row(&bank, 3), first);
+        // A different row misses the cache and translates on its own.
+        assert_ne!(m.frames_of_row(&bank, 4), first);
     }
 
     #[test]

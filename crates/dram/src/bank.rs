@@ -15,7 +15,7 @@
 //! *flip opportunities* its disturbance created so the module can
 //! sample actual bit flips.
 
-use crate::disturb::{DisturbanceProfile, VictimState};
+use crate::disturb::{DisturbanceProfile, PressureTable, VictimState};
 use crate::timing::TimingParams;
 use hammertime_common::{Cycle, Error, Result};
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,21 @@ pub struct Bank {
     ready_rdwr: Cycle,
     rows: Vec<RowState>,
     rows_per_subarray: u32,
+    profile: DisturbanceProfile,
+    /// Precomputed `w(d)` weights (bit-exact with
+    /// [`DisturbanceProfile::pressure_at`]).
+    weights: PressureTable,
+    /// Opt-in deferred disturbance accounting (see
+    /// `DramConfig::batched_pressure`): ACTs append to `pending` in
+    /// O(1) and victims are settled at the next flush boundary.
+    batched: bool,
+    /// Run-length log of ACTs whose disturbance is not yet applied
+    /// (batched mode): `(aggressor row, consecutive ACT count)` in
+    /// issue order, so a flush replays aggressor interleavings exactly.
+    pending: Vec<(u32, u64)>,
+    /// Disturbances produced by a flush, awaiting flip sampling by the
+    /// module: `(aggressor row, disturbance)`.
+    flushed: Vec<(u32, Disturbance)>,
     /// Row-buffer statistics.
     pub acts: u64,
     /// PRE count (including auto-precharges).
@@ -78,8 +93,17 @@ pub struct Bank {
 
 impl Bank {
     /// Creates an idle bank with `rows` rows organized in subarrays of
-    /// `rows_per_subarray`.
-    pub fn new(rows: u32, rows_per_subarray: u32) -> Bank {
+    /// `rows_per_subarray`, disturbed according to `profile`. With
+    /// `batched` the per-ACT victim walk is deferred to flush
+    /// boundaries (refresh or an explicit flush) — an opt-in
+    /// approximation that makes an N-ACT burst cost O(unique aggressor
+    /// runs) instead of O(N x blast diameter).
+    pub fn new(
+        rows: u32,
+        rows_per_subarray: u32,
+        profile: DisturbanceProfile,
+        batched: bool,
+    ) -> Bank {
         assert!(rows > 0 && rows_per_subarray > 0 && rows.is_multiple_of(rows_per_subarray));
         Bank {
             state: BankState::Idle,
@@ -88,6 +112,11 @@ impl Bank {
             ready_rdwr: Cycle::ZERO,
             rows: vec![RowState::default(); rows as usize],
             rows_per_subarray,
+            weights: PressureTable::new(&profile),
+            profile,
+            batched,
+            pending: Vec::new(),
+            flushed: Vec::new(),
             acts: 0,
             pres: 0,
         }
@@ -160,18 +189,16 @@ impl Bank {
     /// opportunities. The ACT also refreshes `row` itself (paper §2.1:
     /// "an ACT of a row also repairs the row as a side effect").
     ///
+    /// In batched mode the ACT is appended to the pending log instead
+    /// and the returned set is empty; victims settle at the next flush
+    /// boundary.
+    ///
     /// # Errors
     ///
     /// [`Error::Protocol`] if the bank is active; [`Error::Timing`] if
     /// `now` is before the earliest legal ACT; [`Error::Protocol`] if
     /// `row` is out of range.
-    pub fn act(
-        &mut self,
-        row: u32,
-        now: Cycle,
-        timing: &TimingParams,
-        profile: &DisturbanceProfile,
-    ) -> Result<Vec<Disturbance>> {
+    pub fn act(&mut self, row: u32, now: Cycle, timing: &TimingParams) -> Result<Vec<Disturbance>> {
         if row >= self.rows() {
             return Err(Error::Protocol(format!(
                 "ACT row {row} out of range ({} rows)",
@@ -201,6 +228,16 @@ impl Bank {
         self.ready_pre = now + timing.t_ras;
         self.acts += 1;
 
+        if self.batched {
+            // Defer the victim walk: extend the current run or open a
+            // new one. Per-row bookkeeping happens at flush, in order.
+            match self.pending.last_mut() {
+                Some((last, count)) if *last == row => *count += 1,
+                _ => self.pending.push((row, 1)),
+            }
+            return Ok(Vec::new());
+        }
+
         // The aggressor row itself is repaired by its own activation.
         let rs = &mut self.rows[row as usize];
         rs.victim.refresh(now);
@@ -211,10 +248,11 @@ impl Bank {
         // Subarrays are electromagnetically isolated (paper §4.1), so
         // pressure never crosses a subarray boundary — the physical
         // fact the isolation-centric primitive builds on.
+        let profile = self.profile;
         let (lo, hi) = self.subarray_bounds(row);
         let mut out = Vec::new();
         for d in 1..=profile.blast_radius {
-            let w = profile.pressure_at(d);
+            let w = self.weights.at(d);
             for victim in [row.checked_sub(d), row.checked_add(d)]
                 .into_iter()
                 .flatten()
@@ -222,7 +260,7 @@ impl Bank {
                 if victim < lo || victim > hi {
                     continue;
                 }
-                let fresh = self.rows[victim as usize].victim.add_pressure(w, profile);
+                let fresh = self.rows[victim as usize].victim.add_pressure(w, &profile);
                 if fresh > 0 {
                     out.push(Disturbance {
                         victim_row: victim,
@@ -232,6 +270,57 @@ impl Bank {
             }
         }
         Ok(out)
+    }
+
+    /// Settles the pending ACT log (batched mode): replays each
+    /// aggressor run in issue order, applying `count x w(d)` pressure
+    /// per victim, and queues the resulting disturbances for
+    /// [`Bank::take_flushed`]. A run's aggregated pressure equals the
+    /// per-ACT sum exactly for dyadic decays (0.5, 1.0) and to within
+    /// FP rounding otherwise; flip opportunities and row refreshes are
+    /// stamped with the flush time rather than each ACT's own cycle.
+    ///
+    /// No-op when the log is empty (always, in non-batched mode).
+    pub fn flush_disturbances(&mut self, now: Cycle) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let profile = self.profile;
+        let pending = std::mem::take(&mut self.pending);
+        for (row, count) in pending {
+            let rs = &mut self.rows[row as usize];
+            rs.victim.refresh(now);
+            rs.acts_since_refresh = rs.acts_since_refresh.saturating_add(count as u32);
+            rs.total_acts += count;
+            let (lo, hi) = self.subarray_bounds(row);
+            for d in 1..=profile.blast_radius {
+                let w = self.weights.at(d) * count as f64;
+                for victim in [row.checked_sub(d), row.checked_add(d)]
+                    .into_iter()
+                    .flatten()
+                {
+                    if victim < lo || victim > hi {
+                        continue;
+                    }
+                    let fresh = self.rows[victim as usize].victim.add_pressure(w, &profile);
+                    if fresh > 0 {
+                        self.flushed.push((
+                            row,
+                            Disturbance {
+                                victim_row: victim,
+                                opportunities: fresh,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes the disturbances produced by flushes since the last call,
+    /// as `(aggressor row, disturbance)` pairs awaiting flip sampling.
+    pub fn take_flushed(&mut self) -> Vec<(u32, Disturbance)> {
+        std::mem::take(&mut self.flushed)
     }
 
     /// Precharges the bank at `now`. PRE of an idle bank is a legal
@@ -352,6 +441,9 @@ impl Bank {
     ///
     /// Panics if `row` is out of range.
     pub fn refresh_row(&mut self, row: u32, now: Cycle) {
+        // Pending ACTs happened before this refresh: settle them first
+        // so their pressure lands (and can flip) before the reset.
+        self.flush_disturbances(now);
         let rs = &mut self.rows[row as usize];
         rs.victim.refresh(now);
         rs.acts_since_refresh = 0;
@@ -402,15 +494,15 @@ mod tests {
         }
     }
 
-    fn bank() -> Bank {
-        Bank::new(32, 16)
+    fn bank_with(profile: DisturbanceProfile) -> Bank {
+        Bank::new(32, 16, profile, false)
     }
 
     #[test]
     fn act_then_rd_respects_trcd() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(3, Cycle(0), &t, &p).unwrap();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(3, Cycle(0), &t).unwrap();
         assert_eq!(b.open_row(), Some(3));
         // Too early: tRCD = 4.
         assert!(matches!(
@@ -424,20 +516,17 @@ mod tests {
 
     #[test]
     fn act_while_active_is_protocol_error() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(1, Cycle(0), &t, &p).unwrap();
-        assert!(matches!(
-            b.act(2, Cycle(100), &t, &p),
-            Err(Error::Protocol(_))
-        ));
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(1, Cycle(0), &t).unwrap();
+        assert!(matches!(b.act(2, Cycle(100), &t), Err(Error::Protocol(_))));
         assert_eq!(b.earliest_act(), Cycle::MAX);
     }
 
     #[test]
     fn rd_wr_without_open_row_is_protocol_error() {
         let t = tp();
-        let mut b = bank();
+        let mut b = bank_with(profile(1000));
         assert!(matches!(
             b.rd(0, Cycle(0), false, &t),
             Err(Error::Protocol(_))
@@ -450,22 +539,22 @@ mod tests {
 
     #[test]
     fn pre_respects_tras_and_enables_act_after_trp() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(1, Cycle(0), &t, &p).unwrap();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(1, Cycle(0), &t).unwrap();
         // tRAS = 10: PRE at 9 illegal.
         assert!(matches!(b.pre(Cycle(9), &t), Err(Error::Timing(_))));
         b.pre(Cycle(10), &t).unwrap();
         // Next ACT: max(pre + tRP, act + tRC) = max(14, 14) = 14.
         assert_eq!(b.earliest_act(), Cycle(14));
-        assert!(matches!(b.act(2, Cycle(13), &t, &p), Err(Error::Timing(_))));
-        b.act(2, Cycle(14), &t, &p).unwrap();
+        assert!(matches!(b.act(2, Cycle(13), &t), Err(Error::Timing(_))));
+        b.act(2, Cycle(14), &t).unwrap();
     }
 
     #[test]
     fn pre_idle_bank_is_noop() {
         let t = tp();
-        let mut b = bank();
+        let mut b = bank_with(profile(1000));
         assert_eq!(b.earliest_pre(), Cycle::ZERO);
         b.pre(Cycle(0), &t).unwrap();
         assert_eq!(b.state(), BankState::Idle);
@@ -474,9 +563,9 @@ mod tests {
 
     #[test]
     fn read_pushes_out_pre_via_trtp() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(1, Cycle(0), &t, &p).unwrap();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(1, Cycle(0), &t).unwrap();
         // Read late so now + tRTP exceeds tRAS.
         b.rd(0, Cycle(9), false, &t).unwrap();
         // ready_pre = max(0+tRAS, 9+tRTP) = max(10, 12) = 12.
@@ -486,9 +575,9 @@ mod tests {
 
     #[test]
     fn write_recovery_delays_pre() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(1, Cycle(0), &t, &p).unwrap();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(1, Cycle(0), &t).unwrap();
         let (_, data_end) = b.wr(0, Cycle(4), false, &t).unwrap();
         assert_eq!(data_end, Cycle(4 + t.cwl + t.t_bl));
         let earliest = data_end + t.t_wr;
@@ -501,9 +590,9 @@ mod tests {
 
     #[test]
     fn auto_precharge_closes_bank() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(1, Cycle(0), &t, &p).unwrap();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(1, Cycle(0), &t).unwrap();
         b.rd(0, Cycle(4), true, &t).unwrap();
         assert_eq!(b.state(), BankState::Idle);
         // Auto-pre time = max(ready_pre) = max(tRAS=10, 4+tRTP=7) = 10;
@@ -513,14 +602,14 @@ mod tests {
 
     #[test]
     fn act_disturbs_neighbors_within_subarray_only() {
-        let (t, p) = (tp(), profile(2)); // MAC 2: flips fast
-        let mut b = bank();
+        let t = tp(); // MAC 2: flips fast
+        let mut b = bank_with(profile(2));
         // Row 15 is the last row of subarray 0 (rows 0..16); its +1 and
         // +2 neighbors (16, 17) are in subarray 1 and must be immune.
         let mut now = Cycle(0);
         let mut victims = std::collections::HashSet::new();
         for _ in 0..20 {
-            for d in b.act(15, now, &t, &p).unwrap() {
+            for d in b.act(15, now, &t).unwrap() {
                 victims.insert(d.victim_row);
             }
             now += t.t_ras;
@@ -535,28 +624,28 @@ mod tests {
 
     #[test]
     fn own_act_refreshes_row() {
-        let (t, p) = (tp(), profile(3));
-        let mut b = bank();
+        let t = tp();
+        let mut b = bank_with(profile(3));
         let mut now = Cycle(0);
         // Hammer row 5; row 6 accumulates pressure. Then activate row 6
         // itself: its pressure must clear.
         for _ in 0..3 {
-            b.act(5, now, &t, &p).unwrap();
+            b.act(5, now, &t).unwrap();
             now += t.t_ras;
             b.pre(now, &t).unwrap();
             now = b.earliest_act();
         }
         assert!(b.row_state(6).victim.pressure > 0.0);
-        b.act(6, now, &t, &p).unwrap();
+        b.act(6, now, &t).unwrap();
         assert_eq!(b.row_state(6).victim.pressure, 0.0);
         assert_eq!(b.row_state(6).acts_since_refresh, 1);
     }
 
     #[test]
     fn refresh_row_clears_counters() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
-        b.act(5, Cycle(0), &t, &p).unwrap();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
+        b.act(5, Cycle(0), &t).unwrap();
         b.pre(Cycle(10), &t).unwrap();
         assert_eq!(b.row_state(5).acts_since_refresh, 1);
         assert_eq!(b.row_state(5).total_acts, 1);
@@ -568,7 +657,7 @@ mod tests {
 
     #[test]
     fn neighbors_within_respects_subarray_and_edges() {
-        let b = bank();
+        let b = bank_with(profile(1000));
         assert_eq!(b.neighbors_within(0, 2), vec![1, 2]);
         let n15 = b.neighbors_within(15, 2);
         assert!(n15.contains(&14) && n15.contains(&13));
@@ -580,21 +669,21 @@ mod tests {
 
     #[test]
     fn block_until_delays_act() {
-        let (t, p) = (tp(), profile(1000));
-        let mut b = bank();
+        let t = tp();
+        let mut b = bank_with(profile(1000));
         b.block_until(Cycle(50));
-        assert!(matches!(b.act(0, Cycle(49), &t, &p), Err(Error::Timing(_))));
-        b.act(0, Cycle(50), &t, &p).unwrap();
+        assert!(matches!(b.act(0, Cycle(49), &t), Err(Error::Timing(_))));
+        b.act(0, Cycle(50), &t).unwrap();
     }
 
     #[test]
     fn sustained_hammer_crosses_mac() {
-        let (t, p) = (tp(), profile(10));
-        let mut b = bank();
+        let t = tp();
+        let mut b = bank_with(profile(10));
         let mut now = Cycle(0);
         let mut opportunities = 0;
         for _ in 0..30 {
-            for d in b.act(8, now, &t, &p).unwrap() {
+            for d in b.act(8, now, &t).unwrap() {
                 opportunities += d.opportunities;
             }
             now += t.t_ras;

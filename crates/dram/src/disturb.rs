@@ -176,6 +176,42 @@ impl Default for DisturbanceProfile {
     }
 }
 
+/// Precomputed per-distance pressure weights for one profile.
+///
+/// [`DisturbanceProfile::pressure_at`] recomputes `decay^(d-1)` on
+/// every call; the ACT hot loop evaluates it for every victim of every
+/// activation. The table holds the *identical* `powi` results computed
+/// once, so the fast path stays bit-exact with the formula.
+#[derive(Debug, Clone)]
+pub struct PressureTable {
+    weights: Vec<f64>,
+}
+
+impl PressureTable {
+    /// Tabulates weights for distances `1..=blast_radius`.
+    pub fn new(profile: &DisturbanceProfile) -> PressureTable {
+        PressureTable {
+            weights: (1..=profile.blast_radius)
+                .map(|d| profile.pressure_at(d))
+                .collect(),
+        }
+    }
+
+    /// Pressure at `distance` rows from the aggressor (0 outside the
+    /// blast radius), matching [`DisturbanceProfile::pressure_at`]
+    /// bit-for-bit.
+    #[inline]
+    pub fn at(&self, distance: u32) -> f64 {
+        if distance == 0 {
+            return 0.0;
+        }
+        self.weights
+            .get((distance - 1) as usize)
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
 /// Per-victim-row disturbance bookkeeping.
 ///
 /// Lives inside each bank's row-state table. `pressure` accumulates
@@ -286,6 +322,16 @@ mod tests {
         assert!(p.pressure_at(2) < p.pressure_at(1));
         assert!(p.pressure_at(p.blast_radius) > 0.0);
         assert_eq!(p.pressure_at(p.blast_radius + 1), 0.0);
+    }
+
+    #[test]
+    fn table_matches_formula_bit_for_bit() {
+        for (_, p) in DisturbanceProfile::generations() {
+            let table = PressureTable::new(&p);
+            for d in 0..=p.blast_radius + 2 {
+                assert_eq!(table.at(d).to_bits(), p.pressure_at(d).to_bits());
+            }
+        }
     }
 
     #[test]

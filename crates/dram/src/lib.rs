@@ -62,7 +62,7 @@ pub mod timing;
 pub mod trr;
 
 pub use command::DdrCommand;
-pub use disturb::{DisturbanceProfile, FlipEvent};
+pub use disturb::{DisturbanceProfile, FlipEvent, PressureTable};
 pub use module::{BankTiming, CommandOutcome, DramConfig, DramModule};
 pub use stats::DramStats;
 pub use timing::TimingParams;

@@ -18,7 +18,7 @@
 //! ([`DramModule::drain_flips`]); rows in those events are reported in
 //! logical coordinates, the only ones visible outside the device.
 
-use crate::bank::Bank;
+use crate::bank::{Bank, Disturbance};
 use crate::command::DdrCommand;
 use crate::data::{EccOutcome, RowDataStore};
 use crate::disturb::{DisturbanceProfile, FlipEvent};
@@ -59,6 +59,16 @@ pub struct DramConfig {
     pub seed: u64,
     /// ECC mode on the data path.
     pub ecc: EccMode,
+    /// Opt-in batched disturbance accounting: ACTs log `(aggressor,
+    /// count)` runs in O(1) and victims settle at flush boundaries
+    /// (refresh, RD/WR, [`DramModule::sync_disturbances`]), so an
+    /// N-ACT hammer burst costs O(unique aggressor runs) instead of
+    /// O(N x blast diameter). Aggregated pressure is bit-exact with
+    /// the per-ACT path for dyadic decays (0.5, 1.0) and within FP
+    /// rounding otherwise, but flip *timing* and RNG draw order differ
+    /// — leave this off (the default) whenever byte-identical output
+    /// matters.
+    pub batched_pressure: bool,
 }
 
 impl DramConfig {
@@ -79,6 +89,7 @@ impl DramConfig {
             remap: RemapConfig::identity(),
             seed: 42,
             ecc: EccMode::None,
+            batched_pressure: false,
         }
     }
 
@@ -178,7 +189,14 @@ impl DramModule {
         let mut remap_rng = rng.fork(0xEEAA);
         let total_banks = g.total_banks() as usize;
         let banks: Vec<Bank> = (0..total_banks)
-            .map(|_| Bank::new(g.rows_per_bank(), g.rows_per_subarray))
+            .map(|_| {
+                Bank::new(
+                    g.rows_per_bank(),
+                    g.rows_per_subarray,
+                    config.disturbance,
+                    config.batched_pressure,
+                )
+            })
             .collect();
         let remaps: Vec<RowRemap> = (0..total_banks)
             .map(|_| {
@@ -328,34 +346,14 @@ impl DramModule {
                     )));
                 }
                 let internal = self.remaps[b].to_internal(row);
-                let profile = self.config.disturbance;
-                let disturbances = self.banks[b].act(internal, now, &t, &profile)?;
+                let disturbances = self.banks[b].act(internal, now, &t)?;
                 self.ranks[r].record_act(now, bank.bank_group);
                 self.stats.acts += 1;
                 if let Some(trr) = &mut self.trr {
                     trr.observe_act(b, internal);
                 }
-                let mut flips_generated = 0;
-                let row_bits = self.config.geometry.row_bytes() * 8;
-                for d in disturbances {
-                    for _ in 0..d.opportunities {
-                        if self.rng.chance(profile.flip_prob) {
-                            let bit = self.rng.below(row_bits);
-                            self.data.flip_bit((b, d.victim_row), bit);
-                            self.stats.flips += 1;
-                            flips_generated += 1;
-                            self.flips.push(FlipEvent {
-                                time: now,
-                                flat_bank: b,
-                                victim_row: self.remaps[b].to_logical(d.victim_row),
-                                aggressor_row: row,
-                                bit,
-                                victim_domain: None,
-                                aggressor_domain: None,
-                            });
-                        }
-                    }
-                }
+                let pairs: Vec<_> = disturbances.into_iter().map(|d| (internal, d)).collect();
+                let flips_generated = self.sample_flips(b, now, pairs);
                 Ok(CommandOutcome {
                     done: now,
                     flips_generated,
@@ -389,6 +387,9 @@ impl DramModule {
                 if col >= self.config.geometry.columns {
                     return Err(Error::Protocol(format!("RD col {col} out of range")));
                 }
+                // A read observes data: settle deferred disturbance so
+                // its poison is in place before the burst.
+                self.settle_bank(b, now);
                 let (_, done) = self.banks[b].rd(col, now, auto_pre, &t)?;
                 self.stats.rds += 1;
                 Ok(CommandOutcome {
@@ -405,6 +406,7 @@ impl DramModule {
                 if col >= self.config.geometry.columns {
                     return Err(Error::Protocol(format!("WR col {col} out of range")));
                 }
+                self.settle_bank(b, now);
                 let (_, done) = self.banks[b].wr(col, now, auto_pre, &t)?;
                 self.stats.wrs += 1;
                 Ok(CommandOutcome {
@@ -421,6 +423,9 @@ impl DramModule {
                 let lo = group * self.rows_per_group;
                 let hi = (lo + self.rows_per_group).min(self.config.geometry.rows_per_bank());
                 for &b in &banks {
+                    // Pending ACTs precede this REF: settle (and flip)
+                    // before the covered rows reset.
+                    self.settle_bank(b, now);
                     for internal in lo..hi {
                         self.banks[b].refresh_row(internal, now);
                     }
@@ -459,6 +464,7 @@ impl DramModule {
                     return Err(Error::Protocol(format!("REFN row {row} out of range")));
                 }
                 let internal = self.remaps[b].to_internal(row);
+                self.settle_bank(b, now);
                 let victims = self.banks[b].neighbors_within(internal, radius);
                 // Each refreshed row costs one internal row cycle.
                 let done = now + t.t_rc * victims.len().max(1) as u64;
@@ -585,6 +591,61 @@ impl DramModule {
         self.banks[b]
             .open_row()
             .map(|internal| self.remaps[b].to_logical(internal))
+    }
+
+    /// Draws bit flips for a batch of disturbances in `(internal
+    /// aggressor row, disturbance)` form: one Bernoulli(`flip_prob`)
+    /// draw per opportunity, poisoning the data store and recording a
+    /// [`FlipEvent`] (logical coordinates) per flip.
+    fn sample_flips(&mut self, b: usize, now: Cycle, disturbances: Vec<(u32, Disturbance)>) -> u32 {
+        let profile = self.config.disturbance;
+        let row_bits = self.config.geometry.row_bytes() * 8;
+        let mut flips_generated = 0;
+        for (aggressor, d) in disturbances {
+            for _ in 0..d.opportunities {
+                if self.rng.chance(profile.flip_prob) {
+                    let bit = self.rng.below(row_bits);
+                    self.data.flip_bit((b, d.victim_row), bit);
+                    self.stats.flips += 1;
+                    flips_generated += 1;
+                    self.flips.push(FlipEvent {
+                        time: now,
+                        flat_bank: b,
+                        victim_row: self.remaps[b].to_logical(d.victim_row),
+                        aggressor_row: self.remaps[b].to_logical(aggressor),
+                        bit,
+                        victim_domain: None,
+                        aggressor_domain: None,
+                    });
+                }
+            }
+        }
+        flips_generated
+    }
+
+    /// Settles one bank's deferred disturbance (batched mode): flushes
+    /// its pending ACT log and samples flips for the result. No-op in
+    /// the default per-ACT mode.
+    fn settle_bank(&mut self, b: usize, now: Cycle) {
+        if !self.config.batched_pressure {
+            return;
+        }
+        self.banks[b].flush_disturbances(now);
+        let flushed = self.banks[b].take_flushed();
+        if !flushed.is_empty() {
+            self.sample_flips(b, now, flushed);
+        }
+    }
+
+    /// Settles deferred disturbance in every bank (batched mode): all
+    /// pending aggressor runs are applied and their flips sampled as
+    /// of `now`. Call before inspecting white-box state
+    /// ([`DramModule::row_pressure`], [`DramModule::drain_flips`],
+    /// data reads) when `batched_pressure` is on; a no-op otherwise.
+    pub fn sync_disturbances(&mut self, now: Cycle) {
+        for b in 0..self.banks.len() {
+            self.settle_bank(b, now);
+        }
     }
 
     /// One-probe scheduler snapshot of a bank: the open row plus the

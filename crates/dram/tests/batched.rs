@@ -1,0 +1,168 @@
+//! Differential tests for batched disturbance accounting.
+//!
+//! `DramConfig::batched_pressure` defers the per-ACT victim walk to
+//! flush boundaries. For dyadic distance decays (0.5, 1.0) a run's
+//! aggregated `count x w(d)` pressure is bit-exact with the per-ACT
+//! sum, so after a sync both modes must agree on every row's pressure,
+//! activation counters, and — with `flip_prob = 1.0`, where every
+//! opportunity flips — the per-victim flip counts. Only flip *timing*
+//! and bit positions (RNG draw order) may differ, which is why the
+//! mode is opt-in and off everywhere byte-identical output matters.
+
+use hammertime_common::geometry::BankId;
+use hammertime_common::{Cycle, DetRng, Geometry};
+use hammertime_dram::{DdrCommand, DramConfig, DramModule};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn bank0() -> BankId {
+    BankId {
+        channel: 0,
+        rank: 0,
+        bank_group: 0,
+        bank: 0,
+    }
+}
+
+fn config(mac: u64, decay: f64, batched: bool) -> DramConfig {
+    let mut cfg = DramConfig::test_config(mac);
+    cfg.disturbance.distance_decay = decay;
+    cfg.batched_pressure = batched;
+    cfg
+}
+
+/// Per-row `(pressure, acts_since_refresh, poisoned)` plus flips
+/// grouped per victim row and the total flip count.
+type DriveOutcome = (Vec<(f64, u32, u64)>, HashMap<u32, usize>, u64);
+
+/// Replays `ops` (ACT row / PRE / REF picks) through one module,
+/// returning final white-box state and flips grouped per victim row.
+fn drive(mut m: DramModule, ops: &[u8]) -> DriveOutcome {
+    let bank = bank0();
+    let mut now = Cycle::ZERO;
+    let mut rng = DetRng::new(9);
+    for &op in ops {
+        let cmd = match op % 8 {
+            7 => DdrCommand::Ref {
+                channel: 0,
+                rank: 0,
+            },
+            _ if m.open_row(&bank).is_some() => DdrCommand::Pre { bank },
+            _ => DdrCommand::Act {
+                bank,
+                row: (rng.below(16)) as u32,
+            },
+        };
+        now = now.max(m.earliest(&cmd));
+        if now == Cycle::MAX {
+            // REF with a row open: precharge instead.
+            let pre = DdrCommand::Pre { bank };
+            now = m.earliest(&pre);
+            m.issue(&pre, now).unwrap();
+            continue;
+        }
+        now = m.issue(&cmd, now).unwrap().done.max(now);
+    }
+    m.sync_disturbances(now);
+    let rows: Vec<(f64, u32, u64)> = (0..m.config().geometry.rows_per_bank())
+        .map(|r| {
+            (
+                m.row_pressure(&bank, r),
+                m.row_acts_since_refresh(&bank, r),
+                u64::from(m.row_is_poisoned(&bank, r)),
+            )
+        })
+        .collect();
+    let mut per_victim: HashMap<u32, usize> = HashMap::new();
+    for f in m.drain_flips() {
+        *per_victim.entry(f.victim_row).or_default() += 1;
+    }
+    let total = m.stats().flips;
+    (rows, per_victim, total)
+}
+
+proptest! {
+    /// For dyadic decays, batched and per-ACT accounting agree exactly
+    /// on pressure, activation counters, poisoned rows, and per-victim
+    /// flip counts after a sync.
+    #[test]
+    fn batched_pressure_matches_per_act(
+        ops in prop::collection::vec(any::<u8>(), 1..120),
+        mac in 4u64..40,
+        dyadic in any::<bool>(),
+    ) {
+        let decay = if dyadic { 0.5 } else { 1.0 };
+        let exact = drive(DramModule::new(config(mac, decay, false)).unwrap(), &ops);
+        let batched = drive(DramModule::new(config(mac, decay, true)).unwrap(), &ops);
+        // Pressure and counters: bit-exact.
+        for (i, (a, b)) in exact.0.iter().zip(batched.0.iter()).enumerate() {
+            prop_assert_eq!(a.0.to_bits(), b.0.to_bits(), "row {} pressure differs", i);
+            prop_assert_eq!(a.1, b.1, "row {} acts_since_refresh differs", i);
+            prop_assert_eq!(a.2, b.2, "row {} poison differs", i);
+        }
+        // flip_prob is 1.0 in test_config: every opportunity flips, so
+        // per-victim counts must match even though bit positions and
+        // timestamps may not.
+        prop_assert_eq!(&exact.1, &batched.1);
+        prop_assert_eq!(exact.2, batched.2);
+    }
+}
+
+/// A single-row hammer burst in batched mode costs O(1) log entries
+/// and still produces the same flip count as per-ACT accounting.
+#[test]
+fn batched_hammer_burst_flips_identically() {
+    let hammer = |batched: bool| {
+        let mut m = DramModule::new(config(20, 0.5, batched)).unwrap();
+        let bank = bank0();
+        let mut now = Cycle::ZERO;
+        for _ in 0..200 {
+            let act = DdrCommand::Act { bank, row: 8 };
+            now = now.max(m.earliest(&act));
+            m.issue(&act, now).unwrap();
+            let pre = DdrCommand::Pre { bank };
+            now = now.max(m.earliest(&pre));
+            m.issue(&pre, now).unwrap();
+        }
+        m.sync_disturbances(now);
+        m.stats().flips
+    };
+    let exact = hammer(false);
+    let fast = hammer(true);
+    assert!(exact > 0, "200 ACTs at MAC 20 must flip");
+    assert_eq!(exact, fast);
+}
+
+/// Batched mode with a REF-heavy schedule: flushes at refresh
+/// boundaries keep victim accounting aligned with the per-ACT path.
+#[test]
+fn batched_mode_respects_refresh_boundaries() {
+    let run = |batched: bool| {
+        let mut cfg = config(15, 0.5, batched);
+        cfg.geometry = Geometry::small_test();
+        let mut m = DramModule::new(cfg).unwrap();
+        let bank = bank0();
+        let mut now = Cycle::ZERO;
+        for burst in 0..12 {
+            for _ in 0..10 {
+                let act = DdrCommand::Act { bank, row: 4 };
+                now = now.max(m.earliest(&act));
+                m.issue(&act, now).unwrap();
+                let pre = DdrCommand::Pre { bank };
+                now = now.max(m.earliest(&pre));
+                m.issue(&pre, now).unwrap();
+            }
+            if burst % 3 == 2 {
+                let rf = DdrCommand::Ref {
+                    channel: 0,
+                    rank: 0,
+                };
+                now = now.max(m.earliest(&rf));
+                now = m.issue(&rf, now).unwrap().done;
+            }
+        }
+        m.sync_disturbances(now);
+        (m.row_pressure(&bank, 3).to_bits(), m.stats().flips)
+    };
+    assert_eq!(run(false), run(true));
+}

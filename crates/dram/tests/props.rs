@@ -86,8 +86,7 @@ proptest! {
     #[test]
     fn bank_earliest_is_always_legal(ops in prop::collection::vec(0u8..4, 1..80), seed in any::<u64>()) {
         let t = TimingParams::tiny_test();
-        let p = profile(1_000_000);
-        let mut bank = Bank::new(64, 16);
+        let mut bank = Bank::new(64, 16, profile(1_000_000), false);
         let mut rng = DetRng::new(seed);
         let mut now = Cycle::ZERO;
         for op in ops {
@@ -97,7 +96,7 @@ proptest! {
                     if at != Cycle::MAX {
                         now = now.max(at);
                         let row = rng.below(64) as u32;
-                        prop_assert!(bank.act(row, now, &t, &p).is_ok());
+                        prop_assert!(bank.act(row, now, &t).is_ok());
                     }
                 }
                 1 => {
