@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod step_loop;
+
 use hammertime::experiments::ExpTable;
 use std::fs;
 use std::path::PathBuf;

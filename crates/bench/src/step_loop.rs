@@ -1,0 +1,233 @@
+//! Shared step-loop benchmark scenarios.
+//!
+//! Both the criterion family (`benches/step_loop.rs`) and the
+//! `step_loop` runner binary (which seeds `BENCH_step_loop.json`)
+//! drive these exact workloads, so the numbers they report describe
+//! the same code paths: the memoized fast scheduler vs. the reference
+//! linear scan, and batched vs. per-ACT disturbance accounting.
+
+use hammertime_common::geometry::BankId;
+use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId, Geometry, RequestSource};
+use hammertime_dram::{DdrCommand, DramConfig, DramModule, TimingParams, TrrConfig};
+use hammertime_memctrl::request::{MemRequest, RequestKind};
+use hammertime_memctrl::{McMitigationConfig, MemCtrl, MemCtrlConfig, PagePolicy};
+
+/// Polling quantum for the idle scenario: mirrors how `Machine::run`
+/// nudges the controller forward in small time slices.
+pub const IDLE_QUANTUM: u64 = 200;
+
+/// Idle-heavy scenario: a server-geometry controller with refresh on
+/// and an empty queue, polled forward in [`IDLE_QUANTUM`]-cycle slices
+/// for `cycles` cycles. The fast path answers each poll from the
+/// memoized scan in O(1); the reference rescans every refresh
+/// scheduler per poll. Returns `sched_steps` so callers can assert
+/// both drivers took the same number of scheduling decisions.
+pub fn idle_poll(cycles: u64, fast: bool) -> u64 {
+    idle_poll_on(&mut idle_mc(), cycles, fast)
+}
+
+/// Builds the idle-scenario controller; separated from the poll loop
+/// so timed runs exclude construction (a server-geometry build
+/// allocates per-row state for 32 banks x 4096 rows).
+pub fn idle_mc() -> MemCtrl {
+    let mut dram_cfg = DramConfig::test_config(1_000_000);
+    dram_cfg.geometry = Geometry::server();
+    // Realistic refresh cadence: with tiny_test timing (tREFI = 100)
+    // every poll lands on a refresh slot and both drivers degenerate
+    // to the same scan-per-step; DDR4 spacing leaves genuinely idle
+    // stretches for the memoized scan to skip.
+    dram_cfg.timing = TimingParams::ddr4_2400();
+    MemCtrl::new(MemCtrlConfig::baseline(), dram_cfg, 42).unwrap()
+}
+
+/// The poll loop of [`idle_poll`], driving an already-built controller.
+pub fn idle_poll_on(mc: &mut MemCtrl, cycles: u64, fast: bool) -> u64 {
+    let end = mc.now().raw() + cycles;
+    let mut target = mc.now().raw();
+    while target < end {
+        target = (target + IDLE_QUANTUM).min(end);
+        if fast {
+            mc.advance_to(Cycle(target));
+        } else {
+            mc.advance_to_reference(Cycle(target));
+        }
+    }
+    mc.stats().sched_steps
+}
+
+/// Single-row hammer burst at the device level: `acts` ACT/PRE pairs
+/// on one aggressor, then a sync. With `batched` accounting the burst
+/// costs O(1) log entries; per-ACT walks the blast radius every time.
+/// Returns the flip count (identical across modes by construction).
+pub fn hammer_burst(acts: u32, batched: bool) -> u64 {
+    let mut cfg = DramConfig::test_config(1_000_000);
+    // A wide blast radius is where the batching matters: per-ACT
+    // accounting walks 2 x radius victims on every activation, the
+    // batched log walks them once per run at the sync.
+    cfg.disturbance.blast_radius = 6;
+    cfg.batched_pressure = batched;
+    let mut m = DramModule::new(cfg).unwrap();
+    let bank = BankId {
+        channel: 0,
+        rank: 0,
+        bank_group: 0,
+        bank: 0,
+    };
+    let mut now = Cycle::ZERO;
+    for _ in 0..acts {
+        let act = DdrCommand::Act { bank, row: 8 };
+        now = now.max(m.earliest(&act));
+        m.issue(&act, now).unwrap();
+        let pre = DdrCommand::Pre { bank };
+        now = now.max(m.earliest(&pre));
+        m.issue(&pre, now).unwrap();
+    }
+    m.sync_disturbances(now);
+    m.stats().flips
+}
+
+/// The T1 defense-matrix cell set at the controller level: one entry
+/// per hardware mitigation the paper's Table 1 compares (plus the
+/// in-DRAM TRR baseline, expressed through the device config).
+pub fn t1_defense_catalog() -> Vec<(&'static str, McMitigationConfig, bool)> {
+    vec![
+        ("none", McMitigationConfig::None, false),
+        ("trr", McMitigationConfig::None, true),
+        (
+            "para",
+            McMitigationConfig::Para {
+                prob: 0.3,
+                radius: 1,
+            },
+            false,
+        ),
+        (
+            "graphene",
+            McMitigationConfig::Graphene {
+                table_size: 4,
+                threshold: 12,
+                radius: 1,
+            },
+            false,
+        ),
+        (
+            "blockhammer",
+            McMitigationConfig::BlockHammer {
+                cbf_counters: 32,
+                hashes: 2,
+                threshold: 12,
+                delay: 60,
+                epoch: 20_000,
+            },
+            false,
+        ),
+        (
+            "twice_lite",
+            McMitigationConfig::TwiceLite {
+                table_size: 4,
+                threshold: 12,
+                radius: 1,
+                prune_interval: 10_000,
+            },
+            false,
+        ),
+    ]
+}
+
+/// Drives one T1-style cell: a double-sided hammer interleaved with
+/// scattered benign traffic and quantum polling, under the given
+/// mitigation. Returns `(final cycle, completions)` — identical for
+/// the fast and reference drivers, which is how the runner
+/// cross-checks itself before trusting the timings.
+pub fn drive_t1_cell(
+    mitigation: McMitigationConfig,
+    trr: bool,
+    fast: bool,
+    quick: bool,
+) -> (Cycle, usize) {
+    let mut cfg = MemCtrlConfig::baseline();
+    cfg.mitigation = mitigation;
+    cfg.page_policy = PagePolicy::Closed;
+    // Medium geometry with DDR4 timing: enough banks that the fast
+    // path's bank-level pruning has something to prune, and a
+    // realistic refresh cadence so the gaps between bursts are
+    // genuinely idle (tiny_test's tREFI = 100 would put a refresh in
+    // every poll and mask the memoized scan entirely).
+    let mut dram_cfg = DramConfig::test_config(24);
+    dram_cfg.geometry = Geometry::medium();
+    dram_cfg.timing = TimingParams::ddr4_2400();
+    if trr {
+        dram_cfg.trr = Some(TrrConfig::vendor_default());
+    }
+    let mut mc = MemCtrl::new(cfg, dram_cfg, 42).unwrap();
+    let total_lines = mc.map().geometry().total_lines();
+    let bursts = if quick { 24 } else { 96 };
+    let mut rng = DetRng::new(7);
+    let mut id = 0u64;
+    for _ in 0..bursts {
+        // A burst of demand: the double-sided hammer pair plus
+        // scattered benign traffic, like a machine quantum where the
+        // attacker and victims both run.
+        for i in 0..16u64 {
+            let line = if i % 4 == 3 {
+                CacheLineAddr(rng.below(total_lines))
+            } else {
+                CacheLineAddr((8 + 2 * (i % 2)) % total_lines)
+            };
+            let kind = if i % 5 == 0 {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            let _ = mc.submit(MemRequest {
+                id,
+                line,
+                kind,
+                source: RequestSource::Core(0),
+                domain: DomainId(1),
+                arrival: mc.now(),
+            });
+            id += 1;
+        }
+        // Then the machine's quantum polling: fixed 200-cycle slices,
+        // most of which find nothing to issue once the burst drains.
+        for _ in 0..40 {
+            let target = Cycle(mc.now().raw() + 200);
+            if fast {
+                mc.advance_to(target);
+            } else {
+                mc.advance_to_reference(target);
+            }
+        }
+    }
+    if fast {
+        mc.drain();
+    } else {
+        mc.drain_reference();
+    }
+    (mc.now(), mc.drain_completions().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_poll_drivers_agree_on_step_count() {
+        assert_eq!(idle_poll(20_000, true), idle_poll(20_000, false));
+    }
+
+    #[test]
+    fn hammer_burst_flip_counts_agree() {
+        assert_eq!(hammer_burst(500, false), hammer_burst(500, true));
+    }
+
+    #[test]
+    fn t1_cells_drivers_agree() {
+        for (name, mitigation, trr) in t1_defense_catalog() {
+            let fast = drive_t1_cell(mitigation, trr, true, true);
+            let reference = drive_t1_cell(mitigation, trr, false, true);
+            assert_eq!(fast, reference, "cell {name} diverged");
+        }
+    }
+}

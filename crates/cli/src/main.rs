@@ -412,7 +412,9 @@ mod tests {
 
     #[test]
     fn unknown_flags_and_missing_values_are_errors() {
-        assert!(parse(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
         assert!(parse(&["--filter"]).is_err());
         assert!(parse(&["--bench-json"]).is_err());
     }

@@ -770,10 +770,7 @@ impl MemCtrl {
                     continue;
                 }
                 let Some(c) = self.candidate_from_snapshot(i, &bt) else {
-                    debug_assert!(
-                        false,
-                        "un-priceable request outside the acted-refresh case"
-                    );
+                    debug_assert!(false, "un-priceable request outside the acted-refresh case");
                     continue;
                 };
                 if best.as_ref().is_none_or(|b| better(&c, b)) {

@@ -38,7 +38,11 @@ fn run_script(mut mc: MemCtrl, ops: &[Op], fast: bool) -> Observed {
     for (i, &(sel, line, gap)) in ops.iter().enumerate() {
         // Concentrate half the traffic on a handful of lines so row
         // conflicts, hammering, and mitigations actually trigger.
-        let space = if sel % 2 == 0 { total_lines.min(64) } else { total_lines };
+        let space = if sel % 2 == 0 {
+            total_lines.min(64)
+        } else {
+            total_lines
+        };
         let line = CacheLineAddr(line % space);
         let id = i as u64;
         let arrival = mc.now();
@@ -195,7 +199,10 @@ fn hammer_flips_match_reference() {
     .unwrap();
     let got = run_script(fast, &script, true);
     let want = run_script(reference, &script, false);
-    assert!(!want.flips.is_empty(), "hammer script must actually flip bits");
+    assert!(
+        !want.flips.is_empty(),
+        "hammer script must actually flip bits"
+    );
     assert_eq!(got, want);
 }
 
