@@ -6,6 +6,7 @@
 //! hammertime-cli attack --defense none            # run an attack scenario
 //! hammertime-cli attack --defense victim-refresh/instr --attack many:8
 //! hammertime-cli experiments [--all] [--full] [--jobs N] [--filter E1,E2]
+//!                            [--faults PLAN.json] [--step-budget N] [--strict]
 //! hammertime-cli generations                      # the E1 worsening sweep
 //! ```
 //!
@@ -14,6 +15,12 @@
 //! `--filter` (or bare ids) selects experiments, and per-cell progress
 //! lines go to stderr while the tables print to stdout in canonical
 //! order — byte-identical for any `--jobs` value.
+//!
+//! `--faults PLAN.json` injects a deterministic fault plan into every
+//! machine the suite builds (chaos mode); `--step-budget N` kills any
+//! cell whose machines advance more than N simulated cycles. Failed
+//! cells render as `!!` lines under their table and the run still
+//! exits 0 — pass `--strict` to exit nonzero when any cell failed.
 
 use hammertime::experiments::{self, CellProgress, RunOptions};
 use hammertime::machine::MachineConfig;
@@ -158,11 +165,12 @@ fn default_jobs() -> usize {
 }
 
 /// Parsed `experiments` invocation: engine options plus CLI-only
-/// extras (where to write the benchmark JSON, if anywhere).
+/// extras (bench-JSON path, strict exit semantics).
 #[derive(Debug)]
 struct ExperimentArgs {
     opts: RunOptions,
     bench_json: Option<std::path::PathBuf>,
+    strict: bool,
 }
 
 fn parse_experiment_args(args: &[String]) -> std::result::Result<ExperimentArgs, String> {
@@ -171,12 +179,34 @@ fn parse_experiment_args(args: &[String]) -> std::result::Result<ExperimentArgs,
     let mut jobs = default_jobs();
     let mut ids: Vec<String> = Vec::new();
     let mut bench_json = None;
+    let mut faults = None;
+    let mut step_budget = None;
+    let mut strict = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--full" => full = true,
             "--quick" => full = false,
             "--all" => all = true,
+            "--strict" => strict = true,
+            "--faults" => {
+                i += 1;
+                let path = args.get(i).ok_or("--faults needs a JSON plan file path")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("--faults: cannot read {path}: {e}"))?;
+                let plan: hammertime_common::FaultPlan = serde_json::from_str(&text)
+                    .map_err(|e| format!("--faults: {path} is not a valid fault plan: {e}"))?;
+                faults = Some(plan);
+            }
+            "--step-budget" => {
+                i += 1;
+                step_budget = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or("--step-budget needs a positive cycle count")?,
+                );
+            }
             "--jobs" => {
                 i += 1;
                 jobs = args
@@ -226,7 +256,13 @@ fn parse_experiment_args(args: &[String]) -> std::result::Result<ExperimentArgs,
     if !all && !ids.is_empty() {
         opts = opts.filter(ids);
     }
-    Ok(ExperimentArgs { opts, bench_json })
+    opts.faults = faults;
+    opts.step_budget = step_budget;
+    Ok(ExperimentArgs {
+        opts,
+        bench_json,
+        strict,
+    })
 }
 
 fn cmd_experiments(args: &[String]) -> Result<()> {
@@ -244,26 +280,35 @@ fn cmd_experiments(args: &[String]) -> Result<()> {
     };
     let started = std::time::Instant::now();
     let cycles_before = hammertime::metrics::sim_cycles();
-    let tables = experiments::run_suite(&experiments::registry(), &parsed.opts, &progress)?;
+    let report = experiments::run_suite(&experiments::registry(), &parsed.opts, &progress)?;
     let wall = started.elapsed();
     let cycles = hammertime::metrics::sim_cycles() - cycles_before;
-    for t in &tables {
+    for t in &report.tables {
         println!("{t}");
     }
     if let Some(path) = &parsed.bench_json {
-        let report = bench_report(
-            &tables,
+        let bench = bench_report(
+            &report.tables,
             cells_done.load(std::sync::atomic::Ordering::Relaxed),
             parsed.opts.jobs,
             wall,
             cycles,
         );
-        let json = serde_json::to_string_pretty(&report)
+        let json = serde_json::to_string_pretty(&bench)
             .map_err(|e| hammertime_common::Error::Config(format!("bench json: {e}")))?;
         std::fs::write(path, json + "\n").map_err(|e| {
             hammertime_common::Error::Config(format!("write {}: {e}", path.display()))
         })?;
         eprintln!("bench report written to {}", path.display());
+    }
+    let failed = report.failures().count();
+    if failed > 0 {
+        eprintln!("{failed} cell(s) failed; tables above are partial");
+        if parsed.strict {
+            return Err(hammertime_common::Error::Fault(format!(
+                "--strict: {failed} cell(s) failed"
+            )));
+        }
     }
     Ok(())
 }
@@ -315,6 +360,7 @@ fn usage() -> ! {
            hammertime-cli attack [--defense NAME] [--attack double|many:N|fuzzed:N|dma]\n\
                              [--accesses N] [--mac N] [--seed N] [--windows N]\n\
            hammertime-cli experiments [--all] [--full] [--jobs N] [--filter IDS] [IDS...]\n\
+                             [--faults PLAN.json] [--step-budget N] [--strict]\n\
            hammertime-cli generations"
     );
     std::process::exit(2);
@@ -417,6 +463,34 @@ mod tests {
             .contains("--frobnicate"));
         assert!(parse(&["--filter"]).is_err());
         assert!(parse(&["--bench-json"]).is_err());
+    }
+
+    #[test]
+    fn faults_strict_and_step_budget_parsing() {
+        let fixture = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/fixtures/chaos-plan.json"
+        );
+        let parsed = parse(&["--faults", fixture, "--strict", "--step-budget", "5000000"]).unwrap();
+        assert!(parsed.strict);
+        assert_eq!(parsed.opts.step_budget, Some(5_000_000));
+        let plan = parsed.opts.faults.expect("plan loaded");
+        assert_eq!(plan.seed, 3203334829);
+        assert!(!plan.is_inert());
+        // Defaults: no plan, no budget, not strict.
+        let plain = parse(&["T1"]).unwrap();
+        assert!(plain.opts.faults.is_none());
+        assert_eq!(plain.opts.step_budget, None);
+        assert!(!plain.strict);
+        // A missing file, a malformed plan, and a zero budget are
+        // errors at parse time, not at run time.
+        assert!(parse(&["--faults", "/no/such/plan.json"])
+            .unwrap_err()
+            .contains("cannot read"));
+        assert!(parse(&["--faults"]).is_err());
+        assert!(parse(&["--step-budget", "0"])
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

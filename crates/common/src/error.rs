@@ -36,6 +36,10 @@ pub enum Error {
     /// The simulated machine detected unrecoverable corruption and
     /// locked up (the enclave integrity-check DoS path, §4.4).
     MachineLockup(String),
+    /// An injected or detected hardware fault (a NACKed `refresh`
+    /// instruction, a wedged scheduler, a corrupted remap entry): the
+    /// component is degraded but the simulation itself is intact.
+    Fault(String),
 }
 
 impl Error {
@@ -48,7 +52,8 @@ impl Error {
             | Error::Translation(m)
             | Error::Exhausted(m)
             | Error::Privilege(m)
-            | Error::MachineLockup(m) => m,
+            | Error::MachineLockup(m)
+            | Error::Fault(m) => m,
         }
     }
 
@@ -62,6 +67,7 @@ impl Error {
             Error::Exhausted(_) => "exhausted",
             Error::Privilege(_) => "privilege",
             Error::MachineLockup(_) => "lockup",
+            Error::Fault(_) => "fault",
         }
     }
 }
@@ -96,6 +102,7 @@ mod tests {
             Error::Exhausted(String::new()),
             Error::Privilege(String::new()),
             Error::MachineLockup(String::new()),
+            Error::Fault(String::new()),
         ];
         let kinds: std::collections::HashSet<_> = variants.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), variants.len());

@@ -1,0 +1,448 @@
+//! Deterministic fault injection: a seeded, serializable description of
+//! *how* the modeled hardware misbehaves.
+//!
+//! The paper specifies its MC primitives as ideal — ACT-interrupts
+//! always fire, ACT_COUNT never sticks, the `refresh` instruction never
+//! NACKs — yet argues software defenses must survive imperfect,
+//! blackbox DRAM (§2.3's in-DRAM TRR is the cautionary tale). This
+//! module supplies the vocabulary for degrading that ideal hardware on
+//! purpose:
+//!
+//! - [`FaultPlan`]: a serializable bag of per-fault rates and
+//!   parameters, plus its own seed. Plans travel in configs and JSON
+//!   files (`--faults PATH`).
+//! - [`FaultKind`]: the taxonomy of injectable faults, one per hook
+//!   site in `dram`/`memctrl`.
+//! - [`FaultClock`]: the runtime side — one forked [`DetRng`] stream
+//!   per fault kind, so firing one fault never perturbs the draw
+//!   sequence of another, plus injection counters for reporting.
+//!
+//! # Determinism contract
+//!
+//! - **Absent plan ⇒ byte-identical.** Components hold an
+//!   `Option<FaultClock>`; with `None` no hook draws from any RNG and
+//!   the simulation is byte-identical to a build without the subsystem.
+//! - **Inert plan ⇒ byte-identical.** [`DetRng::chance`] returns
+//!   `false` for `p <= 0` *without advancing the stream*, so a plan
+//!   whose rates are all zero (see [`FaultPlan::is_inert`]) makes the
+//!   same decisions — and leaves every RNG in the same state — as no
+//!   plan at all.
+//! - **Plan + seed ⇒ identical run.** All randomness flows from
+//!   `plan.seed` through per-component salts and per-kind forks; the
+//!   wall clock, thread count, and iteration order of host-side maps
+//!   never participate.
+
+use crate::rng::DetRng;
+use serde::Serialize;
+
+/// The taxonomy of injectable hardware faults.
+///
+/// Each variant corresponds to one hook site in the `dram` or `memctrl`
+/// crate; the enum's discriminant doubles as the RNG-fork salt so the
+/// per-kind streams are stable across plan edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultKind {
+    /// A REF command is accepted (timing, cursor, busy accounting all
+    /// proceed) but restores no rows — the retention/disturbance state
+    /// the slot should have cleared survives.
+    DroppedRef = 0,
+    /// A REF command reports covering *two* cursor groups while
+    /// restoring only one: the skipped group silently loses a refresh
+    /// slot per wrap.
+    GhostRef = 1,
+    /// The in-DRAM TRR sampler fails to observe an ACT (the blackbox
+    /// sampler-miss TRRespass exploits).
+    TrrSamplerMiss = 2,
+    /// A row's per-refresh-window activation counter saturates at a
+    /// configured ceiling instead of counting accurately
+    /// ([`FaultPlan::disturb_saturation`]); frequency-centric defenses
+    /// reading it undercount hammering. Deterministic (a ceiling, not a
+    /// rate) — recorded via [`FaultClock::note`], never fired.
+    DisturbSaturation = 3,
+    /// An ACT-interrupt raised by the counter block is silently lost
+    /// before delivery to the kernel daemon.
+    DroppedActInterrupt = 4,
+    /// An ACT-interrupt is delivered [`FaultPlan::interrupt_delay`]
+    /// cycles late — the daemon acts on stale information.
+    DelayedActInterrupt = 5,
+    /// The ACT_COUNT register wedges: for the next
+    /// [`FaultPlan::stuck_window`] ACTs on the channel the counter
+    /// neither increments nor overflows.
+    StuckActCount = 6,
+    /// The host-privileged `refresh` instruction is NACKed by the
+    /// memory controller; the caller sees [`crate::Error::Fault`].
+    RefreshNack = 7,
+    /// A transient remap-table disturbance: one request's row lookup
+    /// returns a bit-flipped (but in-range) row before the table
+    /// self-corrects.
+    RemapCorruption = 8,
+}
+
+impl FaultKind {
+    /// Every fault kind, in discriminant order.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::DroppedRef,
+        FaultKind::GhostRef,
+        FaultKind::TrrSamplerMiss,
+        FaultKind::DisturbSaturation,
+        FaultKind::DroppedActInterrupt,
+        FaultKind::DelayedActInterrupt,
+        FaultKind::StuckActCount,
+        FaultKind::RefreshNack,
+        FaultKind::RemapCorruption,
+    ];
+
+    /// Short kebab-case name, for reports and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DroppedRef => "dropped-ref",
+            FaultKind::GhostRef => "ghost-ref",
+            FaultKind::TrrSamplerMiss => "trr-sampler-miss",
+            FaultKind::DisturbSaturation => "disturb-saturation",
+            FaultKind::DroppedActInterrupt => "dropped-act-interrupt",
+            FaultKind::DelayedActInterrupt => "delayed-act-interrupt",
+            FaultKind::StuckActCount => "stuck-act-count",
+            FaultKind::RefreshNack => "refresh-nack",
+            FaultKind::RemapCorruption => "remap-corruption",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A serializable description of how the hardware misbehaves.
+///
+/// Rates are per-opportunity probabilities in `[0, 1]` (a rate of 0
+/// disables that fault and draws nothing from its RNG stream);
+/// parameters tune the non-rate faults. The plan carries its own seed
+/// so `plan + seed ⇒ identical run` holds regardless of the machine
+/// seed it rides along with.
+///
+/// Deserialization treats every field as optional (missing ⇒ the
+/// [`Default`] value), so a JSON plan names only the faults it enables:
+///
+/// ```json
+/// { "seed": 7, "dropped_ref": 0.05, "trr_miss": 0.25 }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Root seed for all fault decisions.
+    pub seed: u64,
+    /// Probability a REF restores no rows ([`FaultKind::DroppedRef`]).
+    pub dropped_ref: f64,
+    /// Probability a REF skips an extra cursor group
+    /// ([`FaultKind::GhostRef`]).
+    pub ghost_ref: f64,
+    /// Probability the TRR sampler misses an ACT
+    /// ([`FaultKind::TrrSamplerMiss`]).
+    pub trr_miss: f64,
+    /// Probability an ACT-interrupt is lost
+    /// ([`FaultKind::DroppedActInterrupt`]).
+    pub dropped_interrupt: f64,
+    /// Probability an ACT-interrupt is delayed
+    /// ([`FaultKind::DelayedActInterrupt`]).
+    pub delayed_interrupt: f64,
+    /// Probability, per counter-block ACT, that the channel's ACT_COUNT
+    /// wedges for [`FaultPlan::stuck_window`] ACTs
+    /// ([`FaultKind::StuckActCount`]).
+    pub stuck_act_count: f64,
+    /// Probability a host `refresh` instruction is NACKed
+    /// ([`FaultKind::RefreshNack`]).
+    pub refresh_nack: f64,
+    /// Probability a request's remap lookup is transiently corrupted
+    /// ([`FaultKind::RemapCorruption`]).
+    pub remap_corrupt: f64,
+    /// Ceiling at which per-row activation counters saturate; 0
+    /// disables ([`FaultKind::DisturbSaturation`]).
+    pub disturb_saturation: u32,
+    /// How late a delayed ACT-interrupt is delivered, in cycles.
+    pub interrupt_delay: u64,
+    /// How many ACTs a stuck ACT_COUNT stays wedged for.
+    pub stuck_window: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            dropped_ref: 0.0,
+            ghost_ref: 0.0,
+            trr_miss: 0.0,
+            dropped_interrupt: 0.0,
+            delayed_interrupt: 0.0,
+            stuck_act_count: 0.0,
+            refresh_nack: 0.0,
+            remap_corrupt: 0.0,
+            disturb_saturation: 0,
+            interrupt_delay: 5_000,
+            stuck_window: 64,
+        }
+    }
+}
+
+// Hand-written so every field is optional with a default — the vendored
+// derive has no `#[serde(default)]`, and partial JSON plans are the
+// whole point of `--faults PATH`.
+impl serde::Deserialize for FaultPlan {
+    fn deserialize_json(v: &serde::Value) -> Result<FaultPlan, serde::Error> {
+        fn opt<T: serde::Deserialize>(
+            obj: &[(String, serde::Value)],
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match obj.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => T::deserialize_json(v),
+                None => Ok(default),
+            }
+        }
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::Error::expected("object", "FaultPlan"))?;
+        let d = FaultPlan::default();
+        Ok(FaultPlan {
+            seed: opt(obj, "seed", d.seed)?,
+            dropped_ref: opt(obj, "dropped_ref", d.dropped_ref)?,
+            ghost_ref: opt(obj, "ghost_ref", d.ghost_ref)?,
+            trr_miss: opt(obj, "trr_miss", d.trr_miss)?,
+            dropped_interrupt: opt(obj, "dropped_interrupt", d.dropped_interrupt)?,
+            delayed_interrupt: opt(obj, "delayed_interrupt", d.delayed_interrupt)?,
+            stuck_act_count: opt(obj, "stuck_act_count", d.stuck_act_count)?,
+            refresh_nack: opt(obj, "refresh_nack", d.refresh_nack)?,
+            remap_corrupt: opt(obj, "remap_corrupt", d.remap_corrupt)?,
+            disturb_saturation: opt(obj, "disturb_saturation", d.disturb_saturation)?,
+            interrupt_delay: opt(obj, "interrupt_delay", d.interrupt_delay)?,
+            stuck_window: opt(obj, "stuck_window", d.stuck_window)?,
+        })
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero, saturation off).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The per-opportunity rate for `kind`. Rate-less kinds
+    /// ([`FaultKind::DisturbSaturation`]) report 0 — they never `fire`.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::DroppedRef => self.dropped_ref,
+            FaultKind::GhostRef => self.ghost_ref,
+            FaultKind::TrrSamplerMiss => self.trr_miss,
+            FaultKind::DisturbSaturation => 0.0,
+            FaultKind::DroppedActInterrupt => self.dropped_interrupt,
+            FaultKind::DelayedActInterrupt => self.delayed_interrupt,
+            FaultKind::StuckActCount => self.stuck_act_count,
+            FaultKind::RefreshNack => self.refresh_nack,
+            FaultKind::RemapCorruption => self.remap_corrupt,
+        }
+    }
+
+    /// True when the plan can never inject anything: every rate is
+    /// `<= 0` and counter saturation is off. An inert plan is
+    /// behaviorally — and byte — identical to no plan (see the module
+    /// docs' determinism contract).
+    pub fn is_inert(&self) -> bool {
+        FaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0) && self.disturb_saturation == 0
+    }
+
+    /// Returns this plan with every rate multiplied by `intensity`
+    /// (clamped to `[0, 1]`); saturation stays untouched unless
+    /// `intensity` is 0, which disables it too. `scaled(0.0)` is inert;
+    /// `scaled(1.0)` is `self`. The F3 sweep's intensity axis.
+    pub fn scaled(&self, intensity: f64) -> FaultPlan {
+        let s = |r: f64| (r * intensity).clamp(0.0, 1.0);
+        FaultPlan {
+            seed: self.seed,
+            dropped_ref: s(self.dropped_ref),
+            ghost_ref: s(self.ghost_ref),
+            trr_miss: s(self.trr_miss),
+            dropped_interrupt: s(self.dropped_interrupt),
+            delayed_interrupt: s(self.delayed_interrupt),
+            stuck_act_count: s(self.stuck_act_count),
+            refresh_nack: s(self.refresh_nack),
+            remap_corrupt: s(self.remap_corrupt),
+            disturb_saturation: if intensity > 0.0 {
+                self.disturb_saturation
+            } else {
+                0
+            },
+            interrupt_delay: self.interrupt_delay,
+            stuck_window: self.stuck_window,
+        }
+    }
+}
+
+/// The runtime half of a [`FaultPlan`]: per-kind RNG streams plus
+/// injection counters.
+///
+/// Each component that injects faults holds its own clock, built with a
+/// component-distinct `salt` so the DRAM module's and the memory
+/// controller's decision streams never alias even under one plan.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    plan: FaultPlan,
+    rngs: [DetRng; FaultKind::ALL.len()],
+    injected: [u64; FaultKind::ALL.len()],
+}
+
+impl FaultClock {
+    /// Builds the clock for `plan` in the component identified by
+    /// `salt`.
+    pub fn new(plan: FaultPlan, salt: u64) -> FaultClock {
+        let mut root = DetRng::new(plan.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let rngs = FaultKind::ALL.map(|k| root.fork(k.index() as u64 + 1));
+        FaultClock {
+            plan,
+            rngs,
+            injected: [0; FaultKind::ALL.len()],
+        }
+    }
+
+    /// The plan this clock executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draws the injection decision for one opportunity of `kind`,
+    /// recording it when it fires. Zero-rate kinds return `false`
+    /// without advancing the stream.
+    pub fn fire(&mut self, kind: FaultKind) -> bool {
+        let hit = self.rngs[kind.index()].chance(self.plan.rate(kind));
+        if hit {
+            self.injected[kind.index()] += 1;
+        }
+        hit
+    }
+
+    /// Records a deterministic (rate-less) injection of `kind`, e.g.
+    /// each counter clamped by [`FaultKind::DisturbSaturation`].
+    pub fn note(&mut self, kind: FaultKind) {
+        self.injected[kind.index()] += 1;
+    }
+
+    /// How many times `kind` has been injected.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total injections across every kind.
+    pub fn total_injected(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(FaultPlan::none().is_inert());
+        assert!(FaultPlan::default().is_inert());
+    }
+
+    #[test]
+    fn scaled_zero_is_inert_and_one_is_identity() {
+        let plan = FaultPlan {
+            seed: 9,
+            dropped_ref: 0.5,
+            trr_miss: 0.2,
+            disturb_saturation: 8,
+            ..FaultPlan::default()
+        };
+        assert!(plan.scaled(0.0).is_inert());
+        assert_eq!(plan.scaled(1.0), plan);
+        let half = plan.scaled(0.5);
+        assert_eq!(half.dropped_ref, 0.25);
+        assert_eq!(half.disturb_saturation, 8);
+    }
+
+    #[test]
+    fn inert_clock_never_fires_and_never_draws() {
+        let mut c = FaultClock::new(FaultPlan::none(), 0xABCD);
+        for _ in 0..100 {
+            for k in FaultKind::ALL {
+                assert!(!c.fire(k));
+            }
+        }
+        assert_eq!(c.total_injected(), 0);
+        // The streams must be untouched: a fresh clock built from the
+        // same plan + salt makes the same next decision.
+        let mut fresh = FaultClock::new(FaultPlan::none(), 0xABCD);
+        let mut plan = FaultPlan::none();
+        plan.dropped_ref = 1.0;
+        let mut c2 = FaultClock::new(plan, 0xABCD);
+        assert!(c2.fire(FaultKind::DroppedRef));
+        assert!(!fresh.fire(FaultKind::DroppedRef));
+        assert!(!c.fire(FaultKind::DroppedRef));
+    }
+
+    #[test]
+    fn same_plan_and_salt_reproduce_decisions() {
+        let plan = FaultPlan {
+            seed: 1234,
+            dropped_ref: 0.3,
+            trr_miss: 0.7,
+            refresh_nack: 0.1,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultClock::new(plan, 0x11);
+        let mut b = FaultClock::new(plan, 0x11);
+        for i in 0..500 {
+            let k = FaultKind::ALL[i % FaultKind::ALL.len()];
+            assert_eq!(a.fire(k), b.fire(k));
+        }
+        assert_eq!(a.total_injected(), b.total_injected());
+        // A different salt yields a different decision stream.
+        let mut c = FaultClock::new(plan, 0x22);
+        let mut diverged = false;
+        let mut a2 = FaultClock::new(plan, 0x11);
+        for _ in 0..500 {
+            if a2.fire(FaultKind::TrrSamplerMiss) != c.fire(FaultKind::TrrSamplerMiss) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "salts must separate component streams");
+    }
+
+    #[test]
+    fn kinds_are_distinct_and_named() {
+        let names: std::collections::HashSet<_> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+        let idxs: std::collections::HashSet<_> = FaultKind::ALL.iter().map(|k| k.index()).collect();
+        assert_eq!(idxs.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn partial_json_plan_deserializes_with_defaults() {
+        let v = serde::parse_json(r#"{"seed": 7, "dropped_ref": 0.05, "trr_miss": 0.25}"#)
+            .expect("valid json");
+        let plan = <FaultPlan as serde::Deserialize>::deserialize_json(&v).expect("plan parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.dropped_ref, 0.05);
+        assert_eq!(plan.trr_miss, 0.25);
+        assert_eq!(plan.ghost_ref, 0.0);
+        assert_eq!(plan.interrupt_delay, FaultPlan::default().interrupt_delay);
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan {
+            seed: 42,
+            ghost_ref: 0.125,
+            remap_corrupt: 0.5,
+            disturb_saturation: 16,
+            stuck_window: 32,
+            ..FaultPlan::default()
+        };
+        let mut out = String::new();
+        plan.serialize_json(&mut out);
+        let v = serde::parse_json(&out).expect("serialized plan parses");
+        let back = <FaultPlan as serde::Deserialize>::deserialize_json(&v).expect("round trip");
+        assert_eq!(back, plan);
+    }
+}

@@ -9,6 +9,8 @@
 //! - [`domain`]: trust domains (ASIDs) and request sources (core vs. DMA).
 //! - [`rng`]: deterministic, seedable RNG so every simulation is
 //!   reproducible bit-for-bit.
+//! - [`fault`]: seeded, serializable fault-injection plans and the
+//!   per-component clocks that execute them.
 //! - [`energy`]: per-command energy constants for the energy proxy.
 //! - [`error`]: the shared error type.
 //!
@@ -22,6 +24,7 @@ pub mod addr;
 pub mod domain;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod rng;
 pub mod time;
@@ -29,6 +32,7 @@ pub mod time;
 pub use addr::{CacheLineAddr, PhysAddr, VirtAddr, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use domain::{DomainId, RequestSource};
 pub use error::{Error, Result};
+pub use fault::{FaultClock, FaultKind, FaultPlan};
 pub use geometry::{DramCoord, Geometry};
 pub use rng::DetRng;
 pub use time::Cycle;

@@ -1,6 +1,7 @@
 //! Shared fixtures: the fast machine scale and the canonical attack /
 //! benign scenario runners every experiment builds its cells from.
 
+use super::engine::CellCtx;
 use crate::machine::{Machine, MachineConfig};
 use crate::metrics::SimReport;
 use crate::scenario::{AttackTargeting, CloudScenario};
@@ -21,13 +22,25 @@ pub(crate) fn accesses(quick: bool) -> u64 {
 
 /// Runs one attack scenario: four tenants, `arm` installs the hammer,
 /// the victim reads its pages, and the machine runs a window budget.
+/// The context's fault plan (if any) is threaded into the machine.
 pub(crate) fn run_attack(
     defense: DefenseKind,
     mac: u64,
     arm: impl FnOnce(&mut CloudScenario) -> Result<AttackTargeting>,
+    ctx: CellCtx,
+) -> Result<SimReport> {
+    let mut cfg = MachineConfig::fast(defense, mac);
+    cfg.faults = ctx.faults;
+    run_attack_with(cfg, arm, ctx.quick)
+}
+
+/// Variant of [`run_attack`] that takes a pre-built config (used by F3
+/// to sweep its own fault plan).
+pub(crate) fn run_attack_with(
+    cfg: MachineConfig,
+    arm: impl FnOnce(&mut CloudScenario) -> Result<AttackTargeting>,
     quick: bool,
 ) -> Result<SimReport> {
-    let cfg = MachineConfig::fast(defense, mac);
     let mut s = CloudScenario::build_sized(cfg, 4)?;
     arm(&mut s)?;
     s.victim_reads(if quick { 100 } else { 400 })?;
@@ -38,8 +51,10 @@ pub(crate) fn run_attack(
 
 /// Runs the canonical three-tenant benign mix (stream, random,
 /// zipfian) to completion under `defense`.
-pub(crate) fn run_benign(defense: DefenseKind, mac: u64, quick: bool) -> Result<SimReport> {
-    run_benign_with(MachineConfig::fast(defense, mac), quick)
+pub(crate) fn run_benign(defense: DefenseKind, mac: u64, ctx: CellCtx) -> Result<SimReport> {
+    let mut cfg = MachineConfig::fast(defense, mac);
+    cfg.faults = ctx.faults;
+    run_benign_with(cfg, ctx.quick)
 }
 
 /// Variant of [`run_benign`] that takes a pre-built config (used by

@@ -3,7 +3,7 @@
 //! tractable runs; ratios preserved).
 
 use super::common::accesses;
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use crate::machine::MachineConfig;
 use crate::scenario::CloudScenario;
@@ -32,7 +32,9 @@ impl Experiment for E1 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         DisturbanceProfile::generations()
             .into_iter()
             .map(|(name, profile)| {
@@ -45,6 +47,7 @@ impl Experiment for E1 {
                         ..scaled
                     };
                     cfg.assumed_radius = scaled.blast_radius;
+                    cfg.faults = ctx.faults;
                     let mut s = CloudScenario::build_sized(cfg, 4)?;
                     s.arm_double_sided(accesses(quick))?;
                     s.run_windows(if quick { 40 } else { 150 });

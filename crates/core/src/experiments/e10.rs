@@ -3,7 +3,7 @@
 //! uncorrectable errors once the hammer runs long enough.
 
 use super::common::{accesses, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use crate::machine::MachineConfig;
 use crate::scenario::CloudScenario;
@@ -31,7 +31,9 @@ impl Experiment for E10 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         // Short: just past the MAC — isolated flips, the correctable
         // regime. Long: sustained hammer — multi-bit words accumulate.
         let short = FAST_MAC * 2;
@@ -42,6 +44,7 @@ impl Experiment for E10 {
                 cells.push(Cell::new(format!("{ecc:?} n={n}"), move || {
                     let mut cfg = MachineConfig::fast(DefenseKind::None, FAST_MAC);
                     cfg.ecc = ecc;
+                    cfg.faults = ctx.faults;
                     let mut s = CloudScenario::build_sized(cfg, 4)?;
                     s.arm_double_sided(n)?;
                     s.run_windows(if quick { 60 } else { 200 });

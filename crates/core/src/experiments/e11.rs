@@ -3,7 +3,7 @@
 //! row cycle but also slow the attacker's ACT stream.
 
 use super::common::{accesses, run_benign_with, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::table::fmt_f;
 use super::Experiment;
 use crate::machine::MachineConfig;
@@ -32,8 +32,10 @@ impl Experiment for E11 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
         use hammertime_memctrl::controller::PagePolicy;
+        let ctx = *ctx;
+        let quick = ctx.quick;
         let n = accesses(quick);
         [PagePolicy::Open, PagePolicy::Closed]
             .into_iter()
@@ -41,6 +43,7 @@ impl Experiment for E11 {
                 Cell::new(format!("{policy:?}"), move || {
                     let mut cfg = MachineConfig::fast(DefenseKind::None, FAST_MAC);
                     cfg.page_policy = policy;
+                    cfg.faults = ctx.faults;
                     let mut s = CloudScenario::build_sized(cfg, 4)?;
                     s.arm_double_sided(n)?;
                     s.run_windows(if quick { 40 } else { 150 });
@@ -48,6 +51,7 @@ impl Experiment for E11 {
 
                     let mut cfg = MachineConfig::fast(DefenseKind::None, FAST_MAC);
                     cfg.page_policy = policy;
+                    cfg.faults = ctx.faults;
                     let benign = run_benign_with(cfg, quick)?;
                     Ok(vec![vec![
                         format!("{policy:?}"),

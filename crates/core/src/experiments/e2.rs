@@ -3,7 +3,7 @@
 //! tracker covers the aggressors; bypass beyond.
 
 use super::common::{accesses, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use crate::machine::MachineConfig;
 use crate::scenario::CloudScenario;
@@ -24,7 +24,9 @@ impl Experiment for E2 {
         &["aggressors", "total flips", "xdom flips", "trr refreshes"]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         let counts: &[usize] = if quick {
             &[2, 6, 12]
         } else {
@@ -34,8 +36,9 @@ impl Experiment for E2 {
             .iter()
             .map(|&n_aggr| {
                 Cell::new(format!("aggressors={n_aggr}"), move || {
-                    let cfg =
+                    let mut cfg =
                         MachineConfig::fast(DefenseKind::InDramTrr { table_size: 4 }, FAST_MAC);
+                    cfg.faults = ctx.faults;
                     let mut s = CloudScenario::build_sized(cfg, 16)?;
                     s.arm_many_sided(n_aggr, accesses(quick) * 2)?;
                     s.run_windows(if quick { 80 } else { 300 });

@@ -2,7 +2,7 @@
 //! MC-counter-based defense against CPU and DMA hammers.
 
 use super::common::{accesses, run_attack, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use crate::taxonomy::DefenseKind;
 
@@ -21,8 +21,9 @@ impl Experiment for E3 {
         &["defense", "cpu attack", "dma attack", "defense refreshes"]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
-        let n = accesses(quick);
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let n = accesses(ctx.quick);
         [
             DefenseKind::None,
             DefenseKind::Anvil { miss_threshold: 2 },
@@ -31,8 +32,8 @@ impl Experiment for E3 {
         .into_iter()
         .map(|defense| {
             Cell::new(defense.name(), move || {
-                let cpu = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), quick)?;
-                let dma = run_attack(defense, FAST_MAC, |s| s.arm_dma(n), quick)?;
+                let cpu = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), ctx)?;
+                let dma = run_attack(defense, FAST_MAC, |s| s.arm_dma(n), ctx)?;
                 Ok(vec![vec![
                     defense.name().to_string(),
                     cpu.cross_flips_against(2).to_string(),

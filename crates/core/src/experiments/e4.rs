@@ -3,7 +3,7 @@
 //! randomized-reset countermeasure.
 
 use super::common::{accesses, run_attack, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use crate::machine::MachineConfig;
 use crate::scenario::CloudScenario;
@@ -30,7 +30,9 @@ impl Experiment for E4 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         let n = accesses(quick);
         let mut cells = Vec::new();
         // Straight hammers vs both defenses.
@@ -38,7 +40,7 @@ impl Experiment for E4 {
             cells.push(Cell::new(
                 format!("{} vs double-sided", defense.name()),
                 move || {
-                    let r = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), quick)?;
+                    let r = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), ctx)?;
                     Ok(vec![vec![
                         format!("{} vs double-sided", defense.name()),
                         r.cross_flips_against(2).to_string(),
@@ -61,6 +63,7 @@ impl Experiment for E4 {
                 use hammertime_workloads::HammerPattern;
                 let mut cfg = MachineConfig::fast(DefenseKind::VictimRefreshInstr, FAST_MAC);
                 cfg.randomize_counter_resets = randomize;
+                cfg.faults = ctx.faults;
                 let threshold = cfg.disturbance.mac / 8; // matches machine auto-threshold
                 let mut s = CloudScenario::build_sized(cfg, 4)?;
                 // Extra attacker pages so a decoy row exists far from

@@ -3,7 +3,7 @@
 //! blast-radius adaptability sweep.
 
 use super::common::{accesses, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::table::fmt_f;
 use super::Experiment;
 use crate::machine::MachineConfig;
@@ -32,7 +32,9 @@ impl Experiment for E5 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         let n = accesses(quick);
         let cases = [
             (DefenseKind::VictimRefreshInstr, 2u32),
@@ -48,6 +50,7 @@ impl Experiment for E5 {
                 Cell::new(format!("{} r{assumed}", defense.name()), move || {
                     let mut cfg = MachineConfig::fast(defense, FAST_MAC);
                     cfg.assumed_radius = assumed;
+                    cfg.faults = ctx.faults;
                     let mut s = CloudScenario::build_sized(cfg, 4)?;
                     s.arm_double_sided(n)?;
                     s.add_benign(BenignKind::Random, 2, n / 4)?;

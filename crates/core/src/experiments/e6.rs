@@ -4,7 +4,7 @@
 //! the number of rows that can reach the threshold within a refresh
 //! window.
 
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use hammertime_memctrl::mitigation::McMitigationConfig;
 
@@ -30,7 +30,8 @@ impl Experiment for E6 {
         ]
     }
 
-    fn cells(&self, _quick: bool) -> Vec<Cell> {
+    // Pure arithmetic — no machine, so faults cannot apply.
+    fn cells(&self, _ctx: &CellCtx) -> Vec<Cell> {
         let banks: u64 = 32;
         let rows_per_bank: u32 = 65_536;
         [139_000u64, 50_000, 16_000, 10_000, 4_800, 1_000]

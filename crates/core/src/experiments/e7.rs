@@ -1,7 +1,7 @@
 //! **E7** (§2.1/§4.1): inference of subarray boundaries and internal
 //! remaps from hammer-probe outcomes.
 
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::table::fmt_f;
 use super::Experiment;
 use crate::machine::{Machine, MachineConfig};
@@ -30,7 +30,9 @@ impl Experiment for E7 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         [0.0, 0.06]
             .into_iter()
             .map(|remap_fraction| {
@@ -41,6 +43,7 @@ impl Experiment for E7 {
                         remap_fraction,
                         within_subarray: true,
                     };
+                    cfg.faults = ctx.faults;
                     let mut m = Machine::new(cfg)?;
                     let g = m.config().geometry;
                     let bank = BankId {

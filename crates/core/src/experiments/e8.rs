@@ -3,7 +3,7 @@
 //! interrupts to stay safe.
 
 use super::common::accesses;
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use crate::machine::MachineConfig;
 use crate::scenario::CloudScenario;
@@ -31,7 +31,9 @@ impl Experiment for E8 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         let n = accesses(quick);
         let cases: [(&'static str, bool, AttackResponse, bool); 4] = [
             (
@@ -65,6 +67,7 @@ impl Experiment for E8 {
                     // orders of magnitude above).
                     let mut cfg = MachineConfig::fast(DefenseKind::None, 64);
                     cfg.force_act_counters = counters;
+                    cfg.faults = ctx.faults;
                     let mut s = CloudScenario::build_sized(cfg, 4)?;
                     let victim = s.victim;
                     s.machine.make_enclave(victim, checked, response);

@@ -2,7 +2,7 @@
 //! energy under every defense (no attack running).
 
 use super::common::{run_benign, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::table::fmt_f;
 use super::Experiment;
 use crate::taxonomy::DefenseKind;
@@ -29,12 +29,13 @@ impl Experiment for E9 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
         DefenseKind::catalog(FAST_MAC)
             .into_iter()
             .map(|defense| {
                 Cell::new(defense.name(), move || {
-                    let r = run_benign(defense, FAST_MAC, quick)?;
+                    let r = run_benign(defense, FAST_MAC, ctx)?;
                     Ok(vec![vec![
                         defense.name().to_string(),
                         fmt_f(r.throughput()),

@@ -9,15 +9,46 @@
 //! declaration order and each experiment's `reduce` assembles them in
 //! that order, which makes the output **byte-identical regardless of
 //! `--jobs`**.
+//!
+//! The runner degrades gracefully: a cell that returns `Err`, panics,
+//! or blows through its step budget becomes a structured
+//! [`CellFailure`] attached to its experiment's table while every
+//! sibling cell completes normally. A suite run therefore always
+//! produces a (possibly partial) [`SuiteReport`]; callers that need
+//! hard failure semantics check [`SuiteReport::has_failures`].
 
 use super::{ExpTable, Experiment};
-use hammertime_common::Result;
+use hammertime_common::{FaultPlan, Result};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The row fragments one cell contributes to its experiment's table.
 pub type CellRows = Vec<Vec<String>>;
+
+/// Per-run context handed to every experiment's cell builder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellCtx {
+    /// Quick scale (shrunk access counts, for tests).
+    pub quick: bool,
+    /// Machine-wide fault plan: experiments thread it into every
+    /// machine they build (`None` = healthy hardware). F3 ignores it
+    /// and sweeps its own canonical plan, so a degraded-hardware run
+    /// still reports against the fixed F3 baseline.
+    pub faults: Option<FaultPlan>,
+}
+
+impl CellCtx {
+    /// Context at the given scale, healthy hardware.
+    pub fn new(quick: bool) -> CellCtx {
+        CellCtx {
+            quick,
+            faults: None,
+        }
+    }
+}
 
 /// One independently runnable unit of an experiment's sweep.
 pub struct Cell {
@@ -56,7 +87,42 @@ impl std::fmt::Debug for Cell {
     }
 }
 
-/// How a suite run is scaled, parallelized, and filtered.
+/// Why a cell failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The cell returned `Err`.
+    Error,
+    /// The cell (or a substrate under it) panicked.
+    Panic,
+    /// The step-budget watchdog killed a runaway cell.
+    Timeout,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Error => "error",
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+        })
+    }
+}
+
+/// A structured record of one failed cell: the suite keeps running and
+/// the failure rides along in the owning experiment's table instead of
+/// aborting the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// The failing cell's label.
+    pub label: String,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable cause (error text, panic message, or the
+    /// exhausted budget).
+    pub message: String,
+}
+
+/// How a suite run is scaled, parallelized, filtered, and guarded.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Quick scale (shrunk access counts, for tests).
@@ -65,15 +131,26 @@ pub struct RunOptions {
     pub jobs: usize,
     /// If set, only experiments whose id matches (case-insensitive).
     pub filter: Option<Vec<String>>,
+    /// Machine-wide fault plan handed to every cell via
+    /// [`CellCtx::faults`] (`None` = healthy hardware).
+    pub faults: Option<FaultPlan>,
+    /// Per-cell budget of simulated machine cycles. A cell whose
+    /// machines advance past this budget is killed and recorded as a
+    /// [`FailureKind::Timeout`] failure; `None` disables the watchdog.
+    /// The budget counts machine cycles, not wall-clock time, so it is
+    /// deterministic across hosts and worker counts.
+    pub step_budget: Option<u64>,
 }
 
 impl RunOptions {
-    /// Serial, unfiltered run at the given scale.
+    /// Serial, unfiltered, unguarded run at the given scale.
     pub fn new(quick: bool) -> RunOptions {
         RunOptions {
             quick,
             jobs: 1,
             filter: None,
+            faults: None,
+            step_budget: None,
         }
     }
 
@@ -91,10 +168,102 @@ impl RunOptions {
         self
     }
 
+    /// Injects a machine-wide fault plan into every cell.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> RunOptions {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arms the per-cell step-budget watchdog.
+    #[must_use]
+    pub fn step_budget(mut self, cycles: u64) -> RunOptions {
+        self.step_budget = Some(cycles);
+        self
+    }
+
     fn selects(&self, id: &str) -> bool {
         match &self.filter {
             None => true,
             Some(ids) => ids.iter().any(|f| f.eq_ignore_ascii_case(id)),
+        }
+    }
+
+    fn ctx(&self) -> CellCtx {
+        CellCtx {
+            quick: self.quick,
+            faults: self.faults,
+        }
+    }
+}
+
+thread_local! {
+    /// `(remaining, total)` step budget of the cell currently running
+    /// on this worker thread; `None` disarms the watchdog.
+    static STEP_BUDGET: std::cell::Cell<Option<(u64, u64)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Panic payload distinguishing a watchdog kill from a genuine panic.
+struct StepBudgetExceeded {
+    budget: u64,
+}
+
+fn arm_step_budget(budget: Option<u64>) {
+    STEP_BUDGET.with(|b| b.set(budget.map(|n| (n, n))));
+}
+
+/// Charges simulated progress against the ambient cell's step budget;
+/// a no-op outside a budgeted suite run. Called from the machine's
+/// step loop. Charges at least one unit per call so a loop that stops
+/// making forward progress still exhausts its budget eventually.
+pub(crate) fn charge_step_budget(cycles: u64) {
+    STEP_BUDGET.with(|b| {
+        let Some((remaining, total)) = b.get() else {
+            return;
+        };
+        match remaining.checked_sub(cycles.max(1)) {
+            Some(left) => b.set(Some((left, total))),
+            None => {
+                b.set(None);
+                std::panic::panic_any(StepBudgetExceeded { budget: total });
+            }
+        }
+    });
+}
+
+/// Runs one cell under the watchdog and the panic boundary, converting
+/// every failure mode into a structured [`CellFailure`].
+fn run_guarded(cell: Cell, budget: Option<u64>) -> std::result::Result<CellRows, CellFailure> {
+    let label = cell.label.clone();
+    arm_step_budget(budget);
+    let out = catch_unwind(AssertUnwindSafe(|| cell.run()));
+    arm_step_budget(None);
+    match out {
+        Ok(Ok(rows)) => Ok(rows),
+        Ok(Err(e)) => Err(CellFailure {
+            label,
+            kind: FailureKind::Error,
+            message: e.to_string(),
+        }),
+        Err(payload) => {
+            let (kind, message) = if let Some(t) = payload.downcast_ref::<StepBudgetExceeded>() {
+                (
+                    FailureKind::Timeout,
+                    format!("exceeded the step budget of {} machine cycles", t.budget),
+                )
+            } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (FailureKind::Panic, (*s).to_string())
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                (FailureKind::Panic, s.clone())
+            } else {
+                (FailureKind::Panic, "non-string panic payload".to_string())
+            };
+            Err(CellFailure {
+                label,
+                kind,
+                message,
+            })
         }
     }
 }
@@ -118,16 +287,42 @@ pub struct CellProgress<'a> {
 /// Progress callback that reports nothing.
 pub fn silent(_: &CellProgress<'_>) {}
 
+/// Everything a suite run produced: one table per selected experiment,
+/// in canonical registry order, each carrying the structured failures
+/// of any cell that did not complete.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// The rendered tables, in canonical registry order.
+    pub tables: Vec<ExpTable>,
+}
+
+impl SuiteReport {
+    /// Every failure across the suite, paired with its experiment id.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &CellFailure)> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.failures.iter().map(move |f| (t.id.as_str(), f)))
+    }
+
+    /// `true` when at least one cell failed.
+    pub fn has_failures(&self) -> bool {
+        self.tables.iter().any(|t| !t.failures.is_empty())
+    }
+}
+
 /// Runs the selected experiments' cells on `opts.jobs` workers and
 /// reduces each experiment's results in declaration order.
 ///
 /// Tables come back in registry order and are byte-identical for any
-/// worker count; only the progress callback observes scheduling.
+/// worker count; only the progress callback observes scheduling. A
+/// failed cell (error, panic, or watchdog timeout) never aborts the
+/// run: its experiment reduces over the surviving cells and records
+/// the failure in [`ExpTable::failures`].
 pub fn run_suite(
     experiments: &[&dyn Experiment],
     opts: &RunOptions,
     progress: &(dyn Fn(&CellProgress<'_>) + Sync),
-) -> Result<Vec<ExpTable>> {
+) -> Result<SuiteReport> {
     let selected: Vec<&dyn Experiment> = experiments
         .iter()
         .copied()
@@ -136,17 +331,18 @@ pub fn run_suite(
 
     // Flatten every experiment's cells into one global work list;
     // `spans[i]` is the slot range belonging to experiment i.
+    let ctx = opts.ctx();
     let mut queue: Vec<Mutex<Option<(usize, Cell)>>> = Vec::new();
     let mut spans: Vec<std::ops::Range<usize>> = Vec::new();
     for (ei, exp) in selected.iter().enumerate() {
         let start = queue.len();
-        for cell in exp.cells(opts.quick) {
+        for cell in exp.cells(&ctx) {
             queue.push(Mutex::new(Some((ei, cell))));
         }
         spans.push(start..queue.len());
     }
     let total = queue.len();
-    let results: Vec<Mutex<Option<Result<CellRows>>>> =
+    let results: Vec<Mutex<Option<std::result::Result<CellRows, CellFailure>>>> =
         (0..total).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
@@ -166,7 +362,7 @@ pub fn run_suite(
                     .expect("each slot is claimed exactly once");
                 let label = cell.label.clone();
                 let started = Instant::now();
-                let out = cell.run();
+                let out = run_guarded(cell, opts.step_budget);
                 *results[slot].lock().expect("result slot poisoned") = Some(out);
                 let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                 progress(&CellProgress {
@@ -183,22 +379,31 @@ pub fn run_suite(
     let mut tables = Vec::with_capacity(selected.len());
     for (exp, span) in selected.iter().zip(spans) {
         let mut rows = Vec::with_capacity(span.len());
+        let mut failures = Vec::new();
         for slot in span {
             let out = results[slot]
                 .lock()
                 .expect("result slot poisoned")
                 .take()
                 .expect("every slot was filled");
-            rows.push(out?);
+            match out {
+                Ok(r) => rows.push(r),
+                Err(f) => failures.push(f),
+            }
         }
-        tables.push(exp.reduce(opts.quick, rows)?);
+        let mut table = exp.reduce(opts.quick, rows)?;
+        table.failures = failures;
+        tables.push(table);
     }
-    Ok(tables)
+    Ok(SuiteReport { tables })
 }
 
 /// Runs a single experiment serially (the compatibility path behind
-/// the per-experiment functions).
+/// the per-experiment functions). Unlike [`run_suite`], the first cell
+/// error propagates as `Err` — callers that want graceful degradation
+/// go through the suite runner.
 pub fn run_one(exp: &dyn Experiment, quick: bool) -> Result<ExpTable> {
-    let rows: Result<Vec<CellRows>> = exp.cells(quick).into_iter().map(Cell::run).collect();
+    let ctx = CellCtx::new(quick);
+    let rows: Result<Vec<CellRows>> = exp.cells(&ctx).into_iter().map(Cell::run).collect();
     exp.reduce(quick, rows?)
 }

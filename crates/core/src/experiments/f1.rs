@@ -1,7 +1,7 @@
 //! **F1** (paper Fig. 1): row-buffer semantics — measured latency of
 //! hit, miss (empty bank), and conflict accesses.
 
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::Experiment;
 use hammertime_common::DomainId;
 
@@ -20,7 +20,8 @@ impl Experiment for F1 {
         &["access type", "commands", "latency (cycles)"]
     }
 
-    fn cells(&self, _quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
         // One cell: the three probes share controller state (the hit
         // needs the row the miss opened), so they cannot be split.
         vec![Cell::new("rowbuffer-probes", move || {
@@ -32,7 +33,10 @@ impl Experiment for F1 {
             let mut dram_cfg = DramConfig::test_config(1_000_000);
             dram_cfg.geometry = hammertime_common::Geometry::medium();
             dram_cfg.timing = hammertime_dram::TimingParams::ddr4_2400();
-            let mut mc = MemCtrl::new(MemCtrlConfig::baseline(), dram_cfg, 1)?;
+            dram_cfg.faults = ctx.faults;
+            let mut mc_cfg = MemCtrlConfig::baseline();
+            mc_cfg.faults = ctx.faults;
+            let mut mc = MemCtrl::new(mc_cfg, dram_cfg, 1)?;
             let g = *mc.map().geometry();
             let stripe = g.total_lines() / g.rows_per_bank() as u64;
             let submit = |mc: &mut MemCtrl, id: u64, line: u64| {

@@ -9,7 +9,7 @@
 //! parallelism benefit).
 
 use super::common::{accesses, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::table::fmt_f;
 use super::Experiment;
 use crate::machine::MachineConfig;
@@ -38,7 +38,9 @@ impl Experiment for F2 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let quick = ctx.quick;
         let batch = if quick { 512u64 } else { 2_048 };
         [
             DefenseKind::None,
@@ -65,6 +67,7 @@ impl Experiment for F2 {
                 let mut mc_cfg = MemCtrlConfig::baseline();
                 mc_cfg.mapping = mapping;
                 mc_cfg.queue_capacity = 1 << 16;
+                mc_cfg.faults = ctx.faults;
                 let mut dram_cfg = hammertime_dram::DramConfig::test_config(1_000_000);
                 // Server geometry: 32 banks. Under bank partitioning,
                 // one domain's region is one bank's worth of frames
@@ -74,6 +77,7 @@ impl Experiment for F2 {
                 // row-distinct, the irregular pattern of [49].
                 dram_cfg.geometry = hammertime_common::Geometry::server();
                 dram_cfg.timing = hammertime_dram::TimingParams::tiny_wide();
+                dram_cfg.faults = ctx.faults;
                 let g = dram_cfg.geometry;
                 let frames_per_bank = g.rows_per_bank() as u64 * g.columns as u64
                     / hammertime_common::addr::LINES_PER_PAGE;
@@ -103,7 +107,8 @@ impl Experiment for F2 {
                     .unwrap_or(1)
                     .max(1);
                 let n = accesses(quick);
-                let cfg = MachineConfig::fast(defense, FAST_MAC);
+                let mut cfg = MachineConfig::fast(defense, FAST_MAC);
+                cfg.faults = ctx.faults;
                 let mut s = CloudScenario::build_sized(cfg, 4)?;
                 let targeting = s.arm_double_sided(n)?;
                 s.run_windows(if quick { 40 } else { 150 });

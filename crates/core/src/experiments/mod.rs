@@ -31,10 +31,14 @@ mod e8;
 mod e9;
 mod f1;
 mod f2;
+mod f3;
 mod t1;
 
 pub use common::FAST_MAC;
-pub use engine::{run_one, run_suite, silent, Cell, CellProgress, CellRows, RunOptions};
+pub use engine::{
+    run_one, run_suite, silent, Cell, CellCtx, CellFailure, CellProgress, CellRows, FailureKind,
+    RunOptions, SuiteReport,
+};
 pub use table::ExpTable;
 
 use hammertime_common::Result;
@@ -53,7 +57,7 @@ pub trait Experiment: Sync {
 
     /// The sweep: self-contained cells the engine may run in any
     /// order on any worker. Declaration order defines row order.
-    fn cells(&self, quick: bool) -> Vec<Cell>;
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell>;
 
     /// Assembles per-cell row fragments (in declaration order) into
     /// the final table. The default concatenates them.
@@ -75,6 +79,7 @@ pub fn registry() -> Vec<&'static dyn Experiment> {
         &t1::T1,
         &f1::F1,
         &f2::F2,
+        &f3::F3,
         &e1::E1,
         &e2::E2,
         &e3::E3,
@@ -89,14 +94,15 @@ pub fn registry() -> Vec<&'static dyn Experiment> {
     ]
 }
 
-/// Convenience: run the entire suite (serially) and return every
-/// table, in experiment order.
-pub fn run_all(quick: bool) -> Result<Vec<ExpTable>> {
+/// Convenience: run the entire suite (serially) and return the full
+/// report, tables in experiment order.
+pub fn run_all(quick: bool) -> Result<SuiteReport> {
     run_all_with(&RunOptions::new(quick))
 }
 
-/// Runs the registry under the given options (parallelism, filter).
-pub fn run_all_with(opts: &RunOptions) -> Result<Vec<ExpTable>> {
+/// Runs the registry under the given options (parallelism, filter,
+/// fault plan, step budget).
+pub fn run_all_with(opts: &RunOptions) -> Result<SuiteReport> {
     run_suite(&registry(), opts, &silent)
 }
 
@@ -113,6 +119,12 @@ pub fn f1_rowbuffer() -> Result<ExpTable> {
 /// **F2** (paper Fig. 2): interleaving schemes.
 pub fn f2_interleaving(quick: bool) -> Result<ExpTable> {
     run_one(&f2::F2, quick)
+}
+
+/// **F3**: defense efficacy and overhead on degraded hardware, swept
+/// over fault-plan intensity.
+pub fn f3_degraded(quick: bool) -> Result<ExpTable> {
+    run_one(&f3::F3, quick)
 }
 
 /// **E1** (§3): the worsening-Rowhammer generational trend.
@@ -180,8 +192,8 @@ mod tests {
         assert_eq!(
             ids,
             [
-                "T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-                "E11"
+                "T1", "F1", "F2", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+                "E10", "E11"
             ]
         );
     }
@@ -189,8 +201,8 @@ mod tests {
     #[test]
     fn filter_is_case_insensitive() {
         let opts = RunOptions::new(true).filter(["e6", "F1"]);
-        let tables = run_all_with(&opts).unwrap();
-        let ids: Vec<&str> = tables.iter().map(|t| t.id.as_str()).collect();
+        let report = run_all_with(&opts).unwrap();
+        let ids: Vec<&str> = report.tables.iter().map(|t| t.id.as_str()).collect();
         assert_eq!(ids, ["F1", "E6"]);
     }
 }

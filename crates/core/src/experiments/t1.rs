@@ -3,7 +3,7 @@
 //! does benign traffic pay?
 
 use super::common::{accesses, run_attack, run_benign, FAST_MAC};
-use super::engine::Cell;
+use super::engine::{Cell, CellCtx};
 use super::table::fmt_f;
 use super::Experiment;
 use crate::taxonomy::DefenseKind;
@@ -31,16 +31,17 @@ impl Experiment for T1 {
         ]
     }
 
-    fn cells(&self, quick: bool) -> Vec<Cell> {
-        let n = accesses(quick);
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        let n = accesses(ctx.quick);
         DefenseKind::catalog(FAST_MAC)
             .into_iter()
             .map(|defense| {
                 Cell::new(defense.name(), move || {
-                    let double = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), quick)?;
-                    let many = run_attack(defense, FAST_MAC, |s| s.arm_many_sided(6, n), quick)?;
-                    let dma = run_attack(defense, FAST_MAC, |s| s.arm_dma(n), quick)?;
-                    let benign = run_benign(defense, FAST_MAC, quick)?;
+                    let double = run_attack(defense, FAST_MAC, |s| s.arm_double_sided(n), ctx)?;
+                    let many = run_attack(defense, FAST_MAC, |s| s.arm_many_sided(6, n), ctx)?;
+                    let dma = run_attack(defense, FAST_MAC, |s| s.arm_dma(n), ctx)?;
+                    let benign = run_benign(defense, FAST_MAC, ctx)?;
                     Ok(vec![vec![
                         defense.name().to_string(),
                         defense

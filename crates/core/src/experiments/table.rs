@@ -1,5 +1,6 @@
 //! The rendered-result type every experiment produces.
 
+use super::engine::CellFailure;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -14,6 +15,9 @@ pub struct ExpTable {
     pub columns: Vec<String>,
     /// Data rows.
     pub rows: Vec<Vec<String>>,
+    /// Cells that did not complete; the table is partial when
+    /// non-empty. Populated only by the suite runner.
+    pub failures: Vec<CellFailure>,
 }
 
 impl ExpTable {
@@ -24,6 +28,7 @@ impl ExpTable {
             title: title.to_string(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
             rows: Vec::new(),
+            failures: Vec::new(),
         }
     }
 
@@ -61,6 +66,12 @@ impl fmt::Display for ExpTable {
         line(f, &self.columns)?;
         for row in &self.rows {
             line(f, row)?;
+        }
+        if !self.failures.is_empty() {
+            writeln!(f, "!! {} cell(s) failed:", self.failures.len())?;
+            for fail in &self.failures {
+                writeln!(f, "!!   {} [{}]: {}", fail.label, fail.kind, fail.message)?;
+            }
         }
         Ok(())
     }

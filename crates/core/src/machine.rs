@@ -26,7 +26,7 @@ use hammertime_cache::{CacheConfig, Llc};
 use hammertime_common::addr::LINES_PER_PAGE;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{
-    CacheLineAddr, Cycle, DetRng, DomainId, Error, Geometry, RequestSource, Result,
+    CacheLineAddr, Cycle, DetRng, DomainId, Error, FaultPlan, Geometry, RequestSource, Result,
 };
 use hammertime_dram::disturb::FlipEvent;
 use hammertime_dram::remap::RemapConfig;
@@ -93,6 +93,11 @@ pub struct MachineConfig {
     pub ecc: hammertime_dram::module::EccMode,
     /// Row-buffer management policy (E11 ablation).
     pub page_policy: hammertime_memctrl::controller::PagePolicy,
+    /// Deterministic fault-injection plan, threaded into both the DRAM
+    /// device and the memory controller (each derives an independent
+    /// stream from the plan seed). `None` models healthy hardware and
+    /// is byte-identical to a build without the fault subsystem.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MachineConfig {
@@ -125,6 +130,7 @@ impl MachineConfig {
             randomize_counter_resets: true,
             ecc: hammertime_dram::module::EccMode::None,
             page_policy: hammertime_memctrl::controller::PagePolicy::Open,
+            faults: None,
         }
     }
 
@@ -152,6 +158,7 @@ impl MachineConfig {
             randomize_counter_resets: true,
             ecc: hammertime_dram::module::EccMode::None,
             page_policy: hammertime_memctrl::controller::PagePolicy::Open,
+            faults: None,
         }
     }
 
@@ -330,6 +337,7 @@ impl Machine {
             // Machine runs demand byte-identical flip logs across
             // schedulers and job counts; keep per-ACT accounting.
             batched_pressure: false,
+            faults: cfg.faults,
         };
         let mc_config = MemCtrlConfig {
             mapping,
@@ -339,6 +347,7 @@ impl Machine {
             enforce_domain_groups: enforce,
             queue_capacity: 65_536,
             page_policy: cfg.page_policy,
+            faults: cfg.faults,
         };
         let mc = MemCtrl::new(mc_config, dram_config, cfg.seed ^ 0x3C3C)?;
         let llc = Llc::new(cache_cfg)?;
@@ -615,6 +624,10 @@ impl Machine {
             self.service_defense();
             self.roll_windows();
             self.collect_flips();
+            // Charge the engine's per-cell step budget (no-op outside
+            // a budgeted suite run); a wedged machine that stops
+            // advancing still gets charged so runaway loops terminate.
+            crate::experiments::engine::charge_step_budget(self.mc.now().raw() - now.raw());
             if self.mc.now() >= end {
                 break;
             }

@@ -85,6 +85,12 @@ pub struct Bank {
     /// Disturbances produced by a flush, awaiting flip sampling by the
     /// module: `(aggressor row, disturbance)`.
     flushed: Vec<(u32, Disturbance)>,
+    /// Fault injection: ceiling at which `acts_since_refresh` saturates
+    /// (0 = count accurately). Models a wedged per-row activation
+    /// counter that undercounts sustained hammering.
+    act_saturation: u32,
+    /// How many ACT-count increments the saturation ceiling swallowed.
+    pub saturation_clamps: u64,
     /// Row-buffer statistics.
     pub acts: u64,
     /// PRE count (including auto-precharges).
@@ -117,9 +123,19 @@ impl Bank {
             batched,
             pending: Vec::new(),
             flushed: Vec::new(),
+            act_saturation: 0,
+            saturation_clamps: 0,
             acts: 0,
             pres: 0,
         }
+    }
+
+    /// Enables the disturbance-counter saturation fault: per-row
+    /// `acts_since_refresh` counters cap at `ceiling` instead of
+    /// counting accurately (`0` restores accurate counting). Swallowed
+    /// increments are tallied in [`Bank::saturation_clamps`].
+    pub fn set_act_saturation(&mut self, ceiling: u32) {
+        self.act_saturation = ceiling;
     }
 
     /// Current FSM state.
@@ -239,9 +255,14 @@ impl Bank {
         }
 
         // The aggressor row itself is repaired by its own activation.
+        let sat = self.act_saturation;
         let rs = &mut self.rows[row as usize];
         rs.victim.refresh(now);
-        rs.acts_since_refresh += 1;
+        if sat > 0 && rs.acts_since_refresh >= sat {
+            self.saturation_clamps += 1;
+        } else {
+            rs.acts_since_refresh += 1;
+        }
         rs.total_acts += 1;
 
         // Disturb in-subarray neighbors out to the blast radius.
@@ -287,10 +308,15 @@ impl Bank {
         }
         let profile = self.profile;
         let pending = std::mem::take(&mut self.pending);
+        let sat = self.act_saturation;
         for (row, count) in pending {
             let rs = &mut self.rows[row as usize];
             rs.victim.refresh(now);
             rs.acts_since_refresh = rs.acts_since_refresh.saturating_add(count as u32);
+            if sat > 0 && rs.acts_since_refresh > sat {
+                self.saturation_clamps += u64::from(rs.acts_since_refresh - sat);
+                rs.acts_since_refresh = sat;
+            }
             rs.total_acts += count;
             let (lo, hi) = self.subarray_bounds(row);
             for d in 1..=profile.blast_radius {

@@ -27,7 +27,7 @@ use crate::stats::DramStats;
 use crate::timing::TimingParams;
 use crate::trr::{TrrConfig, TrrEngine};
 use hammertime_common::geometry::BankId;
-use hammertime_common::{Cycle, DetRng, Error, Geometry, Result};
+use hammertime_common::{Cycle, DetRng, Error, FaultClock, FaultKind, FaultPlan, Geometry, Result};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -69,6 +69,11 @@ pub struct DramConfig {
     /// — leave this off (the default) whenever byte-identical output
     /// matters.
     pub batched_pressure: bool,
+    /// Fault-injection plan for device-side faults (dropped/ghost REF,
+    /// TRR sampler misses, counter saturation). `None` — the default —
+    /// is byte-identical to a faultless device: no hook draws from any
+    /// RNG.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DramConfig {
@@ -90,6 +95,7 @@ impl DramConfig {
             seed: 42,
             ecc: EccMode::None,
             batched_pressure: false,
+            faults: None,
         }
     }
 
@@ -174,7 +180,12 @@ pub struct DramModule {
     flips: Vec<FlipEvent>,
     stats: DramStats,
     rows_per_group: u32,
+    faults: Option<FaultClock>,
 }
+
+/// Component salt separating the device's fault-decision streams from
+/// the memory controller's under one [`FaultPlan`].
+const DRAM_FAULT_SALT: u64 = 0xD1AA;
 
 impl DramModule {
     /// Builds a device from its configuration.
@@ -188,14 +199,19 @@ impl DramModule {
         let mut rng = DetRng::new(config.seed);
         let mut remap_rng = rng.fork(0xEEAA);
         let total_banks = g.total_banks() as usize;
+        let faults = config.faults.map(|p| FaultClock::new(p, DRAM_FAULT_SALT));
         let banks: Vec<Bank> = (0..total_banks)
             .map(|_| {
-                Bank::new(
+                let mut bank = Bank::new(
                     g.rows_per_bank(),
                     g.rows_per_subarray,
                     config.disturbance,
                     config.batched_pressure,
-                )
+                );
+                if let Some(p) = &config.faults {
+                    bank.set_act_saturation(p.disturb_saturation);
+                }
+                bank
             })
             .collect();
         let remaps: Vec<RowRemap> = (0..total_banks)
@@ -225,6 +241,7 @@ impl DramModule {
             flips: Vec::new(),
             stats: DramStats::default(),
             rows_per_group,
+            faults,
             config,
         })
     }
@@ -234,9 +251,20 @@ impl DramModule {
         &self.config
     }
 
-    /// Device statistics so far.
+    /// Device statistics so far, with the live fault-injection tally
+    /// folded in.
     pub fn stats(&self) -> DramStats {
-        self.stats
+        let mut s = self.stats;
+        s.fault_injections = self.fault_injections();
+        s
+    }
+
+    /// Total device-side faults injected so far: rate-based decisions
+    /// that fired (dropped/ghost REFs, TRR sampler misses) plus ACT
+    /// increments swallowed by counter saturation.
+    pub fn fault_injections(&self) -> u64 {
+        let clamps: u64 = self.banks.iter().map(|b| b.saturation_clamps).sum();
+        self.faults.as_ref().map_or(0, FaultClock::total_injected) + clamps
     }
 
     /// Drains and returns accumulated flip events (logical rows).
@@ -350,7 +378,15 @@ impl DramModule {
                 self.ranks[r].record_act(now, bank.bank_group);
                 self.stats.acts += 1;
                 if let Some(trr) = &mut self.trr {
-                    trr.observe_act(b, internal);
+                    // Fault hook: a blackbox sampler sometimes misses
+                    // the ACT entirely (what TRRespass patterns bank on).
+                    let missed = self
+                        .faults
+                        .as_mut()
+                        .is_some_and(|fc| fc.fire(FaultKind::TrrSamplerMiss));
+                    if !missed {
+                        trr.observe_act(b, internal);
+                    }
                 }
                 let pairs: Vec<_> = disturbances.into_iter().map(|d| (internal, d)).collect();
                 let flips_generated = self.sample_flips(b, now, pairs);
@@ -422,12 +458,27 @@ impl DramModule {
                 let group = self.ranks[r].next_group;
                 let lo = group * self.rows_per_group;
                 let hi = (lo + self.rows_per_group).min(self.config.geometry.rows_per_bank());
+                // Fault hooks. A *dropped* REF keeps its timing, cursor
+                // and busy accounting (the controller believes it
+                // happened) but restores no rows. A *ghost* REF reports
+                // covering two cursor groups while restoring one, so the
+                // skipped group silently loses a slot per wrap.
+                let dropped = self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|fc| fc.fire(FaultKind::DroppedRef));
+                let ghost = self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|fc| fc.fire(FaultKind::GhostRef));
                 for &b in &banks {
                     // Pending ACTs precede this REF: settle (and flip)
                     // before the covered rows reset.
                     self.settle_bank(b, now);
-                    for internal in lo..hi {
-                        self.banks[b].refresh_row(internal, now);
+                    if !dropped {
+                        for internal in lo..hi {
+                            self.banks[b].refresh_row(internal, now);
+                        }
                     }
                     self.banks[b].block_until(done);
                 }
@@ -436,7 +487,8 @@ impl DramModule {
                     .geometry
                     .rows_per_bank()
                     .div_ceil(self.rows_per_group);
-                self.ranks[r].next_group = (group + 1) % groups;
+                let advance = if ghost { 2 } else { 1 };
+                self.ranks[r].next_group = (group + advance) % groups;
                 self.ranks[r].busy_until = done;
                 self.stats.refs += 1;
                 // TRR piggybacks targeted refreshes on the REF.
@@ -1067,6 +1119,189 @@ mod tests {
         }
         assert!(cleared_at_ref.is_some(), "full REF cycle must cover row 9");
         assert_eq!(m.stats().refs as u32, groups);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_none() {
+        let mut plain = module(10);
+        let mut cfg = DramConfig::test_config(10);
+        cfg.faults = Some(FaultPlan {
+            seed: 12345,
+            ..FaultPlan::default()
+        });
+        let mut faulted = DramModule::new(cfg).unwrap();
+        let (_, f_plain) = hammer(&mut plain, bank0(), 8, 40);
+        let (_, f_faulted) = hammer(&mut faulted, bank0(), 8, 40);
+        assert_eq!(f_plain, f_faulted);
+        assert_eq!(plain.stats(), faulted.stats());
+        assert_eq!(plain.drain_flips(), faulted.drain_flips());
+        assert_eq!(faulted.fault_injections(), 0);
+    }
+
+    #[test]
+    fn dropped_ref_leaves_pressure_in_place() {
+        let mut cfg = DramConfig::test_config(30);
+        cfg.faults = Some(FaultPlan {
+            seed: 1,
+            dropped_ref: 1.0,
+            ..FaultPlan::default()
+        });
+        let mut m = DramModule::new(cfg).unwrap();
+        let (mut now, _) = hammer(&mut m, bank0(), 8, 20);
+        assert!(m.row_pressure(&bank0(), 7) > 0.0);
+        let groups = m.config().geometry.rows_per_bank() / m.rows_per_refresh_group();
+        for _ in 0..groups {
+            let rf = DdrCommand::Ref {
+                channel: 0,
+                rank: 0,
+            };
+            now = now.max(m.earliest(&rf));
+            now = m.issue(&rf, now).unwrap().done;
+        }
+        assert!(
+            m.row_pressure(&bank0(), 7) > 0.0,
+            "dropped REFs must not restore rows"
+        );
+        assert_eq!(m.stats().refs as u32, groups, "timing side still counted");
+        assert!(m.fault_injections() >= u64::from(groups));
+    }
+
+    #[test]
+    fn ghost_ref_skips_cursor_groups() {
+        let mut cfg = DramConfig::test_config(1_000_000);
+        cfg.faults = Some(FaultPlan {
+            seed: 2,
+            ghost_ref: 1.0,
+            ..FaultPlan::default()
+        });
+        let mut m = DramModule::new(cfg).unwrap();
+        hammer(&mut m, bank0(), 8, 5);
+        assert!(m.row_pressure(&bank0(), 9) > 0.0);
+        // With every REF ghosting, the cursor advances two groups per
+        // command: a full nominal REF cycle covers only half the rows.
+        let groups = m.config().geometry.rows_per_bank() / m.rows_per_refresh_group();
+        let mut now = Cycle(100_000);
+        for _ in 0..groups {
+            let rf = DdrCommand::Ref {
+                channel: 0,
+                rank: 0,
+            };
+            now = now.max(m.earliest(&rf));
+            now = m.issue(&rf, now).unwrap().done;
+        }
+        assert_eq!(m.fault_injections(), u64::from(groups));
+        // Only even-indexed groups were restored; if groups is even the
+        // odd half is starved forever, otherwise coverage needs two
+        // nominal cycles instead of one.
+        if groups.is_multiple_of(2) {
+            let g9 = 9 / m.rows_per_refresh_group();
+            if !g9.is_multiple_of(2) {
+                assert!(m.row_pressure(&bank0(), 9) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trr_sampler_miss_blinds_trr() {
+        // Scenario A of `trr_defends_single_aggressor...`, but with a
+        // sampler that misses every ACT: TRR never sees the aggressor.
+        let trr = TrrConfig {
+            table_size: 2,
+            kind: crate::trr::TrrSamplerKind::MisraGries,
+            targets_per_ref: 1,
+            radius: 2,
+            min_count: 1,
+        };
+        let mut cfg = DramConfig::test_config(25);
+        cfg.trr = Some(trr);
+        cfg.faults = Some(FaultPlan {
+            seed: 3,
+            trr_miss: 1.0,
+            ..FaultPlan::default()
+        });
+        let mut m = DramModule::new(cfg).unwrap();
+        let mut now = Cycle::ZERO;
+        let mut flips = 0;
+        for i in 0..60 {
+            let act = DdrCommand::Act {
+                bank: bank0(),
+                row: 8,
+            };
+            now = now.max(m.earliest(&act));
+            flips += m.issue(&act, now).unwrap().flips_generated;
+            let pre = DdrCommand::Pre { bank: bank0() };
+            now = now.max(m.earliest(&pre));
+            m.issue(&pre, now).unwrap();
+            if i % 10 == 9 {
+                let rf = DdrCommand::Ref {
+                    channel: 0,
+                    rank: 0,
+                };
+                now = now.max(m.earliest(&rf));
+                now = m.issue(&rf, now).unwrap().done;
+            }
+        }
+        assert!(flips > 0, "a blind sampler must let the hammer through");
+        assert_eq!(m.stats().trr_refresh_rows, 0);
+    }
+
+    #[test]
+    fn disturb_saturation_caps_act_counter() {
+        let mut cfg = DramConfig::test_config(1_000_000);
+        cfg.faults = Some(FaultPlan {
+            seed: 4,
+            disturb_saturation: 5,
+            ..FaultPlan::default()
+        });
+        let mut m = DramModule::new(cfg).unwrap();
+        hammer(&mut m, bank0(), 8, 20);
+        assert_eq!(m.row_acts_since_refresh(&bank0(), 8), 5);
+        assert_eq!(m.fault_injections(), 15);
+        assert_eq!(m.stats().fault_injections, 15);
+    }
+
+    #[test]
+    fn fault_decisions_are_reproducible() {
+        let mk = || {
+            let mut cfg = DramConfig::test_config(10);
+            cfg.faults = Some(FaultPlan {
+                seed: 777,
+                dropped_ref: 0.5,
+                ghost_ref: 0.25,
+                ..FaultPlan::default()
+            });
+            DramModule::new(cfg).unwrap()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let drive = |m: &mut DramModule| {
+            let mut now = Cycle::ZERO;
+            let mut flips = 0;
+            for i in 0..50 {
+                let act = DdrCommand::Act {
+                    bank: bank0(),
+                    row: 8,
+                };
+                now = now.max(m.earliest(&act));
+                flips += m.issue(&act, now).unwrap().flips_generated;
+                let pre = DdrCommand::Pre { bank: bank0() };
+                now = now.max(m.earliest(&pre));
+                m.issue(&pre, now).unwrap();
+                if i % 5 == 4 {
+                    let rf = DdrCommand::Ref {
+                        channel: 0,
+                        rank: 0,
+                    };
+                    now = now.max(m.earliest(&rf));
+                    now = m.issue(&rf, now).unwrap().done;
+                }
+            }
+            flips
+        };
+        assert_eq!(drive(&mut a), drive(&mut b));
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.fault_injections(), b.fault_injections());
+        assert_eq!(a.drain_flips(), b.drain_flips());
     }
 
     #[test]

@@ -65,9 +65,17 @@ pub struct AddressMap {
     layout: Vec<(Field, u32)>,
 }
 
-fn log2(v: u32) -> u32 {
-    debug_assert!(v.is_power_of_two());
-    v.trailing_zeros()
+/// Bit width of a power-of-two field count, as a typed error rather
+/// than a debug assertion: a non-power-of-two count coming in through a
+/// config must surface as [`Error::Config`], never as a silently wrong
+/// layout in release builds.
+fn log2(what: &str, v: u32) -> Result<u32> {
+    if !v.is_power_of_two() {
+        return Err(Error::Config(format!(
+            "{what} must be a power of two, got {v}"
+        )));
+    }
+    Ok(v.trailing_zeros())
 }
 
 impl AddressMap {
@@ -82,14 +90,14 @@ impl AddressMap {
     pub fn new(scheme: MappingScheme, geometry: Geometry) -> Result<AddressMap> {
         geometry.validate()?;
         let g = &geometry;
-        let ch = log2(g.channels);
-        let rk = log2(g.ranks);
-        let bg = log2(g.bank_groups);
-        let ba = log2(g.banks_per_group);
-        let co = log2(g.columns);
-        let ro = log2(g.rows_per_bank());
-        let rs = log2(g.rows_per_subarray);
-        let sa = log2(g.subarrays_per_bank);
+        let ch = log2("channels", g.channels)?;
+        let rk = log2("ranks", g.ranks)?;
+        let bg = log2("bank groups", g.bank_groups)?;
+        let ba = log2("banks per group", g.banks_per_group)?;
+        let co = log2("columns", g.columns)?;
+        let ro = log2("rows per bank", g.rows_per_bank())?;
+        let rs = log2("rows per subarray", g.rows_per_subarray)?;
+        let sa = log2("subarrays per bank", g.subarrays_per_bank)?;
         let page_bits = LINES_PER_PAGE.trailing_zeros();
 
         let layout: Vec<(Field, u32)> = match scheme {
@@ -154,8 +162,9 @@ impl AddressMap {
         // Involutive permutation: XOR bank bits with the low row bits,
         // bank-group bits with the next row bits.
         let g = &self.geometry;
+        // Validated power-of-two at construction.
         bank ^= row & (g.banks_per_group - 1);
-        bank_group ^= (row >> log2(g.banks_per_group)) & (g.bank_groups - 1);
+        bank_group ^= (row >> g.banks_per_group.trailing_zeros()) & (g.bank_groups - 1);
         (bank, bank_group)
     }
 
@@ -476,6 +485,14 @@ mod tests {
         let g = Geometry::medium();
         let map = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
         assert!(map.bank_of_frame(0).is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_geometry_is_a_typed_config_error() {
+        let mut g = Geometry::medium();
+        g.columns = 3;
+        let err = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "got {err:?}");
     }
 
     #[test]

@@ -25,7 +25,10 @@ use crate::mitigation::{ActAction, McMitigation, McMitigationConfig};
 use crate::request::{Completion, MemRequest, RequestKind};
 use crate::stats::McStats;
 use hammertime_common::geometry::BankId;
-use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId, DramCoord, Error, Result};
+use hammertime_common::{
+    CacheLineAddr, Cycle, DetRng, DomainId, DramCoord, Error, FaultClock, FaultKind, FaultPlan,
+    Result,
+};
 use hammertime_dram::{BankTiming, DdrCommand, DramConfig, DramModule, DramStats, FlipEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -62,6 +65,11 @@ pub struct MemCtrlConfig {
     pub queue_capacity: usize,
     /// Row-buffer management policy.
     pub page_policy: PagePolicy,
+    /// Fault-injection plan for controller-side faults (dropped or
+    /// delayed ACT-interrupts, stuck ACT_COUNT, refresh-instruction
+    /// NACK, transient remap corruption). `None` — the default — is
+    /// byte-identical to a faultless controller.
+    pub faults: Option<FaultPlan>,
 }
 
 impl MemCtrlConfig {
@@ -76,6 +84,7 @@ impl MemCtrlConfig {
             enforce_domain_groups: false,
             queue_capacity: 4096,
             page_policy: PagePolicy::Open,
+            faults: None,
         }
     }
 }
@@ -168,9 +177,26 @@ pub struct MemCtrl {
     /// Queue index of a `Refresh { auto_pre: false }` whose ACT has
     /// issued; it completes on the next step, before any other command.
     acted_refresh: Option<usize>,
+    /// Controller-side fault clock ([`MemCtrlConfig::faults`]).
+    faults: Option<FaultClock>,
+    /// ACT-interrupts held back by the delayed-delivery fault, released
+    /// by [`MemCtrl::drain_interrupts`] once their (delayed) time has
+    /// passed.
+    delayed_interrupts: Vec<ActInterrupt>,
+    /// Per-channel count of remaining ACTs the stuck-ACT_COUNT fault
+    /// swallows.
+    stuck_acts: Vec<u64>,
+    /// Set when the scheduler computed a command the device rejected —
+    /// the controller wedges (no further commands issue) instead of
+    /// panicking, and submitters see the error.
+    wedged: Option<Error>,
     stats: McStats,
     seq: u64,
 }
+
+/// Component salt separating the controller's fault-decision streams
+/// from the DRAM module's under one [`FaultPlan`].
+const MC_FAULT_SALT: u64 = 0xAC7C;
 
 impl MemCtrl {
     /// Builds a controller over a fresh DRAM module.
@@ -223,6 +249,10 @@ impl MemCtrl {
             by_bank: vec![Vec::new(); g.total_banks() as usize],
             sched_cache: None,
             acted_refresh: None,
+            faults: config.faults.map(|p| FaultClock::new(p, MC_FAULT_SALT)),
+            delayed_interrupts: Vec::new(),
+            stuck_acts: vec![0; g.channels as usize],
+            wedged: None,
             stats: McStats::default(),
             seq: 0,
             config,
@@ -239,9 +269,35 @@ impl MemCtrl {
         &self.map
     }
 
-    /// Controller statistics.
+    /// Controller statistics, with the live fault-injection tally
+    /// folded in.
     pub fn stats(&self) -> McStats {
-        self.stats
+        let mut s = self.stats;
+        s.fault_injections = self.fault_injections();
+        s
+    }
+
+    /// Total controller-side faults injected so far.
+    pub fn fault_injections(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultClock::total_injected)
+    }
+
+    /// The error that wedged the scheduler, if any. A wedged controller
+    /// issues no further commands; submissions return the error.
+    pub fn fault_state(&self) -> Option<&Error> {
+        self.wedged.as_ref()
+    }
+
+    /// Wedges the scheduler with a fault: no further commands issue and
+    /// every subsequent submission returns [`Error::Fault`]. Called
+    /// internally when the device rejects a scheduled command (instead
+    /// of panicking); public so hosts and tests can model an external
+    /// controller failure.
+    pub fn record_fault(&mut self, msg: String) {
+        self.sched_cache = None;
+        if self.wedged.is_none() {
+            self.wedged = Some(Error::Fault(msg));
+        }
     }
 
     /// Device statistics.
@@ -278,8 +334,42 @@ impl MemCtrl {
     }
 
     /// Drains pending ACT-counter interrupts (host OS handler input).
+    ///
+    /// Fault hooks: each freshly raised interrupt may be dropped
+    /// outright or delivered late; delayed interrupts are held here and
+    /// released (timestamped with their delayed delivery time) once the
+    /// controller clock passes it.
     pub fn drain_interrupts(&mut self) -> Vec<ActInterrupt> {
-        self.counters.drain()
+        let raised = self.counters.drain();
+        let Some(fc) = &mut self.faults else {
+            return raised;
+        };
+        let mut out = Vec::new();
+        for intr in raised {
+            if fc.fire(FaultKind::DroppedActInterrupt) {
+                continue;
+            }
+            if fc.fire(FaultKind::DelayedActInterrupt) {
+                self.delayed_interrupts.push(ActInterrupt {
+                    time: intr.time + fc.plan().interrupt_delay,
+                    ..intr
+                });
+                continue;
+            }
+            out.push(intr);
+        }
+        if !self.delayed_interrupts.is_empty() {
+            let now = self.now;
+            let mut i = 0;
+            while i < self.delayed_interrupts.len() {
+                if self.delayed_interrupts[i].time <= now {
+                    out.push(self.delayed_interrupts.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Reprograms the ACT counter block (host MSR write).
@@ -331,7 +421,13 @@ impl MemCtrl {
     ///   maintenance request, or touches a subarray group owned by a
     ///   different domain under enforcement.
     /// - [`Error::Translation`] for unmapped lines.
+    /// - [`Error::Fault`] when the controller is wedged
+    ///   ([`MemCtrl::fault_state`]) or the refresh-NACK fault fires on
+    ///   a `refresh`-instruction submission.
     pub fn submit(&mut self, req: MemRequest) -> Result<()> {
+        if let Some(e) = &self.wedged {
+            return Err(e.clone());
+        }
         if self.queue.len() >= self.config.queue_capacity {
             return Err(Error::Exhausted(format!(
                 "request queue full ({} entries)",
@@ -344,7 +440,32 @@ impl MemCtrl {
                 req.domain
             )));
         }
-        let coord = self.map.to_coord(req.line)?;
+        // Fault hook: the refresh instruction is NACKed — the submitter
+        // sees a typed fault and must cope (retry, fall back, or report
+        // a missed mitigation).
+        if matches!(req.kind, RequestKind::Refresh { .. })
+            && self
+                .faults
+                .as_mut()
+                .is_some_and(|fc| fc.fire(FaultKind::RefreshNack))
+        {
+            return Err(Error::Fault(format!(
+                "refresh instruction for {} NACKed by the memory controller",
+                req.line
+            )));
+        }
+        let mut coord = self.map.to_coord(req.line)?;
+        // Fault hook: a transient remap-table disturbance sends this
+        // one request to a bit-flipped (but in-range) row; the table
+        // self-corrects afterwards.
+        if self
+            .faults
+            .as_mut()
+            .is_some_and(|fc| fc.fire(FaultKind::RemapCorruption))
+            && self.map.geometry().rows_per_bank() > 1
+        {
+            coord.row ^= 1;
+        }
         if self.config.enforce_domain_groups && !req.domain.is_host() {
             let group = self.map.group_of_frame(req.line.page_frame());
             if self.group_owner(group) != Some(req.domain) {
@@ -698,6 +819,9 @@ impl MemCtrl {
     /// [`MemCtrl::step_reference`] by construction; the differential
     /// suite in `tests/differential.rs` enforces it.
     fn step(&mut self, target: Cycle) -> bool {
+        if self.wedged.is_some() {
+            return false;
+        }
         self.stats.sched_steps += 1;
         // A refresh instruction without auto-precharge completes as
         // soon as its ACT has issued, before any further command.
@@ -786,6 +910,9 @@ impl MemCtrl {
     /// legality per request per step. Kept verbatim as the differential
     /// oracle for [`MemCtrl::step`] and as the benchmark baseline.
     pub fn step_reference(&mut self, target: Cycle) -> bool {
+        if self.wedged.is_some() {
+            return false;
+        }
         self.stats.sched_steps += 1;
         let g = *self.map.geometry();
         let mut best: Option<Candidate> = None;
@@ -837,10 +964,18 @@ impl MemCtrl {
                 } else {
                     DdrCommand::Ref { channel, rank }
                 };
-                let outcome = self
-                    .dram
-                    .issue(&cmd, c.issue_at)
-                    .expect("scheduler computed a legal refresh time");
+                let outcome = match self.dram.issue(&cmd, c.issue_at) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        // A scheduler/device disagreement is a wedge,
+                        // not a panic: record it and stop issuing.
+                        self.record_fault(format!(
+                            "scheduler issued illegal {cmd} at {}: {e}",
+                            c.issue_at
+                        ));
+                        return false;
+                    }
+                };
                 self.now = c.issue_at;
                 self.cmd_bus_free[channel as usize] = c.issue_at + 1;
                 if !need_pre {
@@ -880,7 +1015,12 @@ impl MemCtrl {
         }
         let outcome = match self.dram.issue(&cmd, at) {
             Ok(o) => o,
-            Err(e) => unreachable!("scheduler computed illegal command {cmd} at {at}: {e}"),
+            Err(e) => {
+                // A scheduler/device disagreement is a wedge, not a
+                // panic: record it and stop issuing.
+                self.record_fault(format!("scheduler issued illegal {cmd} at {at}: {e}"));
+                return false;
+            }
         };
         self.now = at;
         let ch = cmd.channel() as usize;
@@ -904,7 +1044,21 @@ impl MemCtrl {
                     // Demand ACTs feed the counters and trackers; ACTs
                     // performed *by* defenses do not, preventing
                     // defense-induced interrupt feedback loops.
-                    self.counters.on_act(bank.channel, line, at);
+                    let ch_idx = bank.channel as usize;
+                    let mut counted = true;
+                    if self.stuck_acts[ch_idx] > 0 {
+                        // A stuck ACT_COUNT window swallows this ACT.
+                        self.stuck_acts[ch_idx] -= 1;
+                        counted = false;
+                    } else if let Some(fc) = &mut self.faults {
+                        if fc.fire(FaultKind::StuckActCount) {
+                            self.stuck_acts[ch_idx] = fc.plan().stuck_window;
+                            counted = false;
+                        }
+                    }
+                    if counted {
+                        self.counters.on_act(bank.channel, line, at);
+                    }
                     let flat = bank.flat(&g);
                     if let Some(radius) = self.mitigation.after_act(flat, row, at) {
                         self.spawn_neighbor_refresh(line, radius);
@@ -1355,5 +1509,159 @@ mod tests {
         assert!(m.drain_completions().is_empty(), "arrival in the future");
         m.advance_to(Cycle(2_000));
         assert_eq!(m.drain_completions().len(), 1);
+    }
+
+    fn fault_cfg(plan: FaultPlan) -> MemCtrlConfig {
+        let mut cfg = MemCtrlConfig::baseline();
+        cfg.faults = Some(plan);
+        cfg
+    }
+
+    #[test]
+    fn inert_fault_plan_matches_no_plan() {
+        let mut plain = mc(MemCtrlConfig::baseline(), 1_000_000);
+        let mut faulty = mc(fault_cfg(FaultPlan::none()), 1_000_000);
+        for m in [&mut plain, &mut faulty] {
+            for i in 0..20 {
+                m.submit(read(i, i % 8, 0)).unwrap();
+            }
+            m.drain();
+        }
+        assert_eq!(plain.stats(), faulty.stats());
+        assert_eq!(plain.drain_completions(), faulty.drain_completions());
+        assert_eq!(faulty.fault_injections(), 0);
+    }
+
+    #[test]
+    fn refresh_nack_is_a_typed_fault() {
+        let mut plan = FaultPlan::none();
+        plan.refresh_nack = 1.0;
+        let mut m = mc(fault_cfg(plan), 1_000_000);
+        let err = m.refresh_row(1, CacheLineAddr(0), true).unwrap_err();
+        assert!(matches!(err, Error::Fault(_)), "got {err:?}");
+        // Demand traffic is unaffected.
+        m.submit(read(2, 0, 0)).unwrap();
+        m.drain();
+        assert_eq!(m.drain_completions().len(), 1);
+        assert_eq!(m.fault_injections(), 1);
+    }
+
+    #[test]
+    fn wedged_controller_refuses_work_without_panicking() {
+        let mut m = mc(MemCtrlConfig::baseline(), 1_000_000);
+        m.submit(read(1, 0, 0)).unwrap();
+        m.drain();
+        m.record_fault("scheduler issued illegal ACT".into());
+        assert!(matches!(m.fault_state(), Some(Error::Fault(_))));
+        let err = m.submit(read(2, 1, 0)).unwrap_err();
+        assert!(matches!(err, Error::Fault(_)));
+        // Stepping a wedged controller is a no-op, not a panic.
+        assert!(!m.step(Cycle::MAX));
+        assert!(!m.step_reference(Cycle::MAX));
+    }
+
+    fn hammer_two_rows(m: &mut MemCtrl, pairs: u64) {
+        let g = *m.map().geometry();
+        let stripe = g.total_lines() / g.rows_per_bank() as u64;
+        for i in 0..pairs {
+            m.submit(read(2 * i, 0, 0)).unwrap();
+            m.submit(read(2 * i + 1, stripe, 0)).unwrap();
+            m.drain();
+        }
+    }
+
+    #[test]
+    fn dropped_interrupts_never_reach_the_host() {
+        let mut cfg = MemCtrlConfig::baseline();
+        cfg.act_counters = ActCounterConfig::precise(4);
+        cfg.act_counters.randomize_reset_window = 0;
+        let mut plan = FaultPlan::none();
+        plan.dropped_interrupt = 1.0;
+        cfg.faults = Some(plan);
+        let mut m = mc(cfg, 1_000_000);
+        hammer_two_rows(&mut m, 6);
+        assert!(m.drain_interrupts().is_empty());
+        assert!(m.fault_injections() > 0);
+    }
+
+    #[test]
+    fn delayed_interrupts_arrive_late_with_shifted_timestamps() {
+        let mut cfg = MemCtrlConfig::baseline();
+        cfg.act_counters = ActCounterConfig::precise(4);
+        cfg.act_counters.randomize_reset_window = 0;
+        let delay = 10_000_000;
+        let mut plan = FaultPlan::none();
+        plan.delayed_interrupt = 1.0;
+        plan.interrupt_delay = delay;
+        cfg.faults = Some(plan);
+        let mut m = mc(cfg, 1_000_000);
+        hammer_two_rows(&mut m, 6);
+        let raised_by = m.now();
+        // Every interrupt is held back: nothing is deliverable yet.
+        assert!(m.drain_interrupts().is_empty());
+        assert!(m.fault_injections() > 0);
+        // Once the clock passes the delayed delivery time they land,
+        // timestamped after the original raise.
+        m.advance_to(Cycle(raised_by.raw() + delay));
+        let ints = m.drain_interrupts();
+        assert!(!ints.is_empty(), "delayed interrupts must eventually land");
+        for int in &ints {
+            assert!(int.time > raised_by);
+            assert!(int.time <= m.now());
+        }
+    }
+
+    #[test]
+    fn stuck_act_count_suppresses_counting_for_a_window() {
+        let mut base = MemCtrlConfig::baseline();
+        base.act_counters = ActCounterConfig::precise(4);
+        base.act_counters.randomize_reset_window = 0;
+        let mut stuck = base.clone();
+        let mut plan = FaultPlan::none();
+        plan.stuck_act_count = 1.0;
+        plan.stuck_window = u64::MAX;
+        stuck.faults = Some(plan);
+
+        let mut healthy = mc(base, 1_000_000);
+        let mut wedged = mc(stuck, 1_000_000);
+        hammer_two_rows(&mut healthy, 6);
+        hammer_two_rows(&mut wedged, 6);
+        assert!(!healthy.drain_interrupts().is_empty());
+        // With the counter stuck from the first ACT on, no threshold
+        // crossing ever happens.
+        assert!(wedged.drain_interrupts().is_empty());
+        assert!(wedged.fault_injections() > 0);
+    }
+
+    #[test]
+    fn remap_corruption_keeps_requests_completing() {
+        let mut plan = FaultPlan::none();
+        plan.remap_corrupt = 1.0;
+        let mut m = mc(fault_cfg(plan), 1_000_000);
+        for i in 0..8 {
+            m.submit(read(i, i, 0)).unwrap();
+        }
+        m.drain();
+        // Requests land on bit-flipped rows, but they still complete:
+        // corruption degrades placement, not liveness.
+        assert_eq!(m.drain_completions().len(), 8);
+        assert_eq!(m.fault_injections(), 8);
+    }
+
+    #[test]
+    fn fault_decisions_are_reproducible_across_runs() {
+        let mut plan = FaultPlan::none();
+        plan.refresh_nack = 0.5;
+        plan.seed = 0xFEED;
+        let outcomes = |_: ()| {
+            let mut m = mc(fault_cfg(plan), 1_000_000);
+            (0..32)
+                .map(|i| m.refresh_row(i, CacheLineAddr(0), true).is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = outcomes(());
+        let b = outcomes(());
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&e| e) && a.iter().any(|&e| !e));
     }
 }

@@ -31,6 +31,10 @@ pub struct McStats {
     /// not O(cycles) — the regression `idle_advance_steps_are_bounded`
     /// pins this down.
     pub sched_steps: u64,
+    /// Faults injected by the controller-side fault clock (dropped or
+    /// delayed interrupts, stuck ACT_COUNT windows, refresh NACKs,
+    /// remap corruptions).
+    pub fault_injections: u64,
 }
 
 impl McStats {

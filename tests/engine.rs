@@ -1,8 +1,15 @@
 //! The experiment engine's core guarantees: parallel runs are
-//! byte-identical to serial runs, and the registry covers every
-//! experiment the documentation records.
+//! byte-identical to serial runs, the registry covers every documented
+//! experiment, and a misbehaving cell degrades into a structured
+//! failure instead of taking the suite down.
 
-use hammertime::experiments::{registry, run_all_with, RunOptions};
+use hammertime::experiments::{
+    registry, run_all_with, run_suite, silent, Cell, CellCtx, CellRows, Experiment, FailureKind,
+    RunOptions,
+};
+use hammertime::machine::{Machine, MachineConfig};
+use hammertime::taxonomy::DefenseKind;
+use hammertime_common::{Error, FaultPlan};
 
 /// Worker count must not leak into results: cells land in
 /// declaration-order slots, so an 8-worker run serializes to exactly
@@ -47,6 +54,144 @@ fn registry_matches_experiments_md() {
 /// erroring or running everything).
 #[test]
 fn unknown_filter_selects_nothing() {
-    let tables = run_all_with(&RunOptions::new(true).filter(["Z9"])).unwrap();
-    assert!(tables.is_empty());
+    let report = run_all_with(&RunOptions::new(true).filter(["Z9"])).unwrap();
+    assert!(report.tables.is_empty());
+}
+
+/// An all-zero fault plan must be indistinguishable from no plan at
+/// all: the fault hooks draw nothing from the RNG streams when every
+/// rate is zero, so the suite output is byte-identical. Runs a cheap
+/// representative subset spanning the machine path (E3), the raw
+/// controller path (F1), and the fault sweep itself (F3).
+#[test]
+fn inert_fault_plan_is_byte_identical_to_none() {
+    let ids = ["F1", "E3", "F3"];
+    let plan = FaultPlan::none();
+    assert!(plan.is_inert());
+    let healthy = run_all_with(&RunOptions::new(true).filter(ids)).unwrap();
+    let inert = run_all_with(&RunOptions::new(true).filter(ids).with_faults(plan)).unwrap();
+    let a = serde_json::to_string(&healthy).unwrap();
+    let b = serde_json::to_string(&inert).unwrap();
+    assert_eq!(a, b, "an inert fault plan changed suite output");
+}
+
+/// A non-trivial plan + seed is fully deterministic: two runs agree,
+/// and the worker count does not leak into faulty runs either.
+#[test]
+fn fault_plan_runs_are_deterministic_across_jobs() {
+    let ids = ["E3", "F3"];
+    let mut plan = FaultPlan::none();
+    plan.seed = 0xC0FFEE;
+    plan.dropped_ref = 0.05;
+    plan.trr_miss = 0.3;
+    plan.dropped_interrupt = 0.2;
+    plan.refresh_nack = 0.05;
+    let opts = |jobs| {
+        RunOptions::new(true)
+            .jobs(jobs)
+            .filter(ids)
+            .with_faults(plan)
+    };
+    let serial = run_all_with(&opts(1)).unwrap();
+    let parallel = run_all_with(&opts(8)).unwrap();
+    let again = run_all_with(&opts(1)).unwrap();
+    let a = serde_json::to_string(&serial).unwrap();
+    let b = serde_json::to_string(&parallel).unwrap();
+    let c = serde_json::to_string(&again).unwrap();
+    assert_eq!(a, b, "jobs=8 diverged from jobs=1 under a fault plan");
+    assert_eq!(a, c, "two identical faulty runs diverged");
+}
+
+/// A synthetic experiment with one healthy cell and three misbehaving
+/// ones: an `Err` return, a panic, and an infinite loop. The engine
+/// must convert each failure into a structured record, let the healthy
+/// sibling complete, and classify the kinds correctly.
+struct ChaosExp;
+
+impl Experiment for ChaosExp {
+    fn id(&self) -> &'static str {
+        "CHAOS"
+    }
+
+    fn title(&self) -> &'static str {
+        "engine failure-semantics fixture"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["cell", "status"]
+    }
+
+    fn cells(&self, _ctx: &CellCtx) -> Vec<Cell> {
+        vec![
+            Cell::new("ok", || {
+                Ok(vec![vec!["ok".to_string(), "done".to_string()]])
+            }),
+            Cell::new("errors", || {
+                Err(Error::Config("deliberately broken cell".into()))
+            }),
+            Cell::new("panics", || -> hammertime_common::Result<CellRows> {
+                panic!("boom");
+            }),
+            Cell::new("runs-away", || {
+                let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 24))?;
+                // No tenants, no workloads: this advances simulated
+                // time forever. Only the step-budget watchdog stops it.
+                loop {
+                    m.run(1_000_000);
+                }
+            }),
+        ]
+    }
+}
+
+#[test]
+fn misbehaving_cells_become_structured_failures() {
+    // The panicking cells print the default panic-hook message to
+    // stderr; that noise is expected and harmless.
+    let opts = RunOptions::new(true).jobs(2).step_budget(50_000_000);
+    let report = run_suite(&[&ChaosExp], &opts, &silent).unwrap();
+    assert_eq!(report.tables.len(), 1);
+    let t = &report.tables[0];
+    // The healthy sibling completed and its row survived.
+    assert_eq!(t.rows, vec![vec!["ok".to_string(), "done".to_string()]]);
+    // All three misbehaving cells are recorded, in declaration order.
+    let kinds: Vec<(&str, FailureKind)> = t
+        .failures
+        .iter()
+        .map(|f| (f.label.as_str(), f.kind))
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ("errors", FailureKind::Error),
+            ("panics", FailureKind::Panic),
+            ("runs-away", FailureKind::Timeout),
+        ]
+    );
+    assert!(t.failures[0].message.contains("deliberately broken"));
+    assert!(t.failures[1].message.contains("boom"));
+    assert!(t.failures[2].message.contains("step budget"));
+    assert!(report.has_failures());
+    // The rendered table marks the failures.
+    let shown = t.to_string();
+    assert!(shown.contains("!! 3 cell(s) failed:"), "{shown}");
+    assert!(shown.contains("runs-away [timeout]"), "{shown}");
+}
+
+/// Without a step budget the engine must not arm any watchdog: a
+/// normal quick cell completes untouched even after a prior budgeted
+/// run on the same thread pool.
+#[test]
+fn step_budget_does_not_leak_between_runs() {
+    let budgeted = RunOptions::new(true).filter(["E6"]).step_budget(1);
+    // E6 is pure arithmetic: it never steps a machine, so even a
+    // budget of 1 cycle cannot fire.
+    let r1 = run_all_with(&budgeted).unwrap();
+    assert!(
+        !r1.has_failures(),
+        "{:?}",
+        r1.failures().collect::<Vec<_>>()
+    );
+    let r2 = run_all_with(&RunOptions::new(true).filter(["F1"])).unwrap();
+    assert!(!r2.has_failures());
 }

@@ -40,7 +40,13 @@ fn regen() -> bool {
 
 #[test]
 fn quick_mode_suite_matches_goldens() {
-    let tables = run_all_with(&RunOptions::new(true).jobs(jobs())).expect("suite runs");
+    let report = run_all_with(&RunOptions::new(true).jobs(jobs())).expect("suite runs");
+    assert!(
+        !report.has_failures(),
+        "healthy quick-mode suite must not fail any cell: {:?}",
+        report.failures().collect::<Vec<_>>()
+    );
+    let tables = report.tables;
     assert_eq!(
         tables.len(),
         registry().len(),
