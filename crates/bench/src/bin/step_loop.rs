@@ -3,18 +3,35 @@
 //! shared scenarios from [`hammertime_bench::step_loop`], then writes
 //! `BENCH_step_loop.json` seeding the perf trajectory.
 //!
-//! Usage: `step_loop [--quick] [--out PATH]`. Default output is
-//! `BENCH_step_loop.json` at the repository root. `--quick` shrinks
-//! every scenario for CI smoke runs.
+//! Usage: `step_loop [--quick] [--out PATH] [--check BASELINE.json
+//! [--tolerance PCT]] [--gate-disabled-overhead PCT]`. Default output
+//! is `BENCH_step_loop.json` at the repository root. `--quick`
+//! shrinks every scenario for CI smoke runs.
+//!
+//! `--check` compares this run's optimized throughput per scenario
+//! against a previously written report and exits nonzero on any
+//! regression beyond the tolerance (default 2%). Absolute throughput
+//! only compares on the same machine in the same thermal state, so
+//! this is a *local* tool for before/after comparisons, not a CI
+//! gate.
+//!
+//! `--gate-disabled-overhead PCT` is the CI-safe guard that the
+//! disabled telemetry layer stays off the hot path: it times the
+//! hammer burst through the public issue path (tracer `None`, one
+//! `is_none()` check) against the same burst with the check compiled
+//! out, interleaving the reps so machine drift hits both sides, and
+//! exits nonzero if the disabled path is more than PCT% slower.
 
 use hammertime_bench::step_loop::{
-    drive_t1_cell, hammer_burst, idle_mc, idle_poll, idle_poll_on, t1_defense_catalog, IDLE_QUANTUM,
+    drive_t1_cell, hammer_burst, hammer_burst_bypassing_tracer, hammer_burst_with_tracer, idle_mc,
+    idle_poll, idle_poll_on, t1_defense_catalog, IDLE_QUANTUM,
 };
-use serde::Serialize;
+use hammertime_telemetry::Tracer;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Scenario {
     name: String,
     /// What `work` counts: simulated cycles, ACTs, or experiment cells.
@@ -27,11 +44,40 @@ struct Scenario {
     speedup: f64,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct Report {
     bench: String,
     mode: String,
     scenarios: Vec<Scenario>,
+}
+
+/// Compares this run against `baseline`, scenario by scenario on
+/// work-normalized optimized throughput. Returns the regression
+/// messages (empty → within tolerance). Scenarios only one side has
+/// are reported but never fail the check, so adding a scenario does
+/// not require regenerating the baseline first.
+fn check_against(report: &Report, baseline: &Report, tolerance_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for old in &baseline.scenarios {
+        let Some(new) = report.scenarios.iter().find(|s| s.name == old.name) else {
+            eprintln!("check: scenario {} missing from this run", old.name);
+            continue;
+        };
+        let floor = old.optimized_per_sec * (1.0 - tolerance_pct / 100.0);
+        let delta = 100.0 * (1.0 - new.optimized_per_sec / old.optimized_per_sec);
+        if new.optimized_per_sec < floor {
+            failures.push(format!(
+                "{}: optimized {:.0} {}/s vs baseline {:.0} ({delta:+.1}% slower, tolerance {tolerance_pct}%)",
+                new.name, new.optimized_per_sec, new.unit, old.optimized_per_sec
+            ));
+        } else {
+            eprintln!(
+                "check: {} ok ({:.0} {}/s vs baseline {:.0}, {delta:+.1}%)",
+                new.name, new.optimized_per_sec, new.unit, old.optimized_per_sec
+            );
+        }
+    }
+    failures
 }
 
 /// Best-of-`reps` wall time of `f`, in seconds. Best-of is robust to
@@ -62,14 +108,35 @@ fn scenario(name: &str, unit: &str, work: u64, baseline: f64, optimized: f64) ->
 fn main() {
     let mut quick = false;
     let mut out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut tolerance = 2.0f64;
+    let mut gate: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            "--check" => check = Some(PathBuf::from(args.next().expect("--check needs a path"))),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a percentage");
+            }
+            "--gate-disabled-overhead" => {
+                gate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--gate-disabled-overhead needs a percentage"),
+                );
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: step_loop [--quick] [--out PATH]");
+                eprintln!(
+                    "usage: step_loop [--quick] [--out PATH] \
+                     [--check BASELINE.json [--tolerance PCT]] \
+                     [--gate-disabled-overhead PCT]"
+                );
                 std::process::exit(2);
             }
         }
@@ -172,6 +239,84 @@ fn main() {
         fast,
     ));
 
+    // Tracing overhead on the same burst: baseline records every
+    // command and flip into a buffer sink, optimized leaves the
+    // tracer disabled (the production default).
+    assert_eq!(
+        hammer_burst_with_tracer(acts.min(2_000), true, Some(Tracer::buffer())),
+        hammer_burst(acts.min(2_000), true),
+        "traced flip count diverged"
+    );
+    let traced = time_best(reps, || {
+        hammer_burst_with_tracer(acts, true, Some(Tracer::buffer()));
+    });
+    let untraced = time_best(reps, || {
+        hammer_burst(acts, true);
+    });
+    eprintln!(
+        "hammer_burst_traced: {acts} ACTs, tracing on {traced:.3}s off {untraced:.3}s ({:.1}x overhead)",
+        traced / untraced
+    );
+    scenarios.push(scenario(
+        "hammer_burst_traced",
+        "acts",
+        acts as u64,
+        traced,
+        untraced,
+    ));
+
+    // Zero-cost-when-off gate: the telemetry-disabled issue path (one
+    // `is_none()` check) against the same burst with the check
+    // compiled out. Reps are interleaved so frequency drift hits both
+    // sides equally — unlike a cross-run absolute-throughput
+    // comparison, this ratio is stable on a noisy machine.
+    assert_eq!(
+        hammer_burst_bypassing_tracer(acts.min(2_000), true),
+        hammer_burst(acts.min(2_000), true),
+        "bypass flip count diverged"
+    );
+    // Each rep times both sides back-to-back (alternating order) and
+    // contributes one paired ratio; the median ratio is what the gate
+    // judges. A longer burst than the timing scenarios keeps the
+    // timed region well above scheduler-tick noise.
+    let gate_acts = acts.saturating_mul(4);
+    let mut disabled = f64::INFINITY;
+    let mut absent = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for rep in 0..9 {
+        let (d, a) = if rep % 2 == 0 {
+            let t = Instant::now();
+            hammer_burst(gate_acts, true);
+            let d = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            hammer_burst_bypassing_tracer(gate_acts, true);
+            (d, t.elapsed().as_secs_f64())
+        } else {
+            let t = Instant::now();
+            hammer_burst_bypassing_tracer(gate_acts, true);
+            let a = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            hammer_burst(gate_acts, true);
+            (t.elapsed().as_secs_f64(), a)
+        };
+        disabled = disabled.min(d);
+        absent = absent.min(a);
+        ratios.push(d / a);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let off_overhead_pct = 100.0 * (ratios[ratios.len() / 2] - 1.0);
+    eprintln!(
+        "telemetry_off: {gate_acts} ACTs x9, disabled path best {disabled:.3}s, \
+         check compiled out best {absent:.3}s (median {off_overhead_pct:+.2}% overhead)"
+    );
+    scenarios.push(scenario(
+        "telemetry_off",
+        "acts",
+        gate_acts as u64,
+        disabled,
+        absent,
+    ));
+
     let report = Report {
         bench: "step_loop".into(),
         mode: if quick { "quick" } else { "full" }.into(),
@@ -180,4 +325,33 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write bench json");
     eprintln!("wrote {}", out.display());
+
+    if let Some(pct) = gate {
+        if off_overhead_pct > pct {
+            eprintln!(
+                "gate FAILED: disabled-telemetry overhead {off_overhead_pct:+.2}% exceeds {pct}%"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate passed: disabled-telemetry overhead {off_overhead_pct:+.2}% within {pct}%");
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).expect("read check baseline");
+        let baseline: Report = serde_json::from_str(&text).expect("parse check baseline");
+        if baseline.mode != report.mode {
+            eprintln!(
+                "check: mode mismatch (this run: {}, baseline: {}) — throughput is work-normalized, comparing anyway",
+                report.mode, baseline.mode
+            );
+        }
+        let failures = check_against(&report, &baseline, tolerance);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("check FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("check passed against {}", path.display());
+    }
 }

@@ -11,6 +11,7 @@ use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId, Geometry, Reques
 use hammertime_dram::{DdrCommand, DramConfig, DramModule, TimingParams, TrrConfig};
 use hammertime_memctrl::request::{MemRequest, RequestKind};
 use hammertime_memctrl::{McMitigationConfig, MemCtrl, MemCtrlConfig, PagePolicy};
+use hammertime_telemetry::Tracer;
 
 /// Polling quantum for the idle scenario: mirrors how `Machine::run`
 /// nudges the controller forward in small time slices.
@@ -60,12 +61,32 @@ pub fn idle_poll_on(mc: &mut MemCtrl, cycles: u64, fast: bool) -> u64 {
 /// costs O(1) log entries; per-ACT walks the blast radius every time.
 /// Returns the flip count (identical across modes by construction).
 pub fn hammer_burst(acts: u32, batched: bool) -> u64 {
+    hammer_burst_with_tracer(acts, batched, None)
+}
+
+/// [`hammer_burst`] with an optional tracer attached to the device —
+/// the scenario behind the tracing-overhead comparison: `None` takes
+/// the one-`is_none()`-check disabled path, `Some` pays for full
+/// command/flip recording.
+pub fn hammer_burst_with_tracer(acts: u32, batched: bool, tracer: Option<Tracer>) -> u64 {
+    hammer_burst_impl(acts, batched, tracer, false)
+}
+
+/// [`hammer_burst`] issued through the tracer-check bypass — the
+/// "telemetry layer absent" baseline the zero-cost-when-off bench
+/// gate compares the disabled path against.
+pub fn hammer_burst_bypassing_tracer(acts: u32, batched: bool) -> u64 {
+    hammer_burst_impl(acts, batched, None, true)
+}
+
+fn hammer_burst_impl(acts: u32, batched: bool, tracer: Option<Tracer>, bypass: bool) -> u64 {
     let mut cfg = DramConfig::test_config(1_000_000);
     // A wide blast radius is where the batching matters: per-ACT
     // accounting walks 2 x radius victims on every activation, the
     // batched log walks them once per run at the sync.
     cfg.disturbance.blast_radius = 6;
     cfg.batched_pressure = batched;
+    cfg.tracer = tracer;
     let mut m = DramModule::new(cfg).unwrap();
     let bank = BankId {
         channel: 0,
@@ -74,13 +95,24 @@ pub fn hammer_burst(acts: u32, batched: bool) -> u64 {
         bank: 0,
     };
     let mut now = Cycle::ZERO;
-    for _ in 0..acts {
-        let act = DdrCommand::Act { bank, row: 8 };
-        now = now.max(m.earliest(&act));
-        m.issue(&act, now).unwrap();
-        let pre = DdrCommand::Pre { bank };
-        now = now.max(m.earliest(&pre));
-        m.issue(&pre, now).unwrap();
+    if bypass {
+        for _ in 0..acts {
+            let act = DdrCommand::Act { bank, row: 8 };
+            now = now.max(m.earliest(&act));
+            m.issue_bypassing_tracer(&act, now).unwrap();
+            let pre = DdrCommand::Pre { bank };
+            now = now.max(m.earliest(&pre));
+            m.issue_bypassing_tracer(&pre, now).unwrap();
+        }
+    } else {
+        for _ in 0..acts {
+            let act = DdrCommand::Act { bank, row: 8 };
+            now = now.max(m.earliest(&act));
+            m.issue(&act, now).unwrap();
+            let pre = DdrCommand::Pre { bank };
+            now = now.max(m.earliest(&pre));
+            m.issue(&pre, now).unwrap();
+        }
     }
     m.sync_disturbances(now);
     m.stats().flips
@@ -220,6 +252,24 @@ mod tests {
     #[test]
     fn hammer_burst_flip_counts_agree() {
         assert_eq!(hammer_burst(500, false), hammer_burst(500, true));
+    }
+
+    #[test]
+    fn traced_hammer_burst_flip_count_matches_untraced() {
+        let tracer = Tracer::buffer();
+        let traced = hammer_burst_with_tracer(500, true, Some(tracer.clone()));
+        assert_eq!(traced, hammer_burst(500, true));
+        // The trace saw every ACT/PRE pair plus the recorded flips.
+        let records = tracer.take_records();
+        assert!(records.len() as u64 >= 1000 + traced);
+    }
+
+    #[test]
+    fn bypass_hammer_burst_flip_count_matches_issue_path() {
+        assert_eq!(
+            hammer_burst_bypassing_tracer(500, true),
+            hammer_burst(500, true)
+        );
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! hammertime-cli experiments [--all] [--full] [--jobs N] [--filter E1,E2]
 //!                            [--faults PLAN.json] [--step-budget N] [--strict]
 //! hammertime-cli generations                      # the E1 worsening sweep
+//! hammertime-cli trace record --out run.trace [experiments flags]
+//! hammertime-cli trace replay run.trace           # re-drive DRAM, verify
+//! hammertime-cli trace diff a.trace b.trace       # first divergence + deltas
+//! hammertime-cli trace stats run.trace            # per-kind record counts
 //! ```
 //!
 //! `experiments` runs the registry through the parallel cell engine:
@@ -21,12 +25,24 @@
 //! cell whose machines advance more than N simulated cycles. Failed
 //! cells render as `!!` lines under their table and the run still
 //! exits 0 — pass `--strict` to exit nonzero when any cell failed.
+//!
+//! `trace record` takes the same flags as `experiments` plus a
+//! required `--out PATH` (`.jsonl`/`.json` → JSONL, else binary) and
+//! records the telemetry command trace of every machine the suite
+//! builds; like the tables, the trace is byte-identical for any
+//! `--jobs`. `trace replay` rebuilds each recorded device and re-issues
+//! its command stream, exiting nonzero if the replayed flips or final
+//! `DramStats` diverge from the recording. `attack --trace PATH`
+//! records the single attack machine the same way.
 
 use hammertime::experiments::{self, CellProgress, RunOptions};
 use hammertime::machine::MachineConfig;
 use hammertime::scenario::CloudScenario;
 use hammertime::taxonomy::DefenseKind;
-use hammertime_common::Result;
+use hammertime_common::{Error, Result};
+use hammertime_telemetry::codec::{self, CommandTrace};
+use hammertime_telemetry::{diff_traces, Event, Tracer};
+use std::path::{Path, PathBuf};
 
 /// Which attack pattern the `attack` subcommand arms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,11 +105,19 @@ fn cmd_attack(args: &[String]) -> Result<()> {
     let mut mac: u64 = 24;
     let mut seed: u64 = 42;
     let mut windows: u64 = 60;
+    let mut trace_out: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         let value = args.get(i + 1).cloned().unwrap_or_default();
         match flag {
+            "--trace" => {
+                if value.is_empty() {
+                    eprintln!("--trace needs an output file path");
+                    std::process::exit(2);
+                }
+                trace_out = Some(PathBuf::from(&value));
+            }
             "--defense" => {
                 defense = parse_defense(&value, mac).unwrap_or_else(|| {
                     eprintln!("unknown defense '{value}' (see `hammertime catalog`)");
@@ -119,6 +143,8 @@ fn cmd_attack(args: &[String]) -> Result<()> {
     }
     let mut cfg = MachineConfig::fast(defense, mac);
     cfg.seed = seed;
+    let tracer = trace_out.as_ref().map(|_| Tracer::buffer());
+    cfg.tracer = tracer.clone();
     let mut s = CloudScenario::build_sized(
         cfg,
         if matches!(attack, AttackSpec::Double | AttackSpec::Dma) {
@@ -155,6 +181,18 @@ fn cmd_attack(args: &[String]) -> Result<()> {
             "attack SUCCEEDED"
         }
     );
+    if let (Some(path), Some(tracer)) = (trace_out, tracer) {
+        // Drop the scenario first so the device's final-stats record
+        // lands in the buffer before we drain it.
+        drop(s);
+        let trace = CommandTrace::new(tracer.take_records());
+        codec::write_path(&path, &trace)?;
+        eprintln!(
+            "trace ({} records) written to {}",
+            trace.records.len(),
+            path.display()
+        );
+    }
     Ok(())
 }
 
@@ -351,6 +389,132 @@ fn cmd_generations() -> Result<()> {
     Ok(())
 }
 
+/// Pulls a `--out PATH` pair out of `args`, returning the path and the
+/// remaining arguments (which `trace record` feeds to the shared
+/// `experiments` parser).
+fn split_out_flag(args: &[String]) -> std::result::Result<(Option<PathBuf>, Vec<String>), String> {
+    let mut out = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" {
+            i += 1;
+            let path = args.get(i).ok_or("--out needs a file path")?;
+            out = Some(PathBuf::from(path));
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((out, rest))
+}
+
+fn trace_record(args: &[String]) -> Result<()> {
+    let (out, rest) = split_out_flag(args).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let Some(out) = out else {
+        eprintln!("trace record needs --out PATH (.jsonl/.json → JSONL, else binary)");
+        std::process::exit(2);
+    };
+    let parsed = parse_experiment_args(&rest).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let (report, records) = experiments::run_all_traced(&parsed.opts)?;
+    let failed = report.failures().count();
+    if failed > 0 {
+        eprintln!("{failed} cell(s) failed; the trace covers the cells that ran");
+        if parsed.strict {
+            return Err(Error::Fault(format!("--strict: {failed} cell(s) failed")));
+        }
+    }
+    let devices = records
+        .iter()
+        .filter(|r| matches!(r.event, Event::DeviceReset { .. }))
+        .count();
+    let trace = CommandTrace::new(records);
+    codec::write_path(&out, &trace)?;
+    println!(
+        "recorded {} records ({} devices) to {}",
+        trace.records.len(),
+        devices,
+        out.display()
+    );
+    Ok(())
+}
+
+fn trace_replay(args: &[String]) -> Result<()> {
+    let Some(path) = args.first() else {
+        eprintln!("trace replay needs a trace file path");
+        std::process::exit(2);
+    };
+    let trace = codec::read_path(Path::new(path))?;
+    let summary = hammertime_dram::replay_records(&trace.records)?;
+    println!(
+        "replay OK: {} devices, {} commands, {} flips reproduced exactly",
+        summary.devices, summary.commands, summary.flips
+    );
+    Ok(())
+}
+
+fn trace_diff(args: &[String]) -> Result<()> {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        eprintln!("trace diff needs two trace file paths");
+        std::process::exit(2);
+    };
+    let ta = codec::read_path(Path::new(a))?;
+    let tb = codec::read_path(Path::new(b))?;
+    let diff = diff_traces(&ta.records, &tb.records);
+    println!("{diff}");
+    if diff.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::Fault(format!("{a} and {b} differ")))
+    }
+}
+
+fn trace_stats(args: &[String]) -> Result<()> {
+    let Some(path) = args.first() else {
+        eprintln!("trace stats needs a trace file path");
+        std::process::exit(2);
+    };
+    let trace = codec::read_path(Path::new(path))?;
+    let records = &trace.records;
+    println!("{path}: {} records", records.len());
+    let cycles: Vec<u64> = records.iter().map(|r| r.cycle).collect();
+    if let (Some(min), Some(max)) = (cycles.iter().min(), cycles.iter().max()) {
+        println!("cycle span: {min} .. {max}");
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for rec in records {
+        *counts.entry(rec.event.kind().to_string()).or_insert(0u64) += 1;
+        if let Event::Command { cmd } = &rec.event {
+            *counts
+                .entry(format!("command:{}", cmd.mnemonic()))
+                .or_insert(0) += 1;
+        }
+    }
+    for (kind, n) in &counts {
+        println!("  {kind:<24} {n}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<()> {
+    match args.first().map(String::as_str) {
+        Some("record") => trace_record(&args[1..]),
+        Some("replay") => trace_replay(&args[1..]),
+        Some("diff") => trace_diff(&args[1..]),
+        Some("stats") => trace_stats(&args[1..]),
+        _ => {
+            eprintln!("trace needs a subcommand: record | replay | diff | stats");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "hammertime-cli — Rowhammer mitigation simulator (HotOS '21 'Stop! Hammer Time')\n\
@@ -358,10 +522,14 @@ fn usage() -> ! {
          USAGE:\n\
            hammertime-cli catalog\n\
            hammertime-cli attack [--defense NAME] [--attack double|many:N|fuzzed:N|dma]\n\
-                             [--accesses N] [--mac N] [--seed N] [--windows N]\n\
+                             [--accesses N] [--mac N] [--seed N] [--windows N] [--trace PATH]\n\
            hammertime-cli experiments [--all] [--full] [--jobs N] [--filter IDS] [IDS...]\n\
                              [--faults PLAN.json] [--step-budget N] [--strict]\n\
-           hammertime-cli generations"
+           hammertime-cli generations\n\
+           hammertime-cli trace record --out PATH [experiments flags]\n\
+           hammertime-cli trace replay PATH\n\
+           hammertime-cli trace diff A B\n\
+           hammertime-cli trace stats PATH"
     );
     std::process::exit(2);
 }
@@ -377,6 +545,7 @@ fn main() {
         "attack" => cmd_attack(&args[1..]),
         "experiments" => cmd_experiments(&args[1..]),
         "generations" => cmd_generations(),
+        "trace" => cmd_trace(&args[1..]),
         _ => usage(),
     };
     if let Err(e) = result {
@@ -499,6 +668,37 @@ mod tests {
         assert_eq!(
             parsed.bench_json.as_deref(),
             Some(std::path::Path::new("out/bench.json"))
+        );
+    }
+
+    #[test]
+    fn out_flag_splits_off_cleanly() {
+        let args: Vec<String> = ["--out", "run.trace", "--quick", "T1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (out, rest) = split_out_flag(&args).unwrap();
+        assert_eq!(out.as_deref(), Some(Path::new("run.trace")));
+        assert_eq!(rest, ["--quick", "T1"]);
+        // The remainder still parses as experiments flags.
+        let parsed = parse_experiment_args(&rest).unwrap();
+        assert!(parsed.opts.quick);
+        // A later --out wins; a trailing bare --out is an error.
+        let args: Vec<String> = ["--out", "a", "--out", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            split_out_flag(&args).unwrap().0.as_deref(),
+            Some(Path::new("b"))
+        );
+        let args: Vec<String> = vec!["--out".into()];
+        assert!(split_out_flag(&args).is_err());
+        // No --out at all: everything passes through.
+        let args: Vec<String> = vec!["T1".into()];
+        assert_eq!(
+            split_out_flag(&args).unwrap(),
+            (None, vec!["T1".to_string()])
         );
     }
 

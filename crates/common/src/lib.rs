@@ -13,6 +13,8 @@
 //!   per-component clocks that execute them.
 //! - [`energy`]: per-command energy constants for the energy proxy.
 //! - [`error`]: the shared error type.
+//! - [`traceformat`]: the version header shared by every serialized
+//!   trace artifact (input-side op traces, output-side command traces).
 //!
 //! Nothing here depends on the rest of the workspace; the dependency DAG
 //! is `common <- dram <- memctrl <- cache/os <- core`.
@@ -28,6 +30,7 @@ pub mod fault;
 pub mod geometry;
 pub mod rng;
 pub mod time;
+pub mod traceformat;
 
 pub use addr::{CacheLineAddr, PhysAddr, VirtAddr, CACHE_LINE_BYTES, PAGE_BYTES};
 pub use domain::{DomainId, RequestSource};
@@ -36,3 +39,4 @@ pub use fault::{FaultClock, FaultKind, FaultPlan};
 pub use geometry::{DramCoord, Geometry};
 pub use rng::DetRng;
 pub use time::Cycle;
+pub use traceformat::{TraceHeader, TraceKind, TRACE_MAGIC, TRACE_VERSION};

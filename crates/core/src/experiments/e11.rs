@@ -41,13 +41,20 @@ impl Experiment for E11 {
             .into_iter()
             .map(|policy| {
                 Cell::new(format!("{policy:?}"), move || {
-                    let mut cfg = MachineConfig::fast(DefenseKind::None, FAST_MAC);
-                    cfg.page_policy = policy;
-                    cfg.faults = ctx.faults;
-                    let mut s = CloudScenario::build_sized(cfg, 4)?;
-                    s.arm_double_sided(n)?;
-                    s.run_windows(if quick { 40 } else { 150 });
-                    let attack = s.report();
+                    // Scoped so the attack machine is torn down before
+                    // the benign one is built: device lifetimes in a
+                    // cell's trace must not overlap (replay rebuilds
+                    // one device at a time; see hammertime_dram's
+                    // replay module).
+                    let attack = {
+                        let mut cfg = MachineConfig::fast(DefenseKind::None, FAST_MAC);
+                        cfg.page_policy = policy;
+                        cfg.faults = ctx.faults;
+                        let mut s = CloudScenario::build_sized(cfg, 4)?;
+                        s.arm_double_sided(n)?;
+                        s.run_windows(if quick { 40 } else { 150 });
+                        s.report()
+                    };
 
                     let mut cfg = MachineConfig::fast(DefenseKind::None, FAST_MAC);
                     cfg.page_policy = policy;

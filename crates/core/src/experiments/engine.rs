@@ -19,6 +19,7 @@
 
 use super::{ExpTable, Experiment};
 use hammertime_common::{FaultPlan, Result};
+use hammertime_telemetry::{TraceRecord, Tracer};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -202,6 +203,24 @@ thread_local! {
     /// on this worker thread; `None` disarms the watchdog.
     static STEP_BUDGET: std::cell::Cell<Option<(u64, u64)>> =
         const { std::cell::Cell::new(None) };
+
+    /// Per-cell tracer of the cell currently running on this worker
+    /// thread. Set only by traced suite runs ([`run_suite_traced`]);
+    /// machines whose config carries no explicit tracer inherit it.
+    static CELL_TRACER: std::cell::RefCell<Option<Tracer>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The ambient per-cell tracer, if a traced suite run is driving this
+/// thread. Consulted by [`crate::machine::Machine::new`] when the
+/// machine config has no explicit tracer; `None` (the usual case)
+/// keeps the machine untraced.
+pub(crate) fn ambient_tracer() -> Option<Tracer> {
+    CELL_TRACER.with(|t| t.borrow().clone())
+}
+
+fn set_ambient_tracer(tracer: Option<Tracer>) {
+    CELL_TRACER.with(|t| *t.borrow_mut() = tracer);
 }
 
 /// Panic payload distinguishing a watchdog kill from a genuine panic.
@@ -323,6 +342,34 @@ pub fn run_suite(
     opts: &RunOptions,
     progress: &(dyn Fn(&CellProgress<'_>) + Sync),
 ) -> Result<SuiteReport> {
+    run_suite_impl(experiments, opts, progress, false).map(|(report, _)| report)
+}
+
+/// Like [`run_suite`], but records a cycle-stamped event trace of every
+/// machine the cells build (via the ambient per-cell tracer) and
+/// returns it alongside the report.
+///
+/// Each cell records into its own buffer; buffers are concatenated in
+/// cell **declaration** order, so — like the tables — the returned
+/// trace is byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Same as [`run_suite`].
+pub fn run_suite_traced(
+    experiments: &[&dyn Experiment],
+    opts: &RunOptions,
+    progress: &(dyn Fn(&CellProgress<'_>) + Sync),
+) -> Result<(SuiteReport, Vec<TraceRecord>)> {
+    run_suite_impl(experiments, opts, progress, true)
+}
+
+fn run_suite_impl(
+    experiments: &[&dyn Experiment],
+    opts: &RunOptions,
+    progress: &(dyn Fn(&CellProgress<'_>) + Sync),
+    traced: bool,
+) -> Result<(SuiteReport, Vec<TraceRecord>)> {
     let selected: Vec<&dyn Experiment> = experiments
         .iter()
         .copied()
@@ -344,6 +391,7 @@ pub fn run_suite(
     let total = queue.len();
     let results: Vec<Mutex<Option<std::result::Result<CellRows, CellFailure>>>> =
         (0..total).map(|_| Mutex::new(None)).collect();
+    let traces: Vec<Mutex<Vec<TraceRecord>>> = (0..total).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
 
@@ -362,7 +410,18 @@ pub fn run_suite(
                     .expect("each slot is claimed exactly once");
                 let label = cell.label.clone();
                 let started = Instant::now();
+                // Each traced cell gets a private buffer; the ambient
+                // tracer is cleared even when the cell panics
+                // (run_guarded contains the unwind), so a failed
+                // cell's tracer never leaks into the next cell on
+                // this worker.
+                let cell_tracer = traced.then(Tracer::buffer);
+                set_ambient_tracer(cell_tracer.clone());
                 let out = run_guarded(cell, opts.step_budget);
+                if let Some(tracer) = cell_tracer {
+                    set_ambient_tracer(None);
+                    *traces[slot].lock().expect("trace slot poisoned") = tracer.take_records();
+                }
                 *results[slot].lock().expect("result slot poisoned") = Some(out);
                 let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
                 progress(&CellProgress {
@@ -395,7 +454,13 @@ pub fn run_suite(
         table.failures = failures;
         tables.push(table);
     }
-    Ok(SuiteReport { tables })
+    // Declaration-order concatenation: the trace, like the tables, is
+    // independent of worker count and scheduling.
+    let trace = traces
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("trace slot poisoned"))
+        .collect();
+    Ok((SuiteReport { tables }, trace))
 }
 
 /// Runs a single experiment serially (the compatibility path behind

@@ -36,8 +36,8 @@ mod t1;
 
 pub use common::FAST_MAC;
 pub use engine::{
-    run_one, run_suite, silent, Cell, CellCtx, CellFailure, CellProgress, CellRows, FailureKind,
-    RunOptions, SuiteReport,
+    run_one, run_suite, run_suite_traced, silent, Cell, CellCtx, CellFailure, CellProgress,
+    CellRows, FailureKind, RunOptions, SuiteReport,
 };
 pub use table::ExpTable;
 
@@ -104,6 +104,15 @@ pub fn run_all(quick: bool) -> Result<SuiteReport> {
 /// fault plan, step budget).
 pub fn run_all_with(opts: &RunOptions) -> Result<SuiteReport> {
     run_suite(&registry(), opts, &silent)
+}
+
+/// Runs the registry under the given options while recording a
+/// cycle-stamped event trace of every machine the cells build; the
+/// trace, like the tables, is byte-identical for any worker count.
+pub fn run_all_traced(
+    opts: &RunOptions,
+) -> Result<(SuiteReport, Vec<hammertime_telemetry::TraceRecord>)> {
+    run_suite_traced(&registry(), opts, &silent)
 }
 
 /// **T1** (paper Table 1): the primitive × defense matrix.

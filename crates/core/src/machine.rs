@@ -38,6 +38,8 @@ use hammertime_memctrl::{ActCounterConfig, MemCtrl, MemCtrlConfig};
 use hammertime_os::defense::anvil::{Anvil, AnvilConfig};
 use hammertime_os::defense::frequency::{AggressorRemap, LineLocking};
 use hammertime_os::defense::refresh::{RefreshMechanism, VictimRefresh, VictimRefreshConfig};
+use hammertime_telemetry::{Event, Tracer};
+
 use hammertime_os::{
     AddressSpaces, AttackResponse, DefenseAction, Enclave, EnclaveReaction, EnclaveStatus,
     FrameAllocator, NoDefense, PlacementPolicy, SoftwareDefense, Topology,
@@ -98,6 +100,12 @@ pub struct MachineConfig {
     /// stream from the plan seed). `None` models healthy hardware and
     /// is byte-identical to a build without the fault subsystem.
     pub faults: Option<FaultPlan>,
+    /// Cycle-stamped event tracer, threaded into the DRAM device and
+    /// the memory controller and used for machine-level events
+    /// (ACT-interrupt servicing, page remaps). `None` — the default —
+    /// falls back to the experiment engine's ambient per-cell tracer
+    /// (also usually `None`) and costs nothing on the simulation path.
+    pub tracer: Option<Tracer>,
 }
 
 impl MachineConfig {
@@ -131,6 +139,7 @@ impl MachineConfig {
             ecc: hammertime_dram::module::EccMode::None,
             page_policy: hammertime_memctrl::controller::PagePolicy::Open,
             faults: None,
+            tracer: None,
         }
     }
 
@@ -159,6 +168,7 @@ impl MachineConfig {
             ecc: hammertime_dram::module::EccMode::None,
             page_policy: hammertime_memctrl::controller::PagePolicy::Open,
             faults: None,
+            tracer: None,
         }
     }
 
@@ -211,6 +221,9 @@ pub struct Machine {
     /// When the first [`Machine::run`] call began (`None` until then);
     /// lets callers distinguish warm-up work from the measured run.
     run_start: Option<Cycle>,
+    /// The resolved tracer (config or ambient); also threaded into the
+    /// controller and device configs.
+    tracer: Option<Tracer>,
     rng: DetRng,
 }
 
@@ -326,6 +339,13 @@ impl Machine {
             _ => 0,
         };
 
+        // An explicit tracer on the config wins; otherwise inherit the
+        // experiment engine's ambient per-cell tracer (set only while
+        // `trace record` runs a cell on this thread).
+        let tracer = cfg
+            .tracer
+            .clone()
+            .or_else(crate::experiments::engine::ambient_tracer);
         let dram_config = DramConfig {
             geometry: cfg.geometry,
             timing: cfg.timing,
@@ -338,6 +358,7 @@ impl Machine {
             // schedulers and job counts; keep per-ACT accounting.
             batched_pressure: false,
             faults: cfg.faults,
+            tracer: tracer.clone(),
         };
         let mc_config = MemCtrlConfig {
             mapping,
@@ -348,6 +369,7 @@ impl Machine {
             queue_capacity: 65_536,
             page_policy: cfg.page_policy,
             faults: cfg.faults,
+            tracer: tracer.clone(),
         };
         let mc = MemCtrl::new(mc_config, dram_config, cfg.seed ^ 0x3C3C)?;
         let llc = Llc::new(cache_cfg)?;
@@ -405,6 +427,7 @@ impl Machine {
             frames_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
             lockup: None,
             run_start: None,
+            tracer,
             cfg,
         })
     }
@@ -776,6 +799,23 @@ impl Machine {
         let ints = self.mc.drain_interrupts();
         self.overhead.interrupts += ints.len() as u64;
         self.interrupt_log.extend(ints.iter().copied());
+        if let Some(tracer) = &self.tracer {
+            let now = self.mc.now();
+            for int in &ints {
+                // Latency from the counter overflow raising the
+                // interrupt to the quantum boundary servicing it.
+                let latency = now.delta(int.time);
+                tracer.emit(
+                    now,
+                    Event::ActInterrupt {
+                        channel: int.channel,
+                        raised_at: int.time.raw(),
+                        latency,
+                    },
+                );
+                tracer.observe("machine.act_interrupt_latency", latency);
+            }
+        }
         // Enclave-visible interrupts (§4.4): the CPU knows which rows
         // neighbor the reported aggressor, so it notifies enclaves
         // whose memory sits inside the blast radius — the enclave then
@@ -913,6 +953,9 @@ impl Machine {
             return; // no room to migrate: defense degrades, attack may proceed
         };
         let now = self.mc.now();
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(now, Event::Remap { frame, new_frame });
+        }
         for l in 0..LINES_PER_PAGE {
             let old = CacheLineAddr(frame * LINES_PER_PAGE + l);
             let new = CacheLineAddr(new_frame * LINES_PER_PAGE + l);
@@ -1179,6 +1222,11 @@ impl Machine {
             report.enclaves.insert(*id, format!("{:?}", e.status));
         }
         report.finalize_energy(&hammertime_common::energy::EnergyModel::ddr4());
+        if let Some(tracer) = &self.tracer {
+            report.dram.register_metrics(tracer);
+            report.mc.register_metrics(tracer);
+            report.metrics = Some(tracer.snapshot_metrics());
+        }
         report
     }
 

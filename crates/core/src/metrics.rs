@@ -11,6 +11,7 @@ use hammertime_cache::CacheStats;
 use hammertime_common::energy::EnergyModel;
 use hammertime_dram::DramStats;
 use hammertime_memctrl::McStats;
+use hammertime_telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,6 +71,9 @@ pub struct SimReport {
     pub lockup: Option<String>,
     /// Enclave outcomes keyed by domain id.
     pub enclaves: BTreeMap<u32, String>,
+    /// Telemetry metrics snapshot (counters + histograms) taken at
+    /// report time. `None` — serialized as `null` — on untraced runs.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// What the defense cost.

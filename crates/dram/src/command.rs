@@ -12,6 +12,7 @@
 //!   flag on [`DdrCommand::Rd`]/[`DdrCommand::Wr`].
 
 use hammertime_common::geometry::BankId;
+use hammertime_telemetry::CmdEvent;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -134,6 +135,76 @@ impl DdrCommand {
     }
 }
 
+/// [`CmdEvent`] is the telemetry crate's structural mirror of
+/// [`DdrCommand`] (telemetry sits *below* this crate in the dependency
+/// DAG, so it cannot name the command type directly). The two
+/// conversions are field-by-field and total in both directions, which
+/// is what lets a recorded trace replay through the device with the
+/// exact original commands.
+impl From<&DdrCommand> for CmdEvent {
+    fn from(cmd: &DdrCommand) -> Self {
+        match *cmd {
+            DdrCommand::Act { bank, row } => CmdEvent::Act { bank, row },
+            DdrCommand::Pre { bank } => CmdEvent::Pre { bank },
+            DdrCommand::PreAll { channel, rank } => CmdEvent::PreAll { channel, rank },
+            DdrCommand::Rd {
+                bank,
+                col,
+                auto_pre,
+            } => CmdEvent::Rd {
+                bank,
+                col,
+                auto_pre,
+            },
+            DdrCommand::Wr {
+                bank,
+                col,
+                auto_pre,
+            } => CmdEvent::Wr {
+                bank,
+                col,
+                auto_pre,
+            },
+            DdrCommand::Ref { channel, rank } => CmdEvent::Ref { channel, rank },
+            DdrCommand::RefNeighbors { bank, row, radius } => {
+                CmdEvent::RefNeighbors { bank, row, radius }
+            }
+        }
+    }
+}
+
+impl From<&CmdEvent> for DdrCommand {
+    fn from(cmd: &CmdEvent) -> Self {
+        match *cmd {
+            CmdEvent::Act { bank, row } => DdrCommand::Act { bank, row },
+            CmdEvent::Pre { bank } => DdrCommand::Pre { bank },
+            CmdEvent::PreAll { channel, rank } => DdrCommand::PreAll { channel, rank },
+            CmdEvent::Rd {
+                bank,
+                col,
+                auto_pre,
+            } => DdrCommand::Rd {
+                bank,
+                col,
+                auto_pre,
+            },
+            CmdEvent::Wr {
+                bank,
+                col,
+                auto_pre,
+            } => DdrCommand::Wr {
+                bank,
+                col,
+                auto_pre,
+            },
+            CmdEvent::Ref { channel, rank } => DdrCommand::Ref { channel, rank },
+            CmdEvent::RefNeighbors { bank, row, radius } => {
+                DdrCommand::RefNeighbors { bank, row, radius }
+            }
+        }
+    }
+}
+
 impl fmt::Display for DdrCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -220,6 +291,45 @@ mod tests {
         };
         assert_eq!(wr.mnemonic(), "WR");
         assert_eq!(wra.mnemonic(), "WRA");
+    }
+
+    #[test]
+    fn cmd_event_round_trips_every_variant() {
+        let cmds = [
+            DdrCommand::Act {
+                bank: bank(),
+                row: 5,
+            },
+            DdrCommand::Pre { bank: bank() },
+            DdrCommand::PreAll {
+                channel: 1,
+                rank: 0,
+            },
+            DdrCommand::Rd {
+                bank: bank(),
+                col: 9,
+                auto_pre: true,
+            },
+            DdrCommand::Wr {
+                bank: bank(),
+                col: 2,
+                auto_pre: false,
+            },
+            DdrCommand::Ref {
+                channel: 0,
+                rank: 1,
+            },
+            DdrCommand::RefNeighbors {
+                bank: bank(),
+                row: 9,
+                radius: 2,
+            },
+        ];
+        for cmd in &cmds {
+            let ev = CmdEvent::from(cmd);
+            assert_eq!(DdrCommand::from(&ev), *cmd);
+            assert_eq!(ev.mnemonic(), cmd.mnemonic(), "{cmd}");
+        }
     }
 
     #[test]

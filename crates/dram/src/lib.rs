@@ -23,6 +23,8 @@
 //!   adjacency).
 //! - [`data`]: sparse row contents with poison (flip) tracking.
 //! - [`module`]: the assembled device.
+//! - [`replay`]: rebuild and verify a device run from a recorded
+//!   command trace (`hammertime-telemetry` events).
 //!
 //! # Examples
 //!
@@ -57,6 +59,7 @@ pub mod data;
 pub mod disturb;
 pub mod module;
 pub mod remap;
+pub mod replay;
 pub mod stats;
 pub mod timing;
 pub mod trr;
@@ -64,6 +67,7 @@ pub mod trr;
 pub use command::DdrCommand;
 pub use disturb::{DisturbanceProfile, FlipEvent, PressureTable};
 pub use module::{BankTiming, CommandOutcome, DramConfig, DramModule};
+pub use replay::{replay_records, ReplaySummary};
 pub use stats::DramStats;
 pub use timing::TimingParams;
 pub use trr::{TrrConfig, TrrSamplerKind};

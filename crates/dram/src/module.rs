@@ -28,6 +28,7 @@ use crate::timing::TimingParams;
 use crate::trr::{TrrConfig, TrrEngine};
 use hammertime_common::geometry::BankId;
 use hammertime_common::{Cycle, DetRng, Error, FaultClock, FaultKind, FaultPlan, Geometry, Result};
+use hammertime_telemetry::{Event, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -74,6 +75,13 @@ pub struct DramConfig {
     /// is byte-identical to a faultless device: no hook draws from any
     /// RNG.
     pub faults: Option<FaultPlan>,
+    /// Cycle-stamped event tracer. `None` — the default — costs one
+    /// `is_none()` check per issued command and nothing else; `Some`
+    /// records every accepted command, flip, retention check, TRR
+    /// action, and injected fault. Serializes as `null` either way, so
+    /// a traced config's JSON (as embedded in the trace itself) equals
+    /// the untraced one.
+    pub tracer: Option<Tracer>,
 }
 
 impl DramConfig {
@@ -96,6 +104,7 @@ impl DramConfig {
             ecc: EccMode::None,
             batched_pressure: false,
             faults: None,
+            tracer: None,
         }
     }
 
@@ -181,6 +190,9 @@ pub struct DramModule {
     stats: DramStats,
     rows_per_group: u32,
     faults: Option<FaultClock>,
+    /// Latest traced command issue time; stamps the final
+    /// [`Event::DeviceStats`] record. Only maintained when tracing.
+    last_issue: Cycle,
 }
 
 /// Component salt separating the device's fault-decision streams from
@@ -229,7 +241,7 @@ impl DramModule {
             .map(|c| TrrEngine::new(c, total_banks, rng.fork(0x7171)));
         let refs_per_window = config.timing.refs_per_window().max(1);
         let rows_per_group = (g.rows_per_bank() as u64).div_ceil(refs_per_window).max(1) as u32;
-        Ok(DramModule {
+        let module = DramModule {
             banks,
             remaps,
             ranks: (0..(g.channels * g.ranks) as usize)
@@ -242,8 +254,17 @@ impl DramModule {
             stats: DramStats::default(),
             rows_per_group,
             faults,
+            last_issue: Cycle::ZERO,
             config,
-        })
+        };
+        if let Some(tracer) = &module.config.tracer {
+            // The embedded config (tracer rendered as `null`) makes the
+            // trace self-describing: replay rebuilds this exact device.
+            let config_json =
+                serde_json::to_string(&module.config).expect("device config serializes");
+            tracer.emit(Cycle::ZERO, Event::DeviceReset { config_json });
+        }
+        Ok(module)
     }
 
     /// The device configuration.
@@ -354,7 +375,59 @@ impl DramModule {
     ///
     /// [`Error::Timing`] if `now` precedes [`DramModule::earliest`];
     /// [`Error::Protocol`] for illegal state transitions.
+    // Inlined so untraced callers compile down to the one `is_none()`
+    // branch plus a direct call of the real issue path.
+    #[inline]
     pub fn issue(&mut self, cmd: &DdrCommand, now: Cycle) -> Result<CommandOutcome> {
+        // Zero-cost-when-off contract: this check is the whole overhead
+        // of the telemetry layer on an untraced device.
+        if self.config.tracer.is_none() {
+            return self.issue_inner(cmd, now);
+        }
+        self.issue_traced(cmd, now)
+    }
+
+    /// [`DramModule::issue`] minus the tracer check: the "telemetry
+    /// layer absent" baseline for the zero-cost-when-off bench gate.
+    /// Not part of the simulator API — on a traced device this would
+    /// silently drop records.
+    #[doc(hidden)]
+    #[inline]
+    pub fn issue_bypassing_tracer(
+        &mut self,
+        cmd: &DdrCommand,
+        now: Cycle,
+    ) -> Result<CommandOutcome> {
+        self.issue_inner(cmd, now)
+    }
+
+    /// The traced issue path: runs the command, then records it and
+    /// any flips it generated.
+    #[cold]
+    fn issue_traced(&mut self, cmd: &DdrCommand, now: Cycle) -> Result<CommandOutcome> {
+        let pre_flips = self.flips.len();
+        let out = self.issue_inner(cmd, now)?;
+        self.last_issue = self.last_issue.max(now);
+        let tracer = self.config.tracer.clone().expect("tracer checked above");
+        tracer.emit(now, Event::Command { cmd: cmd.into() });
+        // Flips this command generated (including batched settles it
+        // triggered) trail their command, in sampling order.
+        for f in &self.flips[pre_flips..] {
+            tracer.emit(
+                now,
+                Event::Flip {
+                    flat_bank: f.flat_bank as u64,
+                    victim_row: f.victim_row,
+                    aggressor_row: f.aggressor_row,
+                    bit: f.bit,
+                },
+            );
+        }
+        Ok(out)
+    }
+
+    /// The untraced issue path; all device state changes live here.
+    fn issue_inner(&mut self, cmd: &DdrCommand, now: Cycle) -> Result<CommandOutcome> {
         let earliest = self.earliest(cmd);
         if now < earliest {
             return Err(Error::Timing(format!(
@@ -386,6 +459,13 @@ impl DramModule {
                         .is_some_and(|fc| fc.fire(FaultKind::TrrSamplerMiss));
                     if !missed {
                         trr.observe_act(b, internal);
+                    } else if let Some(tracer) = &self.config.tracer {
+                        tracer.emit(
+                            now,
+                            Event::FaultInjected {
+                                kind: FaultKind::TrrSamplerMiss.name().into(),
+                            },
+                        );
                     }
                 }
                 let pairs: Vec<_> = disturbances.into_iter().map(|d| (internal, d)).collect();
@@ -471,6 +551,24 @@ impl DramModule {
                     .faults
                     .as_mut()
                     .is_some_and(|fc| fc.fire(FaultKind::GhostRef));
+                if let Some(tracer) = &self.config.tracer {
+                    if dropped {
+                        tracer.emit(
+                            now,
+                            Event::FaultInjected {
+                                kind: FaultKind::DroppedRef.name().into(),
+                            },
+                        );
+                    }
+                    if ghost {
+                        tracer.emit(
+                            now,
+                            Event::FaultInjected {
+                                kind: FaultKind::GhostRef.name().into(),
+                            },
+                        );
+                    }
+                }
                 for &b in &banks {
                     // Pending ACTs precede this REF: settle (and flip)
                     // before the covered rows reset.
@@ -500,6 +598,15 @@ impl DramModule {
                             for victim in self.banks[b].neighbors_within(agg, radius) {
                                 self.banks[b].refresh_row(victim, now);
                                 self.stats.trr_refresh_rows += 1;
+                                if let Some(tracer) = &self.config.tracer {
+                                    tracer.emit(
+                                        now,
+                                        Event::TrrRefresh {
+                                            flat_bank: b as u64,
+                                            row: self.remaps[b].to_logical(victim),
+                                        },
+                                    );
+                                }
                             }
                         }
                     }
@@ -605,12 +712,22 @@ impl DramModule {
         let internal = self.remaps[b].to_internal(logical_row);
         let last = self.banks[b].row_state(internal).victim.last_refresh;
         let limit = (self.config.timing.t_refw as f64 * margin) as u64;
-        if now.delta(last) > limit {
+        let decayed = now.delta(last) > limit;
+        if decayed {
             self.stats.retention_decays += 1;
-            true
-        } else {
-            false
         }
+        if let Some(tracer) = &self.config.tracer {
+            tracer.emit(
+                now,
+                Event::RetentionCheck {
+                    bank: *bank,
+                    row: logical_row,
+                    margin,
+                    decayed,
+                },
+            );
+        }
+        decayed
     }
 
     /// Hammer pressure currently accumulated on a logical row —
@@ -722,6 +839,22 @@ impl DramModule {
             pre: self.banks[b].earliest_pre().max(rank.busy_until),
             rdwr: self.banks[b].earliest_rdwr().max(rank.busy_until),
         }
+    }
+}
+
+impl Drop for DramModule {
+    /// A traced device closes its trace with a [`Event::DeviceStats`]
+    /// record so replay can verify the cumulative counters without a
+    /// side channel. Stamped with the last traced command's issue
+    /// cycle (the device has no clock of its own). No-op when
+    /// untraced.
+    fn drop(&mut self) {
+        let Some(tracer) = self.config.tracer.clone() else {
+            return;
+        };
+        let stats = self.stats();
+        let stats_json = serde_json::to_string(&stats).expect("device stats serialize");
+        tracer.emit(self.last_issue, Event::DeviceStats { stats_json });
     }
 }
 
@@ -1136,6 +1269,38 @@ mod tests {
         assert_eq!(plain.stats(), faulted.stats());
         assert_eq!(plain.drain_flips(), faulted.drain_flips());
         assert_eq!(faulted.fault_injections(), 0);
+    }
+
+    #[test]
+    fn tracer_observes_without_perturbing_the_device() {
+        let mut plain = module(10);
+        let mut cfg = DramConfig::test_config(10);
+        let tracer = Tracer::buffer();
+        cfg.tracer = Some(tracer.clone());
+        let mut traced = DramModule::new(cfg).unwrap();
+        let (_, f_plain) = hammer(&mut plain, bank0(), 8, 40);
+        let (_, f_traced) = hammer(&mut traced, bank0(), 8, 40);
+        assert_eq!(f_plain, f_traced);
+        assert_eq!(plain.stats(), traced.stats());
+        let flips = traced.drain_flips();
+        assert_eq!(plain.drain_flips(), flips);
+        drop(traced);
+        let records = tracer.take_records();
+        assert!(matches!(records[0].event, Event::DeviceReset { .. }));
+        assert!(matches!(
+            records.last().unwrap().event,
+            Event::DeviceStats { .. }
+        ));
+        let commands = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::Command { .. }))
+            .count();
+        let traced_flips = records
+            .iter()
+            .filter(|r| matches!(r.event, Event::Flip { .. }))
+            .count();
+        assert!(commands > 0, "hammer issues commands");
+        assert_eq!(traced_flips, flips.len());
     }
 
     #[test]

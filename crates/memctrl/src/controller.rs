@@ -30,6 +30,7 @@ use hammertime_common::{
     Result,
 };
 use hammertime_dram::{BankTiming, DdrCommand, DramConfig, DramModule, DramStats, FlipEvent};
+use hammertime_telemetry::{Event, Tracer};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -70,6 +71,11 @@ pub struct MemCtrlConfig {
     /// NACK, transient remap corruption). `None` — the default — is
     /// byte-identical to a faultless controller.
     pub faults: Option<FaultPlan>,
+    /// Cycle-stamped event tracer for controller-level events (refresh
+    /// instructions, injected faults, scheduler wedges) and scheduler
+    /// metrics. `None` — the default — adds no work to the scheduling
+    /// path. Serializes as `null` either way.
+    pub tracer: Option<Tracer>,
 }
 
 impl MemCtrlConfig {
@@ -85,6 +91,7 @@ impl MemCtrlConfig {
             queue_capacity: 4096,
             page_policy: PagePolicy::Open,
             faults: None,
+            tracer: None,
         }
     }
 }
@@ -190,6 +197,9 @@ pub struct MemCtrl {
     /// the controller wedges (no further commands issue) instead of
     /// panicking, and submitters see the error.
     wedged: Option<Error>,
+    /// Demand misses completed since the last row-buffer hit; feeds the
+    /// `mc.row_hit_distance` histogram. Only maintained when tracing.
+    completions_since_hit: u64,
     stats: McStats,
     seq: u64,
 }
@@ -253,6 +263,7 @@ impl MemCtrl {
             delayed_interrupts: Vec::new(),
             stuck_acts: vec![0; g.channels as usize],
             wedged: None,
+            completions_since_hit: 0,
             stats: McStats::default(),
             seq: 0,
             config,
@@ -296,6 +307,14 @@ impl MemCtrl {
     pub fn record_fault(&mut self, msg: String) {
         self.sched_cache = None;
         if self.wedged.is_none() {
+            if let Some(tracer) = &self.config.tracer {
+                tracer.emit(
+                    self.now,
+                    Event::SchedulerWedge {
+                        message: msg.clone(),
+                    },
+                );
+            }
             self.wedged = Some(Error::Fault(msg));
         }
     }
@@ -347,9 +366,25 @@ impl MemCtrl {
         let mut out = Vec::new();
         for intr in raised {
             if fc.fire(FaultKind::DroppedActInterrupt) {
+                if let Some(tracer) = &self.config.tracer {
+                    tracer.emit(
+                        intr.time,
+                        Event::FaultInjected {
+                            kind: FaultKind::DroppedActInterrupt.name().into(),
+                        },
+                    );
+                }
                 continue;
             }
             if fc.fire(FaultKind::DelayedActInterrupt) {
+                if let Some(tracer) = &self.config.tracer {
+                    tracer.emit(
+                        intr.time,
+                        Event::FaultInjected {
+                            kind: FaultKind::DelayedActInterrupt.name().into(),
+                        },
+                    );
+                }
                 self.delayed_interrupts.push(ActInterrupt {
                     time: intr.time + fc.plan().interrupt_delay,
                     ..intr
@@ -443,16 +478,34 @@ impl MemCtrl {
         // Fault hook: the refresh instruction is NACKed — the submitter
         // sees a typed fault and must cope (retry, fall back, or report
         // a missed mitigation).
-        if matches!(req.kind, RequestKind::Refresh { .. })
-            && self
+        if matches!(req.kind, RequestKind::Refresh { .. }) {
+            let nacked = self
                 .faults
                 .as_mut()
-                .is_some_and(|fc| fc.fire(FaultKind::RefreshNack))
-        {
-            return Err(Error::Fault(format!(
-                "refresh instruction for {} NACKed by the memory controller",
-                req.line
-            )));
+                .is_some_and(|fc| fc.fire(FaultKind::RefreshNack));
+            if let Some(tracer) = &self.config.tracer {
+                tracer.emit(
+                    self.now,
+                    Event::RefreshInstr {
+                        line: req.line.0,
+                        nacked,
+                    },
+                );
+                if nacked {
+                    tracer.emit(
+                        self.now,
+                        Event::FaultInjected {
+                            kind: FaultKind::RefreshNack.name().into(),
+                        },
+                    );
+                }
+            }
+            if nacked {
+                return Err(Error::Fault(format!(
+                    "refresh instruction for {} NACKed by the memory controller",
+                    req.line
+                )));
+            }
         }
         let mut coord = self.map.to_coord(req.line)?;
         // Fault hook: a transient remap-table disturbance sends this
@@ -465,6 +518,14 @@ impl MemCtrl {
             && self.map.geometry().rows_per_bank() > 1
         {
             coord.row ^= 1;
+            if let Some(tracer) = &self.config.tracer {
+                tracer.emit(
+                    self.now,
+                    Event::FaultInjected {
+                        kind: FaultKind::RemapCorruption.name().into(),
+                    },
+                );
+            }
         }
         if self.config.enforce_domain_groups && !req.domain.is_host() {
             let group = self.map.group_of_frame(req.line.page_frame());
@@ -980,6 +1041,13 @@ impl MemCtrl {
                 self.cmd_bus_free[channel as usize] = c.issue_at + 1;
                 if !need_pre {
                     let idx = self.rank_index(channel, rank);
+                    if let Some(tracer) = &self.config.tracer {
+                        // Slack between when the REF was due and when
+                        // the scheduler actually got it onto the bus —
+                        // the margin an attack must exhaust to starve
+                        // refresh.
+                        tracer.observe("mc.refresh_slack", c.issue_at.delta(self.next_ref[idx]));
+                    }
                     let t_refi = self.dram.config().timing.t_refi;
                     self.next_ref[idx] += t_refi;
                     self.stats.refs_issued += 1;
@@ -1054,6 +1122,14 @@ impl MemCtrl {
                         if fc.fire(FaultKind::StuckActCount) {
                             self.stuck_acts[ch_idx] = fc.plan().stuck_window;
                             counted = false;
+                            if let Some(tracer) = &self.config.tracer {
+                                tracer.emit(
+                                    at,
+                                    Event::FaultInjected {
+                                        kind: FaultKind::StuckActCount.name().into(),
+                                    },
+                                );
+                            }
                         }
                     }
                     if counted {
@@ -1164,8 +1240,15 @@ impl MemCtrl {
                 // request was first considered — approximated as a miss
                 // here; precise conflict classification is kept simple.
                 self.stats.row_misses += 1;
+                self.completions_since_hit += 1;
             } else {
                 self.stats.row_hits += 1;
+                if let Some(tracer) = &self.config.tracer {
+                    // Row-buffer hit distance: demand misses completed
+                    // since the previous hit (0 = back-to-back hits).
+                    tracer.observe("mc.row_hit_distance", self.completions_since_hit);
+                }
+                self.completions_since_hit = 0;
             }
         }
         if !p.internal {

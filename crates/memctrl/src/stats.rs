@@ -1,5 +1,6 @@
 //! Memory-controller statistics.
 
+use hammertime_telemetry::Tracer;
 use serde::{Deserialize, Serialize};
 
 /// Counters the controller maintains across a run.
@@ -60,6 +61,24 @@ impl McStats {
         } else {
             self.row_hits as f64 / total as f64
         }
+    }
+
+    /// Publishes the counters into `tracer`'s metrics registry under
+    /// `mc.*`. Purely additive: the struct (and its serde output) is
+    /// unchanged.
+    pub fn register_metrics(&self, tracer: &Tracer) {
+        tracer.counter_set("mc.reads", self.reads);
+        tracer.counter_set("mc.writes", self.writes);
+        tracer.counter_set("mc.row_hits", self.row_hits);
+        tracer.counter_set("mc.row_misses", self.row_misses);
+        tracer.counter_set("mc.row_conflicts", self.row_conflicts);
+        tracer.counter_set("mc.latency_sum", self.latency_sum);
+        tracer.counter_set("mc.refs_issued", self.refs_issued);
+        tracer.counter_set("mc.maintenance_ops", self.maintenance_ops);
+        tracer.counter_set("mc.throttle_events", self.throttle_events);
+        tracer.counter_set("mc.domain_violations", self.domain_violations);
+        tracer.counter_set("mc.sched_steps", self.sched_steps);
+        tracer.counter_set("mc.fault_injections", self.fault_injections);
     }
 }
 

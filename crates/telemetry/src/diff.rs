@@ -1,0 +1,198 @@
+//! Trace diffing: first divergence plus per-kind deltas.
+//!
+//! Traces from this simulator are deterministic, so the interesting
+//! question is never "how similar are these" but "where *exactly* do
+//! they part ways". [`diff_traces`] walks two record streams in step
+//! and reports (a) the first index at which they disagree — with both
+//! records and their cycle stamps — and (b) per-event-kind (and
+//! per-command-mnemonic) record counts for each trace, so a
+//! one-glance summary shows *what class* of behaviour changed (e.g.
+//! "REF count differs" vs "flips differ").
+
+use crate::event::{Event, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Record index (0-based) of the disagreement.
+    pub index: usize,
+    /// The record in trace A (`None` if A ended first).
+    pub a: Option<TraceRecord>,
+    /// The record in trace B (`None` if B ended first).
+    pub b: Option<TraceRecord>,
+}
+
+/// Result of comparing two traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Record count of trace A.
+    pub len_a: usize,
+    /// Record count of trace B.
+    pub len_b: usize,
+    /// First disagreement, if any.
+    pub first_divergence: Option<Divergence>,
+    /// Per-kind record counts `(a, b)`, only for kinds whose counts
+    /// differ. Command records additionally count under
+    /// `command:MNEMONIC` keys.
+    pub kind_deltas: BTreeMap<String, (u64, u64)>,
+}
+
+impl TraceDiff {
+    /// True when the traces are identical record for record.
+    pub fn is_empty(&self) -> bool {
+        self.first_divergence.is_none() && self.len_a == self.len_b
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "traces identical ({} records)", self.len_a);
+        }
+        writeln!(f, "traces differ: {} vs {} records", self.len_a, self.len_b)?;
+        if let Some(d) = &self.first_divergence {
+            writeln!(f, "first divergence at record {}:", d.index)?;
+            match &d.a {
+                Some(r) => writeln!(f, "  a: {r}")?,
+                None => writeln!(f, "  a: <ended>")?,
+            }
+            match &d.b {
+                Some(r) => writeln!(f, "  b: {r}")?,
+                None => writeln!(f, "  b: <ended>")?,
+            }
+        }
+        if !self.kind_deltas.is_empty() {
+            writeln!(f, "per-kind count deltas (a vs b):")?;
+            for (kind, (a, b)) in &self.kind_deltas {
+                writeln!(f, "  {kind}: {a} vs {b}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Tallies records by kind; commands additionally by mnemonic.
+fn kind_counts(records: &[TraceRecord]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for rec in records {
+        *counts.entry(rec.event.kind().to_string()).or_insert(0) += 1;
+        if let Event::Command { cmd } = &rec.event {
+            *counts
+                .entry(format!("command:{}", cmd.mnemonic()))
+                .or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Compares two traces record by record.
+pub fn diff_traces(a: &[TraceRecord], b: &[TraceRecord]) -> TraceDiff {
+    let first_divergence = a
+        .iter()
+        .zip(b.iter())
+        .position(|(ra, rb)| ra != rb)
+        .or_else(|| (a.len() != b.len()).then(|| a.len().min(b.len())))
+        .map(|index| Divergence {
+            index,
+            a: a.get(index).cloned(),
+            b: b.get(index).cloned(),
+        });
+
+    let counts_a = kind_counts(a);
+    let counts_b = kind_counts(b);
+    let mut kind_deltas = BTreeMap::new();
+    for key in counts_a.keys().chain(counts_b.keys()) {
+        let ca = counts_a.get(key).copied().unwrap_or(0);
+        let cb = counts_b.get(key).copied().unwrap_or(0);
+        if ca != cb {
+            kind_deltas.insert(key.clone(), (ca, cb));
+        }
+    }
+
+    TraceDiff {
+        len_a: a.len(),
+        len_b: b.len(),
+        first_divergence,
+        kind_deltas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CmdEvent;
+    use hammertime_common::geometry::BankId;
+
+    fn rec(cycle: u64, row: u32) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            event: Event::Command {
+                cmd: CmdEvent::Act {
+                    bank: BankId {
+                        channel: 0,
+                        rank: 0,
+                        bank_group: 0,
+                        bank: 0,
+                    },
+                    row,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn identical_traces_diff_empty() {
+        let a = vec![rec(1, 10), rec(2, 20)];
+        let d = diff_traces(&a, &a.clone());
+        assert!(d.is_empty());
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn first_divergence_is_located() {
+        let a = vec![rec(1, 10), rec(2, 20), rec(3, 30)];
+        let mut b = a.clone();
+        b[1] = rec(2, 99);
+        let d = diff_traces(&a, &b);
+        assert!(!d.is_empty());
+        let div = d.first_divergence.expect("divergence");
+        assert_eq!(div.index, 1);
+        assert_eq!(div.a, Some(rec(2, 20)));
+        assert_eq!(div.b, Some(rec(2, 99)));
+        // Same kind counts on both sides: no deltas, but still a diff.
+        assert!(d.kind_deltas.is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_diverges_at_shorter_end() {
+        let a = vec![rec(1, 10), rec(2, 20)];
+        let b = vec![rec(1, 10)];
+        let d = diff_traces(&a, &b);
+        let div = d.first_divergence.expect("divergence");
+        assert_eq!(div.index, 1);
+        assert_eq!(div.a, Some(rec(2, 20)));
+        assert_eq!(div.b, None);
+        assert_eq!(d.kind_deltas.get("command"), Some(&(2, 1)));
+        assert_eq!(d.kind_deltas.get("command:ACT"), Some(&(2, 1)));
+    }
+
+    #[test]
+    fn kind_deltas_group_by_mnemonic() {
+        let a = vec![rec(1, 10)];
+        let b = vec![TraceRecord {
+            cycle: 1,
+            event: Event::Command {
+                cmd: CmdEvent::Ref {
+                    channel: 0,
+                    rank: 0,
+                },
+            },
+        }];
+        let d = diff_traces(&a, &b);
+        assert_eq!(d.kind_deltas.get("command:ACT"), Some(&(1, 0)));
+        assert_eq!(d.kind_deltas.get("command:REF"), Some(&(0, 1)));
+        assert!(!d.kind_deltas.contains_key("command"), "equal counts");
+    }
+}

@@ -6,36 +6,63 @@
 //! rerun bit-identically from its recorded input).
 
 use crate::ops::{AccessOp, Workload};
-use hammertime_common::RequestSource;
+use hammertime_common::traceformat::{TraceHeader, TraceKind};
+use hammertime_common::{RequestSource, Result};
 use serde::{Deserialize, Serialize};
 
 /// A recorded operation stream.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
+    /// Shared trace version header (always [`TraceHeader::ops`] when
+    /// recorded by this build); [`Trace::validate`] rejects foreign or
+    /// future formats after deserialization.
+    pub header: TraceHeader,
     /// Display name.
     pub name: String,
     /// Who issues the stream.
     pub source: RequestSource,
     /// The operations in order.
     pub ops: Vec<AccessOp>,
+    /// Whether recording stopped at the `max_ops` cap while the
+    /// workload still had operations to emit. A truncated trace is not
+    /// a faithful recording of the generator, so replaying it will not
+    /// reproduce the full run.
+    pub truncated: bool,
 }
 
 impl Trace {
     /// Records a workload to completion (capped at `max_ops` to keep
-    /// unbounded generators finite).
+    /// unbounded generators finite). If the cap cuts the workload off
+    /// mid-stream, the trace is marked [`Trace::truncated`] rather
+    /// than silently dropping the remainder.
     pub fn record(workload: &mut dyn Workload, max_ops: usize) -> Trace {
         let mut ops = Vec::new();
-        while ops.len() < max_ops {
+        let mut truncated = false;
+        loop {
+            if ops.len() == max_ops {
+                // Probe one more op to distinguish "exactly fit" from
+                // "cap hit with work remaining".
+                truncated = workload.next_op().is_some();
+                break;
+            }
             match workload.next_op() {
                 Some(op) => ops.push(op),
                 None => break,
             }
         }
         Trace {
+            header: TraceHeader::ops(),
             name: workload.name().to_string(),
             source: workload.source(),
             ops,
+            truncated,
         }
+    }
+
+    /// Checks the version header: the trace must be an input-side ops
+    /// trace of a version this build reads.
+    pub fn validate(&self) -> Result<()> {
+        self.header.validate(TraceKind::Ops)
     }
 
     /// A replayer over this trace.
@@ -92,6 +119,8 @@ mod tests {
         let trace = Trace::record(&mut w, 1000);
         assert_eq!(trace.len(), 6); // 3 flush+read pairs
         assert_eq!(trace.name, "single-sided");
+        assert!(!trace.truncated);
+        trace.validate().unwrap();
         let mut replay = trace.replay();
         let replayed: Vec<_> = std::iter::from_fn(|| replay.next_op()).collect();
         assert_eq!(replayed, trace.ops);
@@ -99,10 +128,29 @@ mod tests {
     }
 
     #[test]
-    fn record_caps_at_max_ops() {
+    fn record_caps_at_max_ops_and_reports_truncation() {
         let mut w = HammerPattern::single_sided(CacheLineAddr(5), 1_000_000);
         let trace = Trace::record(&mut w, 10);
         assert_eq!(trace.len(), 10);
+        assert!(trace.truncated, "cap cut off a live generator");
+    }
+
+    #[test]
+    fn exactly_full_trace_is_not_truncated() {
+        // 3 accesses → 6 ops; a cap of exactly 6 fits the whole stream.
+        let mut w = HammerPattern::single_sided(CacheLineAddr(5), 3);
+        let trace = Trace::record(&mut w, 6);
+        assert_eq!(trace.len(), 6);
+        assert!(!trace.truncated, "stream fit exactly — nothing dropped");
+    }
+
+    #[test]
+    fn validate_rejects_foreign_headers() {
+        let mut w = HammerPattern::single_sided(CacheLineAddr(5), 1);
+        let mut trace = Trace::record(&mut w, 100);
+        trace.validate().unwrap();
+        trace.header = hammertime_common::traceformat::TraceHeader::commands();
+        assert!(trace.validate().is_err());
     }
 
     #[test]

@@ -92,6 +92,23 @@ proptest! {
         prop_assert_eq!(back, trace);
     }
 
+    /// Every recorded trace carries the shared version header, keeps
+    /// it (and the truncation flag) through a serde round trip, and
+    /// reports truncation exactly when the cap cut the generator off.
+    #[test]
+    fn trace_header_and_truncation(accesses in 1u64..100, cap in 0usize..250) {
+        let mut w = HammerPattern::single_sided(CacheLineAddr(7), accesses);
+        let trace = Trace::record(&mut w, cap);
+        trace.validate().unwrap();
+        let total_ops = (accesses * 2) as usize; // flush+read per access
+        prop_assert_eq!(trace.len(), total_ops.min(cap));
+        prop_assert_eq!(trace.truncated, cap < total_ops);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
     /// Paced patterns preserve the total access count and insert
     /// decoys at exactly the configured period.
     #[test]
