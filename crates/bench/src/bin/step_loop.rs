@@ -23,9 +23,10 @@
 //! exits nonzero if the disabled path is more than PCT% slower.
 
 use hammertime_bench::step_loop::{
-    drive_t1_cell, hammer_burst, hammer_burst_bypassing_tracer, hammer_burst_with_tracer, idle_mc,
-    idle_poll, idle_poll_on, t1_defense_catalog, IDLE_QUANTUM,
+    drive_t1_cell, drive_t1_cell_shadowed, hammer_burst, hammer_burst_bypassing_tracer,
+    hammer_burst_with_tracer, idle_mc, idle_poll, idle_poll_on, t1_defense_catalog, IDLE_QUANTUM,
 };
+use hammertime_check::ShadowChecker;
 use hammertime_telemetry::Tracer;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -263,6 +264,53 @@ fn main() {
         acts as u64,
         traced,
         untraced,
+    ));
+
+    // Shadow-checker overhead on the T1 cell set: baseline replays
+    // every issued command through the live invariant engine, the
+    // optimized side leaves the checker detached (the production
+    // default — one `is_none()` check per issue). Reported for the
+    // perf trajectory; the CI gate below covers the disabled path.
+    {
+        let shadow = ShadowChecker::new();
+        let shadowed = drive_t1_cell_shadowed(
+            catalog[0].1,
+            catalog[0].2,
+            true,
+            quick,
+            Some(shadow.clone()),
+        );
+        assert_eq!(
+            shadowed,
+            drive_t1_cell(catalog[0].1, catalog[0].2, true, quick),
+            "shadow checker perturbed the T1 cell"
+        );
+        shadow.finish(shadowed.0);
+        assert!(
+            shadow.violations().is_empty(),
+            "T1 cell command stream violated protocol invariants"
+        );
+    }
+    let checked = time_best(reps, || {
+        for (_, m, trr) in &catalog {
+            drive_t1_cell_shadowed(*m, *trr, true, quick, Some(ShadowChecker::new()));
+        }
+    });
+    let unchecked = time_best(reps, || {
+        for (_, m, trr) in &catalog {
+            drive_t1_cell(*m, *trr, true, quick);
+        }
+    });
+    eprintln!(
+        "t1_shadow_checked: {cells} cells, shadow on {checked:.3}s off {unchecked:.3}s ({:.1}x overhead)",
+        checked / unchecked
+    );
+    scenarios.push(scenario(
+        "t1_shadow_checked",
+        "cells",
+        cells,
+        checked,
+        unchecked,
     ));
 
     // Zero-cost-when-off gate: the telemetry-disabled issue path (one

@@ -6,6 +6,7 @@
 //! the same code paths: the memoized fast scheduler vs. the reference
 //! linear scan, and batched vs. per-ACT disturbance accounting.
 
+use hammertime_check::ShadowChecker;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId, Geometry, RequestSource};
 use hammertime_dram::{DdrCommand, DramConfig, DramModule, TimingParams, TrrConfig};
@@ -177,9 +178,25 @@ pub fn drive_t1_cell(
     fast: bool,
     quick: bool,
 ) -> (Cycle, usize) {
+    drive_t1_cell_shadowed(mitigation, trr, fast, quick, None)
+}
+
+/// [`drive_t1_cell`] with an optional live protocol shadow checker
+/// attached to the controller — the scenario behind the
+/// shadow-overhead comparison: `None` takes the one-`is_none()`-check
+/// disabled path, `Some` replays every issued command through the full
+/// invariant engine.
+pub fn drive_t1_cell_shadowed(
+    mitigation: McMitigationConfig,
+    trr: bool,
+    fast: bool,
+    quick: bool,
+    shadow: Option<ShadowChecker>,
+) -> (Cycle, usize) {
     let mut cfg = MemCtrlConfig::baseline();
     cfg.mitigation = mitigation;
     cfg.page_policy = PagePolicy::Closed;
+    cfg.shadow = shadow;
     // Medium geometry with DDR4 timing: enough banks that the fast
     // path's bank-level pruning has something to prune, and a
     // realistic refresh cadence so the gaps between bursts are
@@ -270,6 +287,25 @@ mod tests {
             hammer_burst_bypassing_tracer(500, true),
             hammer_burst(500, true)
         );
+    }
+
+    #[test]
+    fn shadowed_t1_cell_matches_unshadowed_and_is_clean() {
+        let shadow = ShadowChecker::new();
+        let shadowed = drive_t1_cell_shadowed(
+            McMitigationConfig::None,
+            false,
+            true,
+            true,
+            Some(shadow.clone()),
+        );
+        assert_eq!(
+            shadowed,
+            drive_t1_cell(McMitigationConfig::None, false, true, true)
+        );
+        shadow.finish(shadowed.0);
+        assert!(shadow.commands_checked() > 0);
+        assert!(shadow.violations().is_empty(), "live stream not clean");
     }
 
     #[test]

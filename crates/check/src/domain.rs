@@ -1,0 +1,75 @@
+//! The OS-layer isolation invariant: guard-radius spacing between
+//! domains.
+//!
+//! The isolation-centric allocator (paper §4.1) promises that frames
+//! of different isolation domains are never mapped to row stripes
+//! within one blast radius of each other — that spacing is what makes
+//! cross-domain hammering physically impossible. This module checks
+//! the promise from the allocator's output alone.
+
+use crate::rules::{Rule, Violation};
+
+/// Checks the isolation-domain invariant over an allocator's ownership
+/// map: `owned` lists `(row stripe, domain)` pairs for every stripe a
+/// domain owns frames in, and no two *different* domains may own
+/// stripes closer than or equal to `radius` apart.
+///
+/// Returns one violation per offending adjacent pair (after sorting by
+/// stripe, adjacency is sufficient: any violating pair at distance ≤
+/// `radius` implies a violating adjacent pair within it).
+pub fn lint_domain_stripes(owned: &[(u32, u64)], radius: u32) -> Vec<Violation> {
+    let mut sorted: Vec<(u32, u64)> = owned.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out = Vec::new();
+    for pair in sorted.windows(2) {
+        let (s1, d1) = pair[0];
+        let (s2, d2) = pair[1];
+        if d1 != d2 && s2 - s1 <= radius {
+            out.push(Violation {
+                cycle: 0,
+                rule: Rule::DomainGuard,
+                bank: None,
+                detail: format!(
+                    "domain {d1} owns stripe {s1} and domain {d2} owns stripe {s2} \
+                     ({} apart, guard radius {radius})",
+                    s2 - s1
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respecting_the_radius_is_clean() {
+        let owned = [(0, 1), (1, 1), (5, 2), (6, 2), (10, 1)];
+        assert!(lint_domain_stripes(&owned, 2).is_empty());
+    }
+
+    #[test]
+    fn adjacent_foreign_stripes_violate() {
+        let owned = [(0, 1), (2, 2)];
+        let v = lint_domain_stripes(&owned, 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::DomainGuard);
+    }
+
+    #[test]
+    fn same_domain_stripes_never_violate() {
+        let owned = [(0, 1), (1, 1), (2, 1)];
+        assert!(lint_domain_stripes(&owned, 4).is_empty());
+    }
+
+    #[test]
+    fn violation_found_across_interleaved_same_domain_stripe() {
+        // 0(d1), 1(d1), 2(d2): the (1, 2) adjacent pair violates even
+        // though (0, 2) is the "visually" offending span.
+        let owned = [(0, 1), (1, 1), (2, 2)];
+        assert!(!lint_domain_stripes(&owned, 1).is_empty());
+    }
+}

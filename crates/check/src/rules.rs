@@ -1,0 +1,222 @@
+//! The invariant catalog: rule identifiers and structured violations.
+//!
+//! Every rule corresponds to one JEDEC-style constraint or one
+//! cross-layer conservation law; DESIGN.md §9 tabulates each rule
+//! against the datasheet constraint and the paper section it protects.
+
+use hammertime_common::geometry::BankId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One invariant the checker enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rule {
+    // ---- per-bank state-machine legality ----
+    /// ACT issued to a bank whose row buffer is already open.
+    ActOnOpenBank,
+    /// RD/WR issued to a bank with no open row.
+    CasOnClosedBank,
+    /// REF/REFN issued while a covered bank still has an open row.
+    RefWithOpenBank,
+    /// A row or column index outside the device geometry.
+    AddressRange,
+
+    // ---- per-bank timing ----
+    /// RD/WR before tRCD has elapsed since the ACT.
+    TRcd,
+    /// PRE before the earliest legal close (tRAS since ACT, tRTP since
+    /// RD, or write recovery since the WR burst).
+    TRas,
+    /// ACT before tRP has elapsed since the closing PRE.
+    TRp,
+    /// ACT before tRC has elapsed since the previous ACT of the bank.
+    TRc,
+
+    // ---- per-channel bus occupancy ----
+    /// Two commands on one channel's command bus in the same cycle (or
+    /// out of order).
+    CmdBusConflict,
+    /// A CAS data burst overlapping the previous burst on the
+    /// channel's data bus (CL/CWL + tBL occupancy).
+    DataBusOverlap,
+
+    // ---- rank-level timing ----
+    /// ACT-to-ACT spacing below tRRD_L (same bank group) or tRRD_S
+    /// (different group).
+    TRrd,
+    /// A fifth ACT inside one rank's four-activate window (tFAW).
+    TFaw,
+    /// A command to a rank (or a bank it covers) still busy with a
+    /// refresh (tRFC / REFN row-cycle occupancy).
+    RankBusy,
+
+    // ---- refresh schedule ----
+    /// A rank went longer than the pull-in window allows (9×tREFI)
+    /// without a REF.
+    RefStarved,
+
+    // ---- cross-layer conservation ----
+    /// Command counts on the trace disagree with the device's final
+    /// `DramStats` counters.
+    CommandConservation,
+    /// Flip events on the trace disagree with `DramStats.flips`.
+    FlipConservation,
+
+    // ---- OS-layer isolation ----
+    /// Two isolation domains own row stripes within one guard radius.
+    DomainGuard,
+
+    // ---- trace well-formedness ----
+    /// The trace itself is malformed (command before `DeviceReset`,
+    /// unparseable embedded config/stats).
+    TraceFormat,
+}
+
+/// Coarse family of a rule, used by the mutation harness to prove
+/// coverage of distinct rule *classes*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleClass {
+    /// FSM legality (state-dependent command validity).
+    Protocol,
+    /// Bank-local timing windows.
+    BankTiming,
+    /// Command/data bus exclusivity.
+    Bus,
+    /// Rank-level ACT spacing and occupancy.
+    Rank,
+    /// Refresh-interval deadlines.
+    Refresh,
+    /// Cross-layer count conservation.
+    Conservation,
+    /// OS-layer isolation-domain spacing.
+    Isolation,
+    /// Trace well-formedness.
+    Format,
+}
+
+impl Rule {
+    /// Short kebab-case name, used in reports and metrics keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::ActOnOpenBank => "act-on-open-bank",
+            Rule::CasOnClosedBank => "cas-on-closed-bank",
+            Rule::RefWithOpenBank => "ref-with-open-bank",
+            Rule::AddressRange => "address-range",
+            Rule::TRcd => "t-rcd",
+            Rule::TRas => "t-ras",
+            Rule::TRp => "t-rp",
+            Rule::TRc => "t-rc",
+            Rule::CmdBusConflict => "cmd-bus-conflict",
+            Rule::DataBusOverlap => "data-bus-overlap",
+            Rule::TRrd => "t-rrd",
+            Rule::TFaw => "t-faw",
+            Rule::RankBusy => "rank-busy",
+            Rule::RefStarved => "ref-starved",
+            Rule::CommandConservation => "command-conservation",
+            Rule::FlipConservation => "flip-conservation",
+            Rule::DomainGuard => "domain-guard",
+            Rule::TraceFormat => "trace-format",
+        }
+    }
+
+    /// The rule's class.
+    pub fn class(&self) -> RuleClass {
+        match self {
+            Rule::ActOnOpenBank
+            | Rule::CasOnClosedBank
+            | Rule::RefWithOpenBank
+            | Rule::AddressRange => RuleClass::Protocol,
+            Rule::TRcd | Rule::TRas | Rule::TRp | Rule::TRc => RuleClass::BankTiming,
+            Rule::CmdBusConflict | Rule::DataBusOverlap => RuleClass::Bus,
+            Rule::TRrd | Rule::TFaw | Rule::RankBusy => RuleClass::Rank,
+            Rule::RefStarved => RuleClass::Refresh,
+            Rule::CommandConservation | Rule::FlipConservation => RuleClass::Conservation,
+            Rule::DomainGuard => RuleClass::Isolation,
+            Rule::TraceFormat => RuleClass::Format,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One detected invariant violation: which rule, where, and why.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Cycle the offending record is stamped with (0 for structural
+    /// checks that have no single cycle, e.g. domain spacing).
+    pub cycle: u64,
+    /// The violated rule.
+    pub rule: Rule,
+    /// The bank the violation is attributed to, when bank-scoped.
+    pub bank: Option<BankId>,
+    /// Human-readable diagnostic with the exact numbers involved.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} [{}]", self.cycle, self.rule.name())?;
+        if let Some(b) = &self.bank {
+            write!(
+                f,
+                " ch{}:rk{}:bg{}:ba{}",
+                b.channel, b.rank, b.bank_group, b.bank
+            )?;
+        }
+        write!(f, " {}", self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_distinct() {
+        let rules = [
+            Rule::ActOnOpenBank,
+            Rule::CasOnClosedBank,
+            Rule::RefWithOpenBank,
+            Rule::AddressRange,
+            Rule::TRcd,
+            Rule::TRas,
+            Rule::TRp,
+            Rule::TRc,
+            Rule::CmdBusConflict,
+            Rule::DataBusOverlap,
+            Rule::TRrd,
+            Rule::TFaw,
+            Rule::RankBusy,
+            Rule::RefStarved,
+            Rule::CommandConservation,
+            Rule::FlipConservation,
+            Rule::DomainGuard,
+            Rule::TraceFormat,
+        ];
+        let names: std::collections::HashSet<_> = rules.iter().map(Rule::name).collect();
+        assert_eq!(names.len(), rules.len());
+    }
+
+    #[test]
+    fn violation_serializes_to_json() {
+        let v = Violation {
+            cycle: 17,
+            rule: Rule::TFaw,
+            bank: Some(BankId {
+                channel: 0,
+                rank: 1,
+                bank_group: 0,
+                bank: 3,
+            }),
+            detail: "5th ACT at 17 inside window opened at 10 (tFAW 12)".into(),
+        };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Violation = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+        assert!(json.contains("TFaw"));
+    }
+}

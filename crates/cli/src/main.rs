@@ -12,6 +12,7 @@
 //! hammertime-cli trace replay run.trace           # re-drive DRAM, verify
 //! hammertime-cli trace diff a.trace b.trace       # first divergence + deltas
 //! hammertime-cli trace stats run.trace            # per-kind record counts
+//! hammertime-cli trace lint run.trace             # protocol-invariant check
 //! ```
 //!
 //! `experiments` runs the registry through the parallel cell engine:
@@ -34,6 +35,14 @@
 //! its command stream, exiting nonzero if the replayed flips or final
 //! `DramStats` diverge from the recording. `attack --trace PATH`
 //! records the single attack machine the same way.
+//!
+//! `trace lint` validates a recorded command stream against the DDR
+//! protocol-invariant catalog (bank state machine, bank/rank timing,
+//! bus occupancy, refresh deadlines, conservation laws) and exits
+//! nonzero on any violation; `--report OUT.jsonl` writes the
+//! violations as machine-readable JSONL and `--self-test` additionally
+//! mutates the trace (dropped PRE, shifted ACT, fifth ACT in tFAW,
+//! starved REF, ...) to prove the rules actually fire.
 
 use hammertime::experiments::{self, CellProgress, RunOptions};
 use hammertime::machine::MachineConfig;
@@ -502,14 +511,78 @@ fn trace_stats(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+fn trace_lint(args: &[String]) -> Result<()> {
+    let mut path: Option<&String> = None;
+    let mut report_out: Option<PathBuf> = None;
+    let mut self_test = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--report needs an output file path");
+                    std::process::exit(2);
+                };
+                report_out = Some(PathBuf::from(value));
+                i += 1;
+            }
+            "--self-test" => self_test = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(&args[i]),
+            other => {
+                eprintln!("trace lint: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("trace lint needs a trace file path");
+        std::process::exit(2);
+    };
+    let trace = codec::read_path(Path::new(path))?;
+    let report = hammertime_check::lint_trace(&trace);
+    println!(
+        "linted {} commands across {} device segment(s): {} violation(s)",
+        report.commands,
+        report.devices,
+        report.violations.len()
+    );
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    if let Some(out) = report_out {
+        std::fs::write(&out, report.to_jsonl())
+            .map_err(|e| Error::Config(format!("cannot write {}: {e}", out.display())))?;
+        println!("violation report written to {}", out.display());
+    }
+    if self_test {
+        let st = hammertime_check::mutate::self_test(&trace.records);
+        print!("{}", st.summary());
+        if !st.passed() {
+            return Err(Error::Fault(
+                "mutation self-test failed: a corrupted trace went undetected".into(),
+            ));
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(Error::Fault(format!(
+            "{path}: {} protocol-invariant violation(s)",
+            report.violations.len()
+        )))
+    }
+}
+
 fn cmd_trace(args: &[String]) -> Result<()> {
     match args.first().map(String::as_str) {
         Some("record") => trace_record(&args[1..]),
         Some("replay") => trace_replay(&args[1..]),
         Some("diff") => trace_diff(&args[1..]),
         Some("stats") => trace_stats(&args[1..]),
+        Some("lint") => trace_lint(&args[1..]),
         _ => {
-            eprintln!("trace needs a subcommand: record | replay | diff | stats");
+            eprintln!("trace needs a subcommand: record | replay | diff | stats | lint");
             std::process::exit(2);
         }
     }
@@ -529,7 +602,8 @@ fn usage() -> ! {
            hammertime-cli trace record --out PATH [experiments flags]\n\
            hammertime-cli trace replay PATH\n\
            hammertime-cli trace diff A B\n\
-           hammertime-cli trace stats PATH"
+           hammertime-cli trace stats PATH\n\
+           hammertime-cli trace lint PATH [--report OUT.jsonl] [--self-test]"
     );
     std::process::exit(2);
 }

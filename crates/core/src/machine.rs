@@ -106,6 +106,12 @@ pub struct MachineConfig {
     /// falls back to the experiment engine's ambient per-cell tracer
     /// (also usually `None`) and costs nothing on the simulation path.
     pub tracer: Option<Tracer>,
+    /// Opt-in protocol-invariant shadow checker, threaded into the
+    /// memory controller so every DDR command the scheduler puts on the
+    /// bus is validated live against the `trace lint` invariant
+    /// catalog. `None` — the default — costs one branch per issued
+    /// command and changes no observable output.
+    pub shadow: Option<hammertime_check::ShadowChecker>,
 }
 
 impl MachineConfig {
@@ -140,6 +146,7 @@ impl MachineConfig {
             page_policy: hammertime_memctrl::controller::PagePolicy::Open,
             faults: None,
             tracer: None,
+            shadow: None,
         }
     }
 
@@ -169,6 +176,7 @@ impl MachineConfig {
             page_policy: hammertime_memctrl::controller::PagePolicy::Open,
             faults: None,
             tracer: None,
+            shadow: None,
         }
     }
 
@@ -370,6 +378,7 @@ impl Machine {
             page_policy: cfg.page_policy,
             faults: cfg.faults,
             tracer: tracer.clone(),
+            shadow: cfg.shadow.clone(),
         };
         let mc = MemCtrl::new(mc_config, dram_config, cfg.seed ^ 0x3C3C)?;
         let llc = Llc::new(cache_cfg)?;

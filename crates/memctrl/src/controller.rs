@@ -24,6 +24,7 @@ use crate::addrmap::{AddressMap, MappingScheme};
 use crate::mitigation::{ActAction, McMitigation, McMitigationConfig};
 use crate::request::{Completion, MemRequest, RequestKind};
 use crate::stats::McStats;
+use hammertime_check::ShadowChecker;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{
     CacheLineAddr, Cycle, DetRng, DomainId, DramCoord, Error, FaultClock, FaultKind, FaultPlan,
@@ -76,6 +77,12 @@ pub struct MemCtrlConfig {
     /// metrics. `None` — the default — adds no work to the scheduling
     /// path. Serializes as `null` either way.
     pub tracer: Option<Tracer>,
+    /// Opt-in protocol-invariant shadow checker: every successfully
+    /// issued DDR command is replayed through the same invariant
+    /// catalog `trace lint` enforces offline, catching scheduler bugs
+    /// at the moment they reach the bus. `None` — the default — costs
+    /// one branch per issued command. Serializes as `null` either way.
+    pub shadow: Option<ShadowChecker>,
 }
 
 impl MemCtrlConfig {
@@ -92,6 +99,7 @@ impl MemCtrlConfig {
             page_policy: PagePolicy::Open,
             faults: None,
             tracer: None,
+            shadow: None,
         }
     }
 }
@@ -208,6 +216,14 @@ pub struct MemCtrl {
 /// from the DRAM module's under one [`FaultPlan`].
 const MC_FAULT_SALT: u64 = 0xAC7C;
 
+/// How many tREFI a rank's REF may be postponed past its due cycle
+/// before the scheduler stops feeding that rank request commands and
+/// forces the refresh through. Seven postponements plus the bank-drain
+/// tail (tRAS + tRP ≪ tREFI) keeps every REF-to-REF gap inside the
+/// 9×tREFI starvation bound the protocol checker enforces, while still
+/// letting FR-FCFS exploit most of the JEDEC pull-in window.
+const FORCED_REF_LEAD: u64 = 7;
+
 impl MemCtrl {
     /// Builds a controller over a fresh DRAM module.
     ///
@@ -223,6 +239,11 @@ impl MemCtrl {
         }
         let g = dram_config.geometry;
         let t = dram_config.timing;
+        if let Some(shadow) = &config.shadow {
+            // Mirror the DeviceReset record a tracer would see, arming
+            // the shadow engine with this device's geometry and timing.
+            shadow.on_device_reset(&dram_config);
+        }
         let dram = DramModule::new(dram_config)?;
         let mut rng = DetRng::new(seed ^ 0xC0FF_EE00);
         let counters = ActCounterBlock::new(config.act_counters, g.channels, rng.fork(1));
@@ -827,6 +848,19 @@ impl MemCtrl {
             _ if p.req.kind.is_maintenance() => 1,
             _ => 2,
         };
+        // Forced refresh: once a rank's pending REF has been postponed
+        // to the edge of its pull-in window, the rank stops accepting
+        // request commands. Its banks then drain (tRAS + tRP, well
+        // under one tREFI), the refresh candidate is the only one
+        // left, and the REF lands inside the JEDEC 9×tREFI bound that
+        // `hammertime-check` enforces. Without this barrier a
+        // saturating workload starves REF indefinitely under FR-FCFS,
+        // because a demand candidate's issue slot is always earlier
+        // than a REF that must first settle every bank.
+        let due = self.next_ref[self.rank_index(p.bank.channel, p.bank.rank)];
+        if due != Cycle::MAX && timing.t_refi > 0 && at >= due + FORCED_REF_LEAD * timing.t_refi {
+            return None;
+        }
         Some(Candidate {
             issue_at: at,
             priority,
@@ -954,8 +988,10 @@ impl MemCtrl {
                 if best.as_ref().is_some_and(|b| lb > b.issue_at) {
                     continue;
                 }
+                // `None` here is a request parked behind a forced
+                // refresh of its rank (the acted-refresh completion
+                // case is intercepted in `step` before the scan).
                 let Some(c) = self.candidate_from_snapshot(i, &bt) else {
-                    debug_assert!(false, "un-priceable request outside the acted-refresh case");
                     continue;
                 };
                 if best.as_ref().is_none_or(|b| better(&c, b)) {
@@ -1037,18 +1073,37 @@ impl MemCtrl {
                         return false;
                     }
                 };
+                if let Some(shadow) = &self.config.shadow {
+                    shadow.on_command(c.issue_at, &(&cmd).into());
+                }
                 self.now = c.issue_at;
                 self.cmd_bus_free[channel as usize] = c.issue_at + 1;
                 if !need_pre {
                     let idx = self.rank_index(channel, rank);
-                    if let Some(tracer) = &self.config.tracer {
+                    let due = self.next_ref[idx];
+                    if c.issue_at < due {
+                        // Pulled-in REF (issued before its deadline,
+                        // e.g. via the JEDEC postpone/pull-in window or
+                        // a host refresh instruction racing the
+                        // scheduler). `delta` would underflow here, so
+                        // it gets its own counter and metric.
+                        self.stats.early_refs += 1;
+                        if let Some(tracer) = &self.config.tracer {
+                            tracer.observe("mc.refresh_pull_in", due.delta(c.issue_at));
+                        }
+                    } else if let Some(tracer) = &self.config.tracer {
                         // Slack between when the REF was due and when
                         // the scheduler actually got it onto the bus —
                         // the margin an attack must exhaust to starve
                         // refresh.
-                        tracer.observe("mc.refresh_slack", c.issue_at.delta(self.next_ref[idx]));
+                        tracer.observe("mc.refresh_slack", c.issue_at.delta(due));
                     }
                     let t_refi = self.dram.config().timing.t_refi;
+                    if t_refi > 0 && c.issue_at >= due + FORCED_REF_LEAD * t_refi {
+                        // This REF only got through because the forced-
+                        // refresh barrier stopped feeding the rank.
+                        self.stats.refs_forced += 1;
+                    }
                     self.next_ref[idx] += t_refi;
                     self.stats.refs_issued += 1;
                     let _ = outcome;
@@ -1090,6 +1145,9 @@ impl MemCtrl {
                 return false;
             }
         };
+        if let Some(shadow) = &self.config.shadow {
+            shadow.on_command(at, &(&cmd).into());
+        }
         self.now = at;
         let ch = cmd.channel() as usize;
         self.cmd_bus_free[ch] = at + 1;
@@ -1390,6 +1448,58 @@ mod tests {
         let t = m.dram().config().timing;
         m.advance_to(Cycle(t.t_refi * 10));
         assert_eq!(m.stats().refs_issued, 0);
+    }
+
+    #[test]
+    fn early_ref_under_tracing_counts_pull_in_instead_of_underflowing() {
+        // Regression: `mc.refresh_slack` was computed as
+        // `issue_at.delta(next_ref)` unconditionally, which underflows
+        // (debug-asserts) when a REF lands *before* its deadline. The
+        // scheduler itself never pulls a REF in, so forge the race a
+        // host refresh instruction can create: issue the REF candidate
+        // while the rank's deadline sits in the future.
+        let mut cfg = MemCtrlConfig::baseline();
+        cfg.tracer = Some(Tracer::buffer());
+        let mut m = mc(cfg, 1_000_000);
+        let at = m.dram.earliest(&DdrCommand::Ref {
+            channel: 0,
+            rank: 0,
+        });
+        m.next_ref[0] = at + 1_000; // deadline far in the future
+        let issued = m.issue_candidate(Candidate {
+            issue_at: at,
+            priority: 0,
+            seq: 0,
+            kind: CandidateKind::RankRefresh {
+                channel: 0,
+                rank: 0,
+                need_pre: false,
+            },
+        });
+        assert!(issued);
+        assert_eq!(m.stats().refs_issued, 1);
+        assert_eq!(m.stats().early_refs, 1);
+        // An on-time REF afterwards records slack, not pull-in.
+        let at2 = m
+            .dram
+            .earliest(&DdrCommand::Ref {
+                channel: 0,
+                rank: 0,
+            })
+            .max(m.next_ref[0]);
+        let issued = m.issue_candidate(Candidate {
+            issue_at: at2,
+            priority: 0,
+            seq: 1,
+            kind: CandidateKind::RankRefresh {
+                channel: 0,
+                rank: 0,
+                need_pre: false,
+            },
+        });
+        assert!(issued);
+        assert_eq!(m.stats().early_refs, 1);
+        assert_eq!(m.stats().refs_issued, 2);
     }
 
     #[test]

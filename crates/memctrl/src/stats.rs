@@ -20,6 +20,17 @@ pub struct McStats {
     pub latency_sum: u64,
     /// All-bank REF commands issued by the refresh scheduler.
     pub refs_issued: u64,
+    /// REFs that issued *before* their per-rank deadline (pulled in).
+    /// The normal scheduler never does this, but a host refresh
+    /// instruction or a test poking the refresh clock can; counting
+    /// them keeps the slack metric well-defined (slack is only
+    /// observed for on-time-or-late REFs).
+    pub early_refs: u64,
+    /// REFs that only issued because the forced-refresh barrier cut
+    /// off request traffic to their rank (postponed past
+    /// `FORCED_REF_LEAD` × tREFI). Nonzero means a workload pushed the
+    /// scheduler to the edge of the JEDEC pull-in window.
+    pub refs_forced: u64,
     /// Maintenance operations (refresh instruction, REF_NEIGHBORS)
     /// completed.
     pub maintenance_ops: u64,
@@ -74,6 +85,8 @@ impl McStats {
         tracer.counter_set("mc.row_conflicts", self.row_conflicts);
         tracer.counter_set("mc.latency_sum", self.latency_sum);
         tracer.counter_set("mc.refs_issued", self.refs_issued);
+        tracer.counter_set("mc.early_refs", self.early_refs);
+        tracer.counter_set("mc.refs_forced", self.refs_forced);
         tracer.counter_set("mc.maintenance_ops", self.maintenance_ops);
         tracer.counter_set("mc.throttle_events", self.throttle_events);
         tracer.counter_set("mc.domain_violations", self.domain_violations);
