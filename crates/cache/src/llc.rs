@@ -126,7 +126,7 @@ pub struct MissSample {
 }
 
 /// The last-level cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Llc {
     config: CacheConfig,
     sets: Vec<Vec<Entry>>,

@@ -234,14 +234,16 @@ fn arm_step_budget(budget: Option<u64>) {
 
 /// Charges simulated progress against the ambient cell's step budget;
 /// a no-op outside a budgeted suite run. Called from the machine's
-/// step loop. Charges at least one unit per call so a loop that stops
-/// making forward progress still exhausts its budget eventually.
+/// step loop with *exact simulated-cycle deltas* (the caller supplies
+/// its own stall guard), so a budget of N machine cycles means the
+/// same simulated span on every scheduler path — the wheel and the
+/// reference scanner exhaust it on the identical cell.
 pub(crate) fn charge_step_budget(cycles: u64) {
     STEP_BUDGET.with(|b| {
         let Some((remaining, total)) = b.get() else {
             return;
         };
-        match remaining.checked_sub(cycles.max(1)) {
+        match remaining.checked_sub(cycles) {
             Some(left) => b.set(Some((left, total))),
             None => {
                 b.set(None);

@@ -112,6 +112,18 @@ pub struct MachineConfig {
     /// catalog. `None` — the default — costs one branch per issued
     /// command and changes no observable output.
     pub shadow: Option<hammertime_check::ShadowChecker>,
+    /// Capture a [`MachineCheckpoint`] at every refresh-window (tREFW)
+    /// rollover; the latest is kept and retrievable via
+    /// [`Machine::last_checkpoint`]. Requires every workload and the
+    /// defense daemon to be checkpointable (`box_clone` returns
+    /// `Some`); capture is skipped silently otherwise.
+    pub epoch_checkpoints: bool,
+    /// Route the run loop through the controller's reference
+    /// (full-scan) scheduler instead of the event wheel. Behaviour is
+    /// byte-identical — the differential suites enforce it — so this
+    /// exists only to measure the wheel and to pin dual-path
+    /// regressions.
+    pub reference_scheduler: bool,
 }
 
 impl MachineConfig {
@@ -147,6 +159,8 @@ impl MachineConfig {
             faults: None,
             tracer: None,
             shadow: None,
+            epoch_checkpoints: false,
+            reference_scheduler: false,
         }
     }
 
@@ -177,6 +191,8 @@ impl MachineConfig {
             faults: None,
             tracer: None,
             shadow: None,
+            epoch_checkpoints: false,
+            reference_scheduler: false,
         }
     }
 
@@ -200,6 +216,76 @@ struct Tenant {
     finished: bool,
 }
 
+impl Tenant {
+    /// Deep copy for checkpointing; `None` if the workload is
+    /// non-checkpointable (its `box_clone` returns `None`).
+    fn try_clone(&self) -> Option<Tenant> {
+        let workload = match &self.workload {
+            None => None,
+            Some(w) => Some(w.box_clone()?),
+        };
+        Some(Tenant {
+            domain: self.domain,
+            workload,
+            source: self.source,
+            ready_at: self.ready_at,
+            waiting_on: self.waiting_on,
+            waiting_line: self.waiting_line,
+            ops_done: self.ops_done,
+            finished: self.finished,
+        })
+    }
+}
+
+/// A deep copy of every piece of mutable machine state at one instant.
+///
+/// Restoring a checkpoint rewinds the simulation exactly: a restored
+/// machine replays the same commands, flips, and reports as the
+/// original timeline (the determinism tests pin this). Two sharing
+/// caveats, both deliberate: the tracer and shadow checker are shared
+/// handles, so events recorded after the capture point are *not*
+/// unwound by a restore — replayed spans appear twice in the trace —
+/// and the engine's ambient per-cell step budget is not checkpointed.
+pub struct MachineCheckpoint {
+    at: Cycle,
+    mc: MemCtrl,
+    llc: Llc,
+    allocator: FrameAllocator,
+    spaces: AddressSpaces,
+    daemon: Box<dyn SoftwareDefense>,
+    enclaves: BTreeMap<u32, Enclave>,
+    tenants: Vec<Tenant>,
+    next_id: u64,
+    window_start: Cycle,
+    overhead: DefenseOverhead,
+    flips: Vec<FlipEvent>,
+    remapped_this_window: std::collections::HashSet<u64>,
+    interrupt_log: Vec<hammertime_memctrl::ActInterrupt>,
+    lockup: Option<String>,
+    run_start: Option<Cycle>,
+    rng: DetRng,
+}
+
+impl MachineCheckpoint {
+    /// The simulated time at which this checkpoint was captured.
+    pub fn at(&self) -> Cycle {
+        self.at
+    }
+}
+
+impl std::fmt::Debug for MachineCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineCheckpoint")
+            .field("at", &self.at)
+            .field("tenants", &self.tenants.len())
+            .finish()
+    }
+}
+
+/// Memoized row→frames translations, keyed `(address-map generation,
+/// per-(bank, row) results)`; see the `frames_cache` field.
+type FramesMemo = (u64, std::collections::HashMap<(usize, u32), Vec<u64>>);
+
 /// The assembled machine.
 pub struct Machine {
     cfg: MachineConfig,
@@ -219,12 +305,17 @@ pub struct Machine {
     /// Every interrupt the machine serviced (observability; drained
     /// via [`Machine::drain_interrupt_log`]).
     interrupt_log: Vec<hammertime_memctrl::ActInterrupt>,
-    /// Memoized [`Machine::frames_of_row`] results. The address map is
-    /// fixed for the machine's lifetime, so entries never invalidate;
-    /// the interrupt path asks about the same few victim rows on every
-    /// overflow and would otherwise redo O(columns) translations each
-    /// time.
-    frames_cache: std::cell::RefCell<std::collections::HashMap<(usize, u32), Vec<u64>>>,
+    /// Memoized [`Machine::frames_of_row`] results, keyed on the
+    /// address map's generation: the interrupt path asks about the same
+    /// few victim rows on every overflow and would otherwise redo
+    /// O(columns) translations each time. A map reconfiguration bumps
+    /// the generation and the whole memo is discarded on next use —
+    /// stale translations must never leak across a remap.
+    frames_cache: std::cell::RefCell<FramesMemo>,
+    /// Latest epoch checkpoint (captured at tREFW rollovers when
+    /// [`MachineConfig::epoch_checkpoints`] is set, or explicitly via
+    /// [`Machine::checkpoint`]).
+    last_checkpoint: Option<Box<MachineCheckpoint>>,
     lockup: Option<String>,
     /// When the first [`Machine::run`] call began (`None` until then);
     /// lets callers distinguish warm-up work from the measured run.
@@ -433,7 +524,8 @@ impl Machine {
             flips: Vec::new(),
             remapped_this_window: std::collections::HashSet::new(),
             interrupt_log: Vec::new(),
-            frames_cache: std::cell::RefCell::new(std::collections::HashMap::new()),
+            frames_cache: std::cell::RefCell::new((0, std::collections::HashMap::new())),
+            last_checkpoint: None,
             lockup: None,
             run_start: None,
             tracer,
@@ -460,6 +552,27 @@ impl Machine {
     /// The host's topology view (for attack/defense construction).
     pub fn topology(&self) -> Topology {
         Topology::new(self.mc.map().clone(), self.cfg.assumed_radius)
+    }
+
+    /// Reconfigures the controller's address-mapping scheme, bumping
+    /// the map generation (which invalidates the `frames_of_row` memo
+    /// on next use).
+    ///
+    /// Only legal on a cold machine: queued requests or attached
+    /// tenants hold translations under the old map, and silently
+    /// reinterpreting them would corrupt the experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if any tenant is attached or the controller
+    /// has queued work; propagates scheme construction errors.
+    pub fn set_mapping(&mut self, scheme: MappingScheme) -> Result<()> {
+        if !self.tenants.is_empty() {
+            return Err(Error::Config(
+                "cannot change the address mapping with tenants attached".into(),
+            ));
+        }
+        self.mc.set_mapping(scheme)
     }
 
     /// Registers a tenant and allocates `pages` pages, returning its
@@ -577,6 +690,95 @@ impl Machine {
         self.allocator.owner_of_row(bank, row)
     }
 
+    /// Captures a deep copy of the machine's mutable state, or `None`
+    /// if any tenant workload or the defense daemon is
+    /// non-checkpointable (their `box_clone` returns `None` — e.g. a
+    /// trace replayer borrowing external state).
+    pub fn checkpoint(&self) -> Option<MachineCheckpoint> {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(Tenant::try_clone)
+            .collect::<Option<Vec<_>>>()?;
+        let daemon = self.daemon.box_clone()?;
+        Some(MachineCheckpoint {
+            at: self.mc.now(),
+            mc: self.mc.clone(),
+            llc: self.llc.clone(),
+            allocator: self.allocator.clone(),
+            spaces: self.spaces.clone(),
+            daemon,
+            enclaves: self.enclaves.clone(),
+            tenants,
+            next_id: self.next_id,
+            window_start: self.window_start,
+            overhead: self.overhead,
+            flips: self.flips.clone(),
+            remapped_this_window: self.remapped_this_window.clone(),
+            interrupt_log: self.interrupt_log.clone(),
+            lockup: self.lockup.clone(),
+            run_start: self.run_start,
+            rng: self.rng.clone(),
+        })
+    }
+
+    /// Rewinds the machine to `cp`, leaving the checkpoint reusable.
+    /// The restored timeline is deterministic: re-running it replays
+    /// the original commands, flips, and stats exactly (see
+    /// [`MachineCheckpoint`] for the tracer/shadow sharing caveat).
+    ///
+    /// # Panics
+    ///
+    /// Never: the checkpoint was only constructible from checkpointable
+    /// parts, so re-cloning them cannot fail.
+    pub fn restore(&mut self, cp: &MachineCheckpoint) {
+        self.mc = cp.mc.clone();
+        self.llc = cp.llc.clone();
+        self.allocator = cp.allocator.clone();
+        self.spaces = cp.spaces.clone();
+        self.daemon = cp
+            .daemon
+            .box_clone()
+            .expect("checkpointed daemon is checkpointable");
+        self.enclaves = cp.enclaves.clone();
+        self.tenants = cp
+            .tenants
+            .iter()
+            .map(|t| {
+                t.try_clone()
+                    .expect("checkpointed workload is checkpointable")
+            })
+            .collect();
+        self.next_id = cp.next_id;
+        self.window_start = cp.window_start;
+        self.overhead = cp.overhead;
+        self.flips = cp.flips.clone();
+        self.remapped_this_window = cp.remapped_this_window.clone();
+        self.interrupt_log = cp.interrupt_log.clone();
+        self.lockup = cp.lockup.clone();
+        self.run_start = cp.run_start;
+        self.rng = cp.rng.clone();
+        // The memo outlives the restore only if the map generation
+        // matches; clearing unconditionally keeps restore simple.
+        self.frames_cache.borrow_mut().1.clear();
+    }
+
+    /// The most recent epoch checkpoint, if any was captured.
+    pub fn last_checkpoint(&self) -> Option<&MachineCheckpoint> {
+        self.last_checkpoint.as_deref()
+    }
+
+    /// Rewinds to the most recent epoch checkpoint, leaving it in
+    /// place for further rewinds. Returns the checkpoint's capture
+    /// time, or `None` if no checkpoint exists.
+    pub fn restore_last_checkpoint(&mut self) -> Option<Cycle> {
+        let cp = self.last_checkpoint.take()?;
+        self.restore(&cp);
+        let at = cp.at();
+        self.last_checkpoint = Some(cp);
+        Some(at)
+    }
+
     /// Runs the machine for `cycles` cycles (stops early on platform
     /// lockup).
     pub fn run(&mut self, cycles: u64) {
@@ -642,24 +844,37 @@ impl Machine {
                     Some(r) if r > now => step.min(r).min(end),
                     _ => step.min(end),
                 };
-                self.mc.run_while_busy(target);
+                if self.cfg.reference_scheduler {
+                    self.mc.run_while_busy_reference(target);
+                } else {
+                    self.mc.run_while_busy(target);
+                }
             } else {
                 let target = match next_ready {
                     Some(r) if r > now => r.min(end),
                     Some(_) => Cycle(now.raw() + 1).min(end),
                     None => end,
                 };
-                self.mc.advance_to(target);
+                if self.cfg.reference_scheduler {
+                    self.mc.advance_to_reference(target);
+                } else {
+                    self.mc.advance_to(target);
+                }
             }
             // 3. Service completions, defenses, windows, flips.
             self.service_completions();
             self.service_defense();
             self.roll_windows();
             self.collect_flips();
-            // Charge the engine's per-cell step budget (no-op outside
-            // a budgeted suite run); a wedged machine that stops
-            // advancing still gets charged so runaway loops terminate.
-            crate::experiments::engine::charge_step_budget(self.mc.now().raw() - now.raw());
+            // Charge the engine's per-cell step budget in *simulated
+            // cycles* (no-op outside a budgeted suite run). Both
+            // scheduler paths advance `mc.now()` identically, so a
+            // budget buys the same simulated span on either. The
+            // `.max(1)` stall guard charges a wedged machine that stops
+            // advancing, so runaway loops still terminate.
+            crate::experiments::engine::charge_step_budget(
+                (self.mc.now().raw() - now.raw()).max(1),
+            );
             if self.mc.now() >= end {
                 break;
             }
@@ -878,11 +1093,21 @@ impl Machine {
 
     fn roll_windows(&mut self) {
         let t_refw = self.cfg.timing.t_refw;
+        let mut rolled = false;
         while self.mc.now().delta(self.window_start) >= t_refw {
             self.window_start += t_refw;
             self.remapped_this_window.clear();
             let actions = self.daemon.on_window_rollover(self.mc.now());
             self.execute_actions(actions);
+            rolled = true;
+        }
+        // Epoch checkpoint at the window boundary: one capture per
+        // rollover batch, after the daemon's window work settled, so a
+        // restore resumes from a self-consistent window state.
+        if rolled && self.cfg.epoch_checkpoints {
+            if let Some(cp) = self.checkpoint() {
+                self.last_checkpoint = Some(Box::new(cp));
+            }
         }
     }
 
@@ -1036,13 +1261,21 @@ impl Machine {
 
     /// Every distinct page frame overlapping `(bank, row)` — the unit
     /// an isolation- or migration-based response must cover.
-    /// Memoized: the address map never changes, so each `(bank, row)`
-    /// is translated once.
+    /// Memoized per address-map generation: each `(bank, row)` is
+    /// translated once, and the whole memo is discarded when the map is
+    /// reconfigured (the generation counter changes).
     pub fn frames_of_row(&self, bank: &BankId, row: u32) -> Vec<u64> {
         let g = self.cfg.geometry;
         let key = (bank.flat(&g), row);
-        if let Some(frames) = self.frames_cache.borrow().get(&key) {
-            return frames.clone();
+        let generation = self.mc.map().generation();
+        {
+            let mut cache = self.frames_cache.borrow_mut();
+            if cache.0 != generation {
+                cache.0 = generation;
+                cache.1.clear();
+            } else if let Some(frames) = cache.1.get(&key) {
+                return frames.clone();
+            }
         }
         let mut frames: Vec<u64> = (0..g.columns)
             .filter_map(|col| {
@@ -1059,7 +1292,7 @@ impl Machine {
             .collect();
         frames.sort_unstable();
         frames.dedup();
-        self.frames_cache.borrow_mut().insert(key, frames.clone());
+        self.frames_cache.borrow_mut().1.insert(key, frames.clone());
         frames
     }
 
@@ -1234,6 +1467,13 @@ impl Machine {
         if let Some(tracer) = &self.tracer {
             report.dram.register_metrics(tracer);
             report.mc.register_metrics(tracer);
+            // Wheel health counters live outside `McStats` (the
+            // reference path must produce identical stats), so they
+            // reach observability through the metrics registry only.
+            let (events, occupancy, peak) = self.mc.wheel_counters();
+            tracer.counter_set("mc.wheel.events_processed", events);
+            tracer.counter_set("mc.wheel.occupancy", occupancy);
+            tracer.counter_set("mc.wheel.occupancy_peak", peak);
             report.metrics = Some(tracer.snapshot_metrics());
         }
         report
@@ -1346,6 +1586,122 @@ mod tests {
         let r = m.report();
         assert!(r.flips_total > 0, "undefended hammer must flip");
         assert!(r.flips_cross_domain > 0, "victim domain must be hit");
+    }
+
+    #[test]
+    fn frames_of_row_memo_invalidates_on_map_reconfigure() {
+        let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 1_000_000)).unwrap();
+        let g = m.cfg.geometry;
+        let bank = bank_from_flat(&g, 0);
+        // Warm the memo under the original mapping.
+        let before = m.frames_of_row(&bank, 3);
+        assert!(!before.is_empty());
+        m.set_mapping(MappingScheme::BankPartition).unwrap();
+        // A fresh machine built directly on the new scheme is the
+        // oracle: a stale memo entry would diverge from it.
+        let after = m.frames_of_row(&bank, 3);
+        let mut oracle_machine =
+            Machine::new(MachineConfig::fast(DefenseKind::None, 1_000_000)).unwrap();
+        oracle_machine
+            .set_mapping(MappingScheme::BankPartition)
+            .unwrap();
+        assert_eq!(after, oracle_machine.frames_of_row(&bank, 3));
+        assert_ne!(after, before, "schemes chosen to translate differently");
+        // With tenants attached the reconfigure must refuse.
+        let d = DomainId(1);
+        m.add_tenant(d, 2).unwrap();
+        assert!(m.set_mapping(MappingScheme::CacheLineInterleave).is_err());
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identically() {
+        let build = || {
+            let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 24)).unwrap();
+            let d = DomainId(1);
+            let _arena = m.add_tenant(d, 2).unwrap();
+            let rows = m.rows_of_domain(d);
+            let (_, _, l1) = &rows[0];
+            let (_, _, l2) = &rows[2];
+            m.set_workload(
+                d,
+                Box::new(HammerPattern::double_sided(l1[0], l2[0], 2_000)),
+            )
+            .unwrap();
+            m
+        };
+        let digest = |m: &mut Machine| {
+            let r = m.report();
+            (r.flips_total, r.mc, r.dram.acts, r.cycles, r.overhead)
+        };
+        let mut m = build();
+        m.run(400_000);
+        let cp = m.checkpoint().expect("hammer workloads are checkpointable");
+        assert_eq!(cp.at(), m.now());
+        m.run(600_000);
+        let original = digest(&mut m);
+        // Rewind and replay: the restored timeline must re-produce the
+        // original byte-for-byte, including flip events and stats.
+        m.restore(&cp);
+        assert_eq!(m.now(), cp.at());
+        m.run(600_000);
+        assert_eq!(digest(&mut m), original);
+        // The checkpoint survives the restore and works a second time.
+        m.restore(&cp);
+        m.run(600_000);
+        assert_eq!(digest(&mut m), original);
+    }
+
+    #[test]
+    fn epoch_checkpoints_capture_at_window_rollover() {
+        let mut cfg = MachineConfig::fast(DefenseKind::None, 24);
+        cfg.epoch_checkpoints = true;
+        let t_refw = cfg.timing.t_refw;
+        let mut m = Machine::new(cfg).unwrap();
+        let d = DomainId(1);
+        let arena = m.add_tenant(d, 2).unwrap();
+        m.set_workload(d, Box::new(StreamWorkload::new(arena, u64::MAX / 2, 0)))
+            .unwrap();
+        assert!(m.last_checkpoint().is_none());
+        m.run(3 * t_refw);
+        let cp = m.last_checkpoint().expect("a window rolled over");
+        assert!(
+            cp.at().raw() >= t_refw,
+            "checkpoint sits at/after the first rollover"
+        );
+        // Resuming from the epoch checkpoint replays to the same state.
+        let end = 4 * t_refw;
+        let mut resumed = Machine::new(MachineConfig::fast(DefenseKind::None, 24)).unwrap();
+        let cp_at = cp.at().raw();
+        resumed.restore(m.last_checkpoint().expect("still there"));
+        m.run(end - m.now().raw());
+        resumed.run(end - cp_at);
+        let a = m.report();
+        let b = resumed.report();
+        assert_eq!((a.cycles, a.mc, a.dram.acts), (b.cycles, b.mc, b.dram.acts));
+    }
+
+    #[test]
+    fn checkpoint_refuses_non_checkpointable_workloads() {
+        #[derive(Debug)]
+        struct Opaque;
+        impl Workload for Opaque {
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+            fn next_op(&mut self) -> Option<AccessOp> {
+                None
+            }
+            // Default box_clone: None (non-checkpointable).
+        }
+        let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 24)).unwrap();
+        let d = DomainId(1);
+        let _ = m.add_tenant(d, 2).unwrap();
+        assert!(m.checkpoint().is_some(), "no workload yet: checkpointable");
+        m.set_workload(d, Box::new(Opaque)).unwrap();
+        assert!(
+            m.checkpoint().is_none(),
+            "a workload without box_clone must block the checkpoint"
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Per-bank state machine with DDR timing enforcement.
+//! Per-bank state machines with DDR timing enforcement.
 //!
 //! A bank is a grid of rows with one shared row buffer (paper Fig. 1).
 //! The FSM enforces protocol legality — commands in an illegal state or
@@ -10,17 +10,38 @@
 //! write recovery (WR data→PRE). Rank-level constraints (tRRD, tFAW,
 //! tRFC) live in [`crate::module`].
 //!
-//! Each row additionally carries its disturbance bookkeeping
-//! ([`VictimState`]) and an activation counter; `act` returns the
-//! *flip opportunities* its disturbance created so the module can
-//! sample actual bit flips.
+//! The FSM/timing state of *all* banks lives in one [`TimingSoA`]
+//! (struct-of-arrays) owned by the module: scheduler probes
+//! (`earliest_*`) and the event wheel's candidate revalidation touch
+//! one contiguous column per field instead of striding over whole
+//! per-bank structs. [`Bank`] remains the per-bank view type for what
+//! is genuinely per-bank and cold: row disturbance bookkeeping
+//! ([`VictimState`]), activation counters, and the batched-pressure
+//! log. The module pairs column `b` of the SoA with `banks[b]`.
 
 use crate::disturb::{DisturbanceProfile, PressureTable, VictimState};
 use crate::timing::TimingParams;
 use hammertime_common::{Cycle, Error, Result};
 use serde::{Deserialize, Serialize};
 
-/// The row-buffer state of a bank.
+/// Sentinel in [`TimingSoA`]'s open-row column: bank idle, no row open.
+pub const NO_OPEN_ROW: u32 = u32::MAX;
+
+// Error construction stays out of line so the checked SoA operations
+// inline down to a few compares and stores on their success path.
+#[cold]
+#[inline(never)]
+fn act_while_open(row: u32, open: u32) -> Error {
+    Error::Protocol(format!("ACT r{row} while r{open} is open (PRE first)"))
+}
+
+#[cold]
+#[inline(never)]
+fn timing_err(what: &str, now: Cycle, earliest: Cycle) -> Error {
+    Error::Timing(format!("{what} at {now} before earliest {earliest}"))
+}
+
+/// The row-buffer state of a bank (view over [`TimingSoA`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BankState {
     /// All rows precharged; the row buffer is empty.
@@ -32,6 +53,239 @@ pub enum BankState {
         /// When the ACT was issued (for tRAS/tRC accounting).
         opened_at: Cycle,
     },
+}
+
+/// Struct-of-arrays FSM and timing state for every bank of a device.
+///
+/// Column `b` holds bank `b`'s row-buffer state and per-class
+/// readiness. The open-row column uses [`NO_OPEN_ROW`] as the idle
+/// sentinel so the hot "is a row open?" probe is one `u32` compare.
+///
+/// Methods mirror the per-bank FSM exactly: each checked operation
+/// validates protocol state and timing before mutating, so driving a
+/// column directly (as the property tests do) behaves identically to
+/// driving it through [`crate::module::DramModule`] — the module's
+/// per-command earliest gate merely makes the internal checks
+/// unreachable.
+#[derive(Debug, Clone)]
+pub struct TimingSoA {
+    /// Open internal row per bank; [`NO_OPEN_ROW`] when idle.
+    /// Crate-visible so the module's register-resident burst loop
+    /// ([`crate::module::DramModule::issue_hammer_pairs`]) can check
+    /// out a column and write it back without per-command indexing.
+    pub(crate) open_row: Vec<u32>,
+    /// When the open row's ACT issued (tRAS/tRC accounting).
+    pub(crate) opened_at: Vec<Cycle>,
+    /// Earliest cycle an ACT may issue (tRP/tRC effects).
+    pub(crate) ready_act: Vec<Cycle>,
+    /// Earliest cycle a PRE may issue (tRAS/tRTP/tWR effects).
+    pub(crate) ready_pre: Vec<Cycle>,
+    /// Earliest cycle a RD/WR may issue (tRCD effect); meaningful only
+    /// while a row is open.
+    pub(crate) ready_rdwr: Vec<Cycle>,
+}
+
+impl TimingSoA {
+    /// All-idle timing state for `banks` banks.
+    pub fn new(banks: usize) -> TimingSoA {
+        TimingSoA {
+            open_row: vec![NO_OPEN_ROW; banks],
+            opened_at: vec![Cycle::ZERO; banks],
+            ready_act: vec![Cycle::ZERO; banks],
+            ready_pre: vec![Cycle::ZERO; banks],
+            ready_rdwr: vec![Cycle::ZERO; banks],
+        }
+    }
+
+    /// Number of banks tracked.
+    pub fn banks(&self) -> usize {
+        self.open_row.len()
+    }
+
+    /// Whether bank `b` has a row open.
+    #[inline]
+    pub fn is_active(&self, b: usize) -> bool {
+        self.open_row[b] != NO_OPEN_ROW
+    }
+
+    /// The open (internal) row of bank `b`, if any.
+    #[inline]
+    pub fn open_row(&self, b: usize) -> Option<u32> {
+        match self.open_row[b] {
+            NO_OPEN_ROW => None,
+            row => Some(row),
+        }
+    }
+
+    /// Bank `b`'s FSM state as the classic enum view.
+    pub fn state(&self, b: usize) -> BankState {
+        match self.open_row[b] {
+            NO_OPEN_ROW => BankState::Idle,
+            row => BankState::Active {
+                row,
+                opened_at: self.opened_at[b],
+            },
+        }
+    }
+
+    /// Earliest cycle an ACT may legally issue on bank `b`.
+    #[inline]
+    pub fn earliest_act(&self, b: usize) -> Cycle {
+        if self.open_row[b] == NO_OPEN_ROW {
+            self.ready_act[b]
+        } else {
+            // Must PRE first; an ACT is never legal while active.
+            Cycle::MAX
+        }
+    }
+
+    /// Earliest cycle a RD/WR may legally issue on bank `b` (only
+    /// while active).
+    #[inline]
+    pub fn earliest_rdwr(&self, b: usize) -> Cycle {
+        if self.open_row[b] == NO_OPEN_ROW {
+            Cycle::MAX
+        } else {
+            self.ready_rdwr[b]
+        }
+    }
+
+    /// Earliest cycle a PRE may legally issue on bank `b`. PRE of an
+    /// idle bank is a legal no-op, available immediately.
+    #[inline]
+    pub fn earliest_pre(&self, b: usize) -> Cycle {
+        if self.open_row[b] == NO_OPEN_ROW {
+            Cycle::ZERO
+        } else {
+            self.ready_pre[b]
+        }
+    }
+
+    /// Activates `row` on bank `b` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if the bank is active; [`Error::Timing`] if
+    /// `now` is before the earliest legal ACT.
+    #[inline]
+    pub fn act(&mut self, b: usize, row: u32, now: Cycle, timing: &TimingParams) -> Result<()> {
+        let open = self.open_row[b];
+        if open != NO_OPEN_ROW {
+            return Err(act_while_open(row, open));
+        }
+        if now < self.ready_act[b] {
+            return Err(timing_err("ACT", now, self.ready_act[b]));
+        }
+        self.open_row[b] = row;
+        self.opened_at[b] = now;
+        self.ready_rdwr[b] = now + timing.t_rcd;
+        self.ready_pre[b] = now + timing.t_ras;
+        Ok(())
+    }
+
+    /// Precharges bank `b` at `now`. PRE of an idle bank is a legal
+    /// no-op (the paper's refresh-instruction sequence begins with an
+    /// unconditional PRE, §4.3).
+    ///
+    /// Returns whether a row was actually closed (so the caller can
+    /// count real closes and skip the no-op case).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timing`] if the bank is active and `now` is before the
+    /// earliest legal PRE.
+    #[inline]
+    pub fn pre(&mut self, b: usize, now: Cycle, timing: &TimingParams) -> Result<bool> {
+        if self.open_row[b] == NO_OPEN_ROW {
+            return Ok(false); // No-op; does not reset ready_act.
+        }
+        if now < self.ready_pre[b] {
+            return Err(timing_err("PRE", now, self.ready_pre[b]));
+        }
+        self.close(b, now, timing);
+        Ok(true)
+    }
+
+    #[inline]
+    fn close(&mut self, b: usize, pre_time: Cycle, timing: &TimingParams) {
+        self.open_row[b] = NO_OPEN_ROW;
+        self.ready_act[b] = (pre_time + timing.t_rp).max(self.opened_at[b] + timing.t_rc);
+    }
+
+    /// Reads from the open row of bank `b` at `now`.
+    ///
+    /// Returns the open row and the cycle at which data completes on
+    /// the bus (`now + CL + tBL`). With `auto_pre` the bank precharges
+    /// itself at the earliest legal point after the read.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if no row is open; [`Error::Timing`] before
+    /// tRCD has elapsed.
+    #[inline]
+    pub fn rd(
+        &mut self,
+        b: usize,
+        now: Cycle,
+        auto_pre: bool,
+        timing: &TimingParams,
+    ) -> Result<(u32, Cycle)> {
+        let row = self.open_row[b];
+        if row == NO_OPEN_ROW {
+            return Err(Error::Protocol("RD with no open row".into()));
+        }
+        if now < self.ready_rdwr[b] {
+            return Err(timing_err("RD", now, self.ready_rdwr[b]));
+        }
+        let data_done = now + timing.cl + timing.t_bl;
+        self.ready_pre[b] = self.ready_pre[b].max(now + timing.t_rtp);
+        if auto_pre {
+            let pre_time = self.ready_pre[b];
+            self.close(b, pre_time, timing);
+        }
+        Ok((row, data_done))
+    }
+
+    /// Writes to the open row of bank `b` at `now`.
+    ///
+    /// Returns the open row and the cycle at which the write burst (and
+    /// recovery) completes. With `auto_pre` the bank precharges itself
+    /// at the earliest legal point after write recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if no row is open; [`Error::Timing`] before
+    /// tRCD has elapsed.
+    #[inline]
+    pub fn wr(
+        &mut self,
+        b: usize,
+        now: Cycle,
+        auto_pre: bool,
+        timing: &TimingParams,
+    ) -> Result<(u32, Cycle)> {
+        let row = self.open_row[b];
+        if row == NO_OPEN_ROW {
+            return Err(Error::Protocol("WR with no open row".into()));
+        }
+        if now < self.ready_rdwr[b] {
+            return Err(timing_err("WR", now, self.ready_rdwr[b]));
+        }
+        let data_end = now + timing.cwl + timing.t_bl;
+        self.ready_pre[b] = self.ready_pre[b].max(data_end + timing.t_wr);
+        if auto_pre {
+            let pre_time = self.ready_pre[b];
+            self.close(b, pre_time, timing);
+        }
+        Ok((row, data_end))
+    }
+
+    /// Blocks bank `b` until `until` (used while a rank-level REF or a
+    /// multi-row REF_NEIGHBORS occupies it).
+    #[inline]
+    pub fn block_until(&mut self, b: usize, until: Cycle) {
+        self.ready_act[b] = self.ready_act[b].max(until);
+    }
 }
 
 /// Per-row bookkeeping within a bank.
@@ -57,17 +311,12 @@ pub struct Disturbance {
     pub opportunities: u32,
 }
 
-/// One bank: FSM, timing bookkeeping, and per-row state.
+/// One bank's rows-and-disturbance view. Timing/FSM state lives in the
+/// module-owned [`TimingSoA`]; this type carries what is per-row or
+/// cold: victim pressure, activation counters, the batched-pressure
+/// log, and the counter-saturation fault.
 #[derive(Debug, Clone)]
 pub struct Bank {
-    state: BankState,
-    /// Earliest cycle an ACT may issue (tRP/tRC effects).
-    ready_act: Cycle,
-    /// Earliest cycle a PRE may issue (tRAS/tRTP/tWR effects).
-    ready_pre: Cycle,
-    /// Earliest cycle a RD/WR may issue (tRCD effect); meaningful only
-    /// while `Active`.
-    ready_rdwr: Cycle,
     rows: Vec<RowState>,
     rows_per_subarray: u32,
     profile: DisturbanceProfile,
@@ -91,14 +340,16 @@ pub struct Bank {
     act_saturation: u32,
     /// How many ACT-count increments the saturation ceiling swallowed.
     pub saturation_clamps: u64,
-    /// Row-buffer statistics.
+    /// ACT count of this bank (row-buffer statistics).
     pub acts: u64,
-    /// PRE count (including auto-precharges).
+    /// Real row closes (PRE and auto-precharge; idle-PRE no-ops are
+    /// not counted). Maintained by the module alongside
+    /// [`TimingSoA`] closes.
     pub pres: u64,
 }
 
 impl Bank {
-    /// Creates an idle bank with `rows` rows organized in subarrays of
+    /// Creates a bank view with `rows` rows organized in subarrays of
     /// `rows_per_subarray`, disturbed according to `profile`. With
     /// `batched` the per-ACT victim walk is deferred to flush
     /// boundaries (refresh or an explicit flush) — an opt-in
@@ -112,10 +363,6 @@ impl Bank {
     ) -> Bank {
         assert!(rows > 0 && rows_per_subarray > 0 && rows.is_multiple_of(rows_per_subarray));
         Bank {
-            state: BankState::Idle,
-            ready_act: Cycle::ZERO,
-            ready_pre: Cycle::ZERO,
-            ready_rdwr: Cycle::ZERO,
             rows: vec![RowState::default(); rows as usize],
             rows_per_subarray,
             weights: PressureTable::new(&profile),
@@ -138,19 +385,6 @@ impl Bank {
         self.act_saturation = ceiling;
     }
 
-    /// Current FSM state.
-    pub fn state(&self) -> BankState {
-        self.state
-    }
-
-    /// The open row, if any.
-    pub fn open_row(&self) -> Option<u32> {
-        match self.state {
-            BankState::Active { row, .. } => Some(row),
-            BankState::Idle => None,
-        }
-    }
-
     /// Number of rows in the bank.
     pub fn rows(&self) -> u32 {
         self.rows.len() as u32
@@ -165,40 +399,15 @@ impl Bank {
         &self.rows[row as usize]
     }
 
-    /// Earliest cycle an ACT may legally issue.
-    pub fn earliest_act(&self) -> Cycle {
-        match self.state {
-            BankState::Idle => self.ready_act,
-            // Must PRE first; an ACT is never legal while active.
-            BankState::Active { .. } => Cycle::MAX,
-        }
-    }
-
-    /// Earliest cycle a RD/WR may legally issue (only while active).
-    pub fn earliest_rdwr(&self) -> Cycle {
-        match self.state {
-            BankState::Active { .. } => self.ready_rdwr,
-            BankState::Idle => Cycle::MAX,
-        }
-    }
-
-    /// Earliest cycle a PRE may legally issue. PRE of an idle bank is a
-    /// legal no-op, available immediately.
-    pub fn earliest_pre(&self) -> Cycle {
-        match self.state {
-            BankState::Active { .. } => self.ready_pre,
-            BankState::Idle => Cycle::ZERO,
-        }
-    }
-
     fn subarray_bounds(&self, row: u32) -> (u32, u32) {
         let sa = row / self.rows_per_subarray;
         let lo = sa * self.rows_per_subarray;
         (lo, lo + self.rows_per_subarray - 1)
     }
 
-    /// Activates `row` at `now`, applying disturbance to its in-subarray
-    /// neighbors.
+    /// Applies the disturbance side of an ACT of `row` at `now` (the
+    /// FSM/timing side lives in [`TimingSoA::act`]), disturbing the
+    /// row's in-subarray neighbors.
     ///
     /// Returns the set of victims whose pressure crossed flip
     /// thresholds; the caller samples actual bit flips from these
@@ -209,39 +418,11 @@ impl Bank {
     /// and the returned set is empty; victims settle at the next flush
     /// boundary.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// [`Error::Protocol`] if the bank is active; [`Error::Timing`] if
-    /// `now` is before the earliest legal ACT; [`Error::Protocol`] if
-    /// `row` is out of range.
-    pub fn act(&mut self, row: u32, now: Cycle, timing: &TimingParams) -> Result<Vec<Disturbance>> {
-        if row >= self.rows() {
-            return Err(Error::Protocol(format!(
-                "ACT row {row} out of range ({} rows)",
-                self.rows()
-            )));
-        }
-        match self.state {
-            BankState::Active { row: open, .. } => {
-                return Err(Error::Protocol(format!(
-                    "ACT r{row} while r{open} is open (PRE first)"
-                )));
-            }
-            BankState::Idle => {}
-        }
-        if now < self.ready_act {
-            return Err(Error::Timing(format!(
-                "ACT r{row} at {now} before earliest {}",
-                self.ready_act
-            )));
-        }
-
-        self.state = BankState::Active {
-            row,
-            opened_at: now,
-        };
-        self.ready_rdwr = now + timing.t_rcd;
-        self.ready_pre = now + timing.t_ras;
+    /// Panics if `row` is out of range (the module validates range
+    /// before the FSM transition).
+    pub fn record_act(&mut self, row: u32, now: Cycle) -> Vec<Disturbance> {
         self.acts += 1;
 
         if self.batched {
@@ -251,7 +432,7 @@ impl Bank {
                 Some((last, count)) if *last == row => *count += 1,
                 _ => self.pending.push((row, 1)),
             }
-            return Ok(Vec::new());
+            return Vec::new();
         }
 
         // The aggressor row itself is repaired by its own activation.
@@ -290,7 +471,7 @@ impl Bank {
                 }
             }
         }
-        Ok(out)
+        out
     }
 
     /// Settles the pending ACT log (batched mode): replays each
@@ -349,110 +530,9 @@ impl Bank {
         std::mem::take(&mut self.flushed)
     }
 
-    /// Precharges the bank at `now`. PRE of an idle bank is a legal
-    /// no-op (the paper's refresh-instruction sequence begins with an
-    /// unconditional PRE, §4.3).
-    ///
-    /// # Errors
-    ///
-    /// [`Error::Timing`] if the bank is active and `now` is before the
-    /// earliest legal PRE.
-    pub fn pre(&mut self, now: Cycle, timing: &TimingParams) -> Result<()> {
-        match self.state {
-            BankState::Idle => Ok(()), // No-op; does not reset ready_act.
-            BankState::Active { opened_at, .. } => {
-                if now < self.ready_pre {
-                    return Err(Error::Timing(format!(
-                        "PRE at {now} before earliest {}",
-                        self.ready_pre
-                    )));
-                }
-                self.close(now, opened_at, timing);
-                Ok(())
-            }
-        }
-    }
-
-    fn close(&mut self, pre_time: Cycle, opened_at: Cycle, timing: &TimingParams) {
-        self.state = BankState::Idle;
-        self.ready_act = (pre_time + timing.t_rp).max(opened_at + timing.t_rc);
-        self.pres += 1;
-    }
-
-    /// Reads column `col` of the open row at `now`.
-    ///
-    /// Returns the open row and the cycle at which data completes on
-    /// the bus (`now + CL + tBL`). With `auto_pre` the bank precharges
-    /// itself at the earliest legal point after the read.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::Protocol`] if no row is open; [`Error::Timing`] before
-    /// tRCD has elapsed.
-    pub fn rd(
-        &mut self,
-        _col: u32,
-        now: Cycle,
-        auto_pre: bool,
-        timing: &TimingParams,
-    ) -> Result<(u32, Cycle)> {
-        let (row, opened_at) = match self.state {
-            BankState::Active { row, opened_at } => (row, opened_at),
-            BankState::Idle => {
-                return Err(Error::Protocol("RD with no open row".into()));
-            }
-        };
-        if now < self.ready_rdwr {
-            return Err(Error::Timing(format!(
-                "RD at {now} before tRCD satisfied at {}",
-                self.ready_rdwr
-            )));
-        }
-        let data_done = now + timing.cl + timing.t_bl;
-        self.ready_pre = self.ready_pre.max(now + timing.t_rtp);
-        if auto_pre {
-            let pre_time = self.ready_pre;
-            self.close(pre_time, opened_at, timing);
-        }
-        Ok((row, data_done))
-    }
-
-    /// Writes column `col` of the open row at `now`.
-    ///
-    /// Returns the open row and the cycle at which the write burst (and
-    /// recovery) completes. With `auto_pre` the bank precharges itself
-    /// at the earliest legal point after write recovery.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::Protocol`] if no row is open; [`Error::Timing`] before
-    /// tRCD has elapsed.
-    pub fn wr(
-        &mut self,
-        _col: u32,
-        now: Cycle,
-        auto_pre: bool,
-        timing: &TimingParams,
-    ) -> Result<(u32, Cycle)> {
-        let (row, opened_at) = match self.state {
-            BankState::Active { row, opened_at } => (row, opened_at),
-            BankState::Idle => {
-                return Err(Error::Protocol("WR with no open row".into()));
-            }
-        };
-        if now < self.ready_rdwr {
-            return Err(Error::Timing(format!(
-                "WR at {now} before tRCD satisfied at {}",
-                self.ready_rdwr
-            )));
-        }
-        let data_end = now + timing.cwl + timing.t_bl;
-        self.ready_pre = self.ready_pre.max(data_end + timing.t_wr);
-        if auto_pre {
-            let pre_time = self.ready_pre;
-            self.close(pre_time, opened_at, timing);
-        }
-        Ok((row, data_end))
+    /// Whether the batched-pressure log has unsettled ACTs.
+    pub fn has_pending_disturbance(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     /// Refreshes `row` in place (REF slot coverage, REF_NEIGHBORS, or
@@ -473,12 +553,6 @@ impl Bank {
         let rs = &mut self.rows[row as usize];
         rs.victim.refresh(now);
         rs.acts_since_refresh = 0;
-    }
-
-    /// Blocks the bank until `until` (used while a rank-level REF or a
-    /// multi-row REF_NEIGHBORS occupies it).
-    pub fn block_until(&mut self, until: Cycle) {
-        self.ready_act = self.ready_act.max(until);
     }
 
     /// Returns the in-subarray neighbors of `row` within `radius`
@@ -520,8 +594,53 @@ mod tests {
         }
     }
 
-    fn bank_with(profile: DisturbanceProfile) -> Bank {
-        Bank::new(32, 16, profile, false)
+    /// One bank driven the way the module drives it: FSM transitions
+    /// through a one-column [`TimingSoA`], disturbance through the
+    /// [`Bank`] view.
+    struct Harness {
+        soa: TimingSoA,
+        bank: Bank,
+    }
+
+    fn bank_with(profile: DisturbanceProfile) -> Harness {
+        Harness {
+            soa: TimingSoA::new(1),
+            bank: Bank::new(32, 16, profile, false),
+        }
+    }
+
+    impl Harness {
+        fn act(&mut self, row: u32, now: Cycle, t: &TimingParams) -> Result<Vec<Disturbance>> {
+            self.soa.act(0, row, now, t)?;
+            Ok(self.bank.record_act(row, now))
+        }
+
+        fn pre(&mut self, now: Cycle, t: &TimingParams) -> Result<()> {
+            if self.soa.pre(0, now, t)? {
+                self.bank.pres += 1;
+            }
+            Ok(())
+        }
+
+        fn rd(&mut self, now: Cycle, auto_pre: bool, t: &TimingParams) -> Result<(u32, Cycle)> {
+            let out = self.soa.rd(0, now, auto_pre, t)?;
+            if auto_pre {
+                self.bank.pres += 1;
+            }
+            Ok(out)
+        }
+
+        fn wr(&mut self, now: Cycle, auto_pre: bool, t: &TimingParams) -> Result<(u32, Cycle)> {
+            let out = self.soa.wr(0, now, auto_pre, t)?;
+            if auto_pre {
+                self.bank.pres += 1;
+            }
+            Ok(out)
+        }
+
+        fn earliest_act(&self) -> Cycle {
+            self.soa.earliest_act(0)
+        }
     }
 
     #[test]
@@ -529,13 +648,10 @@ mod tests {
         let t = tp();
         let mut b = bank_with(profile(1000));
         b.act(3, Cycle(0), &t).unwrap();
-        assert_eq!(b.open_row(), Some(3));
+        assert_eq!(b.soa.open_row(0), Some(3));
         // Too early: tRCD = 4.
-        assert!(matches!(
-            b.rd(0, Cycle(3), false, &t),
-            Err(Error::Timing(_))
-        ));
-        let (row, done) = b.rd(0, Cycle(4), false, &t).unwrap();
+        assert!(matches!(b.rd(Cycle(3), false, &t), Err(Error::Timing(_))));
+        let (row, done) = b.rd(Cycle(4), false, &t).unwrap();
         assert_eq!(row, 3);
         assert_eq!(done, Cycle(4 + t.cl + t.t_bl));
     }
@@ -553,14 +669,8 @@ mod tests {
     fn rd_wr_without_open_row_is_protocol_error() {
         let t = tp();
         let mut b = bank_with(profile(1000));
-        assert!(matches!(
-            b.rd(0, Cycle(0), false, &t),
-            Err(Error::Protocol(_))
-        ));
-        assert!(matches!(
-            b.wr(0, Cycle(0), false, &t),
-            Err(Error::Protocol(_))
-        ));
+        assert!(matches!(b.rd(Cycle(0), false, &t), Err(Error::Protocol(_))));
+        assert!(matches!(b.wr(Cycle(0), false, &t), Err(Error::Protocol(_))));
     }
 
     #[test]
@@ -581,10 +691,10 @@ mod tests {
     fn pre_idle_bank_is_noop() {
         let t = tp();
         let mut b = bank_with(profile(1000));
-        assert_eq!(b.earliest_pre(), Cycle::ZERO);
+        assert_eq!(b.soa.earliest_pre(0), Cycle::ZERO);
         b.pre(Cycle(0), &t).unwrap();
-        assert_eq!(b.state(), BankState::Idle);
-        assert_eq!(b.pres, 0, "idle PRE should not count as a row close");
+        assert_eq!(b.soa.state(0), BankState::Idle);
+        assert_eq!(b.bank.pres, 0, "idle PRE should not count as a row close");
     }
 
     #[test]
@@ -593,7 +703,7 @@ mod tests {
         let mut b = bank_with(profile(1000));
         b.act(1, Cycle(0), &t).unwrap();
         // Read late so now + tRTP exceeds tRAS.
-        b.rd(0, Cycle(9), false, &t).unwrap();
+        b.rd(Cycle(9), false, &t).unwrap();
         // ready_pre = max(0+tRAS, 9+tRTP) = max(10, 12) = 12.
         assert!(matches!(b.pre(Cycle(11), &t), Err(Error::Timing(_))));
         b.pre(Cycle(12), &t).unwrap();
@@ -604,7 +714,7 @@ mod tests {
         let t = tp();
         let mut b = bank_with(profile(1000));
         b.act(1, Cycle(0), &t).unwrap();
-        let (_, data_end) = b.wr(0, Cycle(4), false, &t).unwrap();
+        let (_, data_end) = b.wr(Cycle(4), false, &t).unwrap();
         assert_eq!(data_end, Cycle(4 + t.cwl + t.t_bl));
         let earliest = data_end + t.t_wr;
         assert!(matches!(
@@ -619,8 +729,8 @@ mod tests {
         let t = tp();
         let mut b = bank_with(profile(1000));
         b.act(1, Cycle(0), &t).unwrap();
-        b.rd(0, Cycle(4), true, &t).unwrap();
-        assert_eq!(b.state(), BankState::Idle);
+        b.rd(Cycle(4), true, &t).unwrap();
+        assert_eq!(b.soa.state(0), BankState::Idle);
         // Auto-pre time = max(ready_pre) = max(tRAS=10, 4+tRTP=7) = 10;
         // next ACT = max(10 + tRP, 0 + tRC) = 14.
         assert_eq!(b.earliest_act(), Cycle(14));
@@ -661,10 +771,10 @@ mod tests {
             b.pre(now, &t).unwrap();
             now = b.earliest_act();
         }
-        assert!(b.row_state(6).victim.pressure > 0.0);
+        assert!(b.bank.row_state(6).victim.pressure > 0.0);
         b.act(6, now, &t).unwrap();
-        assert_eq!(b.row_state(6).victim.pressure, 0.0);
-        assert_eq!(b.row_state(6).acts_since_refresh, 1);
+        assert_eq!(b.bank.row_state(6).victim.pressure, 0.0);
+        assert_eq!(b.bank.row_state(6).acts_since_refresh, 1);
     }
 
     #[test]
@@ -673,17 +783,17 @@ mod tests {
         let mut b = bank_with(profile(1000));
         b.act(5, Cycle(0), &t).unwrap();
         b.pre(Cycle(10), &t).unwrap();
-        assert_eq!(b.row_state(5).acts_since_refresh, 1);
-        assert_eq!(b.row_state(5).total_acts, 1);
-        b.refresh_row(5, Cycle(20));
-        assert_eq!(b.row_state(5).acts_since_refresh, 0);
-        assert_eq!(b.row_state(5).total_acts, 1, "lifetime count survives");
-        assert_eq!(b.row_state(5).victim.last_refresh, Cycle(20));
+        assert_eq!(b.bank.row_state(5).acts_since_refresh, 1);
+        assert_eq!(b.bank.row_state(5).total_acts, 1);
+        b.bank.refresh_row(5, Cycle(20));
+        assert_eq!(b.bank.row_state(5).acts_since_refresh, 0);
+        assert_eq!(b.bank.row_state(5).total_acts, 1, "lifetime count survives");
+        assert_eq!(b.bank.row_state(5).victim.last_refresh, Cycle(20));
     }
 
     #[test]
     fn neighbors_within_respects_subarray_and_edges() {
-        let b = bank_with(profile(1000));
+        let b = bank_with(profile(1000)).bank;
         assert_eq!(b.neighbors_within(0, 2), vec![1, 2]);
         let n15 = b.neighbors_within(15, 2);
         assert!(n15.contains(&14) && n15.contains(&13));
@@ -697,7 +807,7 @@ mod tests {
     fn block_until_delays_act() {
         let t = tp();
         let mut b = bank_with(profile(1000));
-        b.block_until(Cycle(50));
+        b.soa.block_until(0, Cycle(50));
         assert!(matches!(b.act(0, Cycle(49), &t), Err(Error::Timing(_))));
         b.act(0, Cycle(50), &t).unwrap();
     }

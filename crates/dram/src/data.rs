@@ -41,7 +41,7 @@ pub enum EccOutcome {
 /// poisoned pays O(bits in this row), not O(bits in the device), per
 /// line. Rows with no poisoned bits carry no entry, so the common
 /// clean read is one hash probe.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RowDataStore {
     row_bytes: usize,
     rows: HashMap<RowKey, Box<[u8]>>,

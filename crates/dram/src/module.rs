@@ -18,7 +18,7 @@
 //! ([`DramModule::drain_flips`]); rows in those events are reported in
 //! logical coordinates, the only ones visible outside the device.
 
-use crate::bank::{Bank, Disturbance};
+use crate::bank::{Bank, Disturbance, TimingSoA};
 use crate::command::DdrCommand;
 use crate::data::{EccOutcome, RowDataStore};
 use crate::disturb::{DisturbanceProfile, FlipEvent};
@@ -30,7 +30,6 @@ use hammertime_common::geometry::BankId;
 use hammertime_common::{Cycle, DetRng, Error, FaultClock, FaultKind, FaultPlan, Geometry, Result};
 use hammertime_telemetry::{Event, Tracer};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Whether the module/controller pair runs ECC on the data path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,8 +121,11 @@ impl DramConfig {
 struct RankState {
     /// Last ACT in this rank: (time, bank group).
     last_act: Option<(Cycle, u32)>,
-    /// Times of the most recent 4 ACTs (tFAW window).
-    faw: VecDeque<Cycle>,
+    /// Times of the most recent 4 ACTs (tFAW window): a fixed ring —
+    /// `faw[faw_head]` is the oldest entry once `faw_len` reaches 4.
+    faw: [Cycle; 4],
+    faw_len: u8,
+    faw_head: u8,
     /// Rank unusable until this time (tRFC after REF).
     busy_until: Cycle,
     /// Next refresh group the REF cursor will cover.
@@ -134,12 +136,15 @@ impl RankState {
     fn new() -> RankState {
         RankState {
             last_act: None,
-            faw: VecDeque::with_capacity(4),
+            faw: [Cycle::ZERO; 4],
+            faw_len: 0,
+            faw_head: 0,
             busy_until: Cycle::ZERO,
             next_group: 0,
         }
     }
 
+    #[inline]
     fn earliest_act(&self, bank_group: u32, t: &TimingParams) -> Cycle {
         let mut earliest = self.busy_until;
         if let Some((when, bg)) = self.last_act {
@@ -150,18 +155,23 @@ impl RankState {
             };
             earliest = earliest.max(when + gap);
         }
-        if self.faw.len() == 4 {
-            earliest = earliest.max(*self.faw.front().expect("len checked") + t.t_faw);
+        if self.faw_len == 4 {
+            earliest = earliest.max(self.faw[self.faw_head as usize] + t.t_faw);
         }
         earliest
     }
 
+    #[inline]
     fn record_act(&mut self, now: Cycle, bank_group: u32) {
         self.last_act = Some((now, bank_group));
-        if self.faw.len() == 4 {
-            self.faw.pop_front();
+        if self.faw_len == 4 {
+            // Overwrite the oldest entry and advance the ring head.
+            self.faw[self.faw_head as usize] = now;
+            self.faw_head = (self.faw_head + 1) & 3;
+        } else {
+            self.faw[((self.faw_head + self.faw_len) & 3) as usize] = now;
+            self.faw_len += 1;
         }
-        self.faw.push_back(now);
     }
 }
 
@@ -177,9 +187,18 @@ pub struct CommandOutcome {
 }
 
 /// The simulated DRAM device.
-#[derive(Debug)]
+///
+/// `Clone` supports epoch checkpointing: a clone is an independent,
+/// byte-identical snapshot of the device (a cloned *traced* device
+/// shares the original's tracer handle, and each clone emits its own
+/// closing [`Event::DeviceStats`] on drop).
+#[derive(Debug, Clone)]
 pub struct DramModule {
     config: DramConfig,
+    /// FSM/timing state of every bank, struct-of-arrays: scheduler
+    /// probes touch one contiguous column per field. Column `b` pairs
+    /// with `banks[b]`.
+    soa: TimingSoA,
     banks: Vec<Bank>,
     remaps: Vec<RowRemap>,
     ranks: Vec<RankState>,
@@ -198,6 +217,14 @@ pub struct DramModule {
 /// Component salt separating the device's fault-decision streams from
 /// the memory controller's under one [`FaultPlan`].
 const DRAM_FAULT_SALT: u64 = 0xD1AA;
+
+/// Builds the uniform too-early rejection off the hot path: the error
+/// string is only formatted when a command actually violates timing.
+#[cold]
+#[inline(never)]
+fn too_early(cmd: &DdrCommand, now: Cycle, earliest: Cycle) -> Error {
+    Error::Timing(format!("{cmd} at {now} before earliest {earliest}"))
+}
 
 impl DramModule {
     /// Builds a device from its configuration.
@@ -242,6 +269,7 @@ impl DramModule {
         let refs_per_window = config.timing.refs_per_window().max(1);
         let rows_per_group = (g.rows_per_bank() as u64).div_ceil(refs_per_window).max(1) as u32;
         let module = DramModule {
+            soa: TimingSoA::new(total_banks),
             banks,
             remaps,
             ranks: (0..(g.channels * g.ranks) as usize)
@@ -309,52 +337,53 @@ impl DramModule {
     /// The earliest cycle at which `cmd` may legally issue, or
     /// [`Cycle::MAX`] if it is not legal in the current state (e.g. REF
     /// with a bank open — the controller must precharge first).
+    #[inline]
     pub fn earliest(&self, cmd: &DdrCommand) -> Cycle {
         let t = &self.config.timing;
         match cmd {
             DdrCommand::Act { bank, .. } => {
                 let b = self.flat_bank(bank);
                 let r = self.rank_index(bank.channel, bank.rank);
-                self.banks[b]
-                    .earliest_act()
+                self.soa
+                    .earliest_act(b)
                     .max(self.ranks[r].earliest_act(bank.bank_group, t))
             }
             DdrCommand::Pre { bank } => {
                 let b = self.flat_bank(bank);
                 let r = self.rank_index(bank.channel, bank.rank);
-                self.banks[b].earliest_pre().max(self.ranks[r].busy_until)
+                self.soa.earliest_pre(b).max(self.ranks[r].busy_until)
             }
             DdrCommand::PreAll { channel, rank } => {
                 let r = self.rank_index(*channel, *rank);
                 let mut earliest = self.ranks[r].busy_until;
                 for i in self.bank_range(*channel, *rank) {
-                    earliest = earliest.max(self.banks[i].earliest_pre());
+                    earliest = earliest.max(self.soa.earliest_pre(i));
                 }
                 earliest
             }
             DdrCommand::Rd { bank, .. } | DdrCommand::Wr { bank, .. } => {
                 let b = self.flat_bank(bank);
                 let r = self.rank_index(bank.channel, bank.rank);
-                self.banks[b].earliest_rdwr().max(self.ranks[r].busy_until)
+                self.soa.earliest_rdwr(b).max(self.ranks[r].busy_until)
             }
             DdrCommand::Ref { channel, rank } => {
                 let r = self.rank_index(*channel, *rank);
                 let mut earliest = self.ranks[r].busy_until;
                 for i in self.bank_range(*channel, *rank) {
-                    if self.banks[i].open_row().is_some() {
+                    if self.soa.is_active(i) {
                         return Cycle::MAX; // must PRE first
                     }
-                    earliest = earliest.max(self.banks[i].earliest_act());
+                    earliest = earliest.max(self.soa.earliest_act(i));
                 }
                 earliest
             }
             DdrCommand::RefNeighbors { bank, .. } => {
                 let b = self.flat_bank(bank);
-                if self.banks[b].open_row().is_some() {
+                if self.soa.is_active(b) {
                     return Cycle::MAX;
                 }
                 let r = self.rank_index(bank.channel, bank.rank);
-                self.banks[b].earliest_act().max(self.ranks[r].busy_until)
+                self.soa.earliest_act(b).max(self.ranks[r].busy_until)
             }
         }
     }
@@ -426,67 +455,381 @@ impl DramModule {
         Ok(out)
     }
 
-    /// The untraced issue path; all device state changes live here.
-    fn issue_inner(&mut self, cmd: &DdrCommand, now: Cycle) -> Result<CommandOutcome> {
+    /// Fused earliest + issue: computes the command's earliest-legal
+    /// cycle, clamps it up to `floor` (the caller's notion of "now"),
+    /// issues there, and returns the chosen cycle alongside the
+    /// outcome. Exactly equivalent to
+    /// `let at = dram.earliest(cmd).max(floor); dram.issue(cmd, at)`
+    /// but prices the timing state once instead of twice — the
+    /// difference is most of a hammer loop's budget, so tight drivers
+    /// (benches, device-level attack scripts) should prefer this
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timing`] when the command is never legal in the
+    /// current state (`earliest` = [`Cycle::MAX`]);
+    /// [`Error::Protocol`] for illegal arguments, as with
+    /// [`DramModule::issue`].
+    #[inline]
+    pub fn issue_at_earliest(
+        &mut self,
+        cmd: &DdrCommand,
+        floor: Cycle,
+    ) -> Result<(Cycle, CommandOutcome)> {
+        if self.config.tracer.is_none() {
+            return self.issue_at_earliest_inner(cmd, floor);
+        }
         let earliest = self.earliest(cmd);
-        if now < earliest {
-            return Err(Error::Timing(format!(
-                "{cmd} at {now} before earliest {earliest}"
+        if earliest == Cycle::MAX {
+            return Err(too_early(cmd, floor, Cycle::MAX));
+        }
+        let at = earliest.max(floor);
+        self.issue_traced(cmd, at).map(|out| (at, out))
+    }
+
+    /// [`DramModule::issue_at_earliest`] minus the tracer check; the
+    /// fused counterpart of [`DramModule::issue_bypassing_tracer`].
+    #[doc(hidden)]
+    #[inline]
+    pub fn issue_at_earliest_bypassing_tracer(
+        &mut self,
+        cmd: &DdrCommand,
+        floor: Cycle,
+    ) -> Result<(Cycle, CommandOutcome)> {
+        self.issue_at_earliest_inner(cmd, floor)
+    }
+
+    /// Issues `pairs` back-to-back ACT/PRE pairs hammering `row` of
+    /// `bank`, each command at its earliest legal cycle (≥ the running
+    /// clock, starting from `floor`). Returns the cycle of the final
+    /// PRE.
+    ///
+    /// State evolution is identical to calling
+    /// [`DramModule::issue_at_earliest`] with the ACT and PRE
+    /// alternately `2 × pairs` times — same stats, flips, TRR
+    /// observations, and timing columns — but the bank/rank timing
+    /// recurrence (tRC/tRAS/tRP plus the rank's tRRD/tFAW window)
+    /// lives in registers across the burst instead of round-tripping
+    /// through the SoA columns per command. A hammer loop is a serial
+    /// dependency chain through those columns, so keeping it in
+    /// registers is worth several× on the device's ACT throughput.
+    /// Traced devices take the per-command path so every command and
+    /// flip is still recorded in order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timing`] if the bank is active at entry (must PRE
+    /// first); [`Error::Protocol`] for an out-of-range row.
+    pub fn issue_hammer_pairs(
+        &mut self,
+        bank: &BankId,
+        row: u32,
+        pairs: u32,
+        floor: Cycle,
+    ) -> Result<Cycle> {
+        if self.config.tracer.is_none() {
+            return self.hammer_pairs_inner(bank, row, pairs, floor);
+        }
+        self.hammer_pairs_per_command(bank, row, pairs, floor)
+    }
+
+    /// [`DramModule::issue_hammer_pairs`] minus the tracer check; the
+    /// burst counterpart of [`DramModule::issue_bypassing_tracer`].
+    #[doc(hidden)]
+    pub fn issue_hammer_pairs_bypassing_tracer(
+        &mut self,
+        bank: &BankId,
+        row: u32,
+        pairs: u32,
+        floor: Cycle,
+    ) -> Result<Cycle> {
+        self.hammer_pairs_inner(bank, row, pairs, floor)
+    }
+
+    /// The traced burst path: per-command, so the tracer sees every
+    /// ACT/PRE and each flip trails its command.
+    #[cold]
+    fn hammer_pairs_per_command(
+        &mut self,
+        bank: &BankId,
+        row: u32,
+        pairs: u32,
+        mut now: Cycle,
+    ) -> Result<Cycle> {
+        let act = DdrCommand::Act { bank: *bank, row };
+        let pre = DdrCommand::Pre { bank: *bank };
+        for _ in 0..pairs {
+            now = self.issue_at_earliest(&act, now)?.0;
+            now = self.issue_at_earliest(&pre, now)?.0;
+        }
+        Ok(now)
+    }
+
+    /// The register-resident burst loop. The SoA column, the rank's
+    /// activation window, and the stats counters are checked out into
+    /// locals, the recurrence runs, and the final state is written
+    /// back — per-iteration memory traffic is only the disturbance
+    /// bookkeeping ([`Bank::record_act`]) and any sampled flips.
+    fn hammer_pairs_inner(
+        &mut self,
+        bank: &BankId,
+        row: u32,
+        pairs: u32,
+        floor: Cycle,
+    ) -> Result<Cycle> {
+        if pairs == 0 {
+            return Ok(floor);
+        }
+        let b = self.flat_bank(bank);
+        let r = self.rank_index(bank.channel, bank.rank);
+        let g = self.config.geometry;
+        if row >= g.rows_per_bank() {
+            return Err(Error::Protocol(format!(
+                "ACT row {row} out of range ({} rows/bank)",
+                g.rows_per_bank()
             )));
         }
+        if self.soa.is_active(b) {
+            return Err(too_early(
+                &DdrCommand::Act { bank: *bank, row },
+                floor,
+                Cycle::MAX,
+            ));
+        }
+        let internal = self.remaps[b].to_internal(row);
         let t = self.config.timing;
+        let busy = self.ranks[r].busy_until;
+        let bg = bank.bank_group;
+        // Check out the recurrence state.
+        let mut ready_act = self.soa.ready_act[b];
+        let mut last_act = self.ranks[r].last_act;
+        let mut faw = self.ranks[r].faw;
+        let mut faw_head = self.ranks[r].faw_head;
+        let mut faw_len = self.ranks[r].faw_len;
+        let trr_on = self.trr.is_some();
+        let mut now = floor;
+        let mut at_act = floor;
+        for _ in 0..pairs {
+            // ACT at its earliest: the same maxes as `earliest()`.
+            at_act = ready_act.max(busy).max(now);
+            if let Some((when, last_bg)) = last_act {
+                let gap = if last_bg == bg { t.t_rrd_l } else { t.t_rrd_s };
+                at_act = at_act.max(when + gap);
+            }
+            if faw_len == 4 {
+                at_act = at_act.max(faw[faw_head as usize] + t.t_faw);
+                faw[faw_head as usize] = at_act;
+                faw_head = (faw_head + 1) & 3;
+            } else {
+                faw[((faw_head + faw_len) & 3) as usize] = at_act;
+                faw_len += 1;
+            }
+            last_act = Some((at_act, bg));
+            let disturbances = self.banks[b].record_act(internal, at_act);
+            if trr_on {
+                // Same fault hook as the per-command ACT arm; the
+                // tracer is off on this path, so a fired miss only
+                // skips the observation.
+                let missed = self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|fc| fc.fire(FaultKind::TrrSamplerMiss));
+                if !missed {
+                    if let Some(trr) = &mut self.trr {
+                        trr.observe_act(b, internal);
+                    }
+                }
+            }
+            if !disturbances.is_empty() {
+                self.sample_flips_of(b, at_act, internal, &disturbances);
+            }
+            // PRE at its earliest: ready_pre = at_act + tRAS ≥ at_act.
+            let at_pre = (at_act + t.t_ras).max(busy);
+            ready_act = (at_pre + t.t_rp).max(at_act + t.t_rc);
+            now = at_pre;
+        }
+        // Write back: the burst ends precharged, with the same column
+        // values a per-command loop would have left.
+        self.soa.open_row[b] = crate::bank::NO_OPEN_ROW;
+        self.soa.opened_at[b] = at_act;
+        self.soa.ready_act[b] = ready_act;
+        self.soa.ready_pre[b] = at_act + t.t_ras;
+        self.soa.ready_rdwr[b] = at_act + t.t_rcd;
+        let rank = &mut self.ranks[r];
+        rank.last_act = last_act;
+        rank.faw = faw;
+        rank.faw_head = faw_head;
+        rank.faw_len = faw_len;
+        self.stats.acts += u64::from(pairs);
+        self.stats.pres += u64::from(pairs);
+        self.banks[b].pres += u64::from(pairs);
+        Ok(now)
+    }
+
+    /// The fused fast path: ACT and PRE (the hammer-loop hot pair)
+    /// reuse the per-arm earliest they just computed as the issue
+    /// cycle; every other command class falls back to the probe +
+    /// issue pair.
+    #[inline]
+    fn issue_at_earliest_inner(
+        &mut self,
+        cmd: &DdrCommand,
+        floor: Cycle,
+    ) -> Result<(Cycle, CommandOutcome)> {
         match *cmd {
             DdrCommand::Act { bank, row } => {
                 let b = self.flat_bank(&bank);
                 let r = self.rank_index(bank.channel, bank.rank);
-                let g = self.config.geometry;
-                if row >= g.rows_per_bank() {
-                    return Err(Error::Protocol(format!(
-                        "ACT row {row} out of range ({} rows/bank)",
-                        g.rows_per_bank()
-                    )));
+                let earliest = self
+                    .soa
+                    .earliest_act(b)
+                    .max(self.ranks[r].earliest_act(bank.bank_group, &self.config.timing));
+                if earliest == Cycle::MAX {
+                    return Err(too_early(cmd, floor, Cycle::MAX));
                 }
-                let internal = self.remaps[b].to_internal(row);
-                let disturbances = self.banks[b].act(internal, now, &t)?;
-                self.ranks[r].record_act(now, bank.bank_group);
-                self.stats.acts += 1;
-                if let Some(trr) = &mut self.trr {
-                    // Fault hook: a blackbox sampler sometimes misses
-                    // the ACT entirely (what TRRespass patterns bank on).
-                    let missed = self
-                        .faults
-                        .as_mut()
-                        .is_some_and(|fc| fc.fire(FaultKind::TrrSamplerMiss));
-                    if !missed {
-                        trr.observe_act(b, internal);
-                    } else if let Some(tracer) = &self.config.tracer {
-                        tracer.emit(
-                            now,
-                            Event::FaultInjected {
-                                kind: FaultKind::TrrSamplerMiss.name().into(),
-                            },
-                        );
-                    }
-                }
-                let pairs: Vec<_> = disturbances.into_iter().map(|d| (internal, d)).collect();
-                let flips_generated = self.sample_flips(b, now, pairs);
-                Ok(CommandOutcome {
-                    done: now,
-                    flips_generated,
-                })
+                let at = earliest.max(floor);
+                self.act_body(bank, row, b, r, at).map(|out| (at, out))
             }
             DdrCommand::Pre { bank } => {
                 let b = self.flat_bank(&bank);
-                self.banks[b].pre(now, &t)?;
-                self.stats.pres += 1;
-                Ok(CommandOutcome {
-                    done: now,
-                    flips_generated: 0,
-                })
+                let r = self.rank_index(bank.channel, bank.rank);
+                let at = self
+                    .soa
+                    .earliest_pre(b)
+                    .max(self.ranks[r].busy_until)
+                    .max(floor);
+                Ok((at, self.pre_body(b, at)))
+            }
+            _ => {
+                let earliest = self.earliest(cmd);
+                if earliest == Cycle::MAX {
+                    return Err(too_early(cmd, floor, Cycle::MAX));
+                }
+                let at = earliest.max(floor);
+                self.issue_inner(cmd, at).map(|out| (at, out))
+            }
+        }
+    }
+
+    /// The ACT state transition, after the caller has gated `now`
+    /// against the ACT earliest for flat bank `b` / rank `r`.
+    #[inline]
+    fn act_body(
+        &mut self,
+        bank: BankId,
+        row: u32,
+        b: usize,
+        r: usize,
+        now: Cycle,
+    ) -> Result<CommandOutcome> {
+        let g = self.config.geometry;
+        if row >= g.rows_per_bank() {
+            return Err(Error::Protocol(format!(
+                "ACT row {row} out of range ({} rows/bank)",
+                g.rows_per_bank()
+            )));
+        }
+        let internal = self.remaps[b].to_internal(row);
+        self.soa
+            .act(b, internal, now, &self.config.timing)
+            .expect("gated on earliest_act");
+        let disturbances = self.banks[b].record_act(internal, now);
+        self.ranks[r].record_act(now, bank.bank_group);
+        self.stats.acts += 1;
+        if let Some(trr) = &mut self.trr {
+            // Fault hook: a blackbox sampler sometimes misses
+            // the ACT entirely (what TRRespass patterns bank on).
+            let missed = self
+                .faults
+                .as_mut()
+                .is_some_and(|fc| fc.fire(FaultKind::TrrSamplerMiss));
+            if !missed {
+                trr.observe_act(b, internal);
+            } else if let Some(tracer) = &self.config.tracer {
+                tracer.emit(
+                    now,
+                    Event::FaultInjected {
+                        kind: FaultKind::TrrSamplerMiss.name().into(),
+                    },
+                );
+            }
+        }
+        let flips_generated = if disturbances.is_empty() {
+            0
+        } else {
+            self.sample_flips_of(b, now, internal, &disturbances)
+        };
+        Ok(CommandOutcome {
+            done: now,
+            flips_generated,
+        })
+    }
+
+    /// The PRE state transition, after the caller has gated `now`
+    /// against the PRE earliest for flat bank `b`. Infallible: PRE on
+    /// an idle bank is a counted no-op.
+    #[inline]
+    fn pre_body(&mut self, b: usize, now: Cycle) -> CommandOutcome {
+        if self
+            .soa
+            .pre(b, now, &self.config.timing)
+            .expect("gated on earliest_pre")
+        {
+            self.banks[b].pres += 1;
+        }
+        self.stats.pres += 1;
+        CommandOutcome {
+            done: now,
+            flips_generated: 0,
+        }
+    }
+
+    /// The untraced issue path; all device state changes live here.
+    ///
+    /// Each arm computes its own earliest-legal cycle (exactly
+    /// [`DramModule::earliest`] for that command class), gates on it
+    /// once, and then applies the state transition — the legality
+    /// check and the transition share one pass over the SoA columns
+    /// instead of recomputing `earliest` twice per issue.
+    fn issue_inner(&mut self, cmd: &DdrCommand, now: Cycle) -> Result<CommandOutcome> {
+        match *cmd {
+            DdrCommand::Act { bank, row } => {
+                let b = self.flat_bank(&bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                let earliest = self
+                    .soa
+                    .earliest_act(b)
+                    .max(self.ranks[r].earliest_act(bank.bank_group, &self.config.timing));
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
+                self.act_body(bank, row, b, r, now)
+            }
+            DdrCommand::Pre { bank } => {
+                let b = self.flat_bank(&bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                let earliest = self.soa.earliest_pre(b).max(self.ranks[r].busy_until);
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
+                Ok(self.pre_body(b, now))
             }
             DdrCommand::PreAll { channel, rank } => {
-                for b in self.bank_range(channel, rank) {
-                    self.banks[b].pre(now, &t)?;
+                let r = self.rank_index(channel, rank);
+                let range = self.bank_range(channel, rank);
+                let t = &self.config.timing;
+                let mut earliest = self.ranks[r].busy_until;
+                for i in range.clone() {
+                    earliest = earliest.max(self.soa.earliest_pre(i));
+                }
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
+                for i in range {
+                    if self.soa.pre(i, now, t).expect("gated on earliest_pre") {
+                        self.banks[i].pres += 1;
+                    }
                 }
                 self.stats.pres += 1;
                 Ok(CommandOutcome {
@@ -500,13 +843,25 @@ impl DramModule {
                 auto_pre,
             } => {
                 let b = self.flat_bank(&bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                let earliest = self.soa.earliest_rdwr(b).max(self.ranks[r].busy_until);
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
                 if col >= self.config.geometry.columns {
                     return Err(Error::Protocol(format!("RD col {col} out of range")));
                 }
                 // A read observes data: settle deferred disturbance so
                 // its poison is in place before the burst.
                 self.settle_bank(b, now);
-                let (_, done) = self.banks[b].rd(col, now, auto_pre, &t)?;
+                let t = &self.config.timing;
+                let (_, done) = self
+                    .soa
+                    .rd(b, now, auto_pre, t)
+                    .expect("gated on earliest_rdwr");
+                if auto_pre {
+                    self.banks[b].pres += 1;
+                }
                 self.stats.rds += 1;
                 Ok(CommandOutcome {
                     done,
@@ -519,11 +874,23 @@ impl DramModule {
                 auto_pre,
             } => {
                 let b = self.flat_bank(&bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                let earliest = self.soa.earliest_rdwr(b).max(self.ranks[r].busy_until);
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
                 if col >= self.config.geometry.columns {
                     return Err(Error::Protocol(format!("WR col {col} out of range")));
                 }
                 self.settle_bank(b, now);
-                let (_, done) = self.banks[b].wr(col, now, auto_pre, &t)?;
+                let t = &self.config.timing;
+                let (_, done) = self
+                    .soa
+                    .wr(b, now, auto_pre, t)
+                    .expect("gated on earliest_rdwr");
+                if auto_pre {
+                    self.banks[b].pres += 1;
+                }
                 self.stats.wrs += 1;
                 Ok(CommandOutcome {
                     done,
@@ -532,7 +899,18 @@ impl DramModule {
             }
             DdrCommand::Ref { channel, rank } => {
                 let r = self.rank_index(channel, rank);
-                let done = now + t.t_rfc;
+                let mut earliest = self.ranks[r].busy_until;
+                for i in self.bank_range(channel, rank) {
+                    if self.soa.is_active(i) {
+                        // Must PRE first; never legal in this state.
+                        return Err(too_early(cmd, now, Cycle::MAX));
+                    }
+                    earliest = earliest.max(self.soa.earliest_act(i));
+                }
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
+                let done = now + self.config.timing.t_rfc;
                 let banks: Vec<usize> = self.bank_range(channel, rank).collect();
                 // Refresh the current group of internal rows in every bank.
                 let group = self.ranks[r].next_group;
@@ -578,7 +956,7 @@ impl DramModule {
                             self.banks[b].refresh_row(internal, now);
                         }
                     }
-                    self.banks[b].block_until(done);
+                    self.soa.block_until(b, done);
                 }
                 let groups = self
                     .config
@@ -618,6 +996,15 @@ impl DramModule {
             }
             DdrCommand::RefNeighbors { bank, row, radius } => {
                 let b = self.flat_bank(&bank);
+                let r = self.rank_index(bank.channel, bank.rank);
+                if self.soa.is_active(b) {
+                    // Must PRE first; never legal in this state.
+                    return Err(too_early(cmd, now, Cycle::MAX));
+                }
+                let earliest = self.soa.earliest_act(b).max(self.ranks[r].busy_until);
+                if now < earliest {
+                    return Err(too_early(cmd, now, earliest));
+                }
                 let g = self.config.geometry;
                 if row >= g.rows_per_bank() {
                     return Err(Error::Protocol(format!("REFN row {row} out of range")));
@@ -626,12 +1013,12 @@ impl DramModule {
                 self.settle_bank(b, now);
                 let victims = self.banks[b].neighbors_within(internal, radius);
                 // Each refreshed row costs one internal row cycle.
-                let done = now + t.t_rc * victims.len().max(1) as u64;
+                let done = now + self.config.timing.t_rc * victims.len().max(1) as u64;
                 for v in &victims {
                     self.banks[b].refresh_row(*v, now);
                     self.stats.ref_neighbor_rows += 1;
                 }
-                self.banks[b].block_until(done);
+                self.soa.block_until(b, done);
                 Ok(CommandOutcome {
                     done,
                     flips_generated: 0,
@@ -757,8 +1144,8 @@ impl DramModule {
     /// The open row of a bank, if any (controller-visible state).
     pub fn open_row(&self, bank: &BankId) -> Option<u32> {
         let b = self.flat_bank(bank);
-        self.banks[b]
-            .open_row()
+        self.soa
+            .open_row(b)
             .map(|internal| self.remaps[b].to_logical(internal))
     }
 
@@ -771,6 +1158,41 @@ impl DramModule {
         let row_bits = self.config.geometry.row_bytes() * 8;
         let mut flips_generated = 0;
         for (aggressor, d) in disturbances {
+            for _ in 0..d.opportunities {
+                if self.rng.chance(profile.flip_prob) {
+                    let bit = self.rng.below(row_bits);
+                    self.data.flip_bit((b, d.victim_row), bit);
+                    self.stats.flips += 1;
+                    flips_generated += 1;
+                    self.flips.push(FlipEvent {
+                        time: now,
+                        flat_bank: b,
+                        victim_row: self.remaps[b].to_logical(d.victim_row),
+                        aggressor_row: self.remaps[b].to_logical(aggressor),
+                        bit,
+                        victim_domain: None,
+                        aggressor_domain: None,
+                    });
+                }
+            }
+        }
+        flips_generated
+    }
+
+    /// [`DramModule::sample_flips`] specialized for one ACT's
+    /// disturbances (a single internal `aggressor` row): identical RNG
+    /// draw order, no intermediate pair vector.
+    fn sample_flips_of(
+        &mut self,
+        b: usize,
+        now: Cycle,
+        aggressor: u32,
+        disturbances: &[Disturbance],
+    ) -> u32 {
+        let profile = self.config.disturbance;
+        let row_bits = self.config.geometry.row_bytes() * 8;
+        let mut flips_generated = 0;
+        for d in disturbances {
             for _ in 0..d.opportunities {
                 if self.rng.chance(profile.flip_prob) {
                     let bit = self.rng.below(row_bits);
@@ -829,15 +1251,17 @@ impl DramModule {
         let t = &self.config.timing;
         let rank = &self.ranks[r];
         BankTiming {
-            open_row: self.banks[b]
-                .open_row()
+            open_row: self
+                .soa
+                .open_row(b)
                 .map(|internal| self.remaps[b].to_logical(internal)),
-            act: self.banks[b]
-                .earliest_act()
+            act: self
+                .soa
+                .earliest_act(b)
                 .max(rank.earliest_act(bank.bank_group, t)),
-            act_local: self.banks[b].earliest_act().max(rank.busy_until),
-            pre: self.banks[b].earliest_pre().max(rank.busy_until),
-            rdwr: self.banks[b].earliest_rdwr().max(rank.busy_until),
+            act_local: self.soa.earliest_act(b).max(rank.busy_until),
+            pre: self.soa.earliest_pre(b).max(rank.busy_until),
+            rdwr: self.soa.earliest_rdwr(b).max(rank.busy_until),
         }
     }
 }
@@ -902,6 +1326,67 @@ mod tests {
 
     fn module(mac: u64) -> DramModule {
         DramModule::new(DramConfig::test_config(mac)).unwrap()
+    }
+
+    /// The burst entry point must be state-identical to the
+    /// per-command loop it fuses: same clock, stats, flips, RNG
+    /// stream position, and timing columns — with and without TRR,
+    /// in both disturbance-accounting modes.
+    #[test]
+    fn hammer_pairs_burst_matches_per_command_loop() {
+        for batched in [false, true] {
+            for trr in [false, true] {
+                let mut cfg = DramConfig::test_config(600);
+                cfg.disturbance.blast_radius = 3;
+                cfg.batched_pressure = batched;
+                if trr {
+                    cfg.trr = Some(TrrConfig::vendor_default());
+                }
+                let mut per_cmd = DramModule::new(cfg.clone()).unwrap();
+                let mut burst = DramModule::new(cfg).unwrap();
+                let bank = bank0();
+                let act = DdrCommand::Act { bank, row: 8 };
+                let pre = DdrCommand::Pre { bank };
+                let mut now = Cycle(5);
+                for _ in 0..500 {
+                    now = per_cmd.issue_at_earliest(&act, now).unwrap().0;
+                    now = per_cmd.issue_at_earliest(&pre, now).unwrap().0;
+                }
+                let end = burst.issue_hammer_pairs(&bank, 8, 500, Cycle(5)).unwrap();
+                assert_eq!(end, now, "batched={batched} trr={trr}");
+                per_cmd.sync_disturbances(now);
+                burst.sync_disturbances(end);
+                assert_eq!(
+                    per_cmd.stats(),
+                    burst.stats(),
+                    "batched={batched} trr={trr}"
+                );
+                assert_eq!(per_cmd.bank_timing(&bank), burst.bank_timing(&bank));
+                assert_eq!(per_cmd.drain_flips(), burst.drain_flips());
+                // The next ACT lands on the same cycle on both — the
+                // written-back columns and rank window agree.
+                assert_eq!(per_cmd.earliest(&act), burst.earliest(&act));
+            }
+        }
+    }
+
+    #[test]
+    fn hammer_pairs_rejects_open_bank_and_bad_row() {
+        let mut m = module(1_000_000);
+        let g = m.config().geometry;
+        assert!(matches!(
+            m.issue_hammer_pairs(&bank0(), g.rows_per_bank(), 1, Cycle::ZERO),
+            Err(Error::Protocol(_))
+        ));
+        let act = DdrCommand::Act {
+            bank: bank0(),
+            row: 1,
+        };
+        m.issue(&act, Cycle::ZERO).unwrap();
+        assert!(matches!(
+            m.issue_hammer_pairs(&bank0(), 1, 1, Cycle::ZERO),
+            Err(Error::Timing(_))
+        ));
     }
 
     /// Open/close a row repeatedly, respecting timing.

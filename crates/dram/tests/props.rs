@@ -2,7 +2,7 @@
 
 use hammertime_common::geometry::BankId;
 use hammertime_common::{Cycle, DetRng, Geometry};
-use hammertime_dram::bank::Bank;
+use hammertime_dram::bank::{Bank, TimingSoA};
 use hammertime_dram::disturb::{DisturbanceProfile, VictimState};
 use hammertime_dram::module::{DramConfig, DramModule};
 use hammertime_dram::remap::{RemapConfig, RowRemap};
@@ -86,38 +86,40 @@ proptest! {
     #[test]
     fn bank_earliest_is_always_legal(ops in prop::collection::vec(0u8..4, 1..80), seed in any::<u64>()) {
         let t = TimingParams::tiny_test();
+        let mut soa = TimingSoA::new(1);
         let mut bank = Bank::new(64, 16, profile(1_000_000), false);
         let mut rng = DetRng::new(seed);
         let mut now = Cycle::ZERO;
         for op in ops {
             match op {
                 0 => {
-                    let at = bank.earliest_act();
+                    let at = soa.earliest_act(0);
                     if at != Cycle::MAX {
                         now = now.max(at);
                         let row = rng.below(64) as u32;
-                        prop_assert!(bank.act(row, now, &t).is_ok());
+                        prop_assert!(soa.act(0, row, now, &t).is_ok());
+                        bank.record_act(row, now);
                     }
                 }
                 1 => {
-                    let at = bank.earliest_pre();
+                    let at = soa.earliest_pre(0);
                     if at != Cycle::MAX {
                         now = now.max(at);
-                        prop_assert!(bank.pre(now, &t).is_ok());
+                        prop_assert!(soa.pre(0, now, &t).is_ok());
                     }
                 }
                 2 => {
-                    let at = bank.earliest_rdwr();
+                    let at = soa.earliest_rdwr(0);
                     if at != Cycle::MAX {
                         now = now.max(at);
-                        prop_assert!(bank.rd(0, now, rng.chance(0.3), &t).is_ok());
+                        prop_assert!(soa.rd(0, now, rng.chance(0.3), &t).is_ok());
                     }
                 }
                 _ => {
-                    let at = bank.earliest_rdwr();
+                    let at = soa.earliest_rdwr(0);
                     if at != Cycle::MAX {
                         now = now.max(at);
-                        prop_assert!(bank.wr(0, now, rng.chance(0.3), &t).is_ok());
+                        prop_assert!(soa.wr(0, now, rng.chance(0.3), &t).is_ok());
                     }
                 }
             }

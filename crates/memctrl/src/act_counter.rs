@@ -76,7 +76,7 @@ impl ActCounterConfig {
 }
 
 /// Per-channel ACT counters with an interrupt queue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ActCounterBlock {
     config: ActCounterConfig,
     counts: Vec<u64>,

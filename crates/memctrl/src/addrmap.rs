@@ -63,6 +63,10 @@ pub struct AddressMap {
     geometry: Geometry,
     /// (field, bit width), lowest-order field first.
     layout: Vec<(Field, u32)>,
+    /// Bumped by every [`AddressMap::reconfigure`]. Caches keyed on
+    /// translation results (e.g. the machine's frames-of-row memo)
+    /// compare this to detect that their entries went stale.
+    generation: u64,
 }
 
 /// Bit width of a power-of-two field count, as a typed error rather
@@ -145,7 +149,32 @@ impl AddressMap {
             scheme,
             geometry,
             layout,
+            generation: 0,
         })
+    }
+
+    /// Switches the map to a different scheme in place (host BIOS-style
+    /// reconfiguration), preserving the geometry and bumping
+    /// [`AddressMap::generation`] so translation caches invalidate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the geometry cannot support `scheme`; the
+    /// map is left unchanged (and the generation unbumped) on error.
+    pub fn reconfigure(&mut self, scheme: MappingScheme) -> Result<()> {
+        let fresh = AddressMap::new(scheme, self.geometry)?;
+        self.scheme = fresh.scheme;
+        self.layout = fresh.layout;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Monotone configuration counter: 0 at construction, +1 per
+    /// [`AddressMap::reconfigure`]. Two maps with equal generation and
+    /// provenance translate identically, so caches of translation
+    /// results key on it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The scheme this map implements.

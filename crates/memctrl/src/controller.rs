@@ -24,6 +24,7 @@ use crate::addrmap::{AddressMap, MappingScheme};
 use crate::mitigation::{ActAction, McMitigation, McMitigationConfig};
 use crate::request::{Completion, MemRequest, RequestKind};
 use crate::stats::McStats;
+use crate::wheel::{better, key_of, Candidate, CandidateKind, EventWheel};
 use hammertime_check::ShadowChecker;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{
@@ -128,38 +129,8 @@ struct Pending {
     internal: bool,
 }
 
-/// One schedulable command candidate.
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    issue_at: Cycle,
-    /// Lower is better: 0 = refresh scheduler, 1 = CAS (row hit) and
-    /// maintenance, 2 = ACT/PRE for misses.
-    priority: u8,
-    seq: u64,
-    kind: CandidateKind,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum CandidateKind {
-    /// Periodic refresh for (channel, rank): precharge-all then REF.
-    RankRefresh {
-        channel: u32,
-        rank: u32,
-        need_pre: bool,
-    },
-    /// Next command for queued request at `queue` index.
-    Request { index: usize, cmd: DdrCommand },
-}
-
-/// FR-FCFS comparison: earliest issue first, then priority class, then
-/// age. Strict, so equal tuples keep the earlier-scanned candidate —
-/// the tie rule both scheduler implementations must share.
-fn better(a: &Candidate, b: &Candidate) -> bool {
-    (a.issue_at, a.priority, a.seq) < (b.issue_at, b.priority, b.seq)
-}
-
 /// The integrated memory controller.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MemCtrl {
     config: MemCtrlConfig,
     map: AddressMap,
@@ -182,13 +153,19 @@ pub struct MemCtrl {
     /// The fast scheduler prices each bank's requests against a single
     /// timing snapshot instead of probing the device per request.
     by_bank: Vec<Vec<usize>>,
-    /// Memoized result of the last scheduling scan. Between mutations
+    /// Memoized winner of the last scheduling query. Between mutations
     /// (submit/issue/complete/throttle) the candidate set is a pure
     /// function of controller state, and the clock only ever parks
-    /// strictly before the cached winner's issue time — so the scan
-    /// result stays exact and repeated `step` calls across an idle
-    /// stretch cost O(1) instead of a full rescan.
+    /// strictly before the cached winner's issue time — so the result
+    /// stays exact and repeated `step` calls across an idle stretch
+    /// cost O(1) without touching the wheel.
     sched_cache: Option<Option<Candidate>>,
+    /// The calendar scheduler: per-bank candidate slots posted into a
+    /// time-ordered heap. Mutations mark only the banks they perturb
+    /// (see the dirty rules at each issue/complete site); a scheduling
+    /// query reprices dirty banks and peeks the earliest live entry
+    /// instead of rescanning every bank.
+    wheel: EventWheel,
     /// Queue index of a `Refresh { auto_pre: false }` whose ACT has
     /// issued; it completes on the next step, before any other command.
     acted_refresh: Option<usize>,
@@ -279,6 +256,7 @@ impl MemCtrl {
             throttle: HashMap::new(),
             by_bank: vec![Vec::new(); g.total_banks() as usize],
             sched_cache: None,
+            wheel: EventWheel::new(g.total_banks() as usize),
             acted_refresh: None,
             faults: config.faults.map(|p| FaultClock::new(p, MC_FAULT_SALT)),
             delayed_interrupts: Vec::new(),
@@ -299,6 +277,30 @@ impl MemCtrl {
     /// The address map in force.
     pub fn map(&self) -> &AddressMap {
         &self.map
+    }
+
+    /// Reconfigures the address-mapping scheme in place (host
+    /// BIOS-style switch). Bumps the map's generation so downstream
+    /// translation caches invalidate, and reprices the whole calendar:
+    /// queued coordinates would be stale under the new map, so the
+    /// queue must be empty.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if requests are still queued or the geometry
+    /// cannot support `scheme`; the map is unchanged on error.
+    pub fn set_mapping(&mut self, scheme: MappingScheme) -> Result<()> {
+        if !self.queue.is_empty() {
+            return Err(Error::Config(format!(
+                "cannot reconfigure the address map with {} queued requests",
+                self.queue.len()
+            )));
+        }
+        self.map.reconfigure(scheme)?;
+        self.group_owner = vec![None; self.map.subarray_groups() as usize];
+        self.sched_cache = None;
+        self.wheel.mark_all();
+        Ok(())
     }
 
     /// Controller statistics, with the live fault-injection tally
@@ -327,6 +329,7 @@ impl MemCtrl {
     /// controller failure.
     pub fn record_fault(&mut self, msg: String) {
         self.sched_cache = None;
+        self.wheel.mark_all();
         if self.wedged.is_none() {
             if let Some(tracer) = &self.config.tracer {
                 tracer.emit(
@@ -353,8 +356,9 @@ impl MemCtrl {
     /// Mutable white-box access to the device's functional data path.
     pub fn dram_mut(&mut self) -> &mut DramModule {
         // The caller may mutate device state behind the scheduler's
-        // back; drop the memoized scan.
+        // back; drop the memoized winner and reprice every bank.
         self.sched_cache = None;
+        self.wheel.mark_all();
         &mut self.dram
     }
 
@@ -567,7 +571,9 @@ impl MemCtrl {
         self.seq += 1;
         let bank = BankId::of(&coord);
         self.sched_cache = None;
-        self.by_bank[bank.flat(self.map.geometry())].push(self.queue.len());
+        let flat = bank.flat(self.map.geometry());
+        self.wheel.mark_bank(flat);
+        self.by_bank[flat].push(self.queue.len());
         self.queue.push(Pending {
             bank,
             req,
@@ -716,6 +722,30 @@ impl MemCtrl {
 
     fn rank_index(&self, channel: u32, rank: u32) -> usize {
         (channel * self.map.geometry().ranks + rank) as usize
+    }
+
+    /// Marks every bank of a rank for repricing. Flat bank indices are
+    /// rank-contiguous ([`BankId::flat`]), so a rank is one range.
+    fn mark_rank(&mut self, channel: u32, rank: u32) {
+        let per_rank = self.map.geometry().banks_per_rank() as usize;
+        let start = self.rank_index(channel, rank) * per_rank;
+        self.wheel.mark_rank_range(start, per_rank);
+    }
+
+    /// Calendar-scheduler telemetry: `(events_processed, occupancy,
+    /// occupancy_peak)`. Events count calendar entries consumed —
+    /// repricings plus stale/invalid pops; occupancy counts posted
+    /// entries (including stale ones awaiting lazy deletion). Kept out
+    /// of [`McStats`] because the reference scheduler never touches
+    /// the wheel and the differential suites compare full stats
+    /// structs; hosts flush these into the tracer's metrics registry
+    /// at report time.
+    pub fn wheel_counters(&self) -> (u64, u64, u64) {
+        (
+            self.wheel.events_processed,
+            self.wheel.occupancy(),
+            self.wheel.occupancy_peak,
+        )
     }
 
     /// Computes the next command a pending request needs.
@@ -904,16 +934,26 @@ impl MemCtrl {
 
     /// Issues at most one command at or before `target`. Returns `true`
     /// if it made progress (issued, or resolved a throttle decision).
-    ///
-    /// Fast path: the winning candidate from the last scan is memoized,
-    /// so repeated calls across an idle stretch (quantum polling, the
-    /// gaps between refresh slots) cost O(1) until a command actually
-    /// issues. Scans themselves price requests bank-by-bank from one
-    /// timing snapshot each and prune candidates that provably cannot
-    /// beat the current best. Byte-identical to
-    /// [`MemCtrl::step_reference`] by construction; the differential
-    /// suite in `tests/differential.rs` enforces it.
+    /// Thin wrapper over [`MemCtrl::run_until`] — as are `advance_to`,
+    /// `run_while_busy`, and `drain`, which just loop it.
     fn step(&mut self, target: Cycle) -> bool {
+        self.run_until(target)
+    }
+
+    /// Advances to the next posted event at or before `target` and
+    /// processes it.
+    ///
+    /// Fast path: the winning candidate from the last query is
+    /// memoized, so repeated calls across an idle stretch (quantum
+    /// polling, the gaps between refresh slots) cost O(1) until a
+    /// command actually issues. Queries themselves go through the
+    /// calendar scheduler ([`EventWheel`]): only banks dirtied since
+    /// the last query are repriced — one timing snapshot each — and
+    /// the winner is the earliest live calendar entry, compared
+    /// against the freshly priced rank refresh timers. Byte-identical
+    /// to [`MemCtrl::step_reference`] by construction; the
+    /// differential suites in `tests/` enforce it.
+    fn run_until(&mut self, target: Cycle) -> bool {
         if self.wedged.is_some() {
             return false;
         }
@@ -941,16 +981,18 @@ impl MemCtrl {
         self.issue_candidate(c)
     }
 
-    /// One full scheduling scan: the earliest actionable event across
-    /// the refresh schedulers and every per-bank ready queue.
-    fn compute_best(&self) -> Option<Candidate> {
+    /// One scheduling query: the earliest actionable event across the
+    /// rank refresh timers and the calendar of per-bank candidates.
+    fn compute_best(&mut self) -> Option<Candidate> {
         let g = *self.map.geometry();
-        let mut best: Option<Candidate> = None;
-        // Refresh candidates first, in (channel, rank) order: equal
+        // Rank refresh timers first, in (channel, rank) order: equal
         // tuples keep the earlier scan position, exactly as in the
         // reference scan. `due.max(bus).max(now)` lower-bounds the full
         // candidate, so ranks that cannot win (`>=`: ties lose to the
-        // earlier position) skip the device probe entirely.
+        // earlier position) skip the device probe entirely. Refresh
+        // candidates depend on every bank of their rank, so they are
+        // repriced fresh here instead of living in the calendar.
+        let mut refresh_best: Option<Candidate> = None;
         for ch in 0..g.channels {
             for rk in 0..g.ranks {
                 let due = self.next_ref[self.rank_index(ch, rk)];
@@ -958,45 +1000,96 @@ impl MemCtrl {
                     continue;
                 }
                 let lb = due.max(self.cmd_bus_free[ch as usize]).max(self.now);
-                if best.as_ref().is_some_and(|b| lb >= b.issue_at) {
+                if refresh_best.as_ref().is_some_and(|b| lb >= b.issue_at) {
                     continue;
                 }
                 if let Some(c) = self.refresh_candidate(ch, rk) {
-                    if best.as_ref().is_none_or(|b| better(&c, b)) {
-                        best = Some(c);
+                    if refresh_best.as_ref().is_none_or(|b| better(&c, b)) {
+                        refresh_best = Some(c);
                     }
                 }
             }
         }
-        // Queued requests, one bank at a time. Request tuples are
-        // unique (distinct seq) and can never exactly tie a refresh
-        // candidate (priority 0 vs >= 1), so bank visiting order cannot
-        // change the winner. Per-request pruning must be strict (`>`):
-        // an equal-time candidate can still win on priority.
-        for list in &self.by_bank {
-            let Some(&first) = list.first() else {
+        // Reprice every bank the last mutation dirtied and post the
+        // results to the calendar.
+        while let Some(b) = self.wheel.pop_dirty() {
+            let c = self.bank_candidate(b);
+            self.wheel.store(b, c);
+        }
+        // Pop down to the earliest live entry. An entry is live when it
+        // still matches its (clean) slot and no floor has moved past
+        // it; anything else is repriced on the spot. Once the top is
+        // live it is the bank-side minimum: deeper entries order after
+        // it, and repricing can only move them later (every mutation
+        // that could move a candidate *earlier* dirties its bank).
+        let bank_best = loop {
+            let Some((key, b)) = self.wheel.peek() else {
+                break None;
+            };
+            let slot = self.wheel.slot(b).filter(|c| key_of(c) == key);
+            let (Some(c), false) = (slot, self.wheel.is_dirty(b)) else {
+                self.wheel.pop();
                 continue;
             };
-            let bank_id = self.queue[first].bank;
-            let floor = self.cmd_bus_free[bank_id.channel as usize].max(self.now);
-            if best.as_ref().is_some_and(|b| floor > b.issue_at) {
+            let CandidateKind::Request { cmd, .. } = c.kind else {
+                unreachable!("refresh candidates are never posted to the calendar");
+            };
+            let ch = cmd.channel() as usize;
+            // Floors the cached issue time folded in when it was
+            // priced: the command bus and the clock (both monotone),
+            // and for CAS the data bus (a CAS slot was lifted so that
+            // `at + lead >= data_bus_free`; a later CAS on the channel
+            // may have pushed the bus past that again).
+            let floor = self.cmd_bus_free[ch].max(self.now);
+            let cas_lead = match cmd {
+                DdrCommand::Rd { .. } => Some(self.dram.config().timing.cl),
+                DdrCommand::Wr { .. } => Some(self.dram.config().timing.cwl),
+                _ => None,
+            };
+            let stale_floor = c.issue_at < floor
+                || cas_lead.is_some_and(|lead| c.issue_at + lead < self.data_bus_free[ch]);
+            if stale_floor {
+                self.wheel.pop();
+                let fresh = self.bank_candidate(b);
+                self.wheel.store(b, fresh);
                 continue;
             }
-            let bt = self.dram.bank_timing(&bank_id);
-            for &i in list {
-                let lb = floor.max(self.queue[i].req.arrival);
-                if best.as_ref().is_some_and(|b| lb > b.issue_at) {
-                    continue;
-                }
-                // `None` here is a request parked behind a forced
-                // refresh of its rank (the acted-refresh completion
-                // case is intercepted in `step` before the scan).
-                let Some(c) = self.candidate_from_snapshot(i, &bt) else {
-                    continue;
-                };
-                if best.as_ref().is_none_or(|b| better(&c, b)) {
-                    best = Some(c);
-                }
+            break Some(c);
+        };
+        // Request tuples can never exactly tie a refresh candidate
+        // (priority 0 vs >= 1), so combination order cannot change the
+        // winner.
+        match (refresh_best, bank_best) {
+            (Some(r), Some(q)) => Some(if better(&q, &r) { q } else { r }),
+            (r, q) => r.or(q),
+        }
+    }
+
+    /// Prices one bank's ready queue against a single timing snapshot:
+    /// the bank's best candidate, or `None` when it has no issuable
+    /// work (empty, or parked behind a forced refresh of its rank).
+    fn bank_candidate(&self, b: usize) -> Option<Candidate> {
+        let list = &self.by_bank[b];
+        let &first = list.first()?;
+        let bank_id = self.queue[first].bank;
+        let floor = self.cmd_bus_free[bank_id.channel as usize].max(self.now);
+        let bt = self.dram.bank_timing(&bank_id);
+        let mut best: Option<Candidate> = None;
+        for &i in list {
+            // Per-request pruning must be strict (`>`): an equal-time
+            // candidate can still win on priority.
+            let lb = floor.max(self.queue[i].req.arrival);
+            if best.as_ref().is_some_and(|b| lb > b.issue_at) {
+                continue;
+            }
+            // `None` here is a request parked behind a forced refresh
+            // of its rank (the acted-refresh completion case is
+            // intercepted in `run_until` before the query).
+            let Some(c) = self.candidate_from_snapshot(i, &bt) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|b| better(&c, b)) {
+                best = Some(c);
             }
         }
         best
@@ -1078,6 +1171,10 @@ impl MemCtrl {
                 }
                 self.now = c.issue_at;
                 self.cmd_bus_free[channel as usize] = c.issue_at + 1;
+                // PRE_ALL and REF settle every bank of the rank, and a
+                // REF moves the rank's deadline (the forced-refresh
+                // barrier in every bank's pricing).
+                self.mark_rank(channel, rank);
                 if !need_pre {
                     let idx = self.rank_index(channel, rank);
                     let due = self.next_ref[idx];
@@ -1131,6 +1228,7 @@ impl MemCtrl {
                         // candidate at the same time forever, spinning
                         // `advance_to`; postpone by at least one cycle.
                         self.throttle.insert((flat, row), at + d.max(1));
+                        self.wheel.mark_bank(flat);
                         return true; // decision made; retry later
                     }
                 }
@@ -1151,6 +1249,15 @@ impl MemCtrl {
         self.now = at;
         let ch = cmd.channel() as usize;
         self.cmd_bus_free[ch] = at + 1;
+        // Dirty rules: an ACT opens tRRD/tFAW windows across its whole
+        // rank; PRE/CAS/REF_NEIGHBORS perturb only their own bank. A
+        // CAS also moves the channel data bus, which other banks' CAS
+        // slots pick up through floor revalidation at the next query.
+        let issued_bank = self.queue[index].bank;
+        match cmd {
+            DdrCommand::Act { .. } => self.mark_rank(issued_bank.channel, issued_bank.rank),
+            _ => self.wheel.mark_bank(issued_bank.flat(&g)),
+        }
 
         let p = &mut self.queue[index];
         match cmd {
@@ -1261,6 +1368,7 @@ impl MemCtrl {
         // with the swap_remove below: `index` leaves, `last` moves to
         // `index`.
         let flat = self.queue[index].bank.flat(&g);
+        self.wheel.mark_bank(flat);
         let list = &mut self.by_bank[flat];
         let pos = list
             .iter()
@@ -1268,7 +1376,10 @@ impl MemCtrl {
             .expect("queued request tracked in its bank list");
         list.swap_remove(pos);
         if index != last {
+            // The moved request's queue index changes, invalidating any
+            // cached candidate that captured it.
             let moved_flat = self.queue[last].bank.flat(&g);
+            self.wheel.mark_bank(moved_flat);
             for slot in &mut self.by_bank[moved_flat] {
                 if *slot == last {
                     *slot = index;

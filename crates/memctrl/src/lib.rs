@@ -42,6 +42,7 @@ pub mod controller;
 pub mod mitigation;
 pub mod request;
 pub mod stats;
+mod wheel;
 
 pub use act_counter::{ActCounterConfig, ActInterrupt, Precision};
 pub use addrmap::{AddressMap, MappingScheme};

@@ -213,7 +213,7 @@ enum BankState {
 }
 
 /// The controller-side mitigation engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct McMitigation {
     config: McMitigationConfig,
     banks: Vec<BankState>,

@@ -180,6 +180,87 @@ proptest! {
     }
 }
 
+/// Builds one instrumented controller for the observability combo
+/// sweep: `faults` arms an aggressive fault plan on both the device
+/// and controller sides, `traced` attaches a buffering tracer to both,
+/// and `shadowed` arms the live invariant checker.
+fn observed_mc(
+    faults: bool,
+    traced: bool,
+    shadowed: bool,
+    seed: u64,
+) -> (
+    MemCtrl,
+    Option<hammertime_telemetry::Tracer>,
+    Option<hammertime_check::ShadowChecker>,
+) {
+    let mut cfg = MemCtrlConfig::baseline();
+    cfg.page_policy = PagePolicy::Closed;
+    let mut dram_cfg = DramConfig::test_config(24);
+    if faults {
+        let plan = hammertime_common::FaultPlan {
+            seed: seed ^ 0x5EED,
+            dropped_ref: 0.2,
+            ghost_ref: 0.1,
+            trr_miss: 0.3,
+            dropped_interrupt: 0.2,
+            delayed_interrupt: 0.2,
+            stuck_act_count: 0.1,
+            refresh_nack: 0.3,
+            remap_corrupt: 0.1,
+            disturb_saturation: 40,
+            ..hammertime_common::FaultPlan::default()
+        };
+        cfg.faults = Some(plan);
+        dram_cfg.faults = Some(plan);
+    }
+    let tracer = traced.then(hammertime_telemetry::Tracer::buffer);
+    if let Some(t) = &tracer {
+        cfg.tracer = Some(t.clone());
+        dram_cfg.tracer = Some(t.clone());
+    }
+    let shadow = shadowed.then(hammertime_check::ShadowChecker::new);
+    cfg.shadow = shadow.clone();
+    let mc = MemCtrl::new(cfg, dram_cfg, seed).unwrap();
+    (mc, tracer, shadow)
+}
+
+proptest! {
+    /// The wheel must stay byte-identical to the reference scan under
+    /// every observability combination: fault injection (which adds
+    /// RNG draws on the scheduling path), event tracing (which records
+    /// the full command stream), and the live shadow checker — in all
+    /// eight on/off combos. Completions, flips, stats, the recorded
+    /// trace, and even the shadow's violation list must agree.
+    #[test]
+    fn wheel_matches_reference_under_observability_combos(
+        ops in prop::collection::vec((any::<u8>(), any::<u64>(), 0u64..500), 1..40),
+        faults in any::<bool>(),
+        traced in any::<bool>(),
+        shadowed in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (fast_mc, fast_tracer, fast_shadow) =
+            observed_mc(faults, traced, shadowed, seed);
+        let (ref_mc, ref_tracer, ref_shadow) =
+            observed_mc(faults, traced, shadowed, seed);
+        let got = run_script(fast_mc, &ops, true);
+        let want = run_script(ref_mc, &ops, false);
+        prop_assert_eq!(got, want);
+        if let (Some(a), Some(b)) = (&fast_tracer, &ref_tracer) {
+            prop_assert_eq!(
+                a.take_records(),
+                b.take_records(),
+                "stats agree but the command streams diverge"
+            );
+        }
+        if let (Some(a), Some(b)) = (&fast_shadow, &ref_shadow) {
+            prop_assert_eq!(a.violations(), b.violations());
+            prop_assert_eq!(a.commands_checked(), b.commands_checked());
+        }
+    }
+}
+
 /// A sustained double-sided hammer past the MAC: the flip log (row,
 /// cycle, and RNG-chosen bit positions) must be identical, proving the
 /// fast path preserves the exact RNG draw order.

@@ -35,7 +35,7 @@ impl Default for AnvilConfig {
 }
 
 /// The ANVIL daemon.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Anvil {
     config: AnvilConfig,
     topology: Topology,
@@ -64,6 +64,10 @@ impl Anvil {
 }
 
 impl SoftwareDefense for Anvil {
+    fn box_clone(&self) -> Option<Box<dyn SoftwareDefense>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "anvil"
     }

@@ -19,7 +19,7 @@ use hammertime_memctrl::ActInterrupt;
 use std::collections::HashSet;
 
 /// Remap-on-interrupt (ACT wear-leveling).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AggressorRemap {
     /// Frames already migrated this window (rate limit: one migration
     /// per frame per refresh window).
@@ -49,6 +49,10 @@ impl Default for AggressorRemap {
 }
 
 impl SoftwareDefense for AggressorRemap {
+    fn box_clone(&self) -> Option<Box<dyn SoftwareDefense>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "aggressor-remap"
     }
@@ -76,7 +80,7 @@ impl SoftwareDefense for AggressorRemap {
 }
 
 /// Lock-then-remap (cache line locking with remap fallback).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LineLocking {
     locked: HashSet<CacheLineAddr>,
     /// Locks requested (stats).
@@ -106,6 +110,10 @@ impl Default for LineLocking {
 }
 
 impl SoftwareDefense for LineLocking {
+    fn box_clone(&self) -> Option<Box<dyn SoftwareDefense>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "line-locking"
     }

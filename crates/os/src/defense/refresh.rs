@@ -52,7 +52,7 @@ impl Default for VictimRefreshConfig {
 }
 
 /// The refresh-centric daemon.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VictimRefresh {
     config: VictimRefreshConfig,
     topology: Topology,
@@ -85,6 +85,10 @@ impl VictimRefresh {
 }
 
 impl SoftwareDefense for VictimRefresh {
+    fn box_clone(&self) -> Option<Box<dyn SoftwareDefense>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         match self.config.mechanism {
             RefreshMechanism::Instruction => "victim-refresh/instr",

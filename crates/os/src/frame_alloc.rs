@@ -38,7 +38,7 @@ pub enum PlacementPolicy {
 }
 
 /// The host OS physical frame allocator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrameAllocator {
     policy: PlacementPolicy,
     map: AddressMap,

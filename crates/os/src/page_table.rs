@@ -101,7 +101,7 @@ impl PageTable {
 }
 
 /// Page tables for every domain in the system.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AddressSpaces {
     tables: HashMap<DomainId, PageTable>,
 }

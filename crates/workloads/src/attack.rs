@@ -103,6 +103,10 @@ impl HammerPattern {
 }
 
 impl Workload for HammerPattern {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -183,6 +187,10 @@ impl FuzzedHammer {
 }
 
 impl Workload for FuzzedHammer {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "fuzzed"
     }
@@ -233,6 +241,10 @@ impl DmaHammer {
 }
 
 impl Workload for DmaHammer {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "dma-hammer"
     }

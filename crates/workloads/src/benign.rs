@@ -18,7 +18,7 @@ use crate::ops::{AccessOp, Workload};
 use hammertime_common::{CacheLineAddr, DetRng};
 
 /// Sequential sweep over an arena of lines.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StreamWorkload {
     arena: Vec<CacheLineAddr>,
     accesses: u64,
@@ -45,6 +45,10 @@ impl StreamWorkload {
 }
 
 impl Workload for StreamWorkload {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "stream"
     }
@@ -65,7 +69,7 @@ impl Workload for StreamWorkload {
 }
 
 /// Uniform random access over an arena.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomWorkload {
     arena: Vec<CacheLineAddr>,
     accesses: u64,
@@ -98,6 +102,10 @@ impl RandomWorkload {
 }
 
 impl Workload for RandomWorkload {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "random"
     }
@@ -117,7 +125,7 @@ impl Workload for RandomWorkload {
 }
 
 /// Zipf-distributed access over an arena (rank 1 hottest).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ZipfianWorkload {
     arena: Vec<CacheLineAddr>,
     cdf: Vec<f64>,
@@ -160,6 +168,10 @@ impl ZipfianWorkload {
 }
 
 impl Workload for ZipfianWorkload {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "zipfian"
     }
@@ -183,7 +195,7 @@ impl Workload for ZipfianWorkload {
 /// The experiment layer picks the line pair; alternation plus the
 /// per-access flush forces an ACT per access without being an attack —
 /// this is the benign worst case for row-buffer locality.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RowConflictWorkload {
     pair: [CacheLineAddr; 2],
     accesses: u64,
@@ -204,6 +216,10 @@ impl RowConflictWorkload {
 }
 
 impl Workload for RowConflictWorkload {
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "row-conflict"
     }

@@ -46,6 +46,15 @@ pub trait Workload {
 
     /// Produces the next operation, or `None` when finished.
     fn next_op(&mut self) -> Option<AccessOp>;
+
+    /// A boxed deep copy of this workload mid-stream, for machine
+    /// checkpointing. `None` (the default) marks the workload as
+    /// non-checkpointable — e.g. replayers borrowing external state —
+    /// and makes `Machine::checkpoint` fail rather than silently fork
+    /// a shared stream.
+    fn box_clone(&self) -> Option<Box<dyn Workload>> {
+        None
+    }
 }
 
 #[cfg(test)]

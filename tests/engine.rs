@@ -195,3 +195,79 @@ fn step_budget_does_not_leak_between_runs() {
     let r2 = run_all_with(&RunOptions::new(true).filter(["F1"])).unwrap();
     assert!(!r2.has_failures());
 }
+
+/// Fixture for the dual-path budget test: one cell that hammers
+/// forever, on either the event-wheel or the reference scheduler.
+struct BudgetPathExp {
+    reference: bool,
+}
+
+/// Simulated-time waypoints the runaway cell reached before the budget
+/// fired (appended once per outer `run` call).
+static PROGRESS: std::sync::Mutex<Vec<u64>> = std::sync::Mutex::new(Vec::new());
+
+impl Experiment for BudgetPathExp {
+    fn id(&self) -> &'static str {
+        "BUDGETPATH"
+    }
+
+    fn title(&self) -> &'static str {
+        "step-budget dual-path fixture"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &["cell", "status"]
+    }
+
+    fn cells(&self, _ctx: &CellCtx) -> Vec<Cell> {
+        let reference = self.reference;
+        vec![Cell::new("runs-away", move || {
+            let mut cfg = MachineConfig::fast(DefenseKind::None, 1_000_000);
+            cfg.reference_scheduler = reference;
+            let mut m = Machine::new(cfg)?;
+            let d = hammertime_common::DomainId(1);
+            let arena = m.add_tenant(d, 4)?;
+            m.set_workload(
+                d,
+                Box::new(hammertime_workloads::StreamWorkload::new(
+                    arena,
+                    u64::MAX / 2,
+                    0,
+                )),
+            )?;
+            loop {
+                m.run(100_000);
+                PROGRESS.lock().unwrap().push(m.now().raw());
+            }
+        })]
+    }
+}
+
+/// The step budget is charged in *simulated cycles*, so the identical
+/// cell exhausts the identical budget at the identical point on both
+/// scheduler paths: the wheel must not buy a runaway cell more (or
+/// less) simulated time than the reference scanner.
+#[test]
+fn step_budget_truncates_identically_on_both_scheduler_paths() {
+    let opts = RunOptions::new(true).jobs(1).step_budget(2_000_000);
+    let mut traces: Vec<Vec<u64>> = Vec::new();
+    let mut messages: Vec<String> = Vec::new();
+    for reference in [false, true] {
+        PROGRESS.lock().unwrap().clear();
+        let report = run_suite(&[&BudgetPathExp { reference }], &opts, &silent).unwrap();
+        let t = &report.tables[0];
+        assert_eq!(t.failures.len(), 1, "runaway cell must fail");
+        assert_eq!(t.failures[0].kind, FailureKind::Timeout);
+        messages.push(t.failures[0].message.clone());
+        traces.push(std::mem::take(&mut *PROGRESS.lock().unwrap()));
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "budget fired at different simulated waypoints on the two scheduler paths"
+    );
+    assert!(
+        !traces[0].is_empty(),
+        "the cell must make progress before the budget fires"
+    );
+    assert_eq!(messages[0], messages[1]);
+}
