@@ -6,7 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hammertime_bench::step_loop::{
-    drive_t1_cell, hammer_burst, idle_poll, t1_defense_catalog, IDLE_QUANTUM,
+    drive_t1_cell, fleet_sweep, hammer_burst, idle_poll, t1_defense_catalog, IDLE_QUANTUM,
 };
 
 const IDLE_CYCLES: u64 = 200_000;
@@ -46,9 +46,21 @@ fn bench_hammer_burst(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fleet_sweep(c: &mut Criterion) {
+    const MACHINES: u32 = 16;
+    let mut group = c.benchmark_group("step_loop/fleet_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(MACHINES as u64));
+    for jobs in [1usize, 4] {
+        let name = if jobs == 1 { "serial" } else { "sharded_x4" };
+        group.bench_function(name, |b| b.iter(|| black_box(fleet_sweep(MACHINES, jobs))));
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = step_loop;
     config = Criterion::default().sample_size(20);
-    targets = bench_idle_poll, bench_t1_cells, bench_hammer_burst
+    targets = bench_idle_poll, bench_t1_cells, bench_hammer_burst, bench_fleet_sweep
 }
 criterion_main!(step_loop);

@@ -28,10 +28,10 @@
 //! exits nonzero if the disabled path is more than PCT% slower.
 
 use hammertime_bench::step_loop::{
-    drive_t1_cell, drive_t1_cell_shadowed, hammer_burst, hammer_burst_bypassing_tracer,
-    hammer_burst_wheel, hammer_burst_with_tracer, idle_mc, idle_poll, idle_poll_on,
-    replay_from_checkpoint, replay_from_scratch, resume_digest, resume_setup, t1_defense_catalog,
-    IDLE_QUANTUM,
+    drive_t1_cell, drive_t1_cell_shadowed, fleet_sweep, hammer_burst,
+    hammer_burst_bypassing_tracer, hammer_burst_wheel, hammer_burst_with_tracer, idle_mc,
+    idle_poll, idle_poll_on, replay_from_checkpoint, replay_from_scratch, resume_digest,
+    resume_setup, t1_defense_catalog, IDLE_QUANTUM,
 };
 use hammertime_check::ShadowChecker;
 use hammertime_telemetry::Tracer;
@@ -460,6 +460,44 @@ fn main() {
             gate_acts as u64,
             disabled,
             absent,
+        ));
+    }
+
+    // Fleet sweep: the sharded multi-machine runner against the serial
+    // loop over one deterministic heterogeneous population. On a single
+    // hardware thread the sharded side prices the sharding machinery's
+    // overhead rather than showing a speedup; either way the
+    // cross-check holds the fleet determinism contract (byte-identical
+    // reports) before any timing is trusted.
+    let fleet_machines: u32 = if quick { 48 } else { 192 };
+    if run("fleet_sweep") {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        let serial = fleet_sweep(fleet_machines.min(12), 1);
+        let sharded = fleet_sweep(fleet_machines.min(12), jobs);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&sharded).unwrap(),
+            "sharded fleet diverged from the serial loop"
+        );
+        let reference = time_best(reps, || {
+            fleet_sweep(fleet_machines, 1);
+        });
+        let fast = time_best(reps, || {
+            fleet_sweep(fleet_machines, jobs);
+        });
+        eprintln!(
+            "fleet_sweep: {fleet_machines} machines, serial {reference:.3}s sharded x{jobs} {fast:.3}s ({:.1}x)",
+            reference / fast
+        );
+        scenarios.push(scenario(
+            "fleet_sweep",
+            "machines",
+            fleet_machines as u64,
+            reference,
+            fast,
         ));
     }
 

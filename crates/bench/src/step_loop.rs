@@ -12,6 +12,7 @@ use hammertime_check::ShadowChecker;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId, Geometry, RequestSource};
 use hammertime_dram::{DramConfig, DramModule, TimingParams, TrrConfig};
+use hammertime_fleet::{run_fleet, FleetConfig, FleetReport};
 use hammertime_memctrl::request::{MemRequest, RequestKind};
 use hammertime_memctrl::{McMitigationConfig, MemCtrl, MemCtrlConfig, PagePolicy};
 use hammertime_telemetry::Tracer;
@@ -202,6 +203,20 @@ pub fn replay_from_checkpoint(m: &mut Machine, end: u64) -> (u64, u64, u64) {
         .raw();
     m.run(end - at);
     resume_digest(m)
+}
+
+/// Fleet-sweep scenario: one deterministic quick-mode population of
+/// `machines` heterogeneous machines driven through the fleet runner
+/// with `jobs` workers. The baseline side is the serial loop
+/// (`jobs = 1`), the optimized side the sharded runner; the two are
+/// byte-identical by the fleet determinism contract, which callers
+/// cross-check before trusting the timings. Per-machine depth stays
+/// quick — the sweep scales the *population*, the axis fleet mode
+/// adds.
+pub fn fleet_sweep(machines: u32, jobs: usize) -> FleetReport {
+    let mut cfg = FleetConfig::new(machines).jobs(jobs);
+    cfg.quick = true;
+    run_fleet(&cfg).expect("fleet sweep runs")
 }
 
 /// Reproduces the same end state the slow way: a fresh machine
@@ -429,6 +444,17 @@ mod tests {
         );
         // Repeatable: the checkpoint survives the first replay.
         assert_eq!(original, replay_from_checkpoint(&mut m, end));
+    }
+
+    #[test]
+    fn fleet_sweep_reports_agree_across_jobs() {
+        let serial = fleet_sweep(8, 1);
+        let sharded = fleet_sweep(8, 4);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&sharded).unwrap(),
+            "sharded fleet diverged from the serial loop"
+        );
     }
 
     #[test]

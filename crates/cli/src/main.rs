@@ -7,6 +7,7 @@
 //! hammertime-cli attack --defense victim-refresh/instr --attack many:8
 //! hammertime-cli experiments [--all] [--full] [--jobs N] [--filter E1,E2]
 //!                            [--faults PLAN.json] [--step-budget N] [--strict]
+//! hammertime-cli fleet run --machines 1000 --tenants 2 --jobs 8   # population table
 //! hammertime-cli generations                      # the E1 worsening sweep
 //! hammertime-cli trace record --out run.trace [experiments flags]
 //! hammertime-cli trace replay run.trace           # re-drive DRAM, verify
@@ -15,7 +16,19 @@
 //! hammertime-cli trace lint run.trace             # protocol-invariant check
 //! ```
 //!
-//! `experiments` runs the registry through the parallel cell engine:
+//! `fleet run` shards a whole population of heterogeneous machines
+//! (mixed geometries, DRAM generations, defense slates, optional
+//! fault plans) across worker threads, churns tenants across them
+//! (ASID create/destroy plus cross-machine migration), and prints the
+//! population table: per-slate flip-rate and defense-overhead
+//! percentiles. Like the suite, the output is byte-identical for any
+//! `--jobs` value. `--json PATH` additionally writes every machine
+//! outcome plus the telemetry metrics snapshot; `--trace-machine ID
+//! --trace-out PATH` records one machine's command trace in the same
+//! format `trace replay|lint` consume.
+//!
+//! `experiments` runs the combined core + FL registry through the
+//! parallel cell engine:
 //! `--jobs` sets the worker count (default: available parallelism),
 //! `--filter` (or bare ids) selects experiments, and per-cell progress
 //! lines go to stderr while the tables print to stdout in canonical
@@ -286,7 +299,11 @@ fn parse_experiment_args(args: &[String]) -> std::result::Result<ExperimentArgs,
     }
     // An id that matches nothing in the registry is a hard error: a
     // typo'd `--filter E12` must not silently run zero experiments.
-    let known: Vec<&str> = experiments::registry().iter().map(|e| e.id()).collect();
+    // Validated against the combined core + FL registry.
+    let known: Vec<&str> = hammertime_fleet::full_registry()
+        .iter()
+        .map(|e| e.id())
+        .collect();
     for id in &ids {
         if !known.iter().any(|k| k.eq_ignore_ascii_case(id)) {
             return Err(format!(
@@ -327,7 +344,8 @@ fn cmd_experiments(args: &[String]) -> Result<()> {
     };
     let started = std::time::Instant::now();
     let cycles_before = hammertime::metrics::sim_cycles();
-    let report = experiments::run_suite(&experiments::registry(), &parsed.opts, &progress)?;
+    let report =
+        experiments::run_suite(&hammertime_fleet::full_registry(), &parsed.opts, &progress)?;
     let wall = started.elapsed();
     let cycles = hammertime::metrics::sim_cycles() - cycles_before;
     for t in &report.tables {
@@ -393,6 +411,185 @@ fn bench_report(
     }
 }
 
+/// `fleet run`: the sharded multi-machine population simulation.
+fn fleet_run(args: &[String]) -> Result<()> {
+    let mut cfg = hammertime_fleet::FleetConfig::new(64);
+    cfg.jobs = default_jobs();
+    let mut json_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut strict = false;
+    let bad = |msg: String| -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> String {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .unwrap_or_else(|| bad(format!("{flag} needs a value")))
+        };
+        match flag {
+            "--machines" => {
+                cfg.machines = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u32| n > 0)
+                    .unwrap_or_else(|| bad("--machines needs a positive integer".into()))
+            }
+            "--tenants" => {
+                cfg.tenants = value()
+                    .parse()
+                    .unwrap_or_else(|_| bad("--tenants needs an integer".into()))
+            }
+            "--jobs" => {
+                cfg.jobs = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| bad("--jobs needs a positive integer".into()))
+            }
+            "--epochs" => {
+                cfg.epochs = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u32| n > 0)
+                    .unwrap_or_else(|| bad("--epochs needs a positive integer".into()))
+            }
+            "--windows" => {
+                cfg.windows_per_epoch = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .unwrap_or_else(|| bad("--windows needs a positive integer".into()))
+            }
+            "--seed" => {
+                cfg.seed = value()
+                    .parse()
+                    .unwrap_or_else(|_| bad("--seed needs an integer".into()))
+            }
+            "--full" => cfg.quick = false,
+            "--quick" => cfg.quick = true,
+            "--strict" => strict = true,
+            "--faults" => {
+                let path = value();
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| bad(format!("--faults: cannot read {path}: {e}")));
+                cfg.faults = Some(serde_json::from_str(&text).unwrap_or_else(|e| {
+                    bad(format!("--faults: {path} is not a valid fault plan: {e}"))
+                }));
+            }
+            "--step-budget" => {
+                cfg.step_budget = Some(
+                    value()
+                        .parse()
+                        .ok()
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(
+                            || bad("--step-budget needs a positive cycle count".into()),
+                        ),
+                )
+            }
+            "--trace-machine" => {
+                cfg.trace_machine = Some(
+                    value()
+                        .parse()
+                        .unwrap_or_else(|_| bad("--trace-machine needs a machine id".into())),
+                )
+            }
+            "--trace-out" => trace_out = Some(PathBuf::from(value())),
+            "--json" => json_out = Some(PathBuf::from(value())),
+            other => bad(format!("fleet run: unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if trace_out.is_some() && cfg.trace_machine.is_none() {
+        bad("--trace-out needs --trace-machine ID".into());
+    }
+
+    let started = std::time::Instant::now();
+    let report = hammertime_fleet::run_fleet(&cfg)?;
+    let wall = started.elapsed();
+    let failed = report.failures().count();
+    eprintln!(
+        "fleet: {} machines, {} slates, jobs={}, {} epochs x {} windows, \
+         {} failed, {:.2?} ({:.1} machines/sec)",
+        cfg.machines,
+        cfg.slates.len(),
+        cfg.jobs,
+        cfg.epochs,
+        cfg.windows_per_epoch,
+        failed,
+        wall,
+        cfg.machines as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "{}",
+        report.stats.table(
+            "FLEET",
+            &format!(
+                "population of {} machines (seed {:#x})",
+                cfg.machines, cfg.seed
+            ),
+        )
+    );
+
+    if let Some(path) = &json_out {
+        // Everything a dashboard wants: per-machine outcomes, the
+        // exact distributions, and the log2-histogram metrics
+        // snapshot of the same samples.
+        #[derive(serde::Serialize)]
+        struct FleetJson {
+            outcomes: Vec<hammertime_fleet::MachineOutcome>,
+            stats: hammertime_fleet::PopulationStats,
+            metrics: hammertime_telemetry::MetricsSnapshot,
+        }
+        let payload = FleetJson {
+            outcomes: report.outcomes.clone(),
+            stats: report.stats.clone(),
+            metrics: report.stats.metrics(),
+        };
+        let json = serde_json::to_string_pretty(&payload)
+            .map_err(|e| Error::Config(format!("fleet json: {e}")))?;
+        std::fs::write(path, json + "\n")
+            .map_err(|e| Error::Config(format!("write {}: {e}", path.display())))?;
+        eprintln!("fleet report written to {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        let trace = CommandTrace::new(report.trace.clone());
+        codec::write_path(path, &trace)?;
+        eprintln!(
+            "trace of machine {} ({} records) written to {}",
+            cfg.trace_machine.unwrap(),
+            trace.records.len(),
+            path.display()
+        );
+    }
+    if failed > 0 {
+        for (id, f) in report.failures() {
+            eprintln!("  machine {id}: [{}] {}", f.kind, f.message);
+        }
+        if strict {
+            return Err(Error::Fault(format!(
+                "--strict: {failed} machine(s) failed"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<()> {
+    match args.first().map(String::as_str) {
+        Some("run") => fleet_run(&args[1..]),
+        _ => {
+            eprintln!("fleet needs a subcommand: run");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn cmd_generations() -> Result<()> {
     println!("{}", experiments::e1_generations(false)?);
     Ok(())
@@ -431,7 +628,7 @@ fn trace_record(args: &[String]) -> Result<()> {
         eprintln!("{msg}");
         std::process::exit(2);
     });
-    let (report, records) = experiments::run_all_traced(&parsed.opts)?;
+    let (report, records) = hammertime_fleet::run_all_traced(&parsed.opts)?;
     let failed = report.failures().count();
     if failed > 0 {
         eprintln!("{failed} cell(s) failed; the trace covers the cells that ran");
@@ -598,6 +795,10 @@ fn usage() -> ! {
                              [--accesses N] [--mac N] [--seed N] [--windows N] [--trace PATH]\n\
            hammertime-cli experiments [--all] [--full] [--jobs N] [--filter IDS] [IDS...]\n\
                              [--faults PLAN.json] [--step-budget N] [--strict]\n\
+           hammertime-cli fleet run [--machines N] [--tenants M] [--jobs K] [--epochs E]\n\
+                             [--windows W] [--seed S] [--full] [--faults PLAN.json]\n\
+                             [--step-budget N] [--json PATH]\n\
+                             [--trace-machine ID --trace-out PATH] [--strict]\n\
            hammertime-cli generations\n\
            hammertime-cli trace record --out PATH [experiments flags]\n\
            hammertime-cli trace replay PATH\n\
@@ -618,6 +819,7 @@ fn main() {
         }
         "attack" => cmd_attack(&args[1..]),
         "experiments" => cmd_experiments(&args[1..]),
+        "fleet" => cmd_fleet(&args[1..]),
         "generations" => cmd_generations(),
         "trace" => cmd_trace(&args[1..]),
         _ => usage(),

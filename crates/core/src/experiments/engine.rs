@@ -228,8 +228,36 @@ struct StepBudgetExceeded {
     budget: u64,
 }
 
-fn arm_step_budget(budget: Option<u64>) {
-    STEP_BUDGET.with(|b| b.set(budget.map(|n| (n, n))));
+/// An RAII step-budget scope: arms the calling thread's watchdog and,
+/// on drop, restores whatever budget was armed before — so scopes
+/// nest. A fleet worker driving many machines under one suite cell
+/// arms a fresh scope per machine: each machine is charged against its
+/// own budget, an exhausted machine never eats a sibling's remaining
+/// cycles, and the enclosing cell's budget (if any) is intact once the
+/// worker's scopes unwind.
+///
+/// The previous implementation armed the thread-local directly and
+/// cleared it afterwards, which silently disarmed an outer budget when
+/// runs nested; the save/restore here is the fix.
+pub struct StepBudgetScope {
+    saved: Option<(u64, u64)>,
+}
+
+impl StepBudgetScope {
+    /// Arms a fresh budget of `cycles` simulated machine cycles
+    /// (`None` disarms the watchdog inside the scope). The caller's
+    /// budget is saved and restored when the scope drops — including
+    /// during a panic unwind.
+    pub fn arm(cycles: Option<u64>) -> StepBudgetScope {
+        let saved = STEP_BUDGET.with(|b| b.replace(cycles.map(|n| (n, n))));
+        StepBudgetScope { saved }
+    }
+}
+
+impl Drop for StepBudgetScope {
+    fn drop(&mut self) {
+        STEP_BUDGET.with(|b| b.set(self.saved));
+    }
 }
 
 /// Charges simulated progress against the ambient cell's step budget;
@@ -253,17 +281,31 @@ pub(crate) fn charge_step_budget(cycles: u64) {
     });
 }
 
-/// Runs one cell under the watchdog and the panic boundary, converting
-/// every failure mode into a structured [`CellFailure`].
-fn run_guarded(cell: Cell, budget: Option<u64>) -> std::result::Result<CellRows, CellFailure> {
-    let label = cell.label.clone();
-    arm_step_budget(budget);
-    let out = catch_unwind(AssertUnwindSafe(|| cell.run()));
-    arm_step_budget(None);
+/// Runs `f` under its own step-budget scope and panic boundary,
+/// converting every failure mode — `Err`, panic, or watchdog kill —
+/// into a structured [`CellFailure`] labelled `label`. This is the
+/// engine's per-cell guard, exposed so nested runners (the fleet
+/// layer's per-machine loop) get identical failure semantics: the
+/// caller's own budget is untouched, and a failure here never unwinds
+/// past this function.
+///
+/// `budget: Some(n)` arms a fresh scope of `n` cycles for `f` alone;
+/// `None` arms nothing, so `f`'s simulated progress keeps charging
+/// whatever budget the *caller* is running under (an enclosing suite
+/// cell's, usually) — inheritance, not a blanket disarm.
+pub fn run_budgeted<T>(
+    label: &str,
+    budget: Option<u64>,
+    f: impl FnOnce() -> Result<T>,
+) -> std::result::Result<T, CellFailure> {
+    let out = {
+        let _scope = budget.map(|n| StepBudgetScope::arm(Some(n)));
+        catch_unwind(AssertUnwindSafe(f))
+    };
     match out {
-        Ok(Ok(rows)) => Ok(rows),
+        Ok(Ok(value)) => Ok(value),
         Ok(Err(e)) => Err(CellFailure {
-            label,
+            label: label.to_string(),
             kind: FailureKind::Error,
             message: e.to_string(),
         }),
@@ -281,12 +323,18 @@ fn run_guarded(cell: Cell, budget: Option<u64>) -> std::result::Result<CellRows,
                 (FailureKind::Panic, "non-string panic payload".to_string())
             };
             Err(CellFailure {
-                label,
+                label: label.to_string(),
                 kind,
                 message,
             })
         }
     }
+}
+
+/// Runs one cell under the watchdog and the panic boundary.
+fn run_guarded(cell: Cell, budget: Option<u64>) -> std::result::Result<CellRows, CellFailure> {
+    let label = cell.label.clone();
+    run_budgeted(&label, budget, move || cell.run())
 }
 
 /// A completed cell, reported to the progress callback as workers

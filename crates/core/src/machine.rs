@@ -237,6 +237,38 @@ impl Tenant {
     }
 }
 
+/// A tenant detached from its machine, ready to be admitted elsewhere.
+///
+/// This is the migration unit of the fleet layer: the workload is the
+/// same deep snapshot the checkpoint machinery takes (`box_clone`),
+/// moved out of the source machine rather than cloned, so the stream
+/// resumes on the destination exactly where it stopped. Addresses
+/// inside the workload are *virtual* lines of the tenant's arena;
+/// re-admitting the export with the same page count onto a fresh
+/// domain reproduces that arena (vpages `0..pages`), so the stream
+/// stays valid even when the destination machine has a different
+/// geometry — only the physical placement changes.
+pub struct TenantExport {
+    /// The tenant's trust domain id (fleet-unique by convention).
+    pub domain: DomainId,
+    /// Pages the tenant had mapped on the source machine.
+    pub pages: u64,
+    /// The workload, mid-stream (`None` if none was attached).
+    pub workload: Option<Box<dyn Workload>>,
+    /// Operations the tenant completed on the source machine.
+    pub ops_done: u64,
+}
+
+impl std::fmt::Debug for TenantExport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantExport")
+            .field("domain", &self.domain)
+            .field("pages", &self.pages)
+            .field("ops_done", &self.ops_done)
+            .finish()
+    }
+}
+
 /// A deep copy of every piece of mutable machine state at one instant.
 ///
 /// Restoring a checkpoint rewinds the simulation exactly: a restored
@@ -642,6 +674,70 @@ impl Machine {
         t.source = workload.source();
         t.workload = Some(workload);
         t.finished = false;
+        Ok(())
+    }
+
+    /// Detaches a tenant (ASID destroy / migration source): removes it
+    /// from the scheduler, tears down its address space, and
+    /// quarantines its frames under [`DomainId::HOST`] so they are
+    /// never handed to another tenant on this machine. Returns the
+    /// [`TenantExport`] a destination machine needs to resume the
+    /// tenant; dropping the export instead models plain destruction.
+    ///
+    /// An in-flight memory request of the detached tenant is
+    /// deliberately left to drain: the completion path ignores
+    /// requests whose issuer is gone.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for unknown domains.
+    pub fn detach_tenant(&mut self, domain: DomainId) -> Result<TenantExport> {
+        let pos = self
+            .tenants
+            .iter()
+            .position(|t| t.domain == domain)
+            .ok_or_else(|| Error::Config(format!("{domain} is not a tenant")))?;
+        let tenant = self.tenants.remove(pos);
+        self.enclaves.remove(&domain.0);
+        let pages = self
+            .spaces
+            .remove_table(domain)
+            .map(|t| t.len() as u64)
+            .unwrap_or(0);
+        for frame in self.allocator.frames_of(domain) {
+            self.allocator.reassign(frame, DomainId::HOST)?;
+        }
+        Ok(TenantExport {
+            domain,
+            pages,
+            workload: tenant.workload,
+            ops_done: tenant.ops_done,
+        })
+    }
+
+    /// Admits a detached tenant (migration destination): allocates a
+    /// fresh arena of `export.pages` pages under the export's domain
+    /// and resumes its workload mid-stream. The arena's *virtual*
+    /// lines are the same `0..pages` range the tenant had on the
+    /// source machine — [`TenantExport`] documents why that keeps the
+    /// stream valid across geometries — while physical placement is
+    /// decided by this machine's allocator and defense policy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] if the domain is already a tenant here;
+    /// propagates allocation failures.
+    pub fn admit_tenant(&mut self, export: TenantExport) -> Result<()> {
+        if self.tenants.iter().any(|t| t.domain == export.domain) {
+            return Err(Error::Config(format!(
+                "{} is already a tenant of this machine",
+                export.domain
+            )));
+        }
+        self.add_tenant(export.domain, export.pages)?;
+        if let Some(workload) = export.workload {
+            self.set_workload(export.domain, workload)?;
+        }
         Ok(())
     }
 

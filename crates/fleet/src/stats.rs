@@ -1,0 +1,256 @@
+//! Population statistics: per-slate flip-rate and defense-overhead
+//! distributions over per-machine reports.
+//!
+//! Two representations, deliberately redundant:
+//!
+//! - **Exact distributions** ([`SlateStats`]): every machine's derived
+//!   rates, kept sorted; percentiles are nearest-rank over the sorted
+//!   values, so the table is exact and byte-stable. Aggregation is a
+//!   *fold* that is permutation-invariant and mergeable (shards can
+//!   fold locally and merge) — the property suite pins both laws
+//!   against a naive reference.
+//! - **Telemetry histograms** ([`registry`]): the same samples pushed
+//!   into the `MetricsRegistry`'s log2 histograms, for dashboards and
+//!   the metrics snapshot; `HistogramSnapshot::approx_quantile` gives
+//!   power-of-two-resolution quantiles without keeping the samples.
+
+use hammertime::experiments::ExpTable;
+use hammertime_telemetry::{MetricsRegistry, MetricsSnapshot};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+use crate::shard::MachineOutcome;
+
+/// Derived per-machine rates — the three population distributions.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MachineSample {
+    /// Cross-domain flips per million cycles.
+    pub flip_rate: f64,
+    /// Defense actions (mitigation ops, victim refreshes, remaps,
+    /// interrupts) per thousand cycles.
+    pub overhead: f64,
+    /// Tenant operations completed per thousand cycles.
+    pub throughput: f64,
+}
+
+impl MachineSample {
+    /// Derives the sample from a completed machine's report; `None`
+    /// for failed machines (they contribute to the failure count, not
+    /// the distributions).
+    pub fn from_outcome(o: &MachineOutcome) -> Option<MachineSample> {
+        let r = o.report.as_ref()?;
+        let cycles = r.cycles.max(1) as f64;
+        let ovh = r.overhead.actions
+            + r.overhead.refresh_ops
+            + r.overhead.convoluted_refreshes
+            + r.overhead.pages_remapped
+            + r.overhead.interrupts;
+        Some(MachineSample {
+            flip_rate: r.flips_cross_domain as f64 * 1e6 / cycles,
+            overhead: ovh as f64 * 1e3 / cycles,
+            throughput: r.throughput(),
+        })
+    }
+}
+
+/// One slate's population: counts plus the three sorted sample
+/// vectors percentiles are read from.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SlateStats {
+    /// Machines assigned the slate.
+    pub machines: u64,
+    /// Of those, machines with an attacker tenant.
+    pub attacked: u64,
+    /// Machines that failed (error/panic/timeout).
+    pub failed: u64,
+    /// Tenant migrations into machines of this slate.
+    pub migrations_in: u64,
+    /// Sorted cross-domain flip rates (flips per Mcycle).
+    pub flip_rate: Vec<f64>,
+    /// Sorted defense-overhead rates (defense ops per kcycle).
+    pub overhead: Vec<f64>,
+    /// Sorted tenant throughputs (ops per kcycle).
+    pub throughput: Vec<f64>,
+}
+
+impl SlateStats {
+    fn push(&mut self, o: &MachineOutcome) {
+        self.machines += 1;
+        self.attacked += u64::from(o.attacked);
+        self.migrations_in += u64::from(o.migrations_in);
+        match MachineSample::from_outcome(o) {
+            Some(s) => {
+                insert_sorted(&mut self.flip_rate, s.flip_rate);
+                insert_sorted(&mut self.overhead, s.overhead);
+                insert_sorted(&mut self.throughput, s.throughput);
+            }
+            None => self.failed += 1,
+        }
+    }
+
+    /// Merges another slate's population into this one (shard-local
+    /// folds merge to the global fold; the property suite pins it).
+    pub fn merge(&mut self, other: &SlateStats) {
+        self.machines += other.machines;
+        self.attacked += other.attacked;
+        self.failed += other.failed;
+        self.migrations_in += other.migrations_in;
+        for (mine, theirs) in [
+            (&mut self.flip_rate, &other.flip_rate),
+            (&mut self.overhead, &other.overhead),
+            (&mut self.throughput, &other.throughput),
+        ] {
+            for &v in theirs {
+                insert_sorted(mine, v);
+            }
+        }
+    }
+}
+
+fn insert_sorted(v: &mut Vec<f64>, x: f64) {
+    let pos = v.partition_point(|&y| y < x);
+    v.insert(pos, x);
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the
+/// smallest element with rank `>= q * len` (at least rank 1). `0.0`
+/// for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The fleet's population statistics, per slate (sorted by slate
+/// name, so rendering order is canonical).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PopulationStats {
+    /// Per-slate populations.
+    pub slates: BTreeMap<String, SlateStats>,
+}
+
+impl PopulationStats {
+    /// Folds one more machine in (order-independent).
+    pub fn push(&mut self, o: &MachineOutcome) {
+        self.slates.entry(o.defense.clone()).or_default().push(o);
+    }
+
+    /// Merges another fold into this one.
+    pub fn merge(&mut self, other: &PopulationStats) {
+        for (slate, stats) in &other.slates {
+            self.slates.entry(slate.clone()).or_default().merge(stats);
+        }
+    }
+
+    /// The rendered population table: one row per slate, percentile
+    /// columns for the flip-rate and defense-overhead distributions.
+    pub fn table(&self, id: &str, title: &str) -> ExpTable {
+        let mut t = ExpTable::new(id, title, POPULATION_COLUMNS);
+        for (slate, s) in &self.slates {
+            t.push(population_row(slate, s));
+        }
+        t
+    }
+
+    /// The same distributions as telemetry histograms plus fleet
+    /// counters, snapshotted for dashboards/JSON output. Samples are
+    /// scaled to integer milli-units (the registry stores `u64`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::default();
+        for (slate, s) in &self.slates {
+            reg.counter_add(&format!("fleet.{slate}.machines"), s.machines);
+            reg.counter_add(&format!("fleet.{slate}.attacked"), s.attacked);
+            reg.counter_add(&format!("fleet.{slate}.failed"), s.failed);
+            reg.counter_add(&format!("fleet.{slate}.migrations_in"), s.migrations_in);
+            for &v in &s.flip_rate {
+                reg.observe(&format!("fleet.{slate}.flip_rate_milli"), milli(v));
+            }
+            for &v in &s.overhead {
+                reg.observe(&format!("fleet.{slate}.overhead_milli"), milli(v));
+            }
+            for &v in &s.throughput {
+                reg.observe(&format!("fleet.{slate}.throughput_milli"), milli(v));
+            }
+        }
+        reg.snapshot()
+    }
+}
+
+fn milli(v: f64) -> u64 {
+    (v * 1000.0).round().max(0.0) as u64
+}
+
+/// Column headers of the population table.
+pub const POPULATION_COLUMNS: &[&str] = &[
+    "slate",
+    "machines",
+    "attacked",
+    "failed",
+    "migr",
+    "xflip/Mc p50",
+    "p90",
+    "p99",
+    "max",
+    "ovh/kc p50",
+    "p99",
+    "tput/kc p50",
+];
+
+/// One slate's table row.
+pub fn population_row(slate: &str, s: &SlateStats) -> Vec<String> {
+    let f = &s.flip_rate;
+    let o = &s.overhead;
+    let max = f.last().copied().unwrap_or(0.0);
+    vec![
+        slate.to_string(),
+        s.machines.to_string(),
+        s.attacked.to_string(),
+        s.failed.to_string(),
+        s.migrations_in.to_string(),
+        format!("{:.3}", percentile(f, 0.50)),
+        format!("{:.3}", percentile(f, 0.90)),
+        format!("{:.3}", percentile(f, 0.99)),
+        format!("{max:.3}"),
+        format!("{:.3}", percentile(o, 0.50)),
+        format!("{:.3}", percentile(o, 0.99)),
+        format!("{:.2}", percentile(&s.throughput, 0.50)),
+    ]
+}
+
+/// Naive reference fold over outcomes in the given order. The runner
+/// and the property suite both use this; the suite additionally
+/// checks chunked fold + merge equals it for every permutation.
+pub fn fold(outcomes: &[MachineOutcome]) -> PopulationStats {
+    let mut stats = PopulationStats::default();
+    for o in outcomes {
+        stats.push(o);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.51), 3.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn insert_sorted_keeps_order() {
+        let mut v = Vec::new();
+        for x in [3.0, 1.0, 2.0, 2.0, 0.5] {
+            insert_sorted(&mut v, x);
+        }
+        assert_eq!(v, [0.5, 1.0, 2.0, 2.0, 3.0]);
+    }
+}

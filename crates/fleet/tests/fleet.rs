@@ -1,0 +1,300 @@
+//! Fleet-layer integration suite: the determinism contract across
+//! worker counts, tenant migration round-trips, population-statistics
+//! laws, and step-budget isolation between sibling machines.
+
+use hammertime::experiments::{run_budgeted, FailureKind};
+use hammertime::machine::TenantExport;
+use hammertime::memctrl::addrmap::MappingScheme;
+use hammertime::{DefenseKind, Machine, MachineConfig};
+use hammertime_common::{DomainId, FaultPlan};
+use hammertime_fleet::population::{is_faulty_machine, synthesize, DramGen, MachineClass};
+use hammertime_fleet::shard::{run_fleet, FleetConfig, FleetReport, MachineOutcome};
+use hammertime_fleet::stats::{fold, PopulationStats};
+use hammertime_workloads::StreamWorkload;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn report_bytes(r: &FleetReport) -> String {
+    serde_json::to_string(r).expect("fleet report serializes")
+}
+
+fn chaos_plan() -> FaultPlan {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/chaos-plan.json"
+    ))
+    .expect("chaos fixture is readable");
+    serde_json::from_str(&json).expect("chaos fixture parses")
+}
+
+proptest! {
+    /// The tentpole contract: a fleet run is byte-identical — every
+    /// outcome, the population stats, the metrics-bearing reports,
+    /// and the recorded trace — for any worker count, including the
+    /// serial loop.
+    #[test]
+    fn fleet_is_byte_identical_across_jobs(
+        machines in 4u32..12,
+        seed in any::<u64>(),
+        jobs in 2usize..9,
+    ) {
+        let mut base = FleetConfig::new(machines).seed(seed);
+        base.trace_machine = Some(machines / 2);
+        let serial = run_fleet(&base).unwrap();
+        let sharded = run_fleet(&base.clone().jobs(jobs)).unwrap();
+        prop_assert_eq!(report_bytes(&serial), report_bytes(&sharded));
+    }
+
+    /// Chunking the outcome list anywhere and merging the partial
+    /// folds in any order gives exactly the naive fold: population
+    /// aggregation is permutation-invariant and mergeable.
+    #[test]
+    fn population_fold_is_permutation_invariant(
+        perm_seed in any::<u64>(),
+        cuts in prop::collection::vec(0usize..16, 0..4),
+    ) {
+        let outcomes = sample_outcomes();
+        let reference = serde_json::to_string(&fold(outcomes)).unwrap();
+
+        // Shuffle deterministically from the proptest-drawn seed.
+        let mut shuffled: Vec<&MachineOutcome> = outcomes.iter().collect();
+        let mut rng = hammertime_common::DetRng::new(perm_seed);
+        rng.shuffle(&mut shuffled);
+
+        // Split at the drawn cut points and merge the partial folds.
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|c| c % (shuffled.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(shuffled.len());
+        bounds.sort_unstable();
+        let mut merged = PopulationStats::default();
+        for w in bounds.windows(2) {
+            let mut part = PopulationStats::default();
+            for o in &shuffled[w[0]..w[1]] {
+                part.push(o);
+            }
+            merged.merge(&part);
+        }
+        prop_assert_eq!(serde_json::to_string(&merged).unwrap(), reference);
+    }
+}
+
+/// Real outcomes to exercise the statistics laws on, computed once.
+fn sample_outcomes() -> &'static [MachineOutcome] {
+    static OUTCOMES: OnceLock<Vec<MachineOutcome>> = OnceLock::new();
+    OUTCOMES.get_or_init(|| {
+        let mut cfg = FleetConfig::new(16).jobs(4);
+        // A tight budget mixes failed machines into the sample set,
+        // so the laws cover the failure-count path too.
+        cfg.step_budget = Some(40_000);
+        run_fleet(&cfg).unwrap().outcomes
+    })
+}
+
+/// The canonical chaos plan on the deterministic degraded subset:
+/// output stays byte-identical across worker counts, and fault
+/// injection lands exactly on the machines `is_faulty_machine` names.
+#[test]
+fn chaos_fleet_is_deterministic_and_faults_stay_on_subset() {
+    let mut cfg = FleetConfig::new(13);
+    cfg.faults = Some(chaos_plan());
+    let serial = run_fleet(&cfg).unwrap();
+    let sharded = run_fleet(&cfg.clone().jobs(8)).unwrap();
+    assert_eq!(report_bytes(&serial), report_bytes(&sharded));
+    for o in &serial.outcomes {
+        assert_eq!(o.faulty, is_faulty_machine(o.id), "machine {}", o.id);
+    }
+    assert!(serial.outcomes.iter().any(|o| o.faulty));
+    assert!(serial.outcomes.iter().any(|o| !o.faulty));
+}
+
+fn machine_a() -> Machine {
+    let mut cfg = MachineConfig::fast(DefenseKind::None, 48);
+    cfg.seed = 7;
+    Machine::new(cfg).unwrap()
+}
+
+/// Machine B: a *different geometry* than A (the compact class), so
+/// the round-trip crosses hardware shapes.
+fn machine_b() -> Machine {
+    let mut cfg = MachineConfig::fast(DefenseKind::None, 48);
+    cfg.geometry = MachineClass::Compact.geometry();
+    cfg.seed = 11;
+    Machine::new(cfg).unwrap()
+}
+
+const MIGRANT: DomainId = DomainId(77);
+
+/// Detaches the tenant mid-hammer on A and returns two identical
+/// exports (the second via the workload's checkpoint clone).
+fn detach_mid_run() -> (TenantExport, TenantExport) {
+    let mut a = machine_a();
+    let arena = a.add_tenant(MIGRANT, 2).unwrap();
+    a.set_workload(MIGRANT, Box::new(StreamWorkload::new(arena, 600, 4)))
+        .unwrap();
+    a.run(20_000);
+    let export = a.detach_tenant(MIGRANT).unwrap();
+
+    // Detach quarantines: the domain's address space is gone from A
+    // and its frames went to the host pool, never back to free lists.
+    assert!(a
+        .translate(MIGRANT, hammertime_common::CacheLineAddr(0))
+        .is_err());
+    assert!(export.ops_done > 0, "tenant must be detached mid-run");
+
+    let twin = TenantExport {
+        domain: export.domain,
+        pages: export.pages,
+        workload: export
+            .workload
+            .as_ref()
+            .and_then(|w| w.box_clone())
+            .map(Some)
+            .expect("stream workloads are checkpointable"),
+        ops_done: export.ops_done,
+    };
+    (export, twin)
+}
+
+/// Tenant-migration round trip: a tenant checkpointed mid-hammer on
+/// machine A and admitted on machine B (different geometry) behaves
+/// exactly like the same snapshot admitted on a from-scratch
+/// identically-seeded B.
+#[test]
+fn migration_round_trip_matches_from_scratch_run() {
+    let (export, twin) = detach_mid_run();
+    assert_eq!(export.pages, 2);
+
+    let run_b = |export: TenantExport| {
+        let mut b = machine_b();
+        b.admit_tenant(export).unwrap();
+        b.run(30_000);
+        serde_json::to_string(&b.report()).unwrap()
+    };
+    assert_eq!(run_b(export), run_b(twin));
+}
+
+/// The refuse path at the fleet level: remapping the address map under
+/// a live (just-admitted) tenant must be rejected, and admitting the
+/// same domain twice must be rejected.
+#[test]
+fn admitted_tenants_block_remapping_and_double_admission() {
+    let (export, twin) = detach_mid_run();
+    let mut b = machine_b();
+    b.admit_tenant(export).unwrap();
+    let err = b.set_mapping(MappingScheme::BankPartition).unwrap_err();
+    assert!(err.to_string().contains("tenants attached"), "{err}");
+    let err = b.admit_tenant(twin).unwrap_err();
+    assert!(err.to_string().contains("already a tenant"), "{err}");
+}
+
+/// Satellite 6 regression: one machine exhausting its step budget
+/// becomes a structured `Timeout` outcome; sibling machines on the
+/// same worker keep their own budgets and complete. The generation
+/// mix guarantees both kinds exist: an LPDDR4 machine's whole run
+/// (2 epochs x 6 windows x tREFW 800) fits the budget, a tiny_wide
+/// machine's does not.
+#[test]
+fn budget_timeout_does_not_poison_sibling_machines() {
+    let mut cfg = FleetConfig::new(12);
+    cfg.step_budget = Some(20_000);
+    let specs = synthesize(&cfg);
+    assert!(specs.iter().any(|s| s.gen == DramGen::Lpddr4));
+    assert!(specs.iter().any(|s| s.gen != DramGen::Lpddr4));
+
+    let report = run_fleet(&cfg).unwrap();
+    let timeouts: Vec<u32> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.failure.is_some())
+        .map(|o| o.id)
+        .collect();
+    assert!(!timeouts.is_empty(), "some machine must exhaust 20k cycles");
+    assert!(
+        timeouts.len() < report.outcomes.len(),
+        "LPDDR4 machines must survive the budget"
+    );
+    for (id, f) in report.failures() {
+        assert_eq!(f.kind, FailureKind::Timeout, "machine {id}: {f:?}");
+    }
+    // Survivors are not truncated: each ran its full two epochs.
+    for o in report.outcomes.iter().filter(|o| o.failure.is_none()) {
+        let r = o.report.as_ref().unwrap();
+        assert!(r.cycles >= 2 * 6 * 800, "machine {} stopped early", o.id);
+    }
+    // The whole degraded run still honours the determinism contract.
+    let sharded = run_fleet(&cfg.clone().jobs(5)).unwrap();
+    assert_eq!(report_bytes(&report), report_bytes(&sharded));
+}
+
+/// A machine timing out inside its own budget scope must not consume
+/// or corrupt the *enclosing* scope's budget (FL1 cells run whole
+/// fleets under the suite's `--step-budget`).
+#[test]
+fn nested_budget_scope_restores_the_outer_budget() {
+    let outer = run_budgeted("outer", Some(1_000_000), || {
+        let inner = run_budgeted("inner", Some(500), || {
+            machine_a().run(50_000);
+            Ok(())
+        });
+        let f = inner.expect_err("inner scope must time out");
+        assert_eq!(f.kind, FailureKind::Timeout);
+        // 50k cycles fit the outer budget with room to spare; if the
+        // inner exhaustion leaked into this scope, this panics.
+        machine_a().run(50_000);
+        Ok(())
+    });
+    assert!(outer.is_ok(), "outer scope poisoned: {outer:?}");
+}
+
+/// Every id documented in EXPERIMENTS.md resolves in the combined
+/// core + FL registry and vice versa — this crate sees every
+/// experiment, so it owns the bidirectional check.
+#[test]
+fn full_registry_matches_experiments_md() {
+    let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md is readable");
+    let documented: Vec<&str> = md
+        .lines()
+        .filter_map(|l| l.strip_prefix("== ")?.split_whitespace().next())
+        .collect();
+    assert!(!documented.is_empty(), "no table headers found");
+    let registered: Vec<&str> = hammertime_fleet::full_registry()
+        .iter()
+        .map(|e| e.id())
+        .collect();
+    for id in &documented {
+        assert!(
+            registered.contains(id),
+            "EXPERIMENTS.md documents {id} but no registry has it"
+        );
+    }
+    for id in &registered {
+        assert!(
+            documented.contains(id),
+            "registry has {id} but EXPERIMENTS.md does not document it"
+        );
+    }
+}
+
+/// The FL1 experiment produces a row per slate with the full column
+/// set, and (like every suite experiment) is byte-identical across
+/// suite worker counts.
+#[test]
+fn fl1_produces_population_rows_per_slate() {
+    use hammertime::experiments::RunOptions;
+    let opts = RunOptions::new(true).filter(["FL1"]);
+    let a = hammertime_fleet::run_all_with(&opts).unwrap();
+    let b = hammertime_fleet::run_all_with(&opts.clone().jobs(4)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&a.tables).unwrap(),
+        serde_json::to_string(&b.tables).unwrap()
+    );
+    assert!(!a.has_failures());
+    let t = &a.tables[0];
+    assert_eq!(t.id, "FL1");
+    assert_eq!(t.rows.len(), FleetConfig::default_slates().len());
+    for row in &t.rows {
+        assert_eq!(row.len(), t.columns.len());
+    }
+}

@@ -122,6 +122,14 @@ impl AddressSpaces {
         self.tables.get(&domain)
     }
 
+    /// Tears down `domain`'s address space (ASID destroy), returning
+    /// the dropped table so the caller can walk its mappings — e.g. to
+    /// return the backing frames. `None` if the domain never mapped
+    /// anything.
+    pub fn remove_table(&mut self, domain: DomainId) -> Option<PageTable> {
+        self.tables.remove(&domain)
+    }
+
     /// Translates within a domain.
     ///
     /// # Errors

@@ -77,6 +77,39 @@ pub struct HistogramSnapshot {
     pub buckets: BTreeMap<u32, u64>,
 }
 
+impl HistogramSnapshot {
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets.
+    ///
+    /// Walks the buckets to the one containing the nearest-rank sample
+    /// and returns that bucket's upper bound clamped to the observed
+    /// `max` (so `approx_quantile(1.0) == max` exactly). The answer is
+    /// therefore within one power of two of the true quantile — the
+    /// resolution the histogram keeps by design. Returns `None` when
+    /// the histogram is empty or `q` is out of range.
+    pub fn approx_quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Nearest rank: the smallest k with k >= q * count, at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Bucket b holds values in [2^(b-1), 2^b); bucket 0
+                // holds only the value 0.
+                let upper = if bucket == 0 {
+                    0
+                } else {
+                    (1u64 << (bucket - 1)).saturating_mul(2).saturating_sub(1)
+                };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
 /// String-keyed counters and histograms.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
@@ -156,6 +189,22 @@ mod tests {
         assert!((s.mean - 4.0).abs() < 1e-12);
         assert_eq!(s.buckets.get(&1), Some(&1)); // value 1
         assert_eq!(s.buckets.get(&3), Some(&2)); // values 4 and 7
+    }
+
+    #[test]
+    fn approx_quantile_lands_in_the_right_bucket() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.approx_quantile(0.0), Some(0)); // rank clamps to 1
+        assert_eq!(s.approx_quantile(1.0), Some(1000)); // clamped to max
+                                                        // p50 (rank 3) falls in bucket 2 (values 2..=3): upper bound 3.
+        assert_eq!(s.approx_quantile(0.5), Some(3));
+        // Out-of-range and empty cases.
+        assert_eq!(s.approx_quantile(1.5), None);
+        assert_eq!(HistogramSnapshot::default().approx_quantile(0.5), None);
     }
 
     #[test]

@@ -34,7 +34,13 @@ impl AccessOp {
 }
 
 /// A finite or unbounded stream of operations.
-pub trait Workload {
+///
+/// `Send` is a supertrait so a boxed workload — and therefore a
+/// detached tenant carrying one — can cross threads: the fleet layer
+/// migrates tenants between machines owned by different worker
+/// threads. Every generator here holds only owned data (or shared
+/// references to `Sync` traces), so the bound costs nothing.
+pub trait Workload: Send {
     /// Display name for reports.
     fn name(&self) -> &'static str;
 

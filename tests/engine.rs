@@ -24,8 +24,11 @@ fn parallel_run_is_byte_identical_to_serial() {
     assert_eq!(a, b, "jobs=8 output diverged from jobs=1");
 }
 
-/// Every experiment id recorded in EXPERIMENTS.md must resolve in the
-/// registry, and vice versa — the docs and the code cannot drift.
+/// Every core-registry experiment must be documented in
+/// EXPERIMENTS.md. (The converse — every documented id resolves in
+/// a registry — is checked against the *combined* core + fleet
+/// registry by the fleet crate's suite, which is the only layer that
+/// can see every experiment.)
 #[test]
 fn registry_matches_experiments_md() {
     let md = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md"))
@@ -36,12 +39,6 @@ fn registry_matches_experiments_md() {
         .collect();
     assert!(!documented.is_empty(), "no table headers found");
     let registered: Vec<&str> = registry().iter().map(|e| e.id()).collect();
-    for id in &documented {
-        assert!(
-            registered.contains(id),
-            "EXPERIMENTS.md documents {id} but the registry lacks it"
-        );
-    }
     for id in &registered {
         assert!(
             documented.contains(id),

@@ -14,7 +14,8 @@
 //! defaults to available parallelism). Output is byte-identical for
 //! any worker count, so CI exercises several values.
 
-use hammertime::experiments::{registry, run_all_with, RunOptions};
+use hammertime::experiments::RunOptions;
+use hammertime_fleet::experiment::{full_registry, run_all_with};
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::PathBuf;
@@ -49,7 +50,7 @@ fn quick_mode_suite_matches_goldens() {
     let tables = report.tables;
     assert_eq!(
         tables.len(),
-        registry().len(),
+        full_registry().len(),
         "every registry experiment must produce a table"
     );
 
