@@ -1,0 +1,265 @@
+//! End-to-end durability and supervision tests against the real
+//! binary: kill the process (SIGKILL/SIGINT) and resume, and drive
+//! the multi-process supervisor through its fault matrix with the
+//! deterministic env-var fault hooks.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hammertime-cli"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htcli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const FLEET: &[&str] = &["fleet", "run", "--machines", "12", "--epochs", "3"];
+
+/// Stdout of an uninterrupted reference run (the population table).
+fn reference_stdout(extra: &[&str]) -> Vec<u8> {
+    let out = cli()
+        .args(FLEET)
+        .args(extra)
+        .stderr(Stdio::null())
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "reference run failed");
+    out.stdout
+}
+
+/// Waits until the durable journal holds at least one committed byte
+/// past its header, so a signal lands mid-run, not pre-run.
+fn wait_for_journal(dir: &std::path::Path) {
+    let journal = dir.join("epochs.htjl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if std::fs::metadata(&journal)
+            .map(|m| m.len() > 16)
+            .unwrap_or(false)
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("journal never appeared in {}", dir.display());
+}
+
+/// Satellite (e) in miniature + acceptance: SIGKILL a durable run
+/// mid-epoch, resume under a different `--jobs`, and the final table
+/// and JSON report are byte-identical to an uninterrupted run.
+#[test]
+fn sigkill_and_resume_is_byte_identical() {
+    let dir = tmpdir("sigkill");
+    let slow: &[&str] = &["fleet", "run", "--machines", "40", "--epochs", "30"];
+    let ref_json = dir.join("ref.json");
+    let out = cli()
+        .args(slow)
+        .args(["--jobs", "2", "--json", ref_json.to_str().unwrap()])
+        .stderr(Stdio::null())
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let reference = out.stdout;
+
+    let run_dir = dir.join("run");
+    let mut child = cli()
+        .args(slow)
+        .args(["--jobs", "2", "--durable", run_dir.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_for_journal(&run_dir);
+    child.kill().unwrap(); // SIGKILL: no destructors, no flush
+    child.wait().unwrap();
+
+    let resumed_json = dir.join("resumed.json");
+    let out = cli()
+        .args(slow)
+        .args([
+            "--jobs",
+            "4",
+            "--resume",
+            run_dir.to_str().unwrap(),
+            "--json",
+            resumed_json.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, reference, "resumed table diverges");
+    assert_eq!(
+        std::fs::read(&ref_json).unwrap(),
+        std::fs::read(&resumed_json).unwrap(),
+        "resumed JSON report diverges"
+    );
+}
+
+/// Satellite (a): SIGINT finishes the epoch in flight, journals a
+/// clean stop, exits 130 — and the resumed run completes the rest
+/// byte-identically.
+#[test]
+fn sigint_stops_gracefully_with_code_130_and_resumes() {
+    let dir = tmpdir("sigint");
+    let slow: &[&str] = &["fleet", "run", "--machines", "40", "--epochs", "30"];
+    let reference = {
+        let out = cli().args(slow).stderr(Stdio::null()).output().unwrap();
+        assert!(out.status.success());
+        out.stdout
+    };
+
+    let run_dir = dir.join("run");
+    let mut child = cli()
+        .args(slow)
+        .args(["--durable", run_dir.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_for_journal(&run_dir);
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -INT failed");
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(130), "graceful stop exits 130");
+
+    let out = cli()
+        .args(slow)
+        .args(["--resume", run_dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("stopped cleanly"),
+        "resume should see the clean-stop marker: {stderr}"
+    );
+    assert_eq!(out.stdout, reference, "post-SIGINT resume diverges");
+}
+
+/// A healthy supervised (multi-process) run prints the same bytes as
+/// the in-process runner.
+#[test]
+fn supervised_run_matches_in_process() {
+    let reference = reference_stdout(&[]);
+    let out = cli()
+        .args(FLEET)
+        .args(["--supervise", "3", "--backoff-ms", "10"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "supervised run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(out.stdout, reference);
+}
+
+/// Fault matrix: a worker that crashes once is restarted (with its
+/// completed epochs replayed) and the fleet output is unaffected.
+#[test]
+fn crashed_worker_restarts_and_output_is_unaffected() {
+    let dir = tmpdir("crash-once");
+    let reference = reference_stdout(&[]);
+    let marker = dir.join("crashed.marker");
+    let out = cli()
+        .args(FLEET)
+        .args(["--supervise", "3", "--backoff-ms", "10"])
+        .env(
+            "HAMMERTIME_FLEET_CRASH_ONCE",
+            format!("5:2:{}", marker.display()),
+        )
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(marker.exists(), "the crash hook must actually have fired");
+    assert_eq!(out.stdout, reference, "crash+restart changed the output");
+}
+
+/// Fault matrix: a hung worker misses its heartbeat deadline, is
+/// killed and restarted, and the fleet output is unaffected.
+#[test]
+fn hung_worker_is_killed_restarted_and_output_is_unaffected() {
+    let dir = tmpdir("hang-once");
+    let reference = reference_stdout(&[]);
+    let marker = dir.join("hung.marker");
+    let out = cli()
+        .args(FLEET)
+        .args([
+            "--supervise",
+            "3",
+            "--hb-timeout-ms",
+            "400",
+            "--backoff-ms",
+            "10",
+        ])
+        .env(
+            "HAMMERTIME_FLEET_HANG_ONCE",
+            format!("7:1:{}", marker.display()),
+        )
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(marker.exists(), "the hang hook must actually have fired");
+    assert_eq!(out.stdout, reference, "hang+restart changed the output");
+}
+
+/// Fault matrix: a machine that kills its worker on every attempt is
+/// quarantined after K strikes; siblings complete and the row is a
+/// structured `quarantined` failure with progress attribution.
+#[test]
+fn always_crashing_machine_is_quarantined_and_siblings_survive() {
+    let out = cli()
+        .args(FLEET)
+        .args([
+            "--supervise",
+            "3",
+            "--quarantine-after",
+            "2",
+            "--backoff-ms",
+            "10",
+        ])
+        .env("HAMMERTIME_FLEET_CRASH", "5:2")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("machine 5: [quarantined]"),
+        "expected a quarantined failure row, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("reached epoch 1"),
+        "quarantine row must attribute last completed progress:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("population of 12 machines"),
+        "siblings must still produce the population table:\n{stdout}"
+    );
+}

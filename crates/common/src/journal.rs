@@ -1,0 +1,477 @@
+//! Append-only, checksummed epoch journal.
+//!
+//! Durable fleet runs write one record per committed epoch barrier so a
+//! crashed or killed run can resume without losing completed work. The
+//! format follows the [`traceformat`](crate::traceformat) discipline —
+//! a magic + version header that refuses foreign or future files — but
+//! is binary and framed, because a journal must survive the writer
+//! dying mid-record:
+//!
+//! ```text
+//! header:  "HTJL" | version u32 LE | seed u64 LE          (16 bytes)
+//! record:  len u32 LE | kind u16 LE | crc u32 LE | payload
+//! ```
+//!
+//! `len` counts the payload bytes only; `crc` is CRC-32 (IEEE) over the
+//! kind bytes followed by the payload, so a bit flip in either is
+//! detected. Two read modes serve two callers:
+//!
+//! - [`read_all`] is *strict*: any malformed frame — bad magic, future
+//!   version, short header, CRC mismatch, truncated tail — is a
+//!   structured [`Error`], never a panic. Tamper tests assert on this.
+//! - [`JournalWriter::recover`] is *tolerant*: it keeps the longest
+//!   valid prefix, reports whether a torn tail was dropped, truncates
+//!   the file to the prefix, and reopens it for appending. Resume uses
+//!   this to fall back to the last committed epoch after a SIGKILL
+//!   landed mid-write.
+//!
+//! The journal does not know what the payloads mean; record `kind`
+//! namespacing belongs to the caller (the fleet crate commits epoch
+//! postings, commit markers, clean-stop markers, and quarantine
+//! events).
+
+use crate::error::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic bytes opening every journal file.
+pub const JOURNAL_MAGIC: [u8; 4] = *b"HTJL";
+
+/// Current journal format version. Bump on any incompatible change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Header length in bytes: magic + version + seed.
+const HEADER_LEN: u64 = 16;
+
+/// Frame prefix length in bytes: len + kind + crc.
+const FRAME_LEN: u64 = 10;
+
+/// Upper bound on a single payload, so a corrupt length field cannot
+/// make a reader allocate gigabytes. Fleet epoch postings for even a
+/// huge population are far below this.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// One journal record: an opaque payload tagged with a caller-defined
+/// kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Caller-defined record type tag.
+    pub kind: u16,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over `parts`
+/// concatenated. Hand-rolled table so the workspace stays
+/// dependency-free.
+pub fn crc32(parts: &[&[u8]]) -> u32 {
+    // The table is tiny to build; computing it per call keeps the code
+    // free of lazy-init machinery and is nowhere near a hot path (one
+    // call per epoch barrier).
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Config(format!("journal {what} {}: {e}", path.display()))
+}
+
+fn encode_header(seed: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..4].copy_from_slice(&JOURNAL_MAGIC);
+    h[4..8].copy_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&seed.to_le_bytes());
+    h
+}
+
+/// Validates a header buffer; returns the recorded seed.
+fn decode_header(buf: &[u8], path: &Path) -> Result<u64> {
+    if buf.len() < HEADER_LEN as usize {
+        return Err(Error::Config(format!(
+            "journal {} is truncated before the header ({} of {HEADER_LEN} bytes)",
+            path.display(),
+            buf.len()
+        )));
+    }
+    if buf[0..4] != JOURNAL_MAGIC {
+        return Err(Error::Config(format!(
+            "not a hammertime journal: {} has magic {:?} (want {:?})",
+            path.display(),
+            &buf[0..4],
+            JOURNAL_MAGIC
+        )));
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if version != JOURNAL_VERSION {
+        return Err(Error::Config(format!(
+            "unsupported journal version {version} in {} (this build reads version {JOURNAL_VERSION})",
+            path.display()
+        )));
+    }
+    Ok(u64::from_le_bytes(buf[8..16].try_into().unwrap()))
+}
+
+/// Outcome of scanning a journal's frames.
+struct Scan {
+    records: Vec<Record>,
+    /// Byte offset just past the last valid frame.
+    valid_len: u64,
+    /// Description of the first malformed frame, if any.
+    defect: Option<String>,
+}
+
+fn scan_frames(buf: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN as usize;
+    let defect = loop {
+        if off == buf.len() {
+            break None;
+        }
+        let rest = &buf[off..];
+        if rest.len() < FRAME_LEN as usize {
+            break Some(format!(
+                "truncated frame prefix at byte {off} ({} of {FRAME_LEN} bytes)",
+                rest.len()
+            ));
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break Some(format!(
+                "implausible payload length {len} at byte {off} (max {MAX_PAYLOAD})"
+            ));
+        }
+        let kind = u16::from_le_bytes(rest[4..6].try_into().unwrap());
+        let crc = u32::from_le_bytes(rest[6..10].try_into().unwrap());
+        let body = &rest[FRAME_LEN as usize..];
+        if body.len() < len as usize {
+            break Some(format!(
+                "truncated payload at byte {off} ({} of {len} bytes)",
+                body.len()
+            ));
+        }
+        let payload = &body[..len as usize];
+        let want = crc32(&[&rest[4..6], payload]);
+        if crc != want {
+            break Some(format!(
+                "CRC mismatch at byte {off} (stored {crc:#010x}, computed {want:#010x})"
+            ));
+        }
+        records.push(Record {
+            kind,
+            payload: payload.to_vec(),
+        });
+        off += FRAME_LEN as usize + len as usize;
+    };
+    Scan {
+        records,
+        valid_len: off as u64,
+        defect,
+    }
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| io_err("open", path, e))?;
+    Ok(buf)
+}
+
+/// Strictly reads an entire journal: returns the recorded seed and all
+/// records, or a structured [`Error`] describing the *first* defect —
+/// bad magic, future version, bit flip (CRC mismatch), or truncation.
+pub fn read_all(path: &Path) -> Result<(u64, Vec<Record>)> {
+    let buf = read_file(path)?;
+    let seed = decode_header(&buf, path)?;
+    let scan = scan_frames(&buf);
+    if let Some(defect) = scan.defect {
+        return Err(Error::Config(format!(
+            "corrupt journal {}: {defect}",
+            path.display()
+        )));
+    }
+    Ok((seed, scan.records))
+}
+
+/// An append-only journal file.
+///
+/// Appends are flushed and fsynced individually ([`JournalWriter::append`]
+/// then [`JournalWriter::sync`]), so a record either survives a crash
+/// whole or is dropped as a torn tail by [`JournalWriter::recover`].
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: std::path::PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates a fresh journal (truncating any existing file) and
+    /// writes the header.
+    pub fn create(path: &Path, seed: u64) -> Result<JournalWriter> {
+        let mut file = File::create(path).map_err(|e| io_err("create", path, e))?;
+        file.write_all(&encode_header(seed))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| io_err("write header to", path, e))?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens an existing journal for appending, tolerating a torn
+    /// tail: the longest valid frame prefix is kept, anything after it
+    /// is truncated away, and the surviving records are returned along
+    /// with whether a tail was dropped.
+    ///
+    /// Header damage (wrong magic, future version) is *not* tolerated —
+    /// that is a foreign file, not a torn write — and neither is a seed
+    /// mismatch, which means the journal belongs to a different run.
+    pub fn recover(path: &Path, seed: u64) -> Result<(JournalWriter, Vec<Record>, bool)> {
+        let buf = read_file(path)?;
+        let recorded = decode_header(&buf, path)?;
+        if recorded != seed {
+            return Err(Error::Config(format!(
+                "journal {} was written for seed {recorded:#x}, not {seed:#x}",
+                path.display()
+            )));
+        }
+        let scan = scan_frames(&buf);
+        let torn = scan.defect.is_some();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("reopen", path, e))?;
+        if torn {
+            file.set_len(scan.valid_len)
+                .map_err(|e| io_err("truncate", path, e))?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len))
+            .map_err(|e| io_err("seek", path, e))?;
+        Ok((
+            JournalWriter {
+                file,
+                path: path.to_path_buf(),
+            },
+            scan.records,
+            torn,
+        ))
+    }
+
+    /// Appends one record. The frame is written in a single `write_all`
+    /// so the window for a torn record is one syscall wide; call
+    /// [`JournalWriter::sync`] to make it durable.
+    pub fn append(&mut self, kind: u16, payload: &[u8]) -> Result<()> {
+        assert!(
+            payload.len() as u64 <= MAX_PAYLOAD as u64,
+            "journal payload exceeds MAX_PAYLOAD"
+        );
+        let kind_bytes = kind.to_le_bytes();
+        let crc = crc32(&[&kind_bytes, payload]);
+        let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&kind_bytes);
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append to", &self.path, e))
+    }
+
+    /// Forces appended records to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .flush()
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| io_err("sync", &self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("htjl-test-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("epochs.htjl")
+    }
+
+    fn write_three(path: &Path) {
+        let mut w = JournalWriter::create(path, 0xF1EE7).unwrap();
+        w.append(1, b"first").unwrap();
+        w.append(2, b"").unwrap();
+        w.append(1, b"third record, a bit longer").unwrap();
+        w.sync().unwrap();
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let path = tmp("roundtrip");
+        write_three(&path);
+        let (seed, records) = read_all(&path).unwrap();
+        assert_eq!(seed, 0xF1EE7);
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[0],
+            Record {
+                kind: 1,
+                payload: b"first".to_vec()
+            }
+        );
+        assert_eq!(
+            records[1],
+            Record {
+                kind: 2,
+                payload: Vec::new()
+            }
+        );
+        assert_eq!(records[2].payload, b"third record, a bit longer");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn bit_flip_is_a_structured_error() {
+        let path = tmp("bitflip");
+        write_three(&path);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload bit in the middle of the file.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_all(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("CRC mismatch") || err.to_string().contains("corrupt journal"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_recovers_a_prefix() {
+        let path = tmp("truncate");
+        write_three(&path);
+        let full = fs::read(&path).unwrap();
+        // Whatever byte we cut at, strict reads must error (unless the
+        // cut lands exactly on a frame boundary) and recovery must
+        // return a valid prefix of the three records.
+        for cut in HEADER_LEN as usize..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            // A cut mid-frame must fail the strict reader; a cut on a
+            // frame boundary just looks like a shorter journal.
+            let strict = read_all(&path);
+            let (_, records, torn) = JournalWriter::recover(&path, 0xF1EE7).unwrap();
+            assert!(records.len() < 3, "cut {cut} kept everything");
+            assert_eq!(strict.is_err(), torn, "cut {cut}");
+            // The prefix must match the uncut journal's records.
+            let expected: &[&[u8]] = &[b"first", b"", b"third record, a bit longer"];
+            for (r, want) in records.iter().zip(expected) {
+                assert_eq!(&r.payload[..], *want, "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_truncates_and_reappends_cleanly() {
+        let path = tmp("reappend");
+        write_three(&path);
+        let full = fs::read(&path).unwrap();
+        // Tear the third record in half.
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let (mut w, records, torn) = JournalWriter::recover(&path, 0xF1EE7).unwrap();
+        assert!(torn);
+        assert_eq!(records.len(), 2);
+        w.append(7, b"replacement").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (_, records) = read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(
+            records[2],
+            Record {
+                kind: 7,
+                payload: b"replacement".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn recover_of_clean_journal_is_not_torn() {
+        let path = tmp("clean");
+        write_three(&path);
+        let (_, records, torn) = JournalWriter::recover(&path, 0xF1EE7).unwrap();
+        assert!(!torn);
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn header_mismatches_are_rejected() {
+        let path = tmp("header");
+        write_three(&path);
+        let mut bytes = fs::read(&path).unwrap();
+
+        // Wrong seed: recover refuses (different run), strict read
+        // does not care about the caller's seed.
+        assert!(JournalWriter::recover(&path, 0xBAD).is_err());
+
+        // Future version.
+        bytes[4..8].copy_from_slice(&(JOURNAL_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = read_all(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "got: {err}");
+
+        // Foreign magic.
+        bytes[0..4].copy_from_slice(b"NOPE");
+        fs::write(&path, &bytes).unwrap();
+        let err = read_all(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "got: {err}");
+
+        // Too short for a header at all.
+        fs::write(&path, b"HTJ").unwrap();
+        assert!(read_all(&path).is_err());
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_not_allocated() {
+        let path = tmp("hugelen");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        w.append(1, b"ok").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        // Stamp an absurd length into the frame prefix.
+        bytes[HEADER_LEN as usize..HEADER_LEN as usize + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = read_all(&path).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "got: {err}");
+        // Tolerant recovery keeps zero records but succeeds.
+        let (_, records, torn) = JournalWriter::recover(&path, 1).unwrap();
+        assert!(torn);
+        assert!(records.is_empty());
+    }
+}

@@ -97,6 +97,10 @@ pub enum FailureKind {
     Panic,
     /// The step-budget watchdog killed a runaway cell.
     Timeout,
+    /// A supervisor isolated this cell after it repeatedly crashed its
+    /// worker process (fleet-layer suspect isolation); siblings kept
+    /// running.
+    Quarantined,
 }
 
 impl std::fmt::Display for FailureKind {
@@ -105,8 +109,20 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Error => "error",
             FailureKind::Panic => "panic",
             FailureKind::Timeout => "timeout",
+            FailureKind::Quarantined => "quarantined",
         })
     }
+}
+
+/// How far a failed cell got before it died, so a resumed or supervised
+/// run can attribute the failure to a specific point in simulated time
+/// instead of discarding all progress information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureProgress {
+    /// Fleet epochs this machine fully committed before failing.
+    pub epochs_done: u32,
+    /// Simulated machine cycle at the failure point.
+    pub cycle: u64,
 }
 
 /// A structured record of one failed cell: the suite keeps running and
@@ -121,6 +137,10 @@ pub struct CellFailure {
     /// Human-readable cause (error text, panic message, or the
     /// exhausted budget).
     pub message: String,
+    /// Last committed progress, when the runner tracks it. The engine
+    /// itself sets `None` (suite cells have no epoch structure); the
+    /// fleet layer annotates its per-machine failures.
+    pub progress: Option<FailureProgress>,
 }
 
 /// How a suite run is scaled, parallelized, filtered, and guarded.
@@ -308,6 +328,7 @@ pub fn run_budgeted<T>(
             label: label.to_string(),
             kind: FailureKind::Error,
             message: e.to_string(),
+            progress: None,
         }),
         Err(payload) => {
             let (kind, message) = if let Some(t) = payload.downcast_ref::<StepBudgetExceeded>() {
@@ -326,6 +347,7 @@ pub fn run_budgeted<T>(
                 label: label.to_string(),
                 kind,
                 message,
+                progress: None,
             })
         }
     }

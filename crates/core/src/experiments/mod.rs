@@ -37,7 +37,7 @@ mod t1;
 pub use common::FAST_MAC;
 pub use engine::{
     run_budgeted, run_one, run_suite, run_suite_traced, silent, Cell, CellCtx, CellFailure,
-    CellProgress, CellRows, FailureKind, RunOptions, StepBudgetScope, SuiteReport,
+    CellProgress, CellRows, FailureKind, FailureProgress, RunOptions, StepBudgetScope, SuiteReport,
 };
 pub use table::ExpTable;
 

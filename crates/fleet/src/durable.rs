@@ -1,0 +1,529 @@
+//! Durable fleet runs: the on-disk epoch journal and its manifest.
+//!
+//! # What is journaled (and why not machine state)
+//!
+//! A fleet machine's live state is a web of trait objects (defenses,
+//! workloads, fault clocks) that cannot round-trip through a codec
+//! without forking every one of them. The journal instead exploits the
+//! fleet's determinism contract: **everything a machine does is a pure
+//! function of the fleet seed and the postings it admits**. So the
+//! journal records, per committed epoch, only the canonical
+//! cross-machine postings ([`WirePosting`]s) plus a commit marker —
+//! and resume *re-simulates* from epoch 0, validating that each
+//! regenerated epoch's postings equal the journaled ones. Byte-identity
+//! of a resumed run is then true by construction, and a torn or lost
+//! record can only ever cost recomputation, never wrong output.
+//!
+//! # Commit protocol
+//!
+//! At each epoch barrier the leader appends a [`K_POSTINGS`] record
+//! (the epoch's canonical postings) followed by a [`K_COMMIT`] marker,
+//! then syncs. A postings record without its commit marker — the
+//! window a SIGKILL can tear — is discarded on recovery, falling back
+//! to the previous committed epoch. Graceful stops append
+//! [`K_CLEAN_STOP`]; supervisor quarantine decisions append
+//! [`K_QUARANTINE`] so a resumed run reproduces them.
+//!
+//! # Manifest
+//!
+//! `manifest.json` (written once, via tmp+rename) pins the run's
+//! identity: fleet seed, the config in canonical form (worker count
+//! zeroed — `--jobs` may legally differ across resume), and an FNV-1a
+//! hash of the synthesized population. `--resume` with a different
+//! population is a structured error, not a silently diverging run.
+
+use std::path::{Path, PathBuf};
+
+use hammertime_common::journal::{self, JournalWriter};
+use hammertime_common::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::population::synthesize;
+use crate::shard::FleetConfig;
+use crate::wire::WirePosting;
+
+/// Journal record: the canonical postings emitted during one epoch.
+pub const K_POSTINGS: u16 = 1;
+/// Journal record: epoch commit marker (payload = epoch, u32 LE).
+pub const K_COMMIT: u16 = 2;
+/// Journal record: the run stopped gracefully at an epoch boundary.
+pub const K_CLEAN_STOP: u16 = 3;
+/// Journal record: the supervisor quarantined a machine.
+pub const K_QUARANTINE: u16 = 4;
+
+/// Journal file name inside the durable directory.
+pub const JOURNAL_FILE: &str = "epochs.htjl";
+/// Manifest file name inside the durable directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// The postings emitted during one epoch, in canonical order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochPostings {
+    /// The epoch these postings were emitted in (delivered at the
+    /// start of `epoch + 1`).
+    pub epoch: u32,
+    /// Canonically ordered postings ([`crate::wire::sort_canonical`]).
+    pub postings: Vec<WirePosting>,
+}
+
+/// A supervisor decision to isolate a machine that repeatedly crashed
+/// its worker, starting at `stage` (0 = build, `e + 1` = epoch `e`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEvent {
+    /// The isolated machine's fleet-wide id.
+    pub machine: u32,
+    /// First stage the machine no longer executes.
+    pub stage: u32,
+}
+
+/// The run-identity manifest pinned next to the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Journal format version ([`journal::JOURNAL_VERSION`]).
+    pub version: u32,
+    /// Fleet seed.
+    pub seed: u64,
+    /// Canonical config encoding with the worker count zeroed.
+    pub identity: String,
+    /// FNV-1a hash of the synthesized population.
+    pub spec_hash: u64,
+}
+
+/// FNV-1a, the standard 64-bit offset/prime pair.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The config's canonical identity string: every field that shapes the
+/// simulation, with `jobs` zeroed because worker count is the one knob
+/// the determinism contract lets a resume change.
+fn identity(cfg: &FleetConfig) -> String {
+    let mut canonical = cfg.clone();
+    canonical.jobs = 0;
+    serde_json::to_string(&canonical).expect("config serializes")
+}
+
+fn spec_hash(cfg: &FleetConfig) -> u64 {
+    fnv1a(format!("{:?}", synthesize(cfg)).as_bytes())
+}
+
+impl Manifest {
+    fn for_config(cfg: &FleetConfig) -> Manifest {
+        Manifest {
+            version: journal::JOURNAL_VERSION,
+            seed: cfg.seed,
+            identity: identity(cfg),
+            spec_hash: spec_hash(cfg),
+        }
+    }
+
+    /// Checks this manifest describes the same run `cfg` requests.
+    pub fn validate(&self, cfg: &FleetConfig) -> Result<()> {
+        let want = Manifest::for_config(cfg);
+        if self.version != want.version {
+            return Err(Error::Config(format!(
+                "journal manifest version {} unsupported (this build reads {})",
+                self.version, want.version
+            )));
+        }
+        if self.seed != want.seed {
+            return Err(Error::Config(format!(
+                "journal was written for seed {:#x}, requested {:#x}",
+                self.seed, want.seed
+            )));
+        }
+        if self.identity != want.identity || self.spec_hash != want.spec_hash {
+            return Err(Error::Config(
+                "journal manifest does not match the requested population \
+                 (config or spec hash differs); resume with the original \
+                 parameters or start a fresh durable run"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// An open durable run: the journal writer plus everything recovered
+/// from it.
+#[derive(Debug)]
+pub struct DurableRun {
+    writer: JournalWriter,
+    /// Committed postings, indexed by epoch.
+    committed: Vec<Vec<WirePosting>>,
+    /// Quarantine decisions recovered from (or appended to) the
+    /// journal.
+    quarantined: Vec<QuarantineEvent>,
+    /// Whether the recovered journal ended in a clean-stop marker.
+    had_clean_stop: bool,
+}
+
+fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join(MANIFEST_FILE)
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+impl DurableRun {
+    /// Starts a fresh durable run in `dir`: writes the manifest
+    /// (tmp+rename, so a crash never leaves a half manifest) and an
+    /// empty journal. Any prior journal in `dir` is truncated.
+    pub fn create(dir: &Path, cfg: &FleetConfig) -> Result<DurableRun> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Config(format!("create durable dir {}: {e}", dir.display())))?;
+        let manifest = Manifest::for_config(cfg);
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let body = serde_json::to_string(&manifest).expect("manifest serializes");
+        std::fs::write(&tmp, body)
+            .and_then(|()| std::fs::rename(&tmp, manifest_path(dir)))
+            .map_err(|e| Error::Config(format!("write manifest in {}: {e}", dir.display())))?;
+        let writer = JournalWriter::create(&journal_path(dir), cfg.seed)?;
+        Ok(DurableRun {
+            writer,
+            committed: Vec::new(),
+            quarantined: Vec::new(),
+            had_clean_stop: false,
+        })
+    }
+
+    /// Reopens the durable run in `dir` for resumption: validates the
+    /// manifest against `cfg`, recovers the journal (dropping a torn
+    /// tail), and replays its records into committed epochs and
+    /// quarantine decisions.
+    pub fn resume(dir: &Path, cfg: &FleetConfig) -> Result<DurableRun> {
+        let body = std::fs::read_to_string(manifest_path(dir)).map_err(|e| {
+            Error::Config(format!(
+                "no durable run in {} (manifest unreadable: {e})",
+                dir.display()
+            ))
+        })?;
+        let manifest: Manifest = serde_json::from_str(&body)
+            .map_err(|e| Error::Config(format!("corrupt manifest in {}: {e}", dir.display())))?;
+        manifest.validate(cfg)?;
+        let (writer, records, _torn) = JournalWriter::recover(&journal_path(dir), cfg.seed)?;
+        let mut run = DurableRun {
+            writer,
+            committed: Vec::new(),
+            quarantined: Vec::new(),
+            had_clean_stop: false,
+        };
+        // Replay the frame stream. A postings record is *pending*
+        // until its commit marker arrives; an orphaned pending record
+        // (the commit was torn away, or the writer died between the
+        // two appends) is simply superseded or dropped.
+        let mut pending: Option<EpochPostings> = None;
+        for rec in records {
+            match rec.kind {
+                K_POSTINGS => {
+                    let ep: EpochPostings = serde_json::from_str(&string_payload(&rec.payload)?)
+                        .map_err(|e| Error::Config(format!("corrupt postings record: {e}")))?;
+                    pending = Some(ep);
+                }
+                K_COMMIT => {
+                    let epoch = commit_epoch(&rec.payload)?;
+                    let ep = pending.take().ok_or_else(|| {
+                        Error::Config(format!("commit marker for epoch {epoch} has no postings"))
+                    })?;
+                    if ep.epoch != epoch || epoch as usize != run.committed.len() {
+                        return Err(Error::Config(format!(
+                            "journal commits out of order: marker {epoch}, postings {}, \
+                             expected epoch {}",
+                            ep.epoch,
+                            run.committed.len()
+                        )));
+                    }
+                    run.committed.push(ep.postings);
+                }
+                K_CLEAN_STOP => run.had_clean_stop = true,
+                K_QUARANTINE => {
+                    let ev: QuarantineEvent = serde_json::from_str(&string_payload(&rec.payload)?)
+                        .map_err(|e| Error::Config(format!("corrupt quarantine record: {e}")))?;
+                    run.quarantined.push(ev);
+                }
+                other => {
+                    return Err(Error::Config(format!(
+                        "unknown journal record kind {other}"
+                    )))
+                }
+            }
+        }
+        Ok(run)
+    }
+
+    /// Epochs whose postings are committed (resume replays exactly
+    /// these before live simulation continues).
+    pub fn committed_epochs(&self) -> u32 {
+        self.committed.len() as u32
+    }
+
+    /// The committed postings of `epoch`, if journaled.
+    pub fn postings(&self, epoch: u32) -> Option<&[WirePosting]> {
+        self.committed.get(epoch as usize).map(|v| v.as_slice())
+    }
+
+    /// Quarantine decisions in force for this run.
+    pub fn quarantined(&self) -> &[QuarantineEvent] {
+        &self.quarantined
+    }
+
+    /// Whether the recovered journal ended with a graceful-stop
+    /// marker (informational; resuming past it is the normal path).
+    pub fn had_clean_stop(&self) -> bool {
+        self.had_clean_stop
+    }
+
+    /// Commits `epoch`'s canonical postings — or, if the epoch is
+    /// already committed (a resumed run re-simulating its prefix),
+    /// validates that the regenerated postings are identical. A
+    /// mismatch means the journal and the requested run disagree and
+    /// resuming would silently diverge.
+    pub fn record_or_validate(&mut self, epoch: u32, postings: &[WirePosting]) -> Result<()> {
+        if let Some(committed) = self.committed.get(epoch as usize) {
+            if committed != postings {
+                return Err(Error::Config(format!(
+                    "re-simulated epoch {epoch} diverges from the journal \
+                     ({} postings regenerated, {} committed); the journal \
+                     belongs to a different run",
+                    postings.len(),
+                    committed.len()
+                )));
+            }
+            return Ok(());
+        }
+        if epoch as usize != self.committed.len() {
+            return Err(Error::Config(format!(
+                "cannot commit epoch {epoch}: next uncommitted epoch is {}",
+                self.committed.len()
+            )));
+        }
+        let ep = EpochPostings {
+            epoch,
+            postings: postings.to_vec(),
+        };
+        let body = serde_json::to_string(&ep).expect("postings serialize");
+        self.writer.append(K_POSTINGS, body.as_bytes())?;
+        self.writer.append(K_COMMIT, &epoch.to_le_bytes())?;
+        self.writer.sync()?;
+        self.committed.push(ep.postings);
+        Ok(())
+    }
+
+    /// Appends a quarantine decision.
+    pub fn record_quarantine(&mut self, ev: QuarantineEvent) -> Result<()> {
+        let body = serde_json::to_string(&ev).expect("event serializes");
+        self.writer.append(K_QUARANTINE, body.as_bytes())?;
+        self.writer.sync()?;
+        self.quarantined.push(ev);
+        Ok(())
+    }
+
+    /// Marks a graceful stop at the current epoch boundary.
+    pub fn mark_clean_stop(&mut self) -> Result<()> {
+        self.writer.append(K_CLEAN_STOP, &[])?;
+        self.writer.sync()
+    }
+}
+
+/// Starts (or restarts from scratch) a durable fleet run journaling
+/// into `dir`. Returns the report plus whether all epochs completed.
+pub fn run_fleet_durable(
+    cfg: &FleetConfig,
+    dir: &Path,
+    control: &crate::shard::RunControl,
+) -> Result<(crate::shard::FleetReport, bool)> {
+    let mut durable = DurableRun::create(dir, cfg)?;
+    crate::shard::run_fleet_controlled(cfg, control, Some(&mut durable))
+}
+
+/// Resumes the durable fleet run in `dir`: validates the manifest
+/// against `cfg`, recovers the journal (torn tail falls back to the
+/// last committed epoch), re-simulates the committed prefix under
+/// validation, and continues live from the first uncommitted epoch.
+/// The final report is byte-identical to an uninterrupted run.
+pub fn resume_fleet(
+    cfg: &FleetConfig,
+    dir: &Path,
+    control: &crate::shard::RunControl,
+) -> Result<(crate::shard::FleetReport, bool)> {
+    let mut durable = DurableRun::resume(dir, cfg)?;
+    crate::shard::run_fleet_controlled(cfg, control, Some(&mut durable))
+}
+
+fn string_payload(payload: &[u8]) -> Result<String> {
+    String::from_utf8(payload.to_vec())
+        .map_err(|_| Error::Config("journal payload is not UTF-8".into()))
+}
+
+fn commit_epoch(payload: &[u8]) -> Result<u32> {
+    let bytes: [u8; 4] = payload
+        .try_into()
+        .map_err(|_| Error::Config("commit marker payload is not 4 bytes".into()))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("htfleet-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn posting(dest: u32, src: u32, domain: u32) -> WirePosting {
+        WirePosting {
+            dest,
+            src,
+            domain,
+            pages: 1,
+            ops_done: 5,
+            workload: None,
+        }
+    }
+
+    #[test]
+    fn create_commit_resume_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let cfg = FleetConfig::new(4);
+        let mut run = DurableRun::create(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[posting(1, 0, 20)]).unwrap();
+        run.record_or_validate(1, &[]).unwrap();
+        run.record_quarantine(QuarantineEvent {
+            machine: 2,
+            stage: 1,
+        })
+        .unwrap();
+        drop(run);
+
+        let resumed = DurableRun::resume(&dir, &cfg).unwrap();
+        assert_eq!(resumed.committed_epochs(), 2);
+        assert_eq!(resumed.postings(0).unwrap(), &[posting(1, 0, 20)]);
+        assert!(resumed.postings(1).unwrap().is_empty());
+        assert_eq!(
+            resumed.quarantined(),
+            &[QuarantineEvent {
+                machine: 2,
+                stage: 1
+            }]
+        );
+        assert!(!resumed.had_clean_stop());
+    }
+
+    #[test]
+    fn validate_accepts_identical_and_rejects_divergent_prefix() {
+        let dir = tmpdir("validate");
+        let cfg = FleetConfig::new(4);
+        let mut run = DurableRun::create(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[posting(1, 0, 20)]).unwrap();
+        drop(run);
+
+        let mut run = DurableRun::resume(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[posting(1, 0, 20)]).unwrap();
+        assert!(run.record_or_validate(0, &[posting(3, 0, 20)]).is_err());
+        assert!(run.record_or_validate(5, &[]).is_err(), "gap refused");
+    }
+
+    #[test]
+    fn torn_tail_falls_back_to_previous_commit() {
+        let dir = tmpdir("torn");
+        let cfg = FleetConfig::new(4);
+        let mut run = DurableRun::create(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[posting(1, 0, 20)]).unwrap();
+        run.record_or_validate(1, &[posting(2, 1, 21)]).unwrap();
+        drop(run);
+
+        // Tear bytes off the tail: epoch 1's commit (and possibly its
+        // postings) is damaged, epoch 0 must survive.
+        let jp = journal_path(&dir);
+        let bytes = std::fs::read(&jp).unwrap();
+        std::fs::write(&jp, &bytes[..bytes.len() - 7]).unwrap();
+        let resumed = DurableRun::resume(&dir, &cfg).unwrap();
+        assert_eq!(resumed.committed_epochs(), 1);
+        assert_eq!(resumed.postings(0).unwrap(), &[posting(1, 0, 20)]);
+    }
+
+    #[test]
+    fn orphaned_postings_without_commit_are_dropped() {
+        let dir = tmpdir("orphan");
+        let cfg = FleetConfig::new(4);
+        let mut run = DurableRun::create(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[]).unwrap();
+        // Simulate dying between the postings append and the commit
+        // append: write a postings frame by hand with no marker.
+        let ep = EpochPostings {
+            epoch: 1,
+            postings: vec![posting(0, 3, 9)],
+        };
+        run.writer
+            .append(K_POSTINGS, serde_json::to_string(&ep).unwrap().as_bytes())
+            .unwrap();
+        run.writer.sync().unwrap();
+        drop(run);
+
+        let resumed = DurableRun::resume(&dir, &cfg).unwrap();
+        assert_eq!(resumed.committed_epochs(), 1);
+    }
+
+    #[test]
+    fn manifest_mismatch_is_a_structured_error() {
+        let dir = tmpdir("mismatch");
+        let cfg = FleetConfig::new(4);
+        DurableRun::create(&dir, &cfg).unwrap();
+
+        // Different population size.
+        let bigger = FleetConfig::new(8);
+        assert!(DurableRun::resume(&dir, &bigger).is_err());
+        // Different seed.
+        let reseeded = FleetConfig::new(4).seed(99);
+        assert!(DurableRun::resume(&dir, &reseeded).is_err());
+        // Different jobs is explicitly fine.
+        let rejobbed = FleetConfig::new(4).jobs(7);
+        assert!(DurableRun::resume(&dir, &rejobbed).is_ok());
+        // Missing manifest entirely.
+        std::fs::remove_file(manifest_path(&dir)).unwrap();
+        assert!(DurableRun::resume(&dir, &cfg).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_record_is_a_structured_error() {
+        let dir = tmpdir("bitflip");
+        let cfg = FleetConfig::new(4);
+        let mut run = DurableRun::create(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[posting(1, 0, 20)]).unwrap();
+        run.record_or_validate(1, &[posting(2, 1, 21)]).unwrap();
+        drop(run);
+
+        let jp = journal_path(&dir);
+        let mut bytes = std::fs::read(&jp).unwrap();
+        // Flip a bit inside epoch 0's postings payload: the strict
+        // reader must error, and recovery must stop *before* epoch 0.
+        let mid = 40;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&jp, &bytes).unwrap();
+        assert!(journal::read_all(&jp).is_err());
+        let resumed = DurableRun::resume(&dir, &cfg).unwrap();
+        assert_eq!(resumed.committed_epochs(), 0, "corruption drops the tail");
+    }
+
+    #[test]
+    fn clean_stop_marker_survives_resume() {
+        let dir = tmpdir("cleanstop");
+        let cfg = FleetConfig::new(4);
+        let mut run = DurableRun::create(&dir, &cfg).unwrap();
+        run.record_or_validate(0, &[]).unwrap();
+        run.mark_clean_stop().unwrap();
+        drop(run);
+        let resumed = DurableRun::resume(&dir, &cfg).unwrap();
+        assert!(resumed.had_clean_stop());
+        assert_eq!(resumed.committed_epochs(), 1);
+    }
+}

@@ -31,11 +31,23 @@
 //! structured `Timeout` outcome, its siblings on the same worker keep
 //! their full budgets, and any *enclosing* suite-cell budget (FL1
 //! runs inside the experiment engine) is restored untouched.
+//!
+//! # Epoch barrier protocol (durability hooks)
+//!
+//! Each epoch ends in **two** barrier waits. Between them, exactly one
+//! worker (the barrier leader) serializes the epoch's postings in
+//! canonical order and commits them to the journal of a `--durable`
+//! run, checks the graceful-stop flag, and honours the test-only
+//! `halt_after` kill hook. Every worker then re-checks the shared halt
+//! flag after the second wait, so a stop lands on all shards at the
+//! same epoch boundary. Non-durable runs skip the serialization
+//! entirely — the leader's extra work is two atomic loads.
 
 use std::collections::BTreeMap;
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
 
-use hammertime::experiments::{run_budgeted, CellFailure};
+use hammertime::experiments::{run_budgeted, CellFailure, FailureKind, FailureProgress};
 use hammertime::machine::TenantExport;
 use hammertime::metrics::SimReport;
 use hammertime::scenario::CloudScenario;
@@ -43,10 +55,12 @@ use hammertime::taxonomy::DefenseKind;
 use hammertime_common::{DetRng, DomainId, Error, FaultPlan, Result};
 use hammertime_telemetry::{TraceRecord, Tracer};
 use hammertime_workloads::{RandomWorkload, StreamWorkload, Workload, ZipfianWorkload};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
+use crate::durable::DurableRun;
 use crate::population::{synthesize, MachineSpec};
 use crate::stats::{fold, PopulationStats};
+use crate::wire::WirePosting;
 
 /// First benign domain id; ids below it are reserved (host 0,
 /// attacker 1, victim 2).
@@ -60,7 +74,7 @@ const TENANT_BASE: u32 = 16;
 const TENANT_STRIDE: u32 = 2048;
 
 /// How a fleet run is sized, scaled, parallelized, and guarded.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Machines in the fleet.
     pub machines: u32,
@@ -157,9 +171,23 @@ impl FleetConfig {
     }
 }
 
+/// Out-of-band control of a running fleet: the graceful-stop flag a
+/// SIGINT handler raises, and the test-only simulated-kill hook.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// When raised, the run finishes the current epoch barrier,
+    /// commits it (durable runs append a clean-stop marker), and
+    /// returns partial output instead of dropping everything.
+    pub stop: Arc<AtomicBool>,
+    /// Test hook simulating a SIGKILL: halt — *without* a clean-stop
+    /// marker — immediately after committing this epoch. Callers
+    /// discard the report, exactly as a killed process would.
+    pub halt_after: Option<u32>,
+}
+
 /// What one machine contributed to the population: its spec summary,
 /// churn counters, and either a final report or a structured failure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MachineOutcome {
     /// Fleet-wide machine id.
     pub id: u32,
@@ -183,7 +211,8 @@ pub struct MachineOutcome {
     pub tenants_destroyed: u32,
     /// Final report (`None` when the machine failed).
     pub report: Option<SimReport>,
-    /// The failure, if the machine errored, panicked, or timed out.
+    /// The failure, if the machine errored, panicked, timed out, or
+    /// was quarantined by a supervisor.
     pub failure: Option<CellFailure>,
 }
 
@@ -351,6 +380,15 @@ impl FleetMachine {
         Ok(out)
     }
 
+    fn counters(&self) -> (u32, u32, u32, u32) {
+        (
+            self.migrations_in,
+            self.migrations_out,
+            self.tenants_created,
+            self.tenants_destroyed,
+        )
+    }
+
     fn outcome(mut self) -> MachineOutcome {
         let report = self.scenario.report();
         MachineOutcome {
@@ -389,6 +427,174 @@ impl FleetMachine {
             failure: Some(f),
         }
     }
+
+    fn quarantined_outcome(
+        spec: &MachineSpec,
+        counters: (u32, u32, u32, u32),
+        stage: u32,
+        epochs_done: u32,
+        cycle: u64,
+    ) -> MachineOutcome {
+        FleetMachine::failed_outcome(
+            spec,
+            counters,
+            CellFailure {
+                label: machine_label(spec),
+                kind: FailureKind::Quarantined,
+                message: format!(
+                    "isolated by the supervisor after repeated worker crashes at stage {stage}"
+                ),
+                progress: Some(FailureProgress { epochs_done, cycle }),
+            },
+        )
+    }
+}
+
+/// Machines a supervisor has isolated: machine id → first stage it no
+/// longer executes (0 = never built, `e + 1` = dead from epoch `e`).
+pub type QuarantineMap = BTreeMap<u32, u32>;
+
+/// The per-shard simulation driver, shared by the in-process threaded
+/// runner and the `fleet worker` subprocess: builds the shard's
+/// machines and advances them stage by stage with explicit
+/// inbox/outbox hand-off. The `hb` callback fires with `(machine,
+/// stage)` *before* each machine executes a stage — the worker
+/// protocol turns these into heartbeats so a supervisor can attribute
+/// a crash to the machine that was running.
+pub(crate) struct ShardSim<'a> {
+    cfg: &'a FleetConfig,
+    shard: &'a [MachineSpec],
+    total: u32,
+    machines: Vec<std::result::Result<FleetMachine, Box<MachineOutcome>>>,
+}
+
+impl<'a> ShardSim<'a> {
+    /// Stage 0: builds every machine in the shard (quarantined-at-
+    /// build machines become structured outcomes without building).
+    pub(crate) fn build(
+        cfg: &'a FleetConfig,
+        shard: &'a [MachineSpec],
+        total: u32,
+        quarantine: &QuarantineMap,
+        hb: &mut dyn FnMut(u32, u32),
+    ) -> ShardSim<'a> {
+        let machines = shard
+            .iter()
+            .map(|spec| {
+                if quarantine.get(&spec.id) == Some(&0) {
+                    return Err(Box::new(FleetMachine::quarantined_outcome(
+                        spec,
+                        (0, 0, 0, 0),
+                        0,
+                        0,
+                        0,
+                    )));
+                }
+                hb(spec.id, 0);
+                let label = machine_label(spec);
+                // Boxed Err: a failed machine's outcome record is ~10x
+                // the size of the live-machine handle, and it rides
+                // through every epoch match.
+                run_budgeted(&label, cfg.step_budget, || FleetMachine::build(spec, cfg))
+                    .map_err(|f| Box::new(FleetMachine::failed_outcome(spec, (0, 0, 0, 0), f)))
+            })
+            .collect();
+        ShardSim {
+            cfg,
+            shard,
+            total,
+            machines,
+        }
+    }
+
+    /// Stage `epoch + 1`: runs one epoch over the shard. `inbox_for`
+    /// yields each machine's admissions in canonical order; the return
+    /// value is the shard's postings for the next epoch.
+    pub(crate) fn run_epoch(
+        &mut self,
+        epoch: u32,
+        inbox_for: &mut dyn FnMut(u32) -> Vec<(u32, TenantExport)>,
+        quarantine: &QuarantineMap,
+        hb: &mut dyn FnMut(u32, u32),
+    ) -> Vec<(u32, u32, TenantExport)> {
+        let (cfg, total) = (self.cfg, self.total);
+        let stage = epoch + 1;
+        let mut out = Vec::new();
+        for (spec, m) in self.shard.iter().zip(self.machines.iter_mut()) {
+            // Drain the inbox even for dead machines so stale entries
+            // never alias a future epoch's buffer; tenants migrated to
+            // a dead machine are lost (counted nowhere — the dead
+            // machine's failure record is the signal).
+            let inbox = inbox_for(spec.id);
+            if let Ok(fm) = m.as_mut() {
+                if quarantine.get(&spec.id) == Some(&stage) {
+                    let counters = fm.counters();
+                    let cycle = fm.scenario.machine.now().raw();
+                    *m = Err(Box::new(FleetMachine::quarantined_outcome(
+                        spec, counters, stage, epoch, cycle,
+                    )));
+                    continue;
+                }
+            }
+            let failure = match m {
+                Err(_) => None,
+                Ok(fm) => {
+                    hb(spec.id, stage);
+                    // The budget covers the whole machine lifetime:
+                    // re-arm with what it has not yet consumed.
+                    let remaining = cfg
+                        .step_budget
+                        .map(|b| b.saturating_sub(fm.scenario.machine.now().raw()));
+                    let label = machine_label(spec);
+                    match run_budgeted(&label, remaining, || fm.run_epoch(cfg, inbox, total)) {
+                        Ok(posts) => {
+                            out.extend(posts);
+                            None
+                        }
+                        Err(f) => Some(f),
+                    }
+                }
+            };
+            if let Some(mut f) = failure {
+                let (counters, cycle) = match m {
+                    Ok(fm) => (fm.counters(), fm.scenario.machine.now().raw()),
+                    Err(_) => ((0, 0, 0, 0), 0),
+                };
+                // Outcome attribution: how far the machine got before
+                // dying, in epochs and simulated cycles.
+                f.progress = Some(FailureProgress {
+                    epochs_done: epoch,
+                    cycle,
+                });
+                *m = Err(Box::new(FleetMachine::failed_outcome(spec, counters, f)));
+            }
+        }
+        out
+    }
+
+    /// Tears the shard down into final outcomes plus the traced
+    /// machine's records (empty unless this shard owns it).
+    pub(crate) fn finish(self) -> (Vec<MachineOutcome>, Vec<TraceRecord>) {
+        let mut outcomes = Vec::with_capacity(self.machines.len());
+        let mut trace = Vec::new();
+        for m in self.machines {
+            outcomes.push(match m {
+                Ok(mut fm) => {
+                    let tracer = fm.tracer.take();
+                    // Report first, then drain: the report's snapshot
+                    // registers final metrics into the tracer, so the
+                    // drained record stream is complete.
+                    let out = fm.outcome();
+                    if let Some(tracer) = tracer {
+                        trace = tracer.take_records();
+                    }
+                    out
+                }
+                Err(outcome) => *outcome,
+            });
+        }
+        (outcomes, trace)
+    }
 }
 
 /// The double-buffered migration mailbox: postings made during epoch
@@ -420,6 +626,23 @@ fn take_inbox(mailbox: &Mailbox, id: u32) -> Vec<(u32, TenantExport)> {
     items
 }
 
+/// Serializes the whole mailbox buffer in canonical `(dest, src,
+/// domain)` order without consuming it — the journal's view of an
+/// epoch. Only called while every worker is parked between the two
+/// epoch barriers.
+fn snapshot_mailbox(mailbox: &Mailbox) -> Result<Vec<WirePosting>> {
+    let map = mailbox.lock().expect("mailbox poisoned");
+    let mut postings = Vec::new();
+    for (&dest, items) in map.iter() {
+        let mut refs: Vec<&(u32, TenantExport)> = items.iter().collect();
+        refs.sort_by_key(|(src, e)| (*src, e.domain.0));
+        for (src, export) in refs {
+            postings.push(WirePosting::capture(dest, *src, export)?);
+        }
+    }
+    Ok(postings)
+}
+
 /// Runs the fleet and reduces it to a [`FleetReport`].
 ///
 /// Determinism contract: the returned report — outcomes, population
@@ -435,6 +658,20 @@ fn take_inbox(mailbox: &Mailbox, id: u32) -> Vec<(u32, TenantExport)> {
 /// become structured [`MachineOutcome::failure`] records while every
 /// sibling machine completes.
 pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport> {
+    run_fleet_controlled(cfg, &RunControl::default(), None).map(|(report, _)| report)
+}
+
+/// [`run_fleet`] with out-of-band control and optional durability:
+/// `durable` journals each committed epoch (validating against any
+/// already-committed prefix, which is how `--resume` re-simulates
+/// safely). Returns the report plus whether the run **completed** all
+/// epochs (`false` after a graceful stop or a simulated kill — the
+/// report then holds partial tables).
+pub fn run_fleet_controlled(
+    cfg: &FleetConfig,
+    control: &RunControl,
+    durable: Option<&mut DurableRun>,
+) -> Result<(FleetReport, bool)> {
     if cfg.machines == 0 {
         return Err(Error::Config("fleet needs at least one machine".into()));
     }
@@ -446,6 +683,25 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport> {
         specs.iter().map(|_| Mutex::new(None)).collect();
     let trace_slot: Mutex<Vec<TraceRecord>> = Mutex::new(Vec::new());
 
+    // Quarantine decisions recovered from the journal must keep
+    // holding on resume, or a resumed run would diverge from the
+    // supervised run that wrote them.
+    let quarantine: QuarantineMap = durable
+        .as_ref()
+        .map(|d| {
+            d.quarantined()
+                .iter()
+                .map(|ev| (ev.machine, ev.stage))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Leader-journaling shared state: the leader commits between the
+    // two epoch barriers and publishes halt/error to every worker.
+    let durable_slot: Mutex<Option<&mut DurableRun>> = Mutex::new(durable);
+    let journal_err: Mutex<Option<Error>> = Mutex::new(None);
+    let halted = AtomicBool::new(false);
+
     // Contiguous shards: worker w owns machines [w*chunk ..
     // min((w+1)*chunk, n)). Rounding can leave fewer (non-empty)
     // shards than `jobs`; the barrier must count actual workers.
@@ -456,11 +712,63 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport> {
         for shard in &shards {
             let (mailboxes, barrier, slots, trace_slot) =
                 (&mailboxes, &barrier, &slots, &trace_slot);
+            let (quarantine, durable_slot, journal_err, halted) =
+                (&quarantine, &durable_slot, &journal_err, &halted);
             scope.spawn(move || {
-                run_shard(cfg, shard, total, mailboxes, barrier, slots, trace_slot);
+                let mut sim = ShardSim::build(cfg, shard, total, quarantine, &mut |_, _| {});
+                for epoch in 0..cfg.epochs {
+                    let inbox_buf = &mailboxes[(epoch % 2) as usize];
+                    let outbox_buf = &mailboxes[((epoch + 1) % 2) as usize];
+                    let outbox = sim.run_epoch(
+                        epoch,
+                        &mut |id| take_inbox(inbox_buf, id),
+                        quarantine,
+                        &mut |_, _| {},
+                    );
+                    post(outbox_buf, outbox);
+                    if barrier.wait().is_leader() {
+                        // Epoch-commit critical section: every other
+                        // worker is parked in the second wait.
+                        let mut durable = durable_slot.lock().expect("durable slot");
+                        if let Some(d) = durable.as_mut() {
+                            let committed = snapshot_mailbox(outbox_buf)
+                                .and_then(|postings| d.record_or_validate(epoch, &postings));
+                            if let Err(e) = committed {
+                                *journal_err.lock().expect("err slot") = Some(e);
+                                halted.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        if control.halt_after == Some(epoch) {
+                            halted.store(true, Ordering::SeqCst);
+                        } else if control.stop.load(Ordering::SeqCst) {
+                            if let Some(d) = durable.as_mut() {
+                                if let Err(e) = d.mark_clean_stop() {
+                                    *journal_err.lock().expect("err slot") = Some(e);
+                                }
+                            }
+                            halted.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    barrier.wait();
+                    if halted.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                let (outcomes, trace) = sim.finish();
+                if !trace.is_empty() {
+                    *trace_slot.lock().expect("trace slot poisoned") = trace;
+                }
+                for outcome in outcomes {
+                    let id = outcome.id as usize;
+                    *slots[id].lock().expect("outcome slot poisoned") = Some(outcome);
+                }
             });
         }
     });
+
+    if let Some(e) = journal_err.into_inner().expect("err slot poisoned") {
+        return Err(e);
+    }
 
     let mut outcomes: Vec<MachineOutcome> = slots
         .into_iter()
@@ -472,98 +780,18 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport> {
         .collect();
     outcomes.sort_by_key(|o| o.id);
     let stats = fold(&outcomes);
-    Ok(FleetReport {
-        trace: trace_slot.into_inner().expect("trace slot poisoned"),
-        outcomes,
-        stats,
-    })
+    let completed = !halted.load(Ordering::SeqCst);
+    Ok((
+        FleetReport {
+            trace: trace_slot.into_inner().expect("trace slot poisoned"),
+            outcomes,
+            stats,
+        },
+        completed,
+    ))
 }
 
-fn run_shard(
-    cfg: &FleetConfig,
-    shard: &[MachineSpec],
-    total: u32,
-    mailboxes: &[Mailbox; 2],
-    barrier: &Barrier,
-    slots: &[Mutex<Option<MachineOutcome>>],
-    trace_slot: &Mutex<Vec<TraceRecord>>,
-) {
-    // Build phase (epoch 0's inbox is necessarily empty).
-    // Boxed Err: a failed machine's outcome record is ~10x the size of
-    // the live-machine handle, and it rides through every epoch match.
-    let mut machines: Vec<std::result::Result<FleetMachine, Box<MachineOutcome>>> = shard
-        .iter()
-        .map(|spec| {
-            let label = machine_label(spec);
-            run_budgeted(&label, cfg.step_budget, || FleetMachine::build(spec, cfg))
-                .map_err(|f| Box::new(FleetMachine::failed_outcome(spec, (0, 0, 0, 0), f)))
-        })
-        .collect();
-
-    for epoch in 0..cfg.epochs {
-        let inbox_buf = &mailboxes[(epoch % 2) as usize];
-        let outbox_buf = &mailboxes[((epoch + 1) % 2) as usize];
-        for (spec, m) in shard.iter().zip(machines.iter_mut()) {
-            // Drain the inbox even for dead machines so stale entries
-            // never alias a future epoch's buffer; tenants migrated to
-            // a dead machine are lost (counted nowhere — the dead
-            // machine's failure record is the signal).
-            let inbox = take_inbox(inbox_buf, spec.id);
-            let failure = match m {
-                Err(_) => None,
-                Ok(fm) => {
-                    // The budget covers the whole machine lifetime:
-                    // re-arm with what it has not yet consumed.
-                    let remaining = cfg
-                        .step_budget
-                        .map(|b| b.saturating_sub(fm.scenario.machine.now().raw()));
-                    let label = machine_label(spec);
-                    match run_budgeted(&label, remaining, || fm.run_epoch(cfg, inbox, total)) {
-                        Ok(posts) => {
-                            post(outbox_buf, posts);
-                            None
-                        }
-                        Err(f) => Some(f),
-                    }
-                }
-            };
-            if let Some(f) = failure {
-                let counters = match m {
-                    Ok(fm) => (
-                        fm.migrations_in,
-                        fm.migrations_out,
-                        fm.tenants_created,
-                        fm.tenants_destroyed,
-                    ),
-                    Err(_) => (0, 0, 0, 0),
-                };
-                *m = Err(Box::new(FleetMachine::failed_outcome(spec, counters, f)));
-            }
-        }
-        barrier.wait();
-    }
-
-    for (spec, m) in shard.iter().zip(machines) {
-        let outcome = match m {
-            Ok(mut fm) => {
-                let tracer = fm.tracer.take();
-                // Report first, then drain: the report's snapshot
-                // registers final metrics into the tracer, so the
-                // drained record stream is complete.
-                let out = fm.outcome();
-                if let Some(tracer) = tracer {
-                    *trace_slot.lock().expect("trace slot poisoned") = tracer.take_records();
-                }
-                out
-            }
-            Err(outcome) => *outcome,
-        };
-        *slots[spec.id as usize]
-            .lock()
-            .expect("outcome slot poisoned") = Some(outcome);
-    }
-}
-
-fn machine_label(spec: &MachineSpec) -> String {
+/// Display label: `machine-0042/<defense>`.
+pub(crate) fn machine_label(spec: &MachineSpec) -> String {
     format!("machine-{:04}/{}", spec.id, spec.defense.name())
 }

@@ -1,0 +1,619 @@
+//! The shard supervisor: drives `fleet worker` child processes over
+//! the [`worker`](crate::worker) pipe protocol and keeps the fleet
+//! run alive through worker crashes and hangs.
+//!
+//! # Supervision model
+//!
+//! Each worker owns a contiguous machine shard and advances in
+//! lockstep stages (build, then one stage per epoch, then finish).
+//! The supervisor:
+//!
+//! - reads every worker's pipe on a dedicated thread that funnels
+//!   messages into one event channel;
+//! - treats pipe EOF as a **crash** and a missed heartbeat deadline
+//!   as a **hang** (the worker is killed), then restarts the worker
+//!   with capped exponential backoff and replays the epochs it had
+//!   already completed (cheap: epochs are deterministic, and the
+//!   replayed outboxes are validated against the merged postings the
+//!   supervisor already holds);
+//! - attributes each death to the machine named by the worker's last
+//!   heartbeat, and after [`SuperviseOpts::quarantine_after`]
+//!   consecutive deaths on the *same* suspect isolates that machine:
+//!   it becomes a structured `Quarantined` outcome row while every
+//!   sibling machine keeps running;
+//! - gives up with a structured error once the fleet-wide restart
+//!   budget is exhausted (a supervisor that restarts forever is
+//!   worse than one that reports).
+//!
+//! With a [`DurableRun`] attached, each merged epoch is journaled
+//! exactly as the in-process runner would have written it — the two
+//! runners produce interchangeable journals, and a supervised run can
+//! be resumed in-process (or vice versa).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use hammertime_common::{Error, Result};
+use hammertime_telemetry::TraceRecord;
+
+use crate::durable::{DurableRun, QuarantineEvent};
+use crate::population::synthesize;
+use crate::shard::{FleetConfig, FleetReport, MachineOutcome, QuarantineMap, RunControl};
+use crate::stats::fold;
+use crate::wire::{sort_canonical, WirePosting};
+use crate::worker::{FromWorker, ToWorker};
+
+/// Supervision policy knobs.
+#[derive(Debug, Clone)]
+pub struct SuperviseOpts {
+    /// Worker processes (clamped to the machine count).
+    pub workers: usize,
+    /// Consecutive crashes attributed to the same machine before it
+    /// is quarantined.
+    pub quarantine_after: u32,
+    /// A worker silent for this long is declared hung and killed.
+    pub hb_timeout: Duration,
+    /// First restart delay; doubles per consecutive restart of the
+    /// same worker.
+    pub backoff_base: Duration,
+    /// Restart delay ceiling.
+    pub backoff_cap: Duration,
+    /// Fleet-wide restart budget; exceeding it aborts the run with a
+    /// structured error.
+    pub max_restarts: u32,
+    /// Command line that starts one worker speaking the pipe protocol
+    /// on stdin/stdout (normally `[current_exe, "fleet", "worker"]`).
+    pub worker_cmd: Vec<String>,
+}
+
+impl SuperviseOpts {
+    /// Defaults tuned for CI-scale fleets: 2 workers, quarantine
+    /// after 3 strikes, 10 s heartbeat timeout, 50 ms → 2 s backoff,
+    /// 32 restarts fleet-wide.
+    pub fn new(worker_cmd: Vec<String>) -> SuperviseOpts {
+        SuperviseOpts {
+            workers: 2,
+            quarantine_after: 3,
+            hb_timeout: Duration::from_secs(10),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            max_restarts: 32,
+            worker_cmd,
+        }
+    }
+}
+
+enum Event {
+    Msg(FromWorker),
+    Gone,
+}
+
+/// What the current drive loop is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Goal {
+    /// Every worker built its shard (`Ready`).
+    Build,
+    /// Every worker completed this epoch (`EpochDone`).
+    Epoch(u32),
+    /// Every worker reported outcomes (`Done`).
+    Finish,
+}
+
+struct Slot {
+    shard_start: u32,
+    shard_len: u32,
+    child: Option<(Child, ChildStdin)>,
+    /// Incarnation counter; events from dead incarnations are stale.
+    gen: u64,
+    /// Next stage this worker must complete: 0 = build, `e + 1` =
+    /// epoch `e`, past-the-last-epoch = finish.
+    stage: u32,
+    /// Whether the message for `stage` has been written.
+    sent: bool,
+    last_hb: Option<(u32, u32)>,
+    last_activity: Instant,
+    /// Suspect carried across consecutive crashes of this worker.
+    prev_suspect: Option<(u32, u32)>,
+    crash_streak: u32,
+    /// Consecutive restarts since the last completed goal stage;
+    /// drives the exponential backoff.
+    backoff_level: u32,
+    outbox: Option<Vec<WirePosting>>,
+    done: Option<(Vec<MachineOutcome>, Vec<TraceRecord>)>,
+}
+
+struct Supervisor<'a> {
+    cfg: &'a FleetConfig,
+    opts: &'a SuperviseOpts,
+    durable: Option<&'a mut DurableRun>,
+    quarantine: QuarantineMap,
+    /// Merged canonical postings per committed epoch — the replay
+    /// source for restarted workers and the journal payload.
+    postings_by_epoch: Vec<Vec<WirePosting>>,
+    slots: Vec<Slot>,
+    tx: mpsc::Sender<(usize, u64, Event)>,
+    rx: mpsc::Receiver<(usize, u64, Event)>,
+    restarts: u32,
+}
+
+impl Drop for Supervisor<'_> {
+    fn drop(&mut self) {
+        // An early error return must not leak live children.
+        for slot in &mut self.slots {
+            if let Some((mut child, stdin)) = slot.child.take() {
+                drop(stdin);
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl<'a> Supervisor<'a> {
+    fn spawn(&mut self, widx: usize) -> Result<()> {
+        let cmd = &self.opts.worker_cmd;
+        if cmd.is_empty() {
+            return Err(Error::Config("supervisor worker command is empty".into()));
+        }
+        let mut child = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| Error::Config(format!("spawn worker `{}`: {e}", cmd[0])))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let slot = &mut self.slots[widx];
+        let (gen, tx) = (slot.gen, self.tx.clone());
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                // Garbage on the pipe means the worker is insane;
+                // fall through to Gone and let supervision restart it.
+                let Ok(msg) = serde_json::from_str::<FromWorker>(&line) else {
+                    break;
+                };
+                if tx.send((widx, gen, Event::Msg(msg))).is_err() {
+                    return;
+                }
+            }
+            let _ = tx.send((widx, gen, Event::Gone));
+        });
+        slot.child = Some((child, stdin));
+        slot.stage = 0;
+        slot.sent = false;
+        slot.last_hb = None;
+        slot.last_activity = Instant::now();
+        slot.outbox = None;
+        slot.done = None;
+        Ok(())
+    }
+
+    fn complete(&self, widx: usize, goal: Goal) -> bool {
+        let slot = &self.slots[widx];
+        match goal {
+            Goal::Build => slot.stage >= 1,
+            Goal::Epoch(e) => slot.stage >= e + 2,
+            Goal::Finish => slot.done.is_some(),
+        }
+    }
+
+    /// Postings destined for this worker's shard at epoch `epoch`.
+    fn inbox_for(&self, widx: usize, epoch: u32) -> Vec<WirePosting> {
+        if epoch == 0 {
+            return Vec::new();
+        }
+        let slot = &self.slots[widx];
+        let (lo, hi) = (slot.shard_start, slot.shard_start + slot.shard_len);
+        self.postings_by_epoch[(epoch - 1) as usize]
+            .iter()
+            .filter(|p| p.dest >= lo && p.dest < hi)
+            .cloned()
+            .collect()
+    }
+
+    /// Writes the message for the worker's current stage. `Ok(false)`
+    /// means the pipe is broken (the worker died under our pen).
+    fn send_stage(&mut self, widx: usize, goal: Goal) -> bool {
+        let msg = {
+            let slot = &self.slots[widx];
+            if slot.stage == 0 {
+                ToWorker::Hello {
+                    cfg: self.cfg.clone(),
+                    shard_start: slot.shard_start,
+                    shard_len: slot.shard_len,
+                    quarantine: self
+                        .quarantine
+                        .iter()
+                        .map(|(&machine, &stage)| QuarantineEvent { machine, stage })
+                        .collect(),
+                }
+            } else {
+                let epoch = slot.stage - 1;
+                let replayable = self.postings_by_epoch.len() as u32;
+                let current = matches!(goal, Goal::Epoch(e) if e == epoch);
+                if epoch < replayable || current {
+                    ToWorker::Epoch {
+                        epoch,
+                        inbox: self.inbox_for(widx, epoch),
+                    }
+                } else {
+                    ToWorker::Finish
+                }
+            }
+        };
+        let line = serde_json::to_string(&msg).expect("protocol message serializes");
+        let slot = &mut self.slots[widx];
+        let ok = match slot.child.as_mut() {
+            Some((_, stdin)) => stdin
+                .write_all(line.as_bytes())
+                .and_then(|()| stdin.write_all(b"\n"))
+                .and_then(|()| stdin.flush())
+                .is_ok(),
+            None => false,
+        };
+        if ok {
+            slot.sent = true;
+            slot.last_activity = Instant::now();
+        }
+        ok
+    }
+
+    /// Handles a worker death (crash or killed hang): attributes it
+    /// to the last-heartbeat suspect, quarantines a serial offender,
+    /// sleeps the backoff, and respawns.
+    fn handle_death(&mut self, widx: usize) -> Result<()> {
+        {
+            let slot = &mut self.slots[widx];
+            if let Some((mut child, stdin)) = slot.child.take() {
+                drop(stdin);
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            slot.gen += 1;
+        }
+        self.restarts += 1;
+        if self.restarts > self.opts.max_restarts {
+            return Err(Error::Config(format!(
+                "fleet supervisor exhausted its restart budget \
+                 ({} restarts); giving up",
+                self.opts.max_restarts
+            )));
+        }
+        let suspect = self.slots[widx].last_hb;
+        {
+            let slot = &mut self.slots[widx];
+            if suspect.is_some() && suspect == slot.prev_suspect {
+                slot.crash_streak += 1;
+            } else {
+                slot.prev_suspect = suspect;
+                slot.crash_streak = u32::from(suspect.is_some());
+            }
+        }
+        if let Some((machine, stage)) = suspect {
+            if self.slots[widx].crash_streak >= self.opts.quarantine_after {
+                self.quarantine.insert(machine, stage);
+                if let Some(d) = self.durable.as_deref_mut() {
+                    d.record_quarantine(QuarantineEvent { machine, stage })?;
+                }
+                let slot = &mut self.slots[widx];
+                slot.prev_suspect = None;
+                slot.crash_streak = 0;
+            }
+        }
+        let level = self.slots[widx].backoff_level.min(10);
+        self.slots[widx].backoff_level += 1;
+        let backoff = self
+            .opts
+            .backoff_base
+            .saturating_mul(1 << level)
+            .min(self.opts.backoff_cap);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        self.spawn(widx)
+    }
+
+    /// Processes one worker message. `Ok(false)` flags a protocol
+    /// violation — the caller treats the worker as crashed.
+    fn handle_msg(&mut self, widx: usize, msg: FromWorker, goal: Goal) -> Result<bool> {
+        self.slots[widx].last_activity = Instant::now();
+        match msg {
+            FromWorker::Hb { machine, stage } => {
+                self.slots[widx].last_hb = Some((machine, stage));
+            }
+            FromWorker::Ready => {
+                let slot = &mut self.slots[widx];
+                if slot.stage != 0 {
+                    return Ok(false);
+                }
+                slot.stage = 1;
+                slot.sent = false;
+                if goal == Goal::Build {
+                    slot.backoff_level = 0;
+                }
+            }
+            FromWorker::EpochDone { epoch, outbox } => {
+                if self.slots[widx].stage != epoch + 1 {
+                    return Ok(false);
+                }
+                if (epoch as usize) < self.postings_by_epoch.len() {
+                    // Replay after a restart: the shard must re-derive
+                    // exactly what the fleet already committed. A
+                    // mismatch is a determinism violation — restarting
+                    // would re-derive the same wrong answer.
+                    let slot = &self.slots[widx];
+                    let (lo, hi) = (slot.shard_start, slot.shard_start + slot.shard_len);
+                    let expect: Vec<&WirePosting> = self.postings_by_epoch[epoch as usize]
+                        .iter()
+                        .filter(|p| p.src >= lo && p.src < hi)
+                        .collect();
+                    if expect.len() != outbox.len()
+                        || expect.iter().zip(outbox.iter()).any(|(a, b)| **a != *b)
+                    {
+                        return Err(Error::Config(format!(
+                            "worker {widx} replayed epoch {epoch} but produced \
+                             postings that diverge from the committed fleet \
+                             history — determinism violation"
+                        )));
+                    }
+                } else {
+                    self.slots[widx].outbox = Some(outbox);
+                    self.slots[widx].backoff_level = 0;
+                }
+                let slot = &mut self.slots[widx];
+                slot.stage = epoch + 2;
+                slot.sent = false;
+            }
+            FromWorker::Done { outcomes, trace } => {
+                if goal != Goal::Finish {
+                    return Ok(false);
+                }
+                let slot = &mut self.slots[widx];
+                slot.done = Some((outcomes, trace));
+                slot.backoff_level = 0;
+                // Retire this incarnation: the worker exits by itself
+                // now, and its EOF must not read as a crash.
+                slot.gen += 1;
+                if let Some((mut child, stdin)) = slot.child.take() {
+                    drop(stdin);
+                    let _ = child.wait();
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Drives every worker to `goal`, supervising the whole way.
+    fn drive(&mut self, goal: Goal) -> Result<()> {
+        loop {
+            for widx in 0..self.slots.len() {
+                if self.complete(widx, goal) || self.slots[widx].sent {
+                    continue;
+                }
+                if !self.send_stage(widx, goal) {
+                    self.handle_death(widx)?;
+                }
+            }
+            if (0..self.slots.len()).all(|w| self.complete(w, goal)) {
+                return Ok(());
+            }
+            let now = Instant::now();
+            let deadline = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| !self.complete(*w, goal))
+                .map(|(_, s)| s.last_activity + self.opts.hb_timeout)
+                .min()
+                .expect("at least one pending worker");
+            match self
+                .rx
+                .recv_timeout(deadline.saturating_duration_since(now))
+            {
+                Ok((widx, gen, _)) if gen != self.slots[widx].gen => {} // stale
+                Ok((widx, _, Event::Gone)) => self.handle_death(widx)?,
+                Ok((widx, _, Event::Msg(msg))) => {
+                    if !self.handle_msg(widx, msg, goal)? {
+                        self.handle_death(widx)?;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    for widx in 0..self.slots.len() {
+                        if !self.complete(widx, goal)
+                            && self.slots[widx].last_activity + self.opts.hb_timeout <= now
+                        {
+                            // Hung: no message and no heartbeat inside
+                            // the window. Kill and restart.
+                            self.handle_death(widx)?;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(Error::Config(
+                        "supervisor event channel closed unexpectedly".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the fleet under a multi-process supervisor and reduces it to
+/// the same [`FleetReport`] the in-process runner produces — for a
+/// healthy fleet the two are byte-identical.
+///
+/// `durable` journals each merged epoch (and quarantine decisions);
+/// on resume the already-committed prefix is validated, not trusted.
+/// `control` carries the graceful-stop flag: after the epoch in
+/// flight commits, workers are told to finish early and the report
+/// holds partial tables (`Ok((report, false))`).
+///
+/// # Errors
+///
+/// Spawn failures, an exhausted restart budget, journal validation
+/// failures, and replay determinism violations. Per-machine failures
+/// and quarantines never abort the run: they become structured
+/// outcome rows while sibling machines complete.
+pub fn run_supervised(
+    cfg: &FleetConfig,
+    opts: &SuperviseOpts,
+    durable: Option<&mut DurableRun>,
+    control: &RunControl,
+) -> Result<(FleetReport, bool)> {
+    if cfg.machines == 0 {
+        return Err(Error::Config("fleet needs at least one machine".into()));
+    }
+    let specs = synthesize(cfg);
+    let total = specs.len() as u32;
+    let workers = opts.workers.clamp(1, specs.len());
+    let chunk = specs.len().div_ceil(workers) as u32;
+
+    let quarantine: QuarantineMap = durable
+        .as_ref()
+        .map(|d| {
+            d.quarantined()
+                .iter()
+                .map(|ev| (ev.machine, ev.stage))
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let (tx, rx) = mpsc::channel();
+    let mut slots = Vec::new();
+    let mut start = 0u32;
+    while start < total {
+        let len = chunk.min(total - start);
+        slots.push(Slot {
+            shard_start: start,
+            shard_len: len,
+            child: None,
+            gen: 0,
+            stage: 0,
+            sent: false,
+            last_hb: None,
+            last_activity: Instant::now(),
+            prev_suspect: None,
+            crash_streak: 0,
+            backoff_level: 0,
+            outbox: None,
+            done: None,
+        });
+        start += len;
+    }
+
+    let mut sup = Supervisor {
+        cfg,
+        opts,
+        durable,
+        quarantine,
+        postings_by_epoch: Vec::new(),
+        slots,
+        tx,
+        rx,
+        restarts: 0,
+    };
+    for widx in 0..sup.slots.len() {
+        sup.spawn(widx)?;
+    }
+
+    sup.drive(Goal::Build)?;
+    let mut halted = false;
+    for epoch in 0..cfg.epochs {
+        sup.drive(Goal::Epoch(epoch))?;
+        let mut merged = Vec::new();
+        for slot in &mut sup.slots {
+            merged.extend(slot.outbox.take().expect("epoch outbox present"));
+        }
+        sort_canonical(&mut merged);
+        if let Some(d) = sup.durable.as_deref_mut() {
+            d.record_or_validate(epoch, &merged)?;
+        }
+        sup.postings_by_epoch.push(merged);
+        if control.halt_after == Some(epoch) {
+            halted = true;
+            break;
+        }
+        if control.stop.load(Ordering::SeqCst) {
+            if let Some(d) = sup.durable.as_deref_mut() {
+                d.mark_clean_stop()?;
+            }
+            halted = true;
+            break;
+        }
+    }
+    sup.drive(Goal::Finish)?;
+
+    let mut outcomes: Vec<MachineOutcome> = Vec::with_capacity(specs.len());
+    let mut trace = Vec::new();
+    let mut by_machine: BTreeMap<u32, MachineOutcome> = BTreeMap::new();
+    for slot in &mut sup.slots {
+        let (shard_outcomes, shard_trace) = slot.done.take().expect("worker reported Done");
+        if !shard_trace.is_empty() {
+            trace = shard_trace;
+        }
+        for o in shard_outcomes {
+            by_machine.insert(o.id, o);
+        }
+    }
+    outcomes.extend(by_machine.into_values());
+    if outcomes.len() != specs.len() {
+        return Err(Error::Config(format!(
+            "supervised run reported {} outcomes for {} machines",
+            outcomes.len(),
+            specs.len()
+        )));
+    }
+    let stats = fold(&outcomes);
+    Ok((
+        FleetReport {
+            outcomes,
+            stats,
+            trace,
+        },
+        !halted,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_opts_are_sane() {
+        let opts = SuperviseOpts::new(vec!["worker".into()]);
+        assert!(opts.workers >= 1);
+        assert!(opts.quarantine_after >= 1);
+        assert!(opts.backoff_base <= opts.backoff_cap);
+    }
+
+    #[test]
+    fn shard_chunking_matches_the_in_process_runner() {
+        // 7 machines over 3 workers: ceil(7/3) = 3 → shards 3/3/1,
+        // exactly what `specs.chunks(div_ceil)` produces in-process.
+        let total = 7u32;
+        let chunk = (total as usize).div_ceil(3) as u32;
+        let mut bounds = Vec::new();
+        let mut start = 0;
+        while start < total {
+            let len = chunk.min(total - start);
+            bounds.push((start, len));
+            start += len;
+        }
+        assert_eq!(bounds, vec![(0, 3), (3, 3), (6, 1)]);
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_structured_error() {
+        let cfg = FleetConfig::new(2);
+        let mut opts = SuperviseOpts::new(vec!["/nonexistent/hammertime-worker".into()]);
+        opts.workers = 1;
+        let err = run_supervised(&cfg, &opts, None, &RunControl::default());
+        assert!(matches!(err, Err(Error::Config(_))), "got {err:?}");
+    }
+}

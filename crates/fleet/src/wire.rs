@@ -1,0 +1,160 @@
+//! The wire form of a cross-machine tenant migration.
+//!
+//! In-process fleet runs migrate tenants by *moving* the boxed
+//! workload between worker threads. A multi-process fleet (and the
+//! epoch journal) cannot move a trait object, so postings cross
+//! process and disk boundaries as [`WirePosting`]s: the tenant's
+//! metadata plus a serializable [`WorkloadSnapshot`] of its stream.
+//! Snapshots restore bit-exactly (`workloads::benign` tests hold the
+//! fidelity contract), which is what lets a supervised run's output
+//! stay byte-identical to the in-process runner's.
+
+use hammertime::machine::TenantExport;
+use hammertime_common::{DomainId, Error, Result};
+use hammertime_workloads::WorkloadSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// One tenant migration posting in serializable form: machine `src`
+/// detached the tenant during some epoch and machine `dest` admits it
+/// at the start of the next.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WirePosting {
+    /// Destination machine id.
+    pub dest: u32,
+    /// Source machine id.
+    pub src: u32,
+    /// The tenant's fleet-unique domain id.
+    pub domain: u32,
+    /// Pages the tenant had mapped on the source machine.
+    pub pages: u64,
+    /// Operations the tenant completed before detaching.
+    pub ops_done: u64,
+    /// The workload mid-stream (`None` if the tenant had none).
+    pub workload: Option<WorkloadSnapshot>,
+}
+
+impl WirePosting {
+    /// Captures an in-memory posting without consuming it.
+    ///
+    /// # Errors
+    ///
+    /// `Err` if the tenant carries a workload that cannot snapshot
+    /// (wire-opaque generators) — the caller must fail the migration
+    /// rather than silently drop the stream.
+    pub fn capture(dest: u32, src: u32, export: &TenantExport) -> Result<WirePosting> {
+        let workload = match &export.workload {
+            None => None,
+            Some(w) => Some(w.snapshot().ok_or_else(|| {
+                Error::Config(format!(
+                    "tenant {} carries a wire-opaque workload ({}); it cannot \
+                     cross a process or journal boundary",
+                    export.domain,
+                    w.name()
+                ))
+            })?),
+        };
+        Ok(WirePosting {
+            dest,
+            src,
+            domain: export.domain.0,
+            pages: export.pages,
+            ops_done: export.ops_done,
+            workload,
+        })
+    }
+
+    /// Rebuilds the in-memory export a destination machine admits.
+    pub fn restore(&self) -> Result<TenantExport> {
+        let workload = match &self.workload {
+            None => None,
+            Some(s) => Some(s.restore()?),
+        };
+        Ok(TenantExport {
+            domain: DomainId(self.domain),
+            pages: self.pages,
+            workload,
+            ops_done: self.ops_done,
+        })
+    }
+}
+
+/// Sorts postings into the canonical journal/wire order: destination,
+/// then source, then domain. The in-process mailbox produces exactly
+/// this order (a `BTreeMap` over destinations whose values are sorted
+/// by `(src, domain)`), so journals written by either runner compare
+/// equal.
+pub fn sort_canonical(postings: &mut [WirePosting]) {
+    postings.sort_by_key(|p| (p.dest, p.src, p.domain));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammertime_common::CacheLineAddr;
+    use hammertime_workloads::{StreamWorkload, Workload};
+
+    fn export(domain: u32) -> TenantExport {
+        let arena: Vec<CacheLineAddr> = (0..8).map(CacheLineAddr).collect();
+        let mut w = StreamWorkload::new(arena, 40, 4);
+        for _ in 0..7 {
+            w.next_op();
+        }
+        TenantExport {
+            domain: DomainId(domain),
+            pages: 2,
+            workload: Some(Box::new(w)),
+            ops_done: 7,
+        }
+    }
+
+    #[test]
+    fn capture_restore_round_trips_the_stream() {
+        let original = export(99);
+        let wire = WirePosting::capture(3, 1, &original).unwrap();
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: WirePosting = serde_json::from_str(&json).unwrap();
+        assert_eq!(wire, back);
+        let restored = back.restore().unwrap();
+        assert_eq!(restored.domain, original.domain);
+        assert_eq!(restored.pages, original.pages);
+        assert_eq!(restored.ops_done, original.ops_done);
+        let mut a = original.workload.unwrap();
+        let mut b = restored.workload.unwrap();
+        loop {
+            let (x, y) = (a.next_op(), b.next_op());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn workload_less_tenant_crosses_the_wire() {
+        let e = TenantExport {
+            domain: DomainId(5),
+            pages: 1,
+            workload: None,
+            ops_done: 0,
+        };
+        let wire = WirePosting::capture(2, 0, &e).unwrap();
+        assert!(wire.workload.is_none());
+        assert!(wire.restore().unwrap().workload.is_none());
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_dest_src_domain() {
+        let p = |dest, src, domain| WirePosting {
+            dest,
+            src,
+            domain,
+            pages: 0,
+            ops_done: 0,
+            workload: None,
+        };
+        let mut v = vec![p(2, 1, 9), p(1, 3, 1), p(1, 2, 5), p(1, 2, 4)];
+        sort_canonical(&mut v);
+        let order: Vec<_> = v.iter().map(|p| (p.dest, p.src, p.domain)).collect();
+        assert_eq!(order, vec![(1, 2, 4), (1, 2, 5), (1, 3, 1), (2, 1, 9)]);
+    }
+}

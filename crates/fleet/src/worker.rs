@@ -1,0 +1,372 @@
+//! The shard worker: one process owning a contiguous machine range,
+//! driven over a pipe by the [`supervisor`](crate::supervisor).
+//!
+//! # Protocol
+//!
+//! JSON lines, one message per line. The supervisor speaks
+//! [`ToWorker`], the worker answers [`FromWorker`]:
+//!
+//! ```text
+//! supervisor                      worker
+//! Hello{cfg, shard, quarantine} →
+//!                               ← Hb{machine, stage 0} ... (per build)
+//!                               ← Ready
+//! Epoch{e, inbox}               →
+//!                               ← Hb{machine, stage e+1} ... (per run)
+//!                               ← EpochDone{e, outbox}
+//! Finish                        →
+//!                               ← Done{outcomes, trace}
+//! ```
+//!
+//! Every `Hb` is flushed *before* the named machine executes its
+//! stage, so when the process dies the supervisor's last-seen
+//! heartbeat names the machine that was running — the basis for
+//! BreakHammer-style suspect quarantine.
+//!
+//! # Deterministic fault hooks
+//!
+//! Three environment variables let tests inject crashes and hangs at
+//! exact points without patching the binary (inert when unset):
+//!
+//! - `HAMMERTIME_FLEET_CRASH=M:S` — exit hard whenever machine `M` is
+//!   about to run stage `S` (an always-crashing machine).
+//! - `HAMMERTIME_FLEET_CRASH_ONCE=M:S:PATH` — create `PATH` and exit
+//!   hard the first time; subsequent runs see the marker and proceed.
+//! - `HAMMERTIME_FLEET_HANG_ONCE=M:S:PATH` — same, but sleep forever
+//!   instead of exiting (a hung worker for the heartbeat watchdog).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+use hammertime::machine::TenantExport;
+use hammertime_common::{Error, Result};
+use hammertime_telemetry::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::durable::QuarantineEvent;
+use crate::population::synthesize;
+use crate::shard::{FleetConfig, MachineOutcome, QuarantineMap, ShardSim};
+use crate::wire::{sort_canonical, WirePosting};
+
+/// Messages the supervisor sends a worker.
+// Hello dwarfs the other variants, but it is sent exactly once per
+// worker lifetime and the vendored serde has no Box<T> impls.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ToWorker {
+    /// Adopt a shard: build machines `[shard_start, shard_start +
+    /// shard_len)` of the population `cfg` synthesizes, honouring
+    /// standing quarantine decisions.
+    Hello {
+        /// The full fleet configuration (population is re-synthesized
+        /// worker-side from the seed — cheap and canonical).
+        cfg: FleetConfig,
+        /// First machine id this worker owns.
+        shard_start: u32,
+        /// Number of machines this worker owns.
+        shard_len: u32,
+        /// Machines the supervisor has isolated.
+        quarantine: Vec<QuarantineEvent>,
+    },
+    /// Run one epoch; `inbox` holds the postings destined for this
+    /// shard, canonical order.
+    Epoch {
+        /// Epoch number.
+        epoch: u32,
+        /// Admissions for this shard.
+        inbox: Vec<WirePosting>,
+    },
+    /// Tear down and report outcomes.
+    Finish,
+}
+
+/// Messages a worker sends the supervisor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FromWorker {
+    /// Shard built; ready for epoch 0.
+    Ready,
+    /// About to execute `stage` (0 = build, `e + 1` = epoch `e`) on
+    /// `machine` — the supervisor's crash-attribution breadcrumb.
+    Hb {
+        /// Machine about to run.
+        machine: u32,
+        /// Stage about to run.
+        stage: u32,
+    },
+    /// Epoch complete; `outbox` holds this shard's emitted postings in
+    /// canonical order.
+    EpochDone {
+        /// Epoch number (echoed).
+        epoch: u32,
+        /// Postings emitted by this shard.
+        outbox: Vec<WirePosting>,
+    },
+    /// Final per-machine outcomes (and the traced machine's records,
+    /// when this shard owns it).
+    Done {
+        /// Outcomes in shard order.
+        outcomes: Vec<MachineOutcome>,
+        /// Trace records (empty unless this shard owns the traced
+        /// machine).
+        trace: Vec<TraceRecord>,
+    },
+}
+
+/// A test-only fault injection point parsed from the environment.
+struct FaultHook {
+    machine: u32,
+    stage: u32,
+    /// Once-marker: when present on disk the hook is spent.
+    marker: Option<std::path::PathBuf>,
+    hang: bool,
+}
+
+impl FaultHook {
+    fn parse(spec: &str, marker_required: bool, hang: bool) -> Option<FaultHook> {
+        let mut parts = spec.splitn(3, ':');
+        let machine = parts.next()?.parse().ok()?;
+        let stage = parts.next()?.parse().ok()?;
+        let marker = parts.next().map(std::path::PathBuf::from);
+        if marker_required && marker.is_none() {
+            return None;
+        }
+        Some(FaultHook {
+            machine,
+            stage,
+            marker,
+            hang,
+        })
+    }
+
+    fn from_env() -> Vec<FaultHook> {
+        let mut hooks = Vec::new();
+        if let Ok(spec) = std::env::var("HAMMERTIME_FLEET_CRASH") {
+            hooks.extend(FaultHook::parse(&spec, false, false));
+        }
+        if let Ok(spec) = std::env::var("HAMMERTIME_FLEET_CRASH_ONCE") {
+            hooks.extend(FaultHook::parse(&spec, true, false));
+        }
+        if let Ok(spec) = std::env::var("HAMMERTIME_FLEET_HANG_ONCE") {
+            hooks.extend(FaultHook::parse(&spec, true, true));
+        }
+        hooks
+    }
+
+    /// Fires the hook if it matches `(machine, stage)` and is unspent.
+    /// Never returns when it fires.
+    fn maybe_fire(&self, machine: u32, stage: u32) {
+        if self.machine != machine || self.stage != stage {
+            return;
+        }
+        if let Some(marker) = &self.marker {
+            if marker.exists() {
+                return;
+            }
+            let _ = std::fs::write(marker, b"spent");
+        }
+        if self.hang {
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        // A hard, un-unwound death — what an OOM-kill or segfault
+        // looks like from the supervisor's side of the pipe.
+        std::process::exit(101);
+    }
+}
+
+fn send(output: &mut dyn Write, msg: &FromWorker) -> Result<()> {
+    let line = serde_json::to_string(msg).expect("protocol message serializes");
+    output
+        .write_all(line.as_bytes())
+        .and_then(|()| output.write_all(b"\n"))
+        .and_then(|()| output.flush())
+        .map_err(|e| Error::Config(format!("worker write failed: {e}")))
+}
+
+fn read_msg(input: &mut dyn BufRead) -> Result<ToWorker> {
+    let mut line = String::new();
+    let n = input
+        .read_line(&mut line)
+        .map_err(|e| Error::Config(format!("worker read failed: {e}")))?;
+    if n == 0 {
+        return Err(Error::Config(
+            "supervisor closed the pipe mid-protocol".into(),
+        ));
+    }
+    serde_json::from_str(line.trim_end())
+        .map_err(|e| Error::Config(format!("malformed supervisor message: {e}")))
+}
+
+/// Runs the worker side of the shard protocol to completion: reads
+/// [`ToWorker`] lines from `input`, writes [`FromWorker`] lines to
+/// `output`, returns after answering `Finish`.
+///
+/// # Errors
+///
+/// Protocol violations (pipe closed mid-run, malformed messages,
+/// wire postings that fail to restore) — the supervisor sees the
+/// process exit and treats it as a crash.
+pub fn run_worker(input: &mut dyn BufRead, output: &mut dyn Write) -> Result<()> {
+    let (cfg, shard_start, shard_len, quarantine) = match read_msg(input)? {
+        ToWorker::Hello {
+            cfg,
+            shard_start,
+            shard_len,
+            quarantine,
+        } => (cfg, shard_start, shard_len, quarantine),
+        other => {
+            return Err(Error::Config(format!(
+                "worker expected Hello, got {other:?}"
+            )))
+        }
+    };
+    let quarantine: QuarantineMap = quarantine.iter().map(|ev| (ev.machine, ev.stage)).collect();
+    let hooks = FaultHook::from_env();
+    let specs = synthesize(&cfg);
+    let total = specs.len() as u32;
+    let end = (shard_start + shard_len) as usize;
+    if shard_start as usize >= specs.len() || end > specs.len() || shard_len == 0 {
+        return Err(Error::Config(format!(
+            "shard [{shard_start}, {end}) out of range for {} machines",
+            specs.len()
+        )));
+    }
+    let shard = &specs[shard_start as usize..end];
+
+    // The heartbeat callback doubles as the fault-hook firing point:
+    // the Hb line is flushed first so the supervisor's last-seen
+    // heartbeat names the machine that was running when we die.
+    let out = std::cell::RefCell::new(output);
+    let mut hb = |machine: u32, stage: u32| {
+        send(&mut **out.borrow_mut(), &FromWorker::Hb { machine, stage }).expect("heartbeat write");
+        for hook in &hooks {
+            hook.maybe_fire(machine, stage);
+        }
+    };
+
+    let mut sim = ShardSim::build(&cfg, shard, total, &quarantine, &mut hb);
+    send(&mut **out.borrow_mut(), &FromWorker::Ready)?;
+
+    loop {
+        match read_msg(input)? {
+            ToWorker::Hello { .. } => {
+                return Err(Error::Config("worker already adopted a shard".into()))
+            }
+            ToWorker::Epoch { epoch, inbox } => {
+                // Route wire postings to their destination machines;
+                // restore rebuilds each migrated workload bit-exactly.
+                let mut by_dest: BTreeMap<u32, Vec<(u32, TenantExport)>> = BTreeMap::new();
+                for posting in &inbox {
+                    let export = posting.restore()?;
+                    by_dest
+                        .entry(posting.dest)
+                        .or_default()
+                        .push((posting.src, export));
+                }
+                let posts = sim.run_epoch(
+                    epoch,
+                    &mut |id| {
+                        let mut items = by_dest.remove(&id).unwrap_or_default();
+                        items.sort_by_key(|(src, e)| (*src, e.domain.0));
+                        items
+                    },
+                    &quarantine,
+                    &mut hb,
+                );
+                let mut outbox = Vec::with_capacity(posts.len());
+                for (dest, src, export) in &posts {
+                    outbox.push(WirePosting::capture(*dest, *src, export)?);
+                }
+                sort_canonical(&mut outbox);
+                send(
+                    &mut **out.borrow_mut(),
+                    &FromWorker::EpochDone { epoch, outbox },
+                )?;
+            }
+            ToWorker::Finish => {
+                let (outcomes, trace) = sim.finish();
+                send(
+                    &mut **out.borrow_mut(),
+                    &FromWorker::Done { outcomes, trace },
+                )?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a worker end-to-end over in-memory pipes and checks its
+    /// outcomes equal the in-process runner's for the same shard.
+    #[test]
+    fn worker_protocol_round_trips_a_whole_fleet() {
+        let cfg = FleetConfig::new(6);
+        let reference = crate::shard::run_fleet(&cfg).unwrap();
+
+        // One worker owning the whole fleet: no cross-process inbox
+        // routing needed, every epoch's inbox is its own outbox.
+        let mut lines = vec![serde_json::to_string(&ToWorker::Hello {
+            cfg: cfg.clone(),
+            shard_start: 0,
+            shard_len: 6,
+            quarantine: vec![],
+        })
+        .unwrap()];
+
+        // Play the protocol one message at a time: feed what we have,
+        // read responses, build the next epoch's inbox from the
+        // previous EpochDone.
+        let mut outcomes = None;
+        let mut inbox: Vec<WirePosting> = Vec::new();
+        for epoch in 0..=cfg.epochs {
+            if epoch < cfg.epochs {
+                lines.push(
+                    serde_json::to_string(&ToWorker::Epoch {
+                        epoch,
+                        inbox: inbox.clone(),
+                    })
+                    .unwrap(),
+                );
+            } else {
+                lines.push(serde_json::to_string(&ToWorker::Finish).unwrap());
+            }
+            let script = lines.join("\n") + "\n";
+            let mut input = std::io::BufReader::new(script.as_bytes());
+            let mut output = Vec::new();
+            let _ = run_worker(&mut input, &mut output);
+            let text = String::from_utf8(output).unwrap();
+            for line in text.lines() {
+                match serde_json::from_str::<FromWorker>(line).unwrap() {
+                    FromWorker::EpochDone { epoch: e, outbox } if e + 1 == epoch + 1 => {
+                        inbox = outbox;
+                    }
+                    FromWorker::Done {
+                        outcomes: o,
+                        trace: _,
+                    } => outcomes = Some(o),
+                    _ => {}
+                }
+            }
+        }
+        let outcomes = outcomes.expect("worker reported Done");
+        let a = serde_json::to_string(&outcomes).unwrap();
+        let b = serde_json::to_string(&reference.outcomes).unwrap();
+        assert_eq!(a, b, "worker outcomes diverge from in-process runner");
+    }
+
+    #[test]
+    fn fault_hook_parses_and_ignores_garbage() {
+        assert!(FaultHook::parse("3:1", false, false).is_some());
+        assert!(FaultHook::parse("3:1:/tmp/m", true, false).is_some());
+        assert!(
+            FaultHook::parse("3:1", true, false).is_none(),
+            "marker required"
+        );
+        assert!(FaultHook::parse("nope", false, false).is_none());
+        assert!(FaultHook::parse("", false, false).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! Durability suite: the resume contract (kill anywhere, resume,
+//! get byte-identical output), journal corruption handling through
+//! the public entry points, and quarantine reproduction on resume.
+
+use hammertime::experiments::FailureKind;
+use hammertime_common::FaultPlan;
+use hammertime_fleet::shard::run_fleet_controlled;
+use hammertime_fleet::{
+    resume_fleet, run_fleet, run_fleet_durable, DurableRun, FleetConfig, FleetReport,
+    QuarantineEvent, RunControl,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("htdurable-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn report_bytes(r: &FleetReport) -> String {
+    serde_json::to_string(r).expect("fleet report serializes")
+}
+
+fn chaos_plan() -> FaultPlan {
+    let json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/chaos-plan.json"
+    ))
+    .expect("chaos fixture is readable");
+    serde_json::from_str(&json).expect("chaos fixture parses")
+}
+
+/// Simulated SIGKILL: run durably but halt (without a clean-stop
+/// marker) after committing `kill_after` — the report is discarded,
+/// exactly as a dead process would have discarded it.
+fn kill_at(cfg: &FleetConfig, dir: &std::path::Path, kill_after: u32) {
+    let control = RunControl {
+        halt_after: Some(kill_after),
+        ..RunControl::default()
+    };
+    let (_, completed) = run_fleet_durable(cfg, dir, &control).unwrap();
+    assert!(!completed, "halt_after must stop the run early");
+}
+
+#[test]
+fn durable_run_is_byte_identical_to_plain_and_adds_a_journal() {
+    let dir = tmpdir("plain-vs-durable");
+    let cfg = FleetConfig::new(8);
+    let plain = run_fleet(&cfg).unwrap();
+    let (durable, completed) = run_fleet_durable(&cfg, &dir, &RunControl::default()).unwrap();
+    assert!(completed);
+    assert_eq!(report_bytes(&plain), report_bytes(&durable));
+    assert!(dir.join("epochs.htjl").is_file());
+    assert!(dir.join("manifest.json").is_file());
+}
+
+#[test]
+fn resume_of_a_completed_run_revalidates_and_matches() {
+    let dir = tmpdir("resume-completed");
+    let cfg = FleetConfig::new(8);
+    let (first, _) = run_fleet_durable(&cfg, &dir, &RunControl::default()).unwrap();
+    let (again, completed) = resume_fleet(&cfg, &dir, &RunControl::default()).unwrap();
+    assert!(completed);
+    assert_eq!(report_bytes(&first), report_bytes(&again));
+}
+
+#[test]
+fn resume_with_a_torn_journal_tail_falls_back_to_the_last_commit() {
+    let dir = tmpdir("torn-tail");
+    let mut cfg = FleetConfig::new(8);
+    cfg.epochs = 4;
+    let reference = run_fleet(&cfg).unwrap();
+    kill_at(&cfg, &dir, 1);
+
+    // A torn final record: the process died mid-write. Resume must
+    // drop the tail and re-derive the lost epoch, not error.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("epochs.htjl"))
+        .unwrap();
+    f.write_all(&[0x17, 0x00, 0x00]).unwrap();
+    drop(f);
+
+    let (resumed, completed) = resume_fleet(&cfg, &dir, &RunControl::default()).unwrap();
+    assert!(completed);
+    assert_eq!(report_bytes(&reference), report_bytes(&resumed));
+}
+
+#[test]
+fn resume_under_a_different_config_is_a_structured_error() {
+    let dir = tmpdir("manifest-mismatch");
+    let cfg = FleetConfig::new(8);
+    run_fleet_durable(&cfg, &dir, &RunControl::default()).unwrap();
+
+    let mut other = cfg.clone();
+    other.machines = 9;
+    let err = resume_fleet(&other, &dir, &RunControl::default());
+    assert!(err.is_err(), "population mismatch must refuse to resume");
+
+    // A different worker count is NOT an identity change: shard
+    // layout never leaks into fleet output.
+    let rejobbed = cfg.clone().jobs(7);
+    assert!(resume_fleet(&rejobbed, &dir, &RunControl::default()).is_ok());
+}
+
+#[test]
+fn journaled_quarantine_reproduces_the_quarantined_row_on_resume() {
+    let dir = tmpdir("quarantine-resume");
+    let mut cfg = FleetConfig::new(8);
+    cfg.epochs = 3;
+
+    // A supervisor quarantined machine 3 at stage 2 (epoch 1), then
+    // its run died. The journal carries the decision.
+    {
+        let mut durable = DurableRun::create(&dir, &cfg).unwrap();
+        durable
+            .record_quarantine(QuarantineEvent {
+                machine: 3,
+                stage: 2,
+            })
+            .unwrap();
+    }
+    let mut durable = DurableRun::resume(&dir, &cfg).unwrap();
+    let (report, completed) =
+        run_fleet_controlled(&cfg, &RunControl::default(), Some(&mut durable)).unwrap();
+    assert!(completed);
+
+    let row = &report.outcomes[3];
+    let failure = row.failure.as_ref().expect("machine 3 is quarantined");
+    assert_eq!(failure.kind, FailureKind::Quarantined);
+    let progress = failure.progress.as_ref().expect("progress recorded");
+    assert_eq!(
+        progress.epochs_done, 1,
+        "stage 2 = converted during epoch 1"
+    );
+    assert!(progress.cycle > 0, "live machine carries simulated time");
+
+    // Siblings are untouched and the stats fold counts the subset.
+    assert_eq!(report.failures().count(), 1);
+    let slate = &report.stats.slates[&row.defense];
+    assert_eq!(slate.quarantined, 1);
+    assert!(slate.failed >= 1);
+
+    // And a *second* resume reproduces the same report bytes.
+    let (again, _) = resume_fleet(&cfg, &dir, &RunControl::default()).unwrap();
+    assert_eq!(report_bytes(&report), report_bytes(&again));
+}
+
+proptest! {
+    /// Satellite (d), first half: run → kill at a random epoch →
+    /// resume (under a different worker count) is byte-identical to
+    /// an uninterrupted run.
+    #[test]
+    fn kill_and_resume_is_byte_identical(
+        machines in 4u32..10,
+        seed in any::<u64>(),
+        kill_after in 0u32..4,
+        jobs in 1usize..5,
+    ) {
+        let dir = tmpdir(&format!("kill-resume-{seed:x}-{kill_after}-{jobs}"));
+        let mut cfg = FleetConfig::new(machines).seed(seed);
+        cfg.epochs = 4;
+        let reference = run_fleet(&cfg).unwrap();
+
+        kill_at(&cfg, &dir, kill_after);
+        let rejobbed = cfg.clone().jobs(jobs);
+        let (resumed, completed) =
+            resume_fleet(&rejobbed, &dir, &RunControl::default()).unwrap();
+        prop_assert!(completed);
+        prop_assert_eq!(report_bytes(&reference), report_bytes(&resumed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite (d), second half: two interleaved kills (the second
+    /// during the resumed run) still converge to the uninterrupted
+    /// bytes — resume is idempotent, not merely restartable.
+    #[test]
+    fn double_kill_double_resume_is_byte_identical(
+        machines in 4u32..10,
+        seed in any::<u64>(),
+        first_kill in 0u32..3,
+        second_kill in 0u32..4,
+    ) {
+        let dir = tmpdir(&format!("double-kill-{seed:x}-{first_kill}-{second_kill}"));
+        let mut cfg = FleetConfig::new(machines).seed(seed);
+        cfg.epochs = 4;
+        let reference = run_fleet(&cfg).unwrap();
+
+        kill_at(&cfg, &dir, first_kill);
+        let control = RunControl {
+            halt_after: Some(second_kill),
+            ..RunControl::default()
+        };
+        let (_, completed) = resume_fleet(&cfg, &dir, &control).unwrap();
+        prop_assert!(!completed);
+        let (resumed, completed) =
+            resume_fleet(&cfg, &dir, &RunControl::default()).unwrap();
+        prop_assert!(completed);
+        prop_assert_eq!(report_bytes(&reference), report_bytes(&resumed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The same contract under the chaos fault plan: fault-plan
+    /// machines re-derive their flaky behaviour deterministically, so
+    /// resume stays byte-identical even for a degraded fleet.
+    #[test]
+    fn kill_and_resume_survives_chaos(
+        seed in any::<u64>(),
+        kill_after in 0u32..3,
+    ) {
+        let dir = tmpdir(&format!("chaos-resume-{seed:x}-{kill_after}"));
+        let mut cfg = FleetConfig::new(6).seed(seed);
+        cfg.epochs = 3;
+        cfg.faults = Some(chaos_plan());
+        let reference = run_fleet(&cfg).unwrap();
+
+        kill_at(&cfg, &dir, kill_after);
+        let (resumed, completed) =
+            resume_fleet(&cfg, &dir, &RunControl::default()).unwrap();
+        prop_assert!(completed);
+        prop_assert_eq!(report_bytes(&reference), report_bytes(&resumed));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -18,6 +18,8 @@ pub mod ops;
 pub mod trace;
 
 pub use attack::{DmaHammer, FuzzedHammer, HammerPattern};
-pub use benign::{RandomWorkload, RowConflictWorkload, StreamWorkload, ZipfianWorkload};
+pub use benign::{
+    RandomWorkload, RowConflictWorkload, StreamWorkload, WorkloadSnapshot, ZipfianWorkload,
+};
 pub use ops::{AccessOp, Workload};
 pub use trace::{Trace, TraceReplayer};

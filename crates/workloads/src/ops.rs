@@ -61,6 +61,15 @@ pub trait Workload: Send {
     fn box_clone(&self) -> Option<Box<dyn Workload>> {
         None
     }
+
+    /// A serializable mid-stream snapshot, for tenants that migrate
+    /// *between processes* (the fleet worker protocol). `None` (the
+    /// default) marks the workload as wire-opaque; the fleet layer
+    /// turns that into a structured error rather than dropping the
+    /// tenant's remaining stream.
+    fn snapshot(&self) -> Option<crate::benign::WorkloadSnapshot> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Exposes the raw xoshiro256++ state, for checkpoint codecs
+        /// that must serialize a generator mid-stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro forbids (it is
+        /// a fixed point) and which [`SmallRng::state`] can never
+        /// return.
+        pub fn from_state(s: [u64; 4]) -> SmallRng {
+            assert!(s.iter().any(|&w| w != 0), "all-zero xoshiro state");
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
