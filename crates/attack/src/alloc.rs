@@ -1,0 +1,403 @@
+//! Contiguity-acquisition strategies: how the attacker obtains (what
+//! it believes to be) physically adjacent rows through the model OS.
+//!
+//! Each strategy has two halves. [`ConsecAllocator::rounds`] shapes
+//! *when* the attacker allocates — one huge grab versus many small
+//! chunks interleaved with the victim's allocations, which is what
+//! actually controls physical adjacency to the victim under a buddy
+//! allocator. [`ConsecAllocator::survey`] then builds the attacker's
+//! presumed [`ConsecRegion`] view, through whichever side channel the
+//! strategy models:
+//!
+//! | strategy | acquisition | survey surface | exact? |
+//! |---|---|---|---|
+//! | [`HugepageAlloc`] | one block | known map over a contiguous block | yes |
+//! | [`ThpBuddyAlloc`] | buddy chunks | known map, *presumed* chunk chaining | no |
+//! | [`PfnLeakAlloc`] | buddy chunks | pagemap-style pfn oracle | yes |
+//! | [`SpoilerAlloc`] | buddy chunks | timing probes only | no |
+
+use hammertime::machine::ProbeOutcome;
+use hammertime::Machine;
+use hammertime_common::addr::LINES_PER_PAGE;
+use hammertime_common::{CacheLineAddr, DomainId, Result};
+
+use crate::region::{ConsecRegion, PresumedRow};
+
+/// A strategy for acquiring presumed-contiguous memory.
+pub trait ConsecAllocator {
+    /// Short name used in [`crate::AttackSpec`] triples.
+    fn name(&self) -> &'static str;
+
+    /// Page counts for each allocation round. The pipeline interleaves
+    /// victim allocations between rounds, so many small rounds place
+    /// the attacker *around* the victim (the buddy-allocator massaging
+    /// real exploits rely on), while a single round lands the victim
+    /// entirely after the attacker block.
+    fn rounds(&self, budget_pages: u64) -> Vec<u64>;
+
+    /// Builds the attacker's presumed view of its `pages`-page
+    /// allocation in `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures from the machine surfaces the
+    /// strategy consumes.
+    fn survey(&self, m: &Machine, domain: DomainId, pages: u64) -> Result<ConsecRegion>;
+}
+
+/// Splits `budget` into `chunk`-page rounds (plus a remainder round).
+fn chunked(budget: u64, chunk: u64) -> Vec<u64> {
+    let chunk = chunk.max(1);
+    let mut out = vec![chunk; (budget / chunk) as usize];
+    if !budget.is_multiple_of(chunk) {
+        out.push(budget % chunk);
+    }
+    out
+}
+
+/// Ground-truth survey via the machine's reverse-engineered
+/// (bank, row) grouping: group = flat bank index, slot = true row.
+fn exact_survey(m: &Machine, domain: DomainId, strategy: &'static str) -> ConsecRegion {
+    let g = m.config().geometry;
+    let rows = m
+        .rows_of_domain(domain)
+        .into_iter()
+        .map(|(bank, row, lines)| PresumedRow {
+            group: bank.flat(&g),
+            slot: u64::from(row),
+            lines,
+        })
+        .collect();
+    ConsecRegion {
+        strategy,
+        exact: true,
+        rows,
+    }
+    .canonicalize()
+}
+
+/// One contiguous hugepage-style grab.
+///
+/// The whole budget arrives in a single round, so the block really is
+/// contiguous and the (known) address map gives the attacker an exact
+/// view — but the victim's pages land entirely *after* the block, so
+/// cross-domain adjacency only exists at the block's trailing edge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HugepageAlloc;
+
+impl ConsecAllocator for HugepageAlloc {
+    fn name(&self) -> &'static str {
+        "hugepage"
+    }
+
+    fn rounds(&self, budget_pages: u64) -> Vec<u64> {
+        vec![budget_pages]
+    }
+
+    fn survey(&self, m: &Machine, domain: DomainId, _pages: u64) -> Result<ConsecRegion> {
+        Ok(exact_survey(m, domain, "hugepage"))
+    }
+}
+
+/// THP-style buddy grouping: many small chunks, presumed chained.
+///
+/// Within each chunk the attacker's view is exact (a buddy chunk is
+/// physically contiguous, and the address map is known). *Across*
+/// chunks it presumes each chunk continues where the previous one
+/// ended — true under a first-fit buddy allocator with interleaved
+/// victims, wrong whenever the OS skips frames (guard rows, subarray
+/// partitioning, remapping), which is precisely how those defenses
+/// break this strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct ThpBuddyAlloc {
+    /// Pages per allocation round.
+    pub chunk: u64,
+}
+
+impl Default for ThpBuddyAlloc {
+    fn default() -> ThpBuddyAlloc {
+        ThpBuddyAlloc { chunk: 2 }
+    }
+}
+
+impl ConsecAllocator for ThpBuddyAlloc {
+    fn name(&self) -> &'static str {
+        "thp"
+    }
+
+    fn rounds(&self, budget_pages: u64) -> Vec<u64> {
+        chunked(budget_pages, self.chunk)
+    }
+
+    fn survey(&self, m: &Machine, domain: DomainId, pages: u64) -> Result<ConsecRegion> {
+        let g = m.config().geometry;
+        let rows_per_chunk = self.chunk.max(1) * LINES_PER_PAGE / u64::from(g.columns);
+        let mut rows: Vec<PresumedRow> = Vec::new();
+        let mut slot_base = 0u64;
+        let mut vpage = 0u64;
+        while vpage < pages {
+            let chunk_pages = self.chunk.max(1).min(pages - vpage);
+            // Ground truth *within* the chunk, anchored at the chunk's
+            // lowest row.
+            let mut located: Vec<(usize, u32, CacheLineAddr)> = Vec::new();
+            for p in 0..chunk_pages {
+                for l in 0..LINES_PER_PAGE {
+                    let vline = CacheLineAddr((vpage + p) * LINES_PER_PAGE + l);
+                    let pline = m.translate(domain, vline)?;
+                    let (bank, row) = m.mc().locate(pline)?;
+                    located.push((bank.flat(&g), row, vline));
+                }
+            }
+            let anchor = located.iter().map(|&(_, row, _)| row).min().unwrap_or(0);
+            for (flat, row, vline) in located {
+                let slot = slot_base + u64::from(row - anchor);
+                match rows.iter_mut().find(|r| r.group == flat && r.slot == slot) {
+                    Some(r) => r.lines.push(vline),
+                    None => rows.push(PresumedRow {
+                        group: flat,
+                        slot,
+                        lines: vec![vline],
+                    }),
+                }
+            }
+            // Presume the next chunk continues immediately after this
+            // one's extent — the chaining that can be wrong.
+            slot_base += rows_per_chunk.max(1);
+            vpage += chunk_pages;
+        }
+        Ok(ConsecRegion {
+            strategy: "thp",
+            exact: false,
+            rows,
+        }
+        .canonicalize())
+    }
+}
+
+/// Privileged pfn-leak oracle (a `/proc/<pid>/pagemap`-style surface).
+///
+/// Allocates in buddy chunks like [`ThpBuddyAlloc`] — so the victim is
+/// interleaved — but surveys through the OS's page-frame leak, giving
+/// an exact view regardless of how the frames were scattered.
+#[derive(Debug, Clone, Copy)]
+pub struct PfnLeakAlloc {
+    /// Pages per allocation round.
+    pub chunk: u64,
+}
+
+impl Default for PfnLeakAlloc {
+    fn default() -> PfnLeakAlloc {
+        PfnLeakAlloc { chunk: 2 }
+    }
+}
+
+impl ConsecAllocator for PfnLeakAlloc {
+    fn name(&self) -> &'static str {
+        "pfn"
+    }
+
+    fn rounds(&self, budget_pages: u64) -> Vec<u64> {
+        chunked(budget_pages, self.chunk)
+    }
+
+    fn survey(&self, m: &Machine, domain: DomainId, _pages: u64) -> Result<ConsecRegion> {
+        let g = m.config().geometry;
+        let mut rows: Vec<PresumedRow> = Vec::new();
+        for (vpage, frame) in m.leak_pfns(domain) {
+            for l in 0..LINES_PER_PAGE {
+                let pline = CacheLineAddr(frame * LINES_PER_PAGE + l);
+                let (bank, row) = m.mc().locate(pline)?;
+                let (group, slot) = (bank.flat(&g), u64::from(row));
+                let vline = CacheLineAddr(vpage * LINES_PER_PAGE + l);
+                match rows.iter_mut().find(|r| r.group == group && r.slot == slot) {
+                    Some(r) => r.lines.push(vline),
+                    None => rows.push(PresumedRow {
+                        group,
+                        slot,
+                        lines: vec![vline],
+                    }),
+                }
+            }
+        }
+        Ok(ConsecRegion {
+            strategy: "pfn",
+            exact: true,
+            rows,
+        }
+        .canonicalize())
+    }
+}
+
+/// SPOILER-style contiguity inference: timing probes only.
+///
+/// The survey never reads the page tables or the address map — it only
+/// observes row-hit/row-conflict outcomes between pairs of its own
+/// virtual lines ([`Machine::probe_pair`]), exactly what a cross-core
+/// timing channel leaks. Lines that conflict share a bank (a group);
+/// lines that hit share a row. Because timing cannot measure *how far
+/// apart* two conflicting rows are, slots are dense discovery indices:
+/// "two slots apart" may be two real rows or twenty, which is this
+/// strategy's characteristic fidelity loss.
+#[derive(Debug, Clone, Copy)]
+pub struct SpoilerAlloc {
+    /// Pages per allocation round.
+    pub chunk: u64,
+}
+
+impl Default for SpoilerAlloc {
+    fn default() -> SpoilerAlloc {
+        SpoilerAlloc { chunk: 2 }
+    }
+}
+
+impl ConsecAllocator for SpoilerAlloc {
+    fn name(&self) -> &'static str {
+        "spoiler"
+    }
+
+    fn rounds(&self, budget_pages: u64) -> Vec<u64> {
+        chunked(budget_pages, self.chunk)
+    }
+
+    fn survey(&self, m: &Machine, domain: DomainId, pages: u64) -> Result<ConsecRegion> {
+        // Probe stride: half a page. Fine enough to see every row of
+        // the medium geometry, and the coarsest granularity SPOILER
+        // realistically resolves.
+        let stride = (LINES_PER_PAGE / 2).max(1);
+        // Per group: (bank representative, rows as (row rep, slot)).
+        let mut groups: Vec<(CacheLineAddr, Vec<(CacheLineAddr, u64)>)> = Vec::new();
+        let mut rows: Vec<PresumedRow> = Vec::new();
+        let mut probe = 0u64;
+        while probe < pages * LINES_PER_PAGE {
+            let cand = CacheLineAddr(probe);
+            probe += stride;
+            let mut placed = false;
+            for (gi, (bank_rep, row_reps)) in groups.iter_mut().enumerate() {
+                match m.probe_pair(domain, cand, *bank_rep)? {
+                    ProbeOutcome::NoConflict => continue,
+                    ProbeOutcome::RowHit | ProbeOutcome::RowConflict => {
+                        let mut slot = None;
+                        for (row_rep, s) in row_reps.iter() {
+                            if m.probe_pair(domain, cand, *row_rep)? == ProbeOutcome::RowHit {
+                                slot = Some(*s);
+                                break;
+                            }
+                        }
+                        let slot = slot.unwrap_or_else(|| {
+                            let s = row_reps.len() as u64;
+                            row_reps.push((cand, s));
+                            s
+                        });
+                        match rows.iter_mut().find(|r| r.group == gi && r.slot == slot) {
+                            Some(r) => r.lines.push(cand),
+                            None => rows.push(PresumedRow {
+                                group: gi,
+                                slot,
+                                lines: vec![cand],
+                            }),
+                        }
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+            if !placed {
+                let gi = groups.len();
+                groups.push((cand, vec![(cand, 0)]));
+                rows.push(PresumedRow {
+                    group: gi,
+                    slot: 0,
+                    lines: vec![cand],
+                });
+            }
+        }
+        Ok(ConsecRegion {
+            strategy: "spoiler",
+            exact: false,
+            rows,
+        }
+        .canonicalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammertime::machine::MachineConfig;
+    use hammertime::taxonomy::DefenseKind;
+
+    const DOM: DomainId = DomainId(7);
+
+    fn machine_with(alloc: &dyn ConsecAllocator, pages: u64) -> Machine {
+        let mut m = Machine::new(MachineConfig::fast(DefenseKind::None, 24)).unwrap();
+        for round in alloc.rounds(pages) {
+            m.add_tenant(DOM, round).unwrap();
+            m.add_tenant(DomainId(8), 1).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn chunked_rounds_cover_budget() {
+        assert_eq!(chunked(7, 2), vec![2, 2, 2, 1]);
+        assert_eq!(chunked(4, 2), vec![2, 2]);
+        assert_eq!(HugepageAlloc.rounds(9), vec![9]);
+    }
+
+    #[test]
+    fn pfn_oracle_matches_ground_truth() {
+        let alloc = PfnLeakAlloc::default();
+        let m = machine_with(&alloc, 8);
+        let oracle = alloc.survey(&m, DOM, 8).unwrap();
+        let truth = exact_survey(&m, DOM, "pfn");
+        assert!(oracle.exact);
+        assert_eq!(oracle.rows.len(), truth.rows.len());
+        for (a, b) in oracle.rows.iter().zip(truth.rows.iter()) {
+            assert_eq!((a.group, a.slot), (b.group, b.slot));
+            assert_eq!(a.lines, b.lines);
+        }
+    }
+
+    #[test]
+    fn spoiler_groups_agree_with_banks_without_reading_the_map() {
+        let alloc = SpoilerAlloc::default();
+        let m = machine_with(&alloc, 8);
+        let region = alloc.survey(&m, DOM, 8).unwrap();
+        assert!(!region.exact);
+        let g = m.config().geometry;
+        // Two probes in the same presumed row must really share a
+        // (bank, row); different groups must really be different banks.
+        let coord = |l: CacheLineAddr| {
+            let p = m.translate(DOM, l).unwrap();
+            let (bank, row) = m.mc().locate(p).unwrap();
+            (bank.flat(&g), row)
+        };
+        for r in &region.rows {
+            let c0 = coord(r.lines[0]);
+            for &l in &r.lines[1..] {
+                assert_eq!(coord(l), c0);
+            }
+        }
+        for a in &region.rows {
+            for b in &region.rows {
+                let same_bank = coord(a.lines[0]).0 == coord(b.lines[0]).0;
+                assert_eq!(a.group == b.group, same_bank);
+            }
+        }
+    }
+
+    #[test]
+    fn thp_view_is_plausible_but_not_oracle() {
+        let alloc = ThpBuddyAlloc::default();
+        let m = machine_with(&alloc, 8);
+        let region = alloc.survey(&m, DOM, 8).unwrap();
+        assert!(!region.exact);
+        assert!(!region.is_empty());
+        // Every line the view claims really belongs to the attacker.
+        for r in &region.rows {
+            for &l in &r.lines {
+                assert!(m.translate(DOM, l).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! **A1**: the attack-pipeline cross product against the defense
+//! slate.
+//!
+//! One row per (triple, defense): did the composition achieve
+//! ground-truth adjacency, how many raw cross-domain flips landed, how
+//! many the victim orchestrator actually counted, and what the defense
+//! spent. The curated triple set covers every allocator, every
+//! hammerer, and every victim at least once (12 triples × 4 slates =
+//! 48 rows) — the full 72-triple product is enumerable via
+//! [`AttackSpec::all_triples`] and the `attack --list-combos` CLI.
+
+use hammertime::experiments::{Cell, CellCtx, Experiment};
+use hammertime::machine::MachineConfig;
+use hammertime::scenario::AttackTargeting;
+use hammertime::taxonomy::DefenseKind;
+
+use crate::pipeline::AttackRun;
+use crate::spec::AttackSpec;
+
+/// The standard fast-scale MAC (mirrors the core experiments).
+const MAC: u64 = 24;
+
+/// The curated triples A1 sweeps: every allocator, hammerer, and
+/// victim appears at least once.
+pub const A1_TRIPLES: [&str; 12] = [
+    "hugepage/single/flips",
+    "hugepage/double/flips",
+    "hugepage/paced/flips",
+    "thp/double/flips",
+    "thp/many:6/flips",
+    "thp/fuzzed:6/flips",
+    "pfn/double/ptbit",
+    "pfn/double/key",
+    "pfn/many:6/key",
+    "pfn/dma/flips",
+    "spoiler/double/flips",
+    "spoiler/many:6/ptbit",
+];
+
+/// The defense slate each triple runs against.
+fn slate() -> [DefenseKind; 4] {
+    [
+        DefenseKind::None,
+        DefenseKind::InDramTrr { table_size: 4 },
+        DefenseKind::VictimRefreshInstr,
+        DefenseKind::SubarrayIsolation,
+    ]
+}
+
+/// The A1 experiment singleton.
+pub struct A1;
+
+impl Experiment for A1 {
+    fn id(&self) -> &'static str {
+        "A1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Attack pipeline cross product: allocator x hammerer x victim vs defenses"
+    }
+
+    fn columns(&self) -> &'static [&'static str] {
+        &[
+            "triple",
+            "defense",
+            "targeting",
+            "raw",
+            "counted",
+            "success",
+            "ovh",
+        ]
+    }
+
+    fn cells(&self, ctx: &CellCtx) -> Vec<Cell> {
+        let ctx = *ctx;
+        A1_TRIPLES
+            .iter()
+            .map(|&triple| {
+                Cell::new(triple, move || {
+                    let spec = AttackSpec::parse(triple)?;
+                    let mut rows = Vec::new();
+                    for defense in slate() {
+                        let mut cfg = MachineConfig::fast(defense, MAC);
+                        cfg.faults = ctx.faults;
+                        let mut run = AttackRun::new(spec, cfg);
+                        run.accesses = if ctx.quick { 2_500 } else { 8_000 };
+                        run.windows = if ctx.quick { 40 } else { 150 };
+                        run.victim_reads = if ctx.quick { 100 } else { 400 };
+                        let out = run.execute()?;
+                        let o = &out.report.overhead;
+                        rows.push(vec![
+                            out.triple.clone(),
+                            defense.name().to_string(),
+                            match out.targeting {
+                                AttackTargeting::CrossDomain => "cross".to_string(),
+                                AttackTargeting::IntraDomainOnly => "intra".to_string(),
+                            },
+                            out.verdict.raw_flips.to_string(),
+                            out.verdict.counted_flips.to_string(),
+                            if out.verdict.success { "yes" } else { "no" }.to_string(),
+                            (o.refresh_ops + o.pages_remapped + o.lines_locked + o.interrupts)
+                                .to_string(),
+                        ]);
+                    }
+                    Ok(rows)
+                })
+            })
+            .collect()
+    }
+}
+
+/// The attack-crate experiment registry, in report order.
+pub fn registry() -> Vec<&'static dyn Experiment> {
+    vec![&A1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curated_triples_parse_and_cover_every_strategy() {
+        let specs: Vec<AttackSpec> = A1_TRIPLES
+            .iter()
+            .map(|t| AttackSpec::parse(t).unwrap())
+            .collect();
+        assert_eq!(specs.len(), 12);
+        for a in crate::spec::AllocatorKind::ALL {
+            assert!(specs.iter().any(|s| s.allocator == a), "{}", a.name());
+        }
+        for h in crate::spec::HammererKind::ALL {
+            assert!(specs.iter().any(|s| s.hammerer == h), "{}", h.name());
+        }
+        for v in crate::spec::VictimKind::ALL {
+            assert!(specs.iter().any(|s| s.victim == v), "{}", v.name());
+        }
+    }
+}

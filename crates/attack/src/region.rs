@@ -1,0 +1,236 @@
+//! The attacker's presumed-contiguous view of its allocation.
+//!
+//! Every [`crate::ConsecAllocator`] strategy produces a
+//! [`ConsecRegion`]: rows grouped into presumed banks and ordered by a
+//! presumed physical coordinate (`slot`). The hammerers consume only
+//! this view — never ground truth — so an allocator whose presumption
+//! is wrong (SPOILER under a permuted map, THP chunk chaining across a
+//! guard stripe) degrades the attack exactly the way a real exploit
+//! degrades: the aggressor set is chosen at the wrong physical
+//! spacing and the flips don't land.
+
+use hammertime_common::CacheLineAddr;
+
+/// One row the attacker believes it owns, in its presumed coordinate
+/// system.
+#[derive(Debug, Clone)]
+pub struct PresumedRow {
+    /// Presumed bank label. Exact strategies use the true flat bank
+    /// index; inference strategies use a discovered group index — the
+    /// hammerers only compare labels for equality, so the distinction
+    /// is invisible to them (as it is to a real attacker).
+    pub group: usize,
+    /// Presumed physical row coordinate within the group. Slot
+    /// arithmetic is how hammerers space aggressors ("two rows
+    /// apart"); whether a slot delta of 2 really is two rows is the
+    /// allocator's fidelity.
+    pub slot: u64,
+    /// The attacker's *virtual* lines that it believes map to this
+    /// row (what its workload can actually touch).
+    pub lines: Vec<CacheLineAddr>,
+}
+
+/// A presumed-contiguous region: what an allocation strategy handed
+/// the attacker, in the attacker's own coordinates.
+#[derive(Debug, Clone)]
+pub struct ConsecRegion {
+    /// The strategy that produced this view.
+    pub strategy: &'static str,
+    /// Whether the view is ground truth (pfn oracle, hugepage) or a
+    /// presumption that can be wrong (THP chaining, SPOILER order).
+    pub exact: bool,
+    /// Rows sorted by `(group, slot)`.
+    pub rows: Vec<PresumedRow>,
+}
+
+impl ConsecRegion {
+    /// Normalizes row order to `(group, slot)`; call after building.
+    pub fn canonicalize(mut self) -> ConsecRegion {
+        self.rows.sort_by_key(|r| (r.group, r.slot));
+        self
+    }
+
+    /// Rows of the group with the most rows (ties: lowest label), in
+    /// slot order — the bank a hammerer concentrates on.
+    pub fn largest_group(&self) -> Vec<&PresumedRow> {
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for r in &self.rows {
+            match counts.iter_mut().find(|(g, _)| *g == r.group) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((r.group, 1)),
+            }
+        }
+        let Some(&(best, _)) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        else {
+            return Vec::new();
+        };
+        self.rows.iter().filter(|r| r.group == best).collect()
+    }
+
+    /// A double-sided aggressor pair from the largest group: prefers
+    /// slots `(s, s+2)` whose middle slot `s+1` is *absent* from the
+    /// attacker's view (presumably someone else's row — the classic
+    /// sandwich), then any `(s, s+2)`, then the closest pair at
+    /// distance ≥ 2, then any two rows. `None` if fewer than two rows
+    /// exist anywhere.
+    pub fn pick_pair(&self) -> Option<(CacheLineAddr, CacheLineAddr)> {
+        let rows = self.largest_group();
+        let line_at = |i: usize| rows[i].lines[0];
+        let has_slot = |s: u64| rows.iter().any(|r| r.slot == s);
+        // Sandwich around a presumed foreign row.
+        for (i, r) in rows.iter().enumerate() {
+            if has_slot(r.slot + 2) && !has_slot(r.slot + 1) {
+                let j = rows.iter().position(|x| x.slot == r.slot + 2).unwrap();
+                return Some((line_at(i), line_at(j)));
+            }
+        }
+        // Any gap-2 pair, then the closest pair at distance >= 2.
+        for want_exact in [true, false] {
+            let mut best: Option<(usize, usize, u64)> = None;
+            for i in 0..rows.len() {
+                for j in i + 1..rows.len() {
+                    let d = rows[j].slot - rows[i].slot;
+                    if want_exact && d == 2 {
+                        return Some((line_at(i), line_at(j)));
+                    }
+                    if !want_exact && d >= 2 && best.is_none_or(|(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            if let Some((i, j, _)) = best {
+                return Some((line_at(i), line_at(j)));
+            }
+        }
+        if rows.len() >= 2 {
+            return Some((line_at(0), line_at(1)));
+        }
+        // Largest group has one row; fall back to any two rows at all.
+        if self.rows.len() >= 2 {
+            return Some((self.rows[0].lines[0], self.rows[1].lines[0]));
+        }
+        None
+    }
+
+    /// Up to `n` aggressors from the largest group, greedily spaced at
+    /// least two slots apart (contiguous aggressors refresh each
+    /// other's victims with their own ACTs, so effective many-sided
+    /// patterns leave victim gaps — the TRRespass structure).
+    pub fn pick_spaced(&self, n: usize) -> Vec<CacheLineAddr> {
+        let rows = self.largest_group();
+        let mut out: Vec<CacheLineAddr> = Vec::new();
+        let mut last: Option<u64> = None;
+        for r in &rows {
+            if last.is_none_or(|p| r.slot >= p + 2) {
+                out.push(r.lines[0]);
+                last = Some(r.slot);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        if out.is_empty() && !self.rows.is_empty() {
+            out.push(self.rows[0].lines[0]);
+        }
+        out
+    }
+
+    /// A decoy line for pacing: a row of the largest group at slot
+    /// distance > `dist` from every line in `used` (so its ACTs
+    /// row-conflict in the aggressors' bank without refreshing their
+    /// victims). `None` when the group has no such row.
+    pub fn pick_decoy(&self, used: &[CacheLineAddr], dist: u64) -> Option<CacheLineAddr> {
+        let rows = self.largest_group();
+        let used_slots: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.lines.iter().any(|l| used.contains(l)))
+            .map(|r| r.slot)
+            .collect();
+        rows.iter()
+            .find(|r| used_slots.iter().all(|&s| r.slot.abs_diff(s) > dist))
+            .map(|r| r.lines[0])
+    }
+
+    /// Total rows across all groups.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the region holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(group: usize, slot: u64, line: u64) -> PresumedRow {
+        PresumedRow {
+            group,
+            slot,
+            lines: vec![CacheLineAddr(line)],
+        }
+    }
+
+    fn region(rows: Vec<PresumedRow>) -> ConsecRegion {
+        ConsecRegion {
+            strategy: "test",
+            exact: true,
+            rows,
+        }
+        .canonicalize()
+    }
+
+    #[test]
+    fn pair_prefers_sandwich_with_missing_middle() {
+        // Slots 0,1,2,3 present plus 5,7: the first sandwich around a
+        // missing (presumed-foreign) slot is (3,5), beating the fully
+        // attacker-owned (0,2).
+        let r = region(vec![
+            row(0, 0, 10),
+            row(0, 1, 11),
+            row(0, 2, 12),
+            row(0, 3, 13),
+            row(0, 5, 15),
+            row(0, 7, 17),
+        ]);
+        assert_eq!(r.pick_pair(), Some((CacheLineAddr(13), CacheLineAddr(15))));
+    }
+
+    #[test]
+    fn pair_falls_back_to_closest_then_any() {
+        let r = region(vec![row(0, 0, 10), row(0, 1, 11)]);
+        assert_eq!(r.pick_pair(), Some((CacheLineAddr(10), CacheLineAddr(11))));
+        let r = region(vec![row(0, 0, 10), row(1, 9, 20)]);
+        assert_eq!(r.pick_pair(), Some((CacheLineAddr(10), CacheLineAddr(20))));
+        assert_eq!(region(vec![row(0, 0, 10)]).pick_pair(), None);
+    }
+
+    #[test]
+    fn spaced_picks_skip_adjacent_slots() {
+        let r = region((0..8).map(|s| row(0, s, 100 + s)).collect());
+        let picks = r.pick_spaced(3);
+        assert_eq!(
+            picks,
+            vec![CacheLineAddr(100), CacheLineAddr(102), CacheLineAddr(104)]
+        );
+    }
+
+    #[test]
+    fn decoy_is_far_from_aggressors() {
+        let r = region((0..10).map(|s| row(0, s, 100 + s)).collect());
+        let pair = vec![CacheLineAddr(100), CacheLineAddr(102)];
+        let decoy = r.pick_decoy(&pair, 4).unwrap();
+        assert_eq!(decoy, CacheLineAddr(107));
+    }
+
+    #[test]
+    fn largest_group_breaks_ties_toward_lowest_label() {
+        let r = region(vec![row(2, 0, 1), row(1, 0, 2)]);
+        assert_eq!(r.largest_group()[0].group, 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Declarative attack triples: `allocator/hammerer/victim` by name.
+//!
+//! An [`AttackSpec`] is the serializable, CLI-facing description of a
+//! pipeline composition. `parse` and `name` round-trip, so triples can
+//! travel through fleet configs, experiment labels, and command lines
+//! without carrying trait objects.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::{ConsecAllocator, HugepageAlloc, PfnLeakAlloc, SpoilerAlloc, ThpBuddyAlloc};
+use crate::hammer::{
+    DecoyPaced, DmaSided, DoubleSided, FuzzedSided, Hammerer, ManySided, SingleSided,
+};
+use crate::victim::{FlipCountVictim, KeyMaterialVictim, PageTableBitVictim, VictimOrchestrator};
+use hammertime_common::{Error, Result};
+
+/// Contiguity-acquisition strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocatorKind {
+    /// One contiguous hugepage-style grab ([`HugepageAlloc`]).
+    Hugepage,
+    /// THP buddy chunks with presumed chaining ([`ThpBuddyAlloc`]).
+    ThpBuddy,
+    /// Privileged pfn-leak oracle ([`PfnLeakAlloc`]).
+    PfnLeak,
+    /// SPOILER-style timing inference ([`SpoilerAlloc`]).
+    Spoiler,
+}
+
+impl AllocatorKind {
+    /// All allocator kinds, in canonical (name-sorted) order.
+    pub const ALL: [AllocatorKind; 4] = [
+        AllocatorKind::Hugepage,
+        AllocatorKind::PfnLeak,
+        AllocatorKind::Spoiler,
+        AllocatorKind::ThpBuddy,
+    ];
+
+    /// The spec-string token.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::Hugepage => "hugepage",
+            AllocatorKind::ThpBuddy => "thp",
+            AllocatorKind::PfnLeak => "pfn",
+            AllocatorKind::Spoiler => "spoiler",
+        }
+    }
+
+    /// Builds the strategy.
+    pub fn build(self) -> Box<dyn ConsecAllocator> {
+        match self {
+            AllocatorKind::Hugepage => Box::new(HugepageAlloc),
+            AllocatorKind::ThpBuddy => Box::new(ThpBuddyAlloc::default()),
+            AllocatorKind::PfnLeak => Box::new(PfnLeakAlloc::default()),
+            AllocatorKind::Spoiler => Box::new(SpoilerAlloc::default()),
+        }
+    }
+}
+
+/// Hammer-pattern strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HammererKind {
+    /// One-row hammer ([`SingleSided`]).
+    Single,
+    /// Sandwich pair ([`DoubleSided`]).
+    Double,
+    /// `n` spaced aggressors ([`ManySided`]).
+    Many(usize),
+    /// Seeded fuzzed schedule over `n` aggressors ([`FuzzedSided`]).
+    Fuzzed(usize),
+    /// Decoy-paced counter evasion ([`DecoyPaced`]).
+    Paced,
+    /// Device-issued pair ([`DmaSided`]).
+    Dma,
+}
+
+/// Canonical aggressor count for `many`/`fuzzed` in the cross product.
+const CANONICAL_N: usize = 6;
+
+impl HammererKind {
+    /// The canonical kinds enumerated by [`AttackSpec::all_triples`].
+    pub const ALL: [HammererKind; 6] = [
+        HammererKind::Dma,
+        HammererKind::Double,
+        HammererKind::Fuzzed(CANONICAL_N),
+        HammererKind::Many(CANONICAL_N),
+        HammererKind::Paced,
+        HammererKind::Single,
+    ];
+
+    /// The spec-string token (`many:6`, `fuzzed:6` carry their arity).
+    pub fn name(self) -> String {
+        match self {
+            HammererKind::Single => "single".into(),
+            HammererKind::Double => "double".into(),
+            HammererKind::Many(n) => format!("many:{n}"),
+            HammererKind::Fuzzed(n) => format!("fuzzed:{n}"),
+            HammererKind::Paced => "paced".into(),
+            HammererKind::Dma => "dma".into(),
+        }
+    }
+
+    /// Builds the strategy. `mac` (the DIMM's maximum activation
+    /// count) sizes the paced hammer's burst just under the counter
+    /// thresholds derived from it, mirroring `HammerPattern::paced`
+    /// use elsewhere.
+    pub fn build(self, mac: u64) -> Box<dyn Hammerer> {
+        match self {
+            HammererKind::Single => Box::new(SingleSided),
+            HammererKind::Double => Box::new(DoubleSided),
+            HammererKind::Many(n) => Box::new(ManySided(n)),
+            HammererKind::Fuzzed(n) => Box::new(FuzzedSided(n)),
+            HammererKind::Paced => Box::new(DecoyPaced {
+                burst: (mac / 8).saturating_sub(1).max(1),
+            }),
+            HammererKind::Dma => Box::new(DmaSided),
+        }
+    }
+}
+
+/// Victim-orchestration selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VictimKind {
+    /// Raw cross-domain flips ([`FlipCountVictim`]).
+    FlipCount,
+    /// PTE PFN-field hits ([`PageTableBitVictim`]).
+    PageTableBit,
+    /// Key-buffer hits ([`KeyMaterialVictim`]).
+    KeyMaterial,
+}
+
+impl VictimKind {
+    /// All victim kinds, in canonical (name-sorted) order.
+    pub const ALL: [VictimKind; 3] = [
+        VictimKind::FlipCount,
+        VictimKind::KeyMaterial,
+        VictimKind::PageTableBit,
+    ];
+
+    /// The spec-string token.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimKind::FlipCount => "flips",
+            VictimKind::PageTableBit => "ptbit",
+            VictimKind::KeyMaterial => "key",
+        }
+    }
+
+    /// Builds the orchestrator.
+    pub fn build(self) -> Box<dyn VictimOrchestrator> {
+        match self {
+            VictimKind::FlipCount => Box::new(FlipCountVictim),
+            VictimKind::PageTableBit => Box::new(PageTableBitVictim),
+            VictimKind::KeyMaterial => Box::new(KeyMaterialVictim::default()),
+        }
+    }
+}
+
+/// A named (allocator, hammerer, victim) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// How the attacker acquires presumed-contiguous memory.
+    pub allocator: AllocatorKind,
+    /// The temporal pattern over that memory.
+    pub hammerer: HammererKind,
+    /// What counts as success.
+    pub victim: VictimKind,
+}
+
+impl AttackSpec {
+    /// The canonical `alloc/hammer/victim` string.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.allocator.name(),
+            self.hammerer.name(),
+            self.victim.name()
+        )
+    }
+
+    /// Parses an `alloc/hammer/victim` string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] naming the bad component.
+    pub fn parse(s: &str) -> Result<AttackSpec> {
+        let parts: Vec<&str> = s.split('/').collect();
+        let [a, h, v] = parts[..] else {
+            return Err(Error::Config(format!(
+                "attack spec '{s}' is not of the form allocator/hammerer/victim"
+            )));
+        };
+        let allocator = match a {
+            "hugepage" => AllocatorKind::Hugepage,
+            "thp" => AllocatorKind::ThpBuddy,
+            "pfn" => AllocatorKind::PfnLeak,
+            "spoiler" => AllocatorKind::Spoiler,
+            _ => {
+                return Err(Error::Config(format!(
+                    "unknown allocator '{a}' (hugepage, thp, pfn, spoiler)"
+                )))
+            }
+        };
+        let arity = |tail: &str, what: &str| -> Result<usize> {
+            let n: usize = tail
+                .parse()
+                .map_err(|_| Error::Config(format!("bad {what} arity '{tail}'")))?;
+            if n == 0 {
+                return Err(Error::Config(format!("{what} arity must be nonzero")));
+            }
+            Ok(n)
+        };
+        let hammerer = match h {
+            "single" => HammererKind::Single,
+            "double" => HammererKind::Double,
+            "paced" => HammererKind::Paced,
+            "dma" => HammererKind::Dma,
+            _ if h.starts_with("many:") => HammererKind::Many(arity(&h[5..], "many")?),
+            _ if h.starts_with("fuzzed:") => HammererKind::Fuzzed(arity(&h[7..], "fuzzed")?),
+            _ => {
+                return Err(Error::Config(format!(
+                    "unknown hammerer '{h}' (single, double, many:N, fuzzed:N, paced, dma)"
+                )))
+            }
+        };
+        let victim = match v {
+            "flips" => VictimKind::FlipCount,
+            "ptbit" => VictimKind::PageTableBit,
+            "key" => VictimKind::KeyMaterial,
+            _ => {
+                return Err(Error::Config(format!(
+                    "unknown victim '{v}' (flips, ptbit, key)"
+                )))
+            }
+        };
+        Ok(AttackSpec {
+            allocator,
+            hammerer,
+            victim,
+        })
+    }
+
+    /// The full canonical cross product (4 × 6 × 3 = 72 triples),
+    /// sorted by `name()` — the stable enumeration `--list-combos`
+    /// prints and the build-everything test walks.
+    pub fn all_triples() -> Vec<AttackSpec> {
+        let mut out = Vec::new();
+        for a in AllocatorKind::ALL {
+            for h in HammererKind::ALL {
+                for v in VictimKind::ALL {
+                    out.push(AttackSpec {
+                        allocator: a,
+                        hammerer: h,
+                        victim: v,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(AttackSpec::name);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for spec in AttackSpec::all_triples() {
+            assert_eq!(AttackSpec::parse(&spec.name()).unwrap(), spec);
+        }
+        let s = AttackSpec::parse("thp/many:4/key").unwrap();
+        assert_eq!(s.hammerer, HammererKind::Many(4));
+        assert_eq!(s.name(), "thp/many:4/key");
+    }
+
+    #[test]
+    fn bad_specs_name_the_offending_component() {
+        for (bad, hint) in [
+            ("thp/double", "allocator/hammerer/victim"),
+            ("slab/double/flips", "unknown allocator"),
+            ("thp/quad/flips", "unknown hammerer"),
+            ("thp/many:0/flips", "arity"),
+            ("thp/many:x/flips", "arity"),
+            ("thp/double/coins", "unknown victim"),
+        ] {
+            let err = AttackSpec::parse(bad).unwrap_err();
+            assert!(
+                err.message().contains(hint),
+                "{bad}: {} !~ {hint}",
+                err.message()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_product_is_sorted_and_complete() {
+        let triples = AttackSpec::all_triples();
+        assert_eq!(triples.len(), 4 * 6 * 3);
+        let names: Vec<String> = triples.iter().map(AttackSpec::name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let unique: std::collections::BTreeSet<&String> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+}

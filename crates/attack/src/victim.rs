@@ -1,0 +1,235 @@
+//! Victim orchestration: what "success" means beyond raw flips.
+//!
+//! The paper's threat model cares about *consequential* flips, not
+//! flip counts (§1): a bit flip only matters if it lands somewhere
+//! that changes the victim's security state. Each
+//! [`VictimOrchestrator`] stages the victim's memory, runs its
+//! foreground traffic, and then judges the drained flip events —
+//! counting only the subset that would actually compromise this
+//! victim. The gap between `raw_flips` and `counted_flips` is the gap
+//! between "the DIMM is hammerable" and "the attack worked".
+
+use hammertime::dram::FlipEvent;
+use hammertime::Machine;
+use hammertime_common::addr::LINES_PER_PAGE;
+use hammertime_common::{CacheLineAddr, DomainId, Result};
+use hammertime_workloads::StreamWorkload;
+
+/// A victim's judgement of an attack run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimVerdict {
+    /// Cross-domain flips that landed anywhere in this victim's
+    /// memory.
+    pub raw_flips: u64,
+    /// The subset of `raw_flips` this victim considers consequential.
+    pub counted_flips: u64,
+    /// Whether the attack succeeded by this victim's definition.
+    pub success: bool,
+}
+
+/// Stages a victim, runs its traffic, and defines attack success.
+pub trait VictimOrchestrator {
+    /// Short name used in [`crate::AttackSpec`] triples.
+    fn name(&self) -> &'static str;
+
+    /// Pages the victim tenant needs.
+    fn pages(&self) -> u64 {
+        4
+    }
+
+    /// Installs the victim's foreground workload (and records any
+    /// target state the judgement needs). Called after all tenants are
+    /// allocated, before the simulation runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors from workload installation.
+    fn setup(&mut self, m: &mut Machine, victim: DomainId, reads: u64) -> Result<()>;
+
+    /// Judges the drained flip events against this victim's notion of
+    /// compromise.
+    fn judge(&self, m: &Machine, victim: DomainId, flips: &[FlipEvent]) -> VictimVerdict;
+}
+
+/// All of the victim's virtual lines, in deterministic (vpage, line)
+/// order.
+fn victim_arena(m: &Machine, victim: DomainId) -> Vec<CacheLineAddr> {
+    m.leak_pfns(victim)
+        .into_iter()
+        .flat_map(|(vpage, _)| {
+            (0..LINES_PER_PAGE).map(move |l| CacheLineAddr(vpage * LINES_PER_PAGE + l))
+        })
+        .collect()
+}
+
+/// Installs the standard victim foreground: a read-mostly stream over
+/// the victim's whole arena.
+fn install_stream(m: &mut Machine, victim: DomainId, reads: u64) -> Result<()> {
+    let arena = victim_arena(m, victim);
+    m.set_workload(victim, Box::new(StreamWorkload::new(arena, reads, 0)))
+}
+
+/// Flips that landed in this victim's memory from another domain.
+fn raw_flips(victim: DomainId, flips: &[FlipEvent]) -> Vec<&FlipEvent> {
+    flips
+        .iter()
+        .filter(|f| f.victim_domain == Some(victim) && f.is_cross_domain())
+        .collect()
+}
+
+/// The baseline victim: any cross-domain flip in its memory counts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlipCountVictim;
+
+impl VictimOrchestrator for FlipCountVictim {
+    fn name(&self) -> &'static str {
+        "flips"
+    }
+
+    fn setup(&mut self, m: &mut Machine, victim: DomainId, reads: u64) -> Result<()> {
+        install_stream(m, victim, reads)
+    }
+
+    fn judge(&self, _m: &Machine, victim: DomainId, flips: &[FlipEvent]) -> VictimVerdict {
+        let raw = raw_flips(victim, flips).len() as u64;
+        VictimVerdict {
+            raw_flips: raw,
+            counted_flips: raw,
+            success: raw > 0,
+        }
+    }
+}
+
+/// A page-table-escalation victim: its pages hold PTE-like 64-bit
+/// words, and only flips inside a word's PFN field (bits 12–47 of
+/// each 64-bit word) change which frame the entry points at — the
+/// classic kernel-privilege-escalation payload. Flips in the low
+/// permission bits or the high ignored bits are counted as raw but
+/// not consequential.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageTableBitVictim;
+
+/// Whether a row-bit offset lands in the PFN field of its PTE word.
+fn hits_pfn_field(bit: u64) -> bool {
+    (12..48).contains(&(bit % 64))
+}
+
+impl VictimOrchestrator for PageTableBitVictim {
+    fn name(&self) -> &'static str {
+        "ptbit"
+    }
+
+    fn setup(&mut self, m: &mut Machine, victim: DomainId, reads: u64) -> Result<()> {
+        install_stream(m, victim, reads)
+    }
+
+    fn judge(&self, _m: &Machine, victim: DomainId, flips: &[FlipEvent]) -> VictimVerdict {
+        let raw = raw_flips(victim, flips);
+        let counted = raw.iter().filter(|f| hits_pfn_field(f.bit)).count() as u64;
+        VictimVerdict {
+            raw_flips: raw.len() as u64,
+            counted_flips: counted,
+            success: counted > 0,
+        }
+    }
+}
+
+/// A key-material victim modelled on the RSA/Kyber fault attacks: only
+/// flips that land in one specific page (the key / error-matrix
+/// buffer), and within each line only in the first half holding the
+/// matrix words, corrupt the secret. Everything else the victim
+/// tolerates.
+#[derive(Debug, Clone, Default)]
+pub struct KeyMaterialVictim {
+    /// Physical frames holding the key buffer, recorded at setup.
+    target_frames: Vec<u64>,
+}
+
+/// Bits per cache line.
+const LINE_BITS: u64 = 512;
+
+impl VictimOrchestrator for KeyMaterialVictim {
+    fn name(&self) -> &'static str {
+        "key"
+    }
+
+    fn setup(&mut self, m: &mut Machine, victim: DomainId, reads: u64) -> Result<()> {
+        // The victim's first page is the key buffer; record the frames
+        // backing it so the judgement survives remapping defenses
+        // moving *other* rows around.
+        self.target_frames.clear();
+        for l in 0..LINES_PER_PAGE {
+            let pline = m.translate(victim, CacheLineAddr(l))?;
+            if !self.target_frames.contains(&pline.page_frame()) {
+                self.target_frames.push(pline.page_frame());
+            }
+        }
+        install_stream(m, victim, reads)
+    }
+
+    fn judge(&self, m: &Machine, victim: DomainId, flips: &[FlipEvent]) -> VictimVerdict {
+        let raw = raw_flips(victim, flips);
+        let counted = raw
+            .iter()
+            .filter(|f| {
+                let bank = m.bank_at(f.flat_bank);
+                let in_buffer = m
+                    .frames_of_row(&bank, f.victim_row)
+                    .iter()
+                    .any(|fr| self.target_frames.contains(fr));
+                in_buffer && (f.bit % LINE_BITS) < LINE_BITS / 2
+            })
+            .count() as u64;
+        VictimVerdict {
+            raw_flips: raw.len() as u64,
+            counted_flips: counted,
+            success: counted > 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammertime_common::Cycle;
+
+    fn flip(victim: u32, aggressor: u32, bit: u64) -> FlipEvent {
+        FlipEvent {
+            time: Cycle(0),
+            flat_bank: 0,
+            victim_row: 5,
+            aggressor_row: 4,
+            bit,
+            victim_domain: Some(DomainId(victim)),
+            aggressor_domain: Some(DomainId(aggressor)),
+        }
+    }
+
+    #[test]
+    fn pfn_field_window_is_36_of_64_bits() {
+        assert!(!hits_pfn_field(0));
+        assert!(!hits_pfn_field(11));
+        assert!(hits_pfn_field(12));
+        assert!(hits_pfn_field(47));
+        assert!(!hits_pfn_field(48));
+        assert!(hits_pfn_field(64 + 20));
+    }
+
+    #[test]
+    fn ptbit_counts_a_subset_of_raw() {
+        let flips = vec![
+            flip(2, 1, 3),       // permission bits: raw only
+            flip(2, 1, 64 + 20), // PFN field: counted
+            flip(2, 2, 20),      // intra-domain: ignored entirely
+            flip(3, 1, 20),      // other victim: ignored
+        ];
+        let m_less = PageTableBitVictim;
+        // judge() of ptbit never touches the machine; exercise via a
+        // machine-free call path.
+        let raw = raw_flips(DomainId(2), &flips);
+        assert_eq!(raw.len(), 2);
+        let counted = raw.iter().filter(|f| hits_pfn_field(f.bit)).count();
+        assert_eq!(counted, 1);
+        assert_eq!(m_less.name(), "ptbit");
+    }
+}

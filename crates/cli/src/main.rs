@@ -5,6 +5,8 @@
 //! hammertime-cli catalog                          # the defense taxonomy
 //! hammertime-cli attack --defense none            # run an attack scenario
 //! hammertime-cli attack --defense victim-refresh/instr --attack many:8
+//! hammertime-cli attack --allocator thp --hammerer paced --victim key
+//! hammertime-cli attack --list-combos               # the full triple cross product
 //! hammertime-cli experiments [--all] [--full] [--jobs N] [--filter E1,E2]
 //!                            [--faults PLAN.json] [--step-budget N] [--strict]
 //! hammertime-cli fleet run --machines 1000 --tenants 2 --jobs 8   # population table
@@ -131,7 +133,10 @@ fn cmd_catalog() {
 
 fn cmd_attack(args: &[String]) -> Result<()> {
     let mut defense = DefenseKind::None;
-    let mut attack = AttackSpec::Double;
+    let mut attack: Option<AttackSpec> = None;
+    let mut allocator: Option<String> = None;
+    let mut hammerer: Option<String> = None;
+    let mut victim: Option<String> = None;
     let mut accesses: u64 = 4_000;
     let mut mac: u64 = 24;
     let mut seed: u64 = 42;
@@ -140,6 +145,12 @@ fn cmd_attack(args: &[String]) -> Result<()> {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--list-combos" {
+            for spec in hammertime_attack::AttackSpec::all_triples() {
+                println!("{}", spec.name());
+            }
+            return Ok(());
+        }
         let value = args.get(i + 1).cloned().unwrap_or_default();
         match flag {
             "--trace" => {
@@ -156,11 +167,14 @@ fn cmd_attack(args: &[String]) -> Result<()> {
                 });
             }
             "--attack" => {
-                attack = AttackSpec::parse(&value).unwrap_or_else(|| {
+                attack = Some(AttackSpec::parse(&value).unwrap_or_else(|| {
                     eprintln!("unknown attack '{value}' (double | many:N | fuzzed:N | dma)");
                     std::process::exit(2);
-                });
+                }));
             }
+            "--allocator" => allocator = Some(value),
+            "--hammerer" => hammerer = Some(value),
+            "--victim" => victim = Some(value),
             "--accesses" => accesses = value.parse().unwrap_or(accesses),
             "--mac" => mac = value.parse().unwrap_or(mac),
             "--seed" => seed = value.parse().unwrap_or(seed),
@@ -172,6 +186,21 @@ fn cmd_attack(args: &[String]) -> Result<()> {
         }
         i += 2;
     }
+    if allocator.is_some() || hammerer.is_some() || victim.is_some() {
+        if attack.is_some() {
+            eprintln!("--attack and --allocator/--hammerer/--victim are mutually exclusive");
+            std::process::exit(2);
+        }
+        let spec_str = format!(
+            "{}/{}/{}",
+            allocator.as_deref().unwrap_or("hugepage"),
+            hammerer.as_deref().unwrap_or("double"),
+            victim.as_deref().unwrap_or("flips"),
+        );
+        let spec = hammertime_attack::AttackSpec::parse(&spec_str)?;
+        return run_attack_pipeline(spec, defense, mac, seed, accesses, windows, trace_out);
+    }
+    let attack = attack.unwrap_or(AttackSpec::Double);
     let mut cfg = MachineConfig::fast(defense, mac);
     cfg.seed = seed;
     let tracer = trace_out.as_ref().map(|_| Tracer::buffer());
@@ -216,6 +245,66 @@ fn cmd_attack(args: &[String]) -> Result<()> {
         // Drop the scenario first so the device's final-stats record
         // lands in the buffer before we drain it.
         drop(s);
+        let trace = CommandTrace::new(tracer.take_records());
+        codec::write_path(&path, &trace)?;
+        eprintln!(
+            "trace ({} records) written to {}",
+            trace.records.len(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Runs one modular attack-pipeline triple (`crates/attack`) and
+/// prints the orchestrator's verdict next to the raw flip counts.
+fn run_attack_pipeline(
+    spec: hammertime_attack::AttackSpec,
+    defense: DefenseKind,
+    mac: u64,
+    seed: u64,
+    accesses: u64,
+    windows: u64,
+    trace_out: Option<PathBuf>,
+) -> Result<()> {
+    let mut cfg = MachineConfig::fast(defense, mac);
+    cfg.seed = seed;
+    let tracer = trace_out.as_ref().map(|_| Tracer::buffer());
+    cfg.tracer = tracer.clone();
+    let mut run = hammertime_attack::AttackRun::new(spec, cfg);
+    run.accesses = accesses;
+    run.windows = windows;
+    // `execute` drops its machine before returning, so the device's
+    // final-stats record is already in the buffer when we drain it.
+    let out = run.execute()?;
+    let r = &out.report;
+    println!("defense:            {}", r.defense);
+    println!(
+        "triple:             {} ({accesses} accesses, {} survey, {} aggressors)",
+        out.triple,
+        if out.exact { "exact" } else { "presumed" },
+        out.aggressors,
+    );
+    println!("targeting:          {:?}", out.targeting);
+    println!("simulated cycles:   {}", r.cycles);
+    println!("total flips:        {}", r.flips_total);
+    println!("raw flips vs victim: {}", out.verdict.raw_flips);
+    println!("counted by victim:  {}", out.verdict.counted_flips);
+    println!("interrupts:         {}", r.overhead.interrupts);
+    println!("victim refreshes:   {}", r.overhead.refresh_ops);
+    println!("pages remapped:     {}", r.overhead.pages_remapped);
+    println!("lines locked:       {}", r.overhead.lines_locked);
+    println!("throttle cycles:    {}", r.overhead.throttle_cycles);
+    println!("dram energy proxy:  {:.3e}", r.energy);
+    println!(
+        "verdict:            {}",
+        if out.verdict.success {
+            "attack SUCCEEDED"
+        } else {
+            "attack DEFEATED"
+        }
+    );
+    if let (Some(path), Some(tracer)) = (trace_out, tracer) {
         let trace = CommandTrace::new(tracer.take_records());
         codec::write_path(&path, &trace)?;
         eprintln!(
@@ -507,6 +596,22 @@ fn fleet_run(args: &[String]) -> Result<()> {
                             || bad("--step-budget needs a positive cycle count".into()),
                         ),
                 )
+            }
+            "--attack-triples" => {
+                let list = value();
+                cfg.attack_triples = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cfg.attack_triples.is_empty() {
+                    bad("--attack-triples needs a comma-separated alloc/hammer/victim list".into());
+                }
+                for t in &cfg.attack_triples {
+                    if let Err(e) = hammertime_attack::AttackSpec::parse(t) {
+                        bad(format!("--attack-triples: {e}"));
+                    }
+                }
             }
             "--trace-machine" => {
                 cfg.trace_machine = Some(
@@ -1002,12 +1107,13 @@ fn usage() -> ! {
          USAGE:\n\
            hammertime-cli catalog\n\
            hammertime-cli attack [--defense NAME] [--attack double|many:N|fuzzed:N|dma]\n\
+                             [--allocator A] [--hammerer H] [--victim V] [--list-combos]\n\
                              [--accesses N] [--mac N] [--seed N] [--windows N] [--trace PATH]\n\
            hammertime-cli experiments [--all] [--full] [--jobs N] [--filter IDS] [IDS...]\n\
                              [--faults PLAN.json] [--step-budget N] [--strict]\n\
            hammertime-cli fleet run [--machines N] [--tenants M] [--jobs K] [--epochs E]\n\
                              [--windows W] [--seed S] [--full] [--faults PLAN.json]\n\
-                             [--step-budget N] [--json PATH]\n\
+                             [--attack-triples A/H/V,...] [--step-budget N] [--json PATH]\n\
                              [--trace-machine ID --trace-out PATH] [--strict]\n\
                              [--durable DIR | --resume DIR]\n\
                              [--supervise N [--quarantine-after K] [--hb-timeout-ms MS]\n\

@@ -59,7 +59,7 @@ pub mod metrics;
 pub mod scenario;
 pub mod taxonomy;
 
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, ProbeOutcome};
 pub use metrics::{DefenseOverhead, SimReport};
 pub use scenario::{AttackTargeting, BenignKind, CloudScenario};
 pub use taxonomy::{DefenseKind, Locus, MitigationClass};

@@ -39,6 +39,7 @@ use hammertime_os::defense::anvil::{Anvil, AnvilConfig};
 use hammertime_os::defense::frequency::{AggressorRemap, LineLocking};
 use hammertime_os::defense::refresh::{RefreshMechanism, VictimRefresh, VictimRefreshConfig};
 use hammertime_telemetry::{Event, Tracer};
+use serde::{Deserialize, Serialize};
 
 use hammertime_os::{
     AddressSpaces, AttackResponse, DefenseAction, Enclave, EnclaveReaction, EnclaveStatus,
@@ -366,6 +367,23 @@ impl std::fmt::Debug for Machine {
             .field("tenants", &self.tenants.len())
             .finish()
     }
+}
+
+/// What a latency measurement over a pair of lines reveals: the
+/// attacker-observable output of [`Machine::probe_pair`]. Timing
+/// distinguishes exactly these three cases on real DRAM — nothing
+/// finer — which is why a SPOILER-style inference can recover the
+/// bank/row *partition* of its arena but not absolute row numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeOutcome {
+    /// Same bank, same row: the second access hits the open row
+    /// buffer (fast).
+    RowHit,
+    /// Same bank, different row: the second access forces a
+    /// precharge/activate round trip (slow).
+    RowConflict,
+    /// Different banks: no interaction (intermediate).
+    NoConflict,
 }
 
 /// Inverts a flat bank index back to a [`BankId`].
@@ -1526,6 +1544,52 @@ impl Machine {
     /// A fresh deterministic RNG stream derived from the machine seed.
     pub fn fork_rng(&mut self) -> DetRng {
         self.rng.fork(self.next_id)
+    }
+
+    /// The pfn-leak surface ([`hammertime_os::AddressSpaces::pfn_map`]
+    /// forwarded through the machine): `domain`'s `(vpage, frame)`
+    /// pairs in ascending vpage order. This is the privileged oracle
+    /// the pfn-based allocation strategy in `crates/attack` consumes;
+    /// the SPOILER-style strategy deliberately avoids it and uses
+    /// [`Machine::probe_pair`] instead.
+    pub fn leak_pfns(&self, domain: DomainId) -> Vec<(u64, u64)> {
+        self.spaces.pfn_map(domain)
+    }
+
+    /// A timing side-channel probe over two of `domain`'s own virtual
+    /// lines, classifying the pair the way access-latency measurement
+    /// would: row hit (same bank, same row — fast), row conflict (same
+    /// bank, different row — slow), or no conflict (different banks).
+    /// The probe leaks *only* what timing leaks on real hardware; it
+    /// never exposes frame numbers or row indices, which is exactly
+    /// the budget a SPOILER-like contiguity inference operates on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation failures for unmapped lines.
+    pub fn probe_pair(
+        &self,
+        domain: DomainId,
+        a: CacheLineAddr,
+        b: CacheLineAddr,
+    ) -> Result<ProbeOutcome> {
+        let (bank_a, row_a) = self.mc.locate(self.translate(domain, a)?)?;
+        let (bank_b, row_b) = self.mc.locate(self.translate(domain, b)?)?;
+        Ok(if bank_a != bank_b {
+            ProbeOutcome::NoConflict
+        } else if row_a == row_b {
+            ProbeOutcome::RowHit
+        } else {
+            ProbeOutcome::RowConflict
+        })
+    }
+
+    /// Inverts a flat bank index (as carried by
+    /// [`FlipEvent::flat_bank`]) back to a [`BankId`] under this
+    /// machine's geometry — the hook victim orchestrators use to
+    /// attribute a flip to the frames of its row.
+    pub fn bank_at(&self, flat: usize) -> BankId {
+        bank_from_flat(&self.cfg.geometry, flat)
     }
 
     /// Produces the report for everything run so far.

@@ -17,6 +17,10 @@ use hammertime_workloads::{
 };
 use serde::{Deserialize, Serialize};
 
+/// Salt separating the fuzzed-hammer schedule stream from every other
+/// consumer of the configuration seed.
+const FUZZ_SALT: u64 = 0xB1AC_5317;
+
 /// How an armed attack relates to the victim.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AttackTargeting {
@@ -214,18 +218,37 @@ impl CloudScenario {
     }
 
     /// Arms a Blacksmith-style fuzzed hammer with `n` aggressors
-    /// (non-uniform intensities, shuffled schedule).
+    /// (non-uniform intensities, shuffled schedule). The schedule is
+    /// drawn from an explicit fork of the *configuration* seed — not
+    /// the machine's ambient stream, whose position depends on how
+    /// much simulation already ran — so the same `(seed, n)` always
+    /// produces the same schedule, on any worker.
     ///
     /// # Errors
     ///
     /// Propagates workload attachment failures.
     pub fn arm_fuzzed(&mut self, n: usize, accesses: u64) -> Result<AttackTargeting> {
+        let rng = DetRng::new(self.machine.config().seed ^ FUZZ_SALT).fork(n as u64);
+        self.arm_fuzzed_with(n, accesses, rng)
+    }
+
+    /// [`CloudScenario::arm_fuzzed`] with a caller-supplied rng fork
+    /// (campaign layers that sweep many schedules per seed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload attachment failures.
+    pub fn arm_fuzzed_with(
+        &mut self,
+        n: usize,
+        accesses: u64,
+        rng: DetRng,
+    ) -> Result<AttackTargeting> {
         let (aggressors, targeting) = self.find_many_sided(n);
-        let mut rng = self.machine.fork_rng();
         self.machine.set_workload(
             self.attacker,
             Box::new(hammertime_workloads::FuzzedHammer::generate(
-                &mut rng,
+                rng,
                 &aggressors,
                 accesses,
             )),

@@ -79,11 +79,13 @@ pub fn registry() -> Vec<&'static dyn Experiment> {
     vec![&FL1]
 }
 
-/// The combined registry: every core experiment followed by the FL
-/// family. The CLI and the golden suite run this one, so `--filter
-/// FL1` and `tests/golden/FL1.txt` work alongside the core ids.
+/// The combined registry: every core experiment, then the attack
+/// pipeline's A family, then the FL family. The CLI and the golden
+/// suite run this one, so `--filter A1`/`--filter FL1` and
+/// `tests/golden/A1.txt`/`FL1.txt` work alongside the core ids.
 pub fn full_registry() -> Vec<&'static dyn Experiment> {
     let mut all = hammertime::experiments::registry();
+    all.extend(hammertime_attack::experiment::registry());
     all.extend(registry());
     all
 }

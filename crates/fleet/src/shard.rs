@@ -105,6 +105,11 @@ pub struct FleetConfig {
     /// ([`crate::population::is_faulty_machine`]); `None` = healthy
     /// fleet.
     pub faults: Option<FaultPlan>,
+    /// Attack-pipeline triples (`allocator/hammerer/victim`, see
+    /// `hammertime-attack`) for attacked machines to draw from. Empty
+    /// (the default) keeps the legacy double/many/DMA mix — and the
+    /// legacy workload-stream draws — byte-identical.
+    pub attack_triples: Vec<String>,
     /// Per-machine budget of simulated cycles for the *whole* run
     /// (build + all epochs); exhaustion makes that machine a
     /// `Timeout` outcome. `None` inherits whatever budget the calling
@@ -130,6 +135,7 @@ impl FleetConfig {
             churn_chance: 0.5,
             slates: FleetConfig::default_slates(),
             faults: None,
+            attack_triples: Vec::new(),
             step_budget: None,
             trace_machine: None,
         }
@@ -278,13 +284,23 @@ impl FleetMachine {
         let mut wl_rng = MachineSpec::stream(cfg.seed, spec.id, 0x301d);
         let accesses = cfg.accesses();
         if spec.attacked {
-            // Attack mix mirrors the paper's methodologies: CPU
-            // double-sided, many-sided (TRRespass-style), DMA.
-            match wl_rng.below(3) {
-                0 => scenario.arm_double_sided(accesses)?,
-                1 => scenario.arm_many_sided(4, accesses)?,
-                _ => scenario.arm_dma(accesses)?,
-            };
+            if cfg.attack_triples.is_empty() {
+                // Attack mix mirrors the paper's methodologies: CPU
+                // double-sided, many-sided (TRRespass-style), DMA.
+                match wl_rng.below(3) {
+                    0 => scenario.arm_double_sided(accesses)?,
+                    1 => scenario.arm_many_sided(4, accesses)?,
+                    _ => scenario.arm_dma(accesses)?,
+                };
+            } else {
+                // Opt-in: attack-pipeline triples as tenant workloads.
+                // The draw replaces the legacy mix draw on the same
+                // stream, so machine populations stay deterministic.
+                let pick = wl_rng.below(cfg.attack_triples.len() as u64) as usize;
+                let spec_str = &cfg.attack_triples[pick];
+                let triple = hammertime_attack::AttackSpec::parse(spec_str)?;
+                hammertime_attack::arm_on_scenario(&triple, &mut scenario, accesses)?;
+            }
         } else {
             // Unattacked machine: the "attacker" allocation is just
             // another benign tenant streaming over its own arena.

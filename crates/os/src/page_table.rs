@@ -76,6 +76,12 @@ impl PageTable {
         Ok(PhysAddr::from_frame(*frame).offset(va.page_offset()))
     }
 
+    /// The physical frame backing `vpage`, if mapped — the per-page
+    /// primitive behind the [`AddressSpaces::pfn_map`] leak surface.
+    pub fn pfn_of(&self, vpage: u64) -> Option<u64> {
+        self.mappings.get(&vpage).copied()
+    }
+
     /// Reverse lookup: the virtual page mapped to `frame`, if any.
     pub fn vpage_of_frame(&self, frame: u64) -> Option<u64> {
         self.mappings
@@ -140,6 +146,19 @@ impl AddressSpaces {
             .ok_or_else(|| Error::Translation(format!("{domain} has no address space")))?
             .translate(va)
     }
+
+    /// The pfn-leak surface: `domain`'s full `(vpage, frame)` map in
+    /// ascending vpage order — what `/proc/self/pagemap` hands an
+    /// unprivileged attacker on a pre-hardening kernel, and what the
+    /// pfn-oracle allocation strategy in `crates/attack` consumes. The
+    /// order is deterministic (BTreeMap-backed), so attack pipelines
+    /// built on the leak reproduce byte-identically. Empty when the
+    /// domain has no address space.
+    pub fn pfn_map(&self, domain: DomainId) -> Vec<(u64, u64)> {
+        self.table(domain)
+            .map(|t| t.iter().collect())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +202,18 @@ mod tests {
             PhysAddr::from_frame(200)
         );
         assert!(pt.remap(8, 300).is_err());
+    }
+
+    #[test]
+    fn pfn_leak_surface_reports_mappings_in_vpage_order() {
+        let mut spaces = AddressSpaces::new();
+        spaces.table_mut(DomainId(1)).map(2, 30).unwrap();
+        spaces.table_mut(DomainId(1)).map(0, 10).unwrap();
+        spaces.table_mut(DomainId(1)).map(1, 20).unwrap();
+        assert_eq!(spaces.pfn_map(DomainId(1)), vec![(0, 10), (1, 20), (2, 30)]);
+        assert_eq!(spaces.pfn_map(DomainId(9)), vec![]);
+        assert_eq!(spaces.table(DomainId(1)).unwrap().pfn_of(1), Some(20));
+        assert_eq!(spaces.table(DomainId(1)).unwrap().pfn_of(7), None);
     }
 
     #[test]

@@ -29,14 +29,22 @@ use serde::{Deserialize, Serialize};
 pub struct HammerPattern {
     name: &'static str,
     aggressors: Vec<CacheLineAddr>,
-    /// Total accesses (each is one flush + one read) to perform.
+    /// Aggressor accesses (each is one flush + one read) to perform.
+    /// Decoy accesses inserted by pacing are *extra*: they never
+    /// consume this budget, so a paced pattern delivers the same
+    /// aggressor ACT pressure as an unpaced one.
     accesses: u64,
-    /// Idle `None`-free pacing: after every `burst` accesses the
-    /// pattern would pause; encoded by interleaving reads of a decoy
-    /// line (0 = no pacing).
+    /// Idle `None`-free pacing: after every `burst` aggressor accesses
+    /// the pattern would pause; encoded by interleaving reads of a
+    /// decoy line (0 = no pacing).
     pace_burst: u64,
     decoy: Option<CacheLineAddr>,
+    /// Aggressor accesses issued so far (decoys excluded).
     issued: u64,
+    /// Decoy accesses issued so far.
+    decoys_issued: u64,
+    /// Aggressor accesses since the last decoy insertion.
+    since_decoy: u64,
     pending_read: Option<CacheLineAddr>,
 }
 
@@ -58,6 +66,8 @@ impl HammerPattern {
             pace_burst: 0,
             decoy: None,
             issued: 0,
+            decoys_issued: 0,
+            since_decoy: 0,
             pending_read: None,
         }
     }
@@ -81,9 +91,13 @@ impl HammerPattern {
         HammerPattern::new("many-sided", aggressors, accesses)
     }
 
-    /// Adds deterministic pacing: after every `burst` hammer accesses,
-    /// one access goes to `decoy` instead — an attacker trying to keep
-    /// each aggressor just under a predictable counter threshold.
+    /// Adds deterministic pacing: after every `burst` aggressor
+    /// accesses, one *extra* access goes to `decoy` — an attacker
+    /// trying to keep each aggressor just under a predictable counter
+    /// threshold. Decoy accesses are pure overhead for the attacker;
+    /// they do not consume the aggressor access budget, so
+    /// [`HammerPattern::remaining`] always reports aggressor ACT
+    /// pressure still to come, never pending decoys.
     pub fn paced(mut self, burst: u64, decoy: CacheLineAddr) -> HammerPattern {
         self.name = "paced";
         self.pace_burst = burst;
@@ -96,9 +110,15 @@ impl HammerPattern {
         &self.aggressors
     }
 
-    /// Accesses remaining.
+    /// Aggressor accesses remaining (decoys excluded: the budget is
+    /// aggressor ACT pressure, and decoys ride along for free).
     pub fn remaining(&self) -> u64 {
         self.accesses.saturating_sub(self.issued)
+    }
+
+    /// Decoy accesses issued so far by a paced pattern.
+    pub fn decoys_issued(&self) -> u64 {
+        self.decoys_issued
     }
 }
 
@@ -116,16 +136,23 @@ impl Workload for HammerPattern {
         if let Some(line) = self.pending_read.take() {
             return Some(AccessOp::Read(line));
         }
+        // A decoy is due after every `pace_burst` aggressor accesses —
+        // and only while aggressor budget remains, so the stream never
+        // ends on a useless decoy.
+        if self.pace_burst > 0 && self.since_decoy >= self.pace_burst && self.issued < self.accesses
+        {
+            let decoy = self.decoy.expect("paced() sets a decoy");
+            self.since_decoy = 0;
+            self.decoys_issued += 1;
+            self.pending_read = Some(decoy);
+            return Some(AccessOp::Flush(decoy));
+        }
         if self.issued >= self.accesses {
             return None;
         }
-        let line = if self.pace_burst > 0 && self.issued % (self.pace_burst + 1) == self.pace_burst
-        {
-            self.decoy.expect("paced() sets a decoy")
-        } else {
-            self.aggressors[(self.issued % self.aggressors.len() as u64) as usize]
-        };
+        let line = self.aggressors[(self.issued % self.aggressors.len() as u64) as usize];
         self.issued += 1;
+        self.since_decoy += 1;
         self.pending_read = Some(line);
         Some(AccessOp::Flush(line))
     }
@@ -149,14 +176,19 @@ pub struct FuzzedHammer {
 }
 
 impl FuzzedHammer {
-    /// Generates a fuzzed pattern over `aggressors` with the given
-    /// deterministic `rng` (so campaigns are reproducible).
+    /// Generates a fuzzed pattern over `aggressors` from a dedicated
+    /// [`DetRng`](hammertime_common::DetRng) fork, taken by value: the
+    /// caller hands over a stream derived *only* from configuration
+    /// (seed, salt, pattern parameters), never from ambient machine
+    /// state, so the same seed produces the same schedule no matter
+    /// how many machines were built before this one or on which
+    /// worker thread the cell runs.
     ///
     /// # Panics
     ///
     /// Panics if `aggressors` is empty.
     pub fn generate(
-        rng: &mut hammertime_common::DetRng,
+        mut rng: hammertime_common::DetRng,
         aggressors: &[CacheLineAddr],
         accesses: u64,
     ) -> FuzzedHammer {
@@ -325,19 +357,48 @@ mod tests {
             .filter(|o| matches!(o, AccessOp::Read(_)))
             .map(|o| o.line())
             .collect();
-        // Every third access is the decoy.
-        assert_eq!(reads.iter().filter(|&&l| l == decoy).count(), 3);
+        // A decoy follows every second aggressor access; the 9
+        // aggressor accesses are all delivered on top.
+        assert_eq!(reads.iter().filter(|&&l| l == decoy).count(), 4);
+        assert_eq!(reads.iter().filter(|&&l| l == a).count(), 9);
         assert_eq!(w.name(), "paced");
+    }
+
+    #[test]
+    fn paced_decoys_excluded_from_aggressor_budget() {
+        // Regression: decoys used to consume the access budget, so a
+        // paced pattern delivered fewer aggressor ACTs than an unpaced
+        // one and remaining() conflated pending decoys with pending
+        // aggressor pressure.
+        let (a, b) = (CacheLineAddr(1), CacheLineAddr(3));
+        let decoy = CacheLineAddr(77);
+        let accesses = 30;
+        let mut paced = HammerPattern::double_sided(a, b, accesses).paced(4, decoy);
+        let mut plain = HammerPattern::double_sided(a, b, accesses);
+        let aggr_reads = |ops: Vec<AccessOp>| -> Vec<CacheLineAddr> {
+            ops.into_iter()
+                .filter(|o| matches!(o, AccessOp::Read(_)))
+                .map(|o| o.line())
+                .filter(|&l| l != decoy)
+                .collect()
+        };
+        assert_eq!(paced.remaining(), accesses);
+        let paced_aggr = aggr_reads(drain(&mut paced));
+        let plain_aggr = aggr_reads(drain(&mut plain));
+        // Same aggressor ACT pressure, in the same order.
+        assert_eq!(paced_aggr, plain_aggr);
+        assert_eq!(paced_aggr.len() as u64, accesses);
+        assert_eq!(paced.remaining(), 0);
+        // Decoys were issued, as extras: one per full burst of 4.
+        assert_eq!(paced.decoys_issued(), (accesses - 1) / 4);
     }
 
     #[test]
     fn fuzzed_hammer_is_nonuniform_but_reproducible() {
         use hammertime_common::DetRng;
         let aggressors: Vec<CacheLineAddr> = (0..6).map(|i| CacheLineAddr(i * 10)).collect();
-        let mut rng1 = DetRng::new(5);
-        let w1 = FuzzedHammer::generate(&mut rng1, &aggressors, 100);
-        let mut rng2 = DetRng::new(5);
-        let w2 = FuzzedHammer::generate(&mut rng2, &aggressors, 100);
+        let w1 = FuzzedHammer::generate(DetRng::new(5), &aggressors, 100);
+        let w2 = FuzzedHammer::generate(DetRng::new(5), &aggressors, 100);
         assert_eq!(w1.schedule(), w2.schedule(), "same seed, same pattern");
         // The schedule covers every aggressor with weighted repeats.
         let mut counts = std::collections::HashMap::new();

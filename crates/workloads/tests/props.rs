@@ -109,21 +109,56 @@ proptest! {
         prop_assert_eq!(back, trace);
     }
 
-    /// Paced patterns preserve the total access count and insert
-    /// decoys at exactly the configured period.
+    /// Paced patterns deliver the full aggressor access budget (decoys
+    /// are extras, excluded from it) and insert decoys at exactly the
+    /// configured period.
     #[test]
     fn paced_decoy_period(burst in 1u64..10, accesses in 1u64..300) {
         let decoy = CacheLineAddr(999);
-        let mut w = HammerPattern::single_sided(CacheLineAddr(1), accesses).paced(burst, decoy);
+        let aggr = CacheLineAddr(1);
+        let mut w = HammerPattern::single_sided(aggr, accesses).paced(burst, decoy);
         let reads: Vec<CacheLineAddr> = drain(&mut w)
             .into_iter()
             .filter(|o| matches!(o, AccessOp::Read(_)))
             .map(|o| o.line())
             .collect();
-        prop_assert_eq!(reads.len() as u64, accesses);
+        // Aggressor budget is preserved exactly; decoys ride on top,
+        // one after every completed burst (never trailing the stream).
+        let decoys = (accesses - 1) / burst;
+        prop_assert_eq!(reads.iter().filter(|&&l| l == aggr).count() as u64, accesses);
+        prop_assert_eq!(reads.iter().filter(|&&l| l == decoy).count() as u64, decoys);
+        prop_assert_eq!(reads.len() as u64, accesses + decoys);
+        prop_assert_eq!(w.remaining(), 0);
         for (i, line) in reads.iter().enumerate() {
             let is_decoy_slot = (i as u64) % (burst + 1) == burst;
             prop_assert_eq!(*line == decoy, is_decoy_slot, "position {}", i);
         }
+    }
+
+    /// Fuzzed-hammer schedules are a pure function of the rng fork
+    /// handed in: the same seed yields the same schedule no matter how
+    /// many unrelated draws other machines made first (the property
+    /// that makes A1 byte-identical across `--jobs 1/8`).
+    #[test]
+    fn fuzzed_schedule_is_seed_deterministic(
+        seed in any::<u64>(),
+        n_aggr in 1usize..8,
+        noise_draws in 0u64..64,
+    ) {
+        use hammertime_workloads::FuzzedHammer;
+        let aggressors: Vec<CacheLineAddr> =
+            (0..n_aggr as u64).map(|i| CacheLineAddr(i * 100)).collect();
+        let reference = FuzzedHammer::generate(DetRng::new(seed), &aggressors, 50);
+        // Simulate another worker interleaving arbitrary machine
+        // construction: ambient draws must not shift the schedule.
+        let mut ambient = DetRng::new(seed ^ 0xDEAD);
+        for _ in 0..noise_draws {
+            ambient.next_u64();
+        }
+        let again = FuzzedHammer::generate(DetRng::new(seed), &aggressors, 50);
+        prop_assert_eq!(reference.schedule(), again.schedule());
+        // And the ops streams match end to end.
+        let (mut a, mut b) = (reference.clone(), again.clone());
+        prop_assert_eq!(drain(&mut a), drain(&mut b));
     }
 }
