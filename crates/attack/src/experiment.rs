@@ -5,8 +5,8 @@
 //! ground-truth adjacency, how many raw cross-domain flips landed, how
 //! many the victim orchestrator actually counted, and what the defense
 //! spent. The curated triple set covers every allocator, every
-//! hammerer, and every victim at least once (12 triples × 4 slates =
-//! 48 rows) — the full 72-triple product is enumerable via
+//! hammerer, and every victim at least once (12 triples × 7 slates =
+//! 84 rows) — the full 72-triple product is enumerable via
 //! [`AttackSpec::all_triples`] and the `attack --list-combos` CLI.
 
 use hammertime::experiments::{Cell, CellCtx, Experiment};
@@ -37,13 +37,18 @@ pub const A1_TRIPLES: [&str; 12] = [
     "spoiler/many:6/ptbit",
 ];
 
-/// The defense slate each triple runs against.
-fn slate() -> [DefenseKind; 4] {
+/// The defense slate each triple runs against: one representative per
+/// taxonomy class plus the three accounting-era families (BreakHammer
+/// throttle, Rubix scramble, CATT partition).
+fn slate() -> [DefenseKind; 7] {
     [
         DefenseKind::None,
         DefenseKind::InDramTrr { table_size: 4 },
         DefenseKind::VictimRefreshInstr,
         DefenseKind::SubarrayIsolation,
+        DefenseKind::BreakHammer { score_threshold: 4 },
+        DefenseKind::RubixMapping,
+        DefenseKind::CattPartition,
     ]
 }
 

@@ -613,6 +613,26 @@ fn fleet_run(args: &[String]) -> Result<()> {
                     }
                 }
             }
+            "--slates" => {
+                let list = value();
+                // The fleet runs at the fast-scale MAC (the default
+                // slates' PARA probability 8/24 pins it).
+                cfg.slates = list
+                    .split(',')
+                    .map(|s| s.trim())
+                    .filter(|s| !s.is_empty())
+                    .map(|name| {
+                        parse_defense(name, 24).unwrap_or_else(|| {
+                            bad(format!(
+                                "--slates: unknown defense {name}; see `hammertime-cli catalog`"
+                            ))
+                        })
+                    })
+                    .collect();
+                if cfg.slates.is_empty() {
+                    bad("--slates needs a comma-separated defense list".into());
+                }
+            }
             "--trace-machine" => {
                 cfg.trace_machine = Some(
                     value()
@@ -1113,7 +1133,8 @@ fn usage() -> ! {
                              [--faults PLAN.json] [--step-budget N] [--strict]\n\
            hammertime-cli fleet run [--machines N] [--tenants M] [--jobs K] [--epochs E]\n\
                              [--windows W] [--seed S] [--full] [--faults PLAN.json]\n\
-                             [--attack-triples A/H/V,...] [--step-budget N] [--json PATH]\n\
+                             [--slates NAME,...] [--attack-triples A/H/V,...]\n\
+                             [--step-budget N] [--json PATH]\n\
                              [--trace-machine ID --trace-out PATH] [--strict]\n\
                              [--durable DIR | --resume DIR]\n\
                              [--supervise N [--quarantine-after K] [--hb-timeout-ms MS]\n\

@@ -53,6 +53,54 @@ impl fmt::Display for DomainId {
     }
 }
 
+/// Per-domain mitigation-trigger counts: how much defense work a
+/// tenant's request stream has caused.
+///
+/// This is the accounting substrate BreakHammer-style throttling needs
+/// (score suspects by the mitigation triggers they cause, not by raw
+/// bandwidth). The memory controller maintains one of these per domain;
+/// a tenant's counts travel with it across checkpoint/restore and fleet
+/// migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TriggerCounts {
+    /// ACTs this domain fed into the in-DRAM TRR sampler.
+    pub trr_samples: u64,
+    /// MC mitigation throttle delays (BlockHammer/BreakHammer) imposed
+    /// on this domain's requests.
+    pub throttle_delays: u64,
+    /// MC mitigation neighbor-refreshes (PARA/Graphene/TWiCe/Oracle
+    /// reactions) provoked by this domain's ACTs.
+    pub mitigations: u64,
+    /// Forced refreshes (starvation-barrier REFs) attributed to this
+    /// domain's traffic.
+    pub forced_refs: u64,
+    /// Precise ACT-counter interrupts charged to this domain (dominant
+    /// contributor of the overflowed window).
+    pub act_interrupts: u64,
+}
+
+impl TriggerCounts {
+    /// Total triggers across all kinds (the BreakHammer suspect score
+    /// input).
+    pub fn total(&self) -> u64 {
+        self.trr_samples
+            + self.throttle_delays
+            + self.mitigations
+            + self.forced_refs
+            + self.act_interrupts
+    }
+
+    /// Adds another set of counts into this one (migration import,
+    /// fleet folds).
+    pub fn merge(&mut self, other: &TriggerCounts) {
+        self.trr_samples += other.trr_samples;
+        self.throttle_delays += other.throttle_delays;
+        self.mitigations += other.mitigations;
+        self.forced_refs += other.forced_refs;
+        self.act_interrupts += other.act_interrupts;
+    }
+}
+
 /// Who issued a memory request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RequestSource {

@@ -36,7 +36,7 @@ pub mod time;
 pub mod traceformat;
 
 pub use addr::{CacheLineAddr, PhysAddr, VirtAddr, CACHE_LINE_BYTES, PAGE_BYTES};
-pub use domain::{DomainId, RequestSource};
+pub use domain::{DomainId, RequestSource, TriggerCounts};
 pub use error::{Error, Result};
 pub use fault::{FaultClock, FaultKind, FaultPlan};
 pub use geometry::{DramCoord, Geometry};

@@ -26,6 +26,8 @@ impl Experiment for E9 {
             "energy",
             "extra refreshes",
             "throttle cycles",
+            "quota throttles",
+            "interrupts",
         ]
     }
 
@@ -46,6 +48,8 @@ impl Experiment for E9 {
                             + r.overhead.refresh_ops)
                             .to_string(),
                         r.overhead.throttle_cycles.to_string(),
+                        r.overhead.quota_throttles.to_string(),
+                        r.overhead.interrupts.to_string(),
                     ]])
                 })
             })

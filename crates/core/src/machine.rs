@@ -258,6 +258,12 @@ pub struct TenantExport {
     pub workload: Option<Box<dyn Workload>>,
     /// Operations the tenant completed on the source machine.
     pub ops_done: u64,
+    /// Mitigation triggers the source controller charged to this
+    /// tenant. They travel with the export: the destination merges
+    /// them into its own ledger (and re-seeds its suspect score from
+    /// the total), so a hammering tenant cannot shed its history by
+    /// migrating.
+    pub triggers: hammertime_common::TriggerCounts,
 }
 
 impl std::fmt::Debug for TenantExport {
@@ -266,6 +272,7 @@ impl std::fmt::Debug for TenantExport {
             .field("domain", &self.domain)
             .field("pages", &self.pages)
             .field("ops_done", &self.ops_done)
+            .field("triggers", &self.triggers)
             .finish()
     }
 }
@@ -427,6 +434,21 @@ impl Machine {
                 PlacementPolicy::ZebramGuard { radius },
                 false,
             ),
+            // The scramble seed is derived from the machine seed so two
+            // machines with the same config install the same permutation
+            // (determinism) while distinct seeds get distinct mappings.
+            DefenseKind::RubixMapping => (
+                MappingScheme::RubixScramble {
+                    seed: cfg.seed ^ 0x5CB1,
+                },
+                PlacementPolicy::Default,
+                false,
+            ),
+            DefenseKind::CattPartition => (
+                MappingScheme::CacheLineInterleave,
+                PlacementPolicy::CattPartition { radius },
+                false,
+            ),
             _ => (
                 MappingScheme::CacheLineInterleave,
                 PlacementPolicy::Default,
@@ -460,6 +482,16 @@ impl Machine {
                 fraction: 0.3,
                 mac,
                 radius: cfg.disturbance.blast_radius,
+            },
+            // The quota scales with the MAC (a tenant hammering at the
+            // MAC per window is exactly who the throttle is for) and
+            // decays on the same half-refresh-window epoch BlockHammer
+            // uses, so rehabilitated tenants recover quickly.
+            DefenseKind::BreakHammer { score_threshold } => McMitigationConfig::BreakHammer {
+                score_threshold,
+                quota: mac.max(8),
+                delay: 1_000,
+                epoch: t.t_refw / 2,
             },
             _ => McMitigationConfig::None,
         };
@@ -730,6 +762,7 @@ impl Machine {
             pages,
             workload: tenant.workload,
             ops_done: tenant.ops_done,
+            triggers: self.mc.export_triggers(domain),
         })
     }
 
@@ -753,6 +786,7 @@ impl Machine {
             )));
         }
         self.add_tenant(export.domain, export.pages)?;
+        self.mc.import_triggers(export.domain, export.triggers);
         if let Some(workload) = export.workload {
             self.set_workload(export.domain, workload)?;
         }
@@ -1609,6 +1643,10 @@ impl Machine {
         };
         report.overhead.guard_frames = self.allocator.guard_frames;
         report.overhead.throttle_cycles = self.mc.mitigation().throttle_cycles;
+        report.overhead.quota_throttles = self.mc.mitigation().quota_throttles;
+        for (&domain, &counts) in self.mc.trigger_ledger() {
+            report.triggers_by_tenant.insert(domain, counts);
+        }
         for f in &self.flips {
             if let Some(v) = f.victim_domain {
                 *report.flips_by_victim.entry(v.0).or_insert(0) += 1;

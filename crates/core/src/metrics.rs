@@ -57,6 +57,10 @@ pub struct SimReport {
     pub flips_cross_by_victim: BTreeMap<u32, u64>,
     /// Operations completed per tenant domain id.
     pub ops_by_tenant: BTreeMap<u32, u64>,
+    /// Mitigation-trigger accounting per tenant domain id: every TRR
+    /// sample, throttle delay, neighbor refresh, forced REF, and ACT
+    /// interrupt the controller charged to the issuing tenant.
+    pub triggers_by_tenant: BTreeMap<u32, hammertime_common::TriggerCounts>,
     /// Controller statistics.
     pub mc: McStats,
     /// Device statistics.
@@ -101,6 +105,9 @@ pub struct DefenseOverhead {
     pub interrupts: u64,
     /// Throttle stall cycles imposed by the MC mitigation.
     pub throttle_cycles: u64,
+    /// ACTs throttled by BreakHammer's per-tenant quota (a subset of
+    /// the throttle work `throttle_cycles` prices).
+    pub quota_throttles: u64,
     /// SRAM/CAM area proxy of the hardware mitigation, bits.
     pub sram_bits: u64,
 }

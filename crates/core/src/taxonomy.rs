@@ -117,6 +117,22 @@ pub enum DefenseKind {
         /// Sampled misses per row before reacting.
         miss_threshold: u32,
     },
+    /// BreakHammer-style per-tenant quota throttling in the MC: every
+    /// mitigation trigger (TRR sample, interrupt, forced REF) raises
+    /// the issuing tenant's suspect score; suspects above the
+    /// threshold get their ACT quota throttled.
+    BreakHammer {
+        /// Suspect score at which a tenant's quota kicks in.
+        score_threshold: u64,
+    },
+    /// Rubix-style randomized line→row mapping: a seeded bijective
+    /// scramble of the row space dilutes any aggressor's blast radius
+    /// across the bank at some row-buffer-locality cost.
+    RubixMapping,
+    /// CATT-style physical kernel/user partitioning in the frame
+    /// allocator: guard rows separate the kernel region from user
+    /// tenants so no cross-privilege aggressor/victim pair exists.
+    CattPartition,
 }
 
 impl DefenseKind {
@@ -126,8 +142,14 @@ impl DefenseKind {
         use DefenseKind::*;
         Some(match self {
             None => return Option::None,
-            SubarrayIsolation | BankPartitionIsolation | ZebramGuard => MitigationClass::Isolation,
-            BlockHammer { .. } | AggressorRemap | LineLocking => MitigationClass::Frequency,
+            SubarrayIsolation
+            | BankPartitionIsolation
+            | ZebramGuard
+            | RubixMapping
+            | CattPartition => MitigationClass::Isolation,
+            BlockHammer { .. } | AggressorRemap | LineLocking | BreakHammer { .. } => {
+                MitigationClass::Frequency
+            }
             InDramTrr { .. }
             | Para { .. }
             | Graphene { .. }
@@ -146,10 +168,15 @@ impl DefenseKind {
         Some(match self {
             None => return Option::None,
             InDramTrr { .. } => Locus::InDram,
-            Para { .. } | Graphene { .. } | BlockHammer { .. } | TwiceLite { .. } | Oracle => {
-                Locus::MemCtrl
-            }
-            SubarrayIsolation
+            Para { .. }
+            | Graphene { .. }
+            | BlockHammer { .. }
+            | TwiceLite { .. }
+            | Oracle
+            | BreakHammer { .. }
+            | RubixMapping => Locus::MemCtrl,
+            CattPartition
+            | SubarrayIsolation
             | BankPartitionIsolation
             | ZebramGuard
             | AggressorRemap
@@ -171,6 +198,7 @@ impl DefenseKind {
                 | DefenseKind::VictimRefreshInstr
                 | DefenseKind::VictimRefreshRefNeighbors
                 | DefenseKind::VictimRefreshConvoluted
+                | DefenseKind::BreakHammer { .. }
         )
     }
 
@@ -207,6 +235,9 @@ impl DefenseKind {
             VictimRefreshRefNeighbors => "victim-refresh/refn",
             VictimRefreshConvoluted => "victim-refresh/convoluted",
             Anvil { .. } => "anvil",
+            BreakHammer { .. } => "breakhammer",
+            RubixMapping => "rubix",
+            CattPartition => "catt",
         }
     }
 
@@ -232,6 +263,9 @@ impl DefenseKind {
             DefenseKind::VictimRefreshRefNeighbors,
             DefenseKind::VictimRefreshConvoluted,
             DefenseKind::Anvil { miss_threshold: 4 },
+            DefenseKind::BreakHammer { score_threshold: 4 },
+            DefenseKind::RubixMapping,
+            DefenseKind::CattPartition,
         ]
     }
 }

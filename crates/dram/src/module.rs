@@ -308,6 +308,13 @@ impl DramModule {
         s
     }
 
+    /// Total ACTs the in-DRAM TRR sampler has observed so far (0 when
+    /// TRR is absent). The memory controller snapshots this around a
+    /// demand ACT to charge sampler work to the issuing tenant.
+    pub fn trr_samples(&self) -> u64 {
+        self.trr.as_ref().map_or(0, |t| t.samples)
+    }
+
     /// Total device-side faults injected so far: rate-based decisions
     /// that fired (dropped/ghost REFs, TRR sampler misses) plus ACT
     /// increments swallowed by counter saturation.

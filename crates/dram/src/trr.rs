@@ -84,6 +84,10 @@ pub struct TrrEngine {
     rng: DetRng,
     /// Total targeted refreshes performed (stats).
     pub targeted_refreshes: u64,
+    /// Total ACTs fed to the samplers (stats). The memory controller
+    /// reads this around each demand ACT to attribute sampler work to
+    /// the issuing tenant.
+    pub samples: u64,
 }
 
 impl TrrEngine {
@@ -103,6 +107,7 @@ impl TrrEngine {
             samplers: (0..banks).map(|_| mk()).collect(),
             rng,
             targeted_refreshes: 0,
+            samples: 0,
         }
     }
 
@@ -119,6 +124,7 @@ impl TrrEngine {
     /// Panics if `flat_bank` exceeds the bank count given at
     /// construction.
     pub fn observe_act(&mut self, flat_bank: usize, row: u32) {
+        self.samples += 1;
         let cap = self.config.table_size;
         match &mut self.samplers[flat_bank] {
             Sampler::MisraGries { entries } => {

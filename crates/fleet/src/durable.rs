@@ -387,6 +387,7 @@ mod tests {
             pages: 1,
             ops_done: 5,
             workload: None,
+            triggers: hammertime_common::TriggerCounts::default(),
         }
     }
 

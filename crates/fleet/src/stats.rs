@@ -124,14 +124,24 @@ fn insert_sorted(v: &mut Vec<f64>, x: f64) {
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice: the
-/// smallest element with rank `>= q * len` (at least rank 1). `0.0`
-/// for an empty slice.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// smallest element with rank `>= q * len` (at least rank 1). `None`
+/// for an empty slice — an all-failed slate has *no* distribution, and
+/// rendering it as `0.0` would read as "measured and perfectly clean".
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        return None;
     }
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    Some(sorted[rank - 1])
+}
+
+/// Renders a percentile cell: the value at `precision` decimals, or
+/// `-` when the distribution is empty.
+fn percentile_cell(sorted: &[f64], q: f64, precision: usize) -> String {
+    match percentile(sorted, q) {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    }
 }
 
 /// The fleet's population statistics, per slate (sorted by slate
@@ -218,20 +228,23 @@ pub const POPULATION_COLUMNS: &[&str] = &[
 pub fn population_row(slate: &str, s: &SlateStats) -> Vec<String> {
     let f = &s.flip_rate;
     let o = &s.overhead;
-    let max = f.last().copied().unwrap_or(0.0);
+    let max = match f.last() {
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    };
     vec![
         slate.to_string(),
         s.machines.to_string(),
         s.attacked.to_string(),
         s.failed.to_string(),
         s.migrations_in.to_string(),
-        format!("{:.3}", percentile(f, 0.50)),
-        format!("{:.3}", percentile(f, 0.90)),
-        format!("{:.3}", percentile(f, 0.99)),
-        format!("{max:.3}"),
-        format!("{:.3}", percentile(o, 0.50)),
-        format!("{:.3}", percentile(o, 0.99)),
-        format!("{:.2}", percentile(&s.throughput, 0.50)),
+        percentile_cell(f, 0.50, 3),
+        percentile_cell(f, 0.90, 3),
+        percentile_cell(f, 0.99, 3),
+        max,
+        percentile_cell(o, 0.50, 3),
+        percentile_cell(o, 0.99, 3),
+        percentile_cell(&s.throughput, 0.50, 2),
     ]
 }
 
@@ -253,12 +266,45 @@ mod tests {
     #[test]
     fn percentile_is_nearest_rank() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&v, 0.0), 1.0);
-        assert_eq!(percentile(&v, 0.25), 1.0);
-        assert_eq!(percentile(&v, 0.5), 2.0);
-        assert_eq!(percentile(&v, 0.51), 3.0);
-        assert_eq!(percentile(&v, 1.0), 4.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 0.25), Some(1.0));
+        assert_eq!(percentile(&v, 0.5), Some(2.0));
+        assert_eq!(percentile(&v, 0.51), Some(3.0));
+        assert_eq!(percentile(&v, 1.0), Some(4.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn empty_distributions_render_as_dashes_not_zeros() {
+        // A slate whose every machine failed has counts but no
+        // samples; its row must say "no data", not "0.000 flips".
+        let s = SlateStats {
+            machines: 3,
+            failed: 3,
+            ..SlateStats::default()
+        };
+        let row = population_row("breakhammer", &s);
+        assert_eq!(row[0], "breakhammer");
+        assert_eq!(row[1], "3");
+        assert_eq!(row[3], "3");
+        for cell in &row[5..] {
+            assert_eq!(cell, "-", "empty distribution must render as -");
+        }
+    }
+
+    #[test]
+    fn merging_empty_slates_stays_empty() {
+        let mut a = SlateStats {
+            machines: 1,
+            failed: 1,
+            ..SlateStats::default()
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.machines, 2);
+        assert_eq!(a.failed, 2);
+        assert!(a.flip_rate.is_empty());
+        assert_eq!(percentile(&a.flip_rate, 0.99), None);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! stay byte-identical to the in-process runner's.
 
 use hammertime::machine::TenantExport;
-use hammertime_common::{DomainId, Error, Result};
+use hammertime_common::{DomainId, Error, Result, TriggerCounts};
 use hammertime_workloads::WorkloadSnapshot;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +31,10 @@ pub struct WirePosting {
     pub ops_done: u64,
     /// The workload mid-stream (`None` if the tenant had none).
     pub workload: Option<WorkloadSnapshot>,
+    /// Mitigation triggers the source controller charged to the
+    /// tenant; the destination merges them so attribution follows the
+    /// tenant across process and journal boundaries.
+    pub triggers: TriggerCounts,
 }
 
 impl WirePosting {
@@ -60,6 +64,7 @@ impl WirePosting {
             pages: export.pages,
             ops_done: export.ops_done,
             workload,
+            triggers: export.triggers,
         })
     }
 
@@ -74,6 +79,7 @@ impl WirePosting {
             pages: self.pages,
             workload,
             ops_done: self.ops_done,
+            triggers: self.triggers,
         })
     }
 }
@@ -104,6 +110,11 @@ mod tests {
             pages: 2,
             workload: Some(Box::new(w)),
             ops_done: 7,
+            triggers: TriggerCounts {
+                trr_samples: 3,
+                act_interrupts: 2,
+                ..TriggerCounts::default()
+            },
         }
     }
 
@@ -118,6 +129,7 @@ mod tests {
         assert_eq!(restored.domain, original.domain);
         assert_eq!(restored.pages, original.pages);
         assert_eq!(restored.ops_done, original.ops_done);
+        assert_eq!(restored.triggers, original.triggers);
         let mut a = original.workload.unwrap();
         let mut b = restored.workload.unwrap();
         loop {
@@ -136,6 +148,7 @@ mod tests {
             pages: 1,
             workload: None,
             ops_done: 0,
+            triggers: TriggerCounts::default(),
         };
         let wire = WirePosting::capture(2, 0, &e).unwrap();
         assert!(wire.workload.is_none());
@@ -151,6 +164,7 @@ mod tests {
             pages: 0,
             ops_done: 0,
             workload: None,
+            triggers: TriggerCounts::default(),
         };
         let mut v = vec![p(2, 1, 9), p(1, 3, 1), p(1, 2, 5), p(1, 2, 4)];
         sort_canonical(&mut v);

@@ -152,6 +152,7 @@ fn detach_mid_run() -> (TenantExport, TenantExport) {
             .map(Some)
             .expect("stream workloads are checkpointable"),
         ops_done: export.ops_done,
+        triggers: export.triggers,
     };
     (export, twin)
 }
@@ -172,6 +173,62 @@ fn migration_round_trip_matches_from_scratch_run() {
         serde_json::to_string(&b.report()).unwrap()
     };
     assert_eq!(run_b(export), run_b(twin));
+}
+
+/// Trigger attribution follows a migrating tenant. A tenant caught
+/// hammering on machine A (BreakHammer charges its ledger and suspect
+/// score) is detached — A forgets it entirely, and further running
+/// must not re-attribute anything to the departed domain — and
+/// admitted on machine B (different geometry), where the ledger entry
+/// and the suspicion it implies are restored from the export.
+#[test]
+fn migrated_tenant_carries_its_trigger_ledger() {
+    use hammertime::scenario::CloudScenario;
+    let bh = DefenseKind::BreakHammer { score_threshold: 4 };
+    let mut cfg = MachineConfig::fast(bh, 24);
+    cfg.seed = 7;
+    let mut s = CloudScenario::build(cfg).unwrap();
+    s.arm_double_sided(3_000).unwrap();
+    s.run_windows(20);
+
+    let hammerer = s.attacker;
+    let charged = s.machine.mc().trigger_counts(hammerer);
+    assert!(charged.total() > 0, "hammering must charge triggers");
+
+    let export = s.machine.detach_tenant(hammerer).unwrap();
+    assert_eq!(export.triggers, charged, "export must carry the ledger");
+    assert!(
+        !s.machine.mc().trigger_ledger().contains_key(&hammerer.0),
+        "source must drop the departed tenant's ledger entry"
+    );
+    assert_eq!(s.machine.mc().mitigation().suspect_score(hammerer), 0);
+    s.run_windows(5);
+    assert_eq!(
+        s.machine.mc().trigger_counts(hammerer).total(),
+        0,
+        "stale attribution to a departed domain"
+    );
+
+    let mut bcfg = MachineConfig::fast(bh, 24);
+    bcfg.geometry = MachineClass::Compact.geometry();
+    bcfg.seed = 11;
+    let mut b = Machine::new(bcfg).unwrap();
+    b.admit_tenant(export).unwrap();
+    assert_eq!(
+        b.mc().trigger_counts(hammerer),
+        charged,
+        "destination must restore the migrated ledger entry"
+    );
+    assert_eq!(
+        b.mc().mitigation().suspect_score(hammerer),
+        charged.total(),
+        "suspicion must be sticky across migration"
+    );
+    assert_eq!(
+        b.report().triggers_by_tenant.get(&hammerer.0),
+        Some(&charged),
+        "the report must surface the restored entry"
+    );
 }
 
 /// The refuse path at the fleet level: remapping the address map under

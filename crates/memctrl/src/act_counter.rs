@@ -15,8 +15,9 @@
 //! value* written back after each overflow; a randomized reset window
 //! prevents attackers pacing their ACTs to dodge sampling (§4.2).
 
-use hammertime_common::{CacheLineAddr, Cycle, DetRng};
+use hammertime_common::{CacheLineAddr, Cycle, DetRng, DomainId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Whether overflow interrupts carry the triggering address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -38,6 +39,13 @@ pub struct ActInterrupt {
     /// Triggering cache line — `Some` only with
     /// [`Precision::AddressReporting`].
     pub addr: Option<CacheLineAddr>,
+    /// Trust domain charged with the overflow: the domain with the
+    /// highest single-row ACT concentration in the overflowed window
+    /// (ties broken toward the lower domain id, then the lower row).
+    /// `None` for a *diffuse* window — one where no domain
+    /// re-activated any single row often enough to look like
+    /// hammering — or when the window recorded no attributable ACTs.
+    pub domain: Option<DomainId>,
 }
 
 /// Host-programmable counter configuration.
@@ -80,6 +88,14 @@ impl ActCounterConfig {
 pub struct ActCounterBlock {
     config: ActCounterConfig,
     counts: Vec<u64>,
+    /// Per-channel `(domain, row)` ACT counts within the current
+    /// overflow window; cleared at each overflow. The counter itself
+    /// is *shared* across the channel, so attribution must not blame
+    /// whoever happens to dominate raw volume: a sequential streamer
+    /// can overflow the channel total alone without ever re-activating
+    /// a row. Charging instead keys on single-row concentration — the
+    /// signature of actual hammering.
+    window_rows: Vec<BTreeMap<(u32, u64), u64>>,
     pending: Vec<ActInterrupt>,
     rng: DetRng,
     /// Total overflows raised (stats).
@@ -92,6 +108,7 @@ impl ActCounterBlock {
         ActCounterBlock {
             config,
             counts: vec![0; channels as usize],
+            window_rows: vec![BTreeMap::new(); channels as usize],
             pending: Vec::new(),
             rng,
             overflows: 0,
@@ -104,6 +121,9 @@ impl ActCounterBlock {
         for c in &mut self.counts {
             *c = 0;
         }
+        for w in &mut self.window_rows {
+            w.clear();
+        }
     }
 
     /// Current configuration.
@@ -111,13 +131,24 @@ impl ActCounterBlock {
         self.config
     }
 
-    /// Records an ACT on `channel` triggered by a RD/WR to `line`,
-    /// raising an interrupt on overflow.
-    pub fn on_act(&mut self, channel: u32, line: CacheLineAddr, now: Cycle) {
+    /// Records an ACT on `channel` triggered by a RD/WR to `line`
+    /// issued by `domain` against the channel-unique row key `row`,
+    /// raising an interrupt on overflow. Returns the domain charged
+    /// with the overflow when one fires.
+    pub fn on_act(
+        &mut self,
+        channel: u32,
+        line: CacheLineAddr,
+        domain: DomainId,
+        row: u64,
+        now: Cycle,
+    ) -> Option<DomainId> {
         if self.config.threshold == 0 {
-            return; // counters disabled
+            return None; // counters disabled
         }
-        let c = &mut self.counts[channel as usize];
+        let ch = channel as usize;
+        *self.window_rows[ch].entry((domain.0, row)).or_insert(0) += 1;
+        let c = &mut self.counts[ch];
         *c += 1;
         if *c >= self.config.threshold {
             self.overflows += 1;
@@ -127,6 +158,22 @@ impl ActCounterBlock {
                 self.rng.below(self.config.randomize_reset_window + 1)
             };
             *c = reset;
+            // Charge the window's most row-concentrated contributor,
+            // and only when that concentration itself looks like
+            // hammering: at least `threshold / 4` (min 2) ACTs to a
+            // single row. A diffuse window — a streamer tripping the
+            // shared channel total one row at a time — charges nobody.
+            // BTreeMap iterates ascending, so a strict `>` keeps the
+            // lower (domain, row) on ties.
+            let floor = (self.config.threshold / 4).max(2);
+            let mut top: Option<((u32, u64), u64)> = None;
+            for (&k, &n) in &self.window_rows[ch] {
+                if top.is_none_or(|(_, best)| n > best) {
+                    top = Some((k, n));
+                }
+            }
+            self.window_rows[ch].clear();
+            let charged = top.and_then(|((d, _), n)| (n >= floor).then_some(DomainId(d)));
             self.pending.push(ActInterrupt {
                 channel,
                 time: now,
@@ -134,7 +181,11 @@ impl ActCounterBlock {
                     Precision::AddressReporting => Some(line),
                     Precision::CountOnly => None,
                 },
+                domain: charged,
             });
+            charged
+        } else {
+            None
         }
     }
 
@@ -165,7 +216,7 @@ mod tests {
             precision: Precision::AddressReporting,
         });
         for i in 0..3 {
-            b.on_act(0, CacheLineAddr(100 + i), Cycle(i));
+            b.on_act(0, CacheLineAddr(100 + i), DomainId(1), 0, Cycle(i));
         }
         let ints = b.drain();
         assert_eq!(ints.len(), 1);
@@ -182,8 +233,8 @@ mod tests {
     #[test]
     fn legacy_interrupt_reports_no_address() {
         let mut b = block(ActCounterConfig::legacy(2));
-        b.on_act(1, CacheLineAddr(7), Cycle(0));
-        b.on_act(1, CacheLineAddr(8), Cycle(1));
+        b.on_act(1, CacheLineAddr(7), DomainId(1), 0, Cycle(0));
+        b.on_act(1, CacheLineAddr(8), DomainId(1), 0, Cycle(1));
         let ints = b.drain();
         assert_eq!(ints.len(), 1);
         assert_eq!(ints[0].addr, None, "status quo is address-blind");
@@ -192,9 +243,9 @@ mod tests {
     #[test]
     fn channels_count_independently() {
         let mut b = block(ActCounterConfig::legacy(3));
-        b.on_act(0, CacheLineAddr(0), Cycle(0));
-        b.on_act(0, CacheLineAddr(0), Cycle(1));
-        b.on_act(1, CacheLineAddr(0), Cycle(2));
+        b.on_act(0, CacheLineAddr(0), DomainId(1), 0, Cycle(0));
+        b.on_act(0, CacheLineAddr(0), DomainId(1), 0, Cycle(1));
+        b.on_act(1, CacheLineAddr(0), DomainId(1), 0, Cycle(2));
         assert_eq!(b.count(0), 2);
         assert_eq!(b.count(1), 1);
         assert!(b.drain().is_empty());
@@ -204,7 +255,7 @@ mod tests {
     fn deterministic_reset_restarts_from_zero() {
         let mut b = block(ActCounterConfig::legacy(2));
         for i in 0..6 {
-            b.on_act(0, CacheLineAddr(0), Cycle(i));
+            b.on_act(0, CacheLineAddr(0), DomainId(1), 0, Cycle(i));
         }
         assert_eq!(b.overflows, 3);
         assert_eq!(b.count(0), 0);
@@ -220,7 +271,7 @@ mod tests {
         let mut spacings = Vec::new();
         let mut last = 0u64;
         for i in 0..5_000u64 {
-            b.on_act(0, CacheLineAddr(0), Cycle(i));
+            b.on_act(0, CacheLineAddr(0), DomainId(1), 0, Cycle(i));
             let n = b.overflows;
             if n > 0 && b.count(0) != last {
                 // record at overflow boundaries
@@ -246,7 +297,7 @@ mod tests {
             precision: Precision::AddressReporting,
         });
         for i in 0..100 {
-            b.on_act(0, CacheLineAddr(0), Cycle(i));
+            b.on_act(0, CacheLineAddr(0), DomainId(1), 0, Cycle(i));
         }
         assert!(b.drain().is_empty());
         assert_eq!(b.overflows, 0);
@@ -256,11 +307,84 @@ mod tests {
     fn reconfigure_clears_counts() {
         let mut b = block(ActCounterConfig::legacy(10));
         for i in 0..5 {
-            b.on_act(0, CacheLineAddr(0), Cycle(i));
+            b.on_act(0, CacheLineAddr(0), DomainId(1), 0, Cycle(i));
         }
         assert_eq!(b.count(0), 5);
         b.reconfigure(ActCounterConfig::precise(4));
         assert_eq!(b.count(0), 0);
         assert_eq!(b.config().precision, Precision::AddressReporting);
+    }
+
+    #[test]
+    fn interrupt_charges_dominant_window_domain() {
+        let mut b = block(ActCounterConfig::legacy(5));
+        // Domain 7 issues 3 of the 5 ACTs in the window, domain 2 two.
+        for i in 0..3 {
+            b.on_act(0, CacheLineAddr(0), DomainId(7), 0, Cycle(i));
+        }
+        b.on_act(0, CacheLineAddr(0), DomainId(2), 0, Cycle(3));
+        let fired = b.on_act(0, CacheLineAddr(0), DomainId(2), 0, Cycle(4));
+        assert_eq!(fired, Some(DomainId(7)));
+        let ints = b.drain();
+        assert_eq!(ints.len(), 1);
+        assert_eq!(ints[0].domain, Some(DomainId(7)));
+    }
+
+    #[test]
+    fn attribution_ties_break_toward_lower_domain_id() {
+        let mut b = block(ActCounterConfig::legacy(4));
+        b.on_act(0, CacheLineAddr(0), DomainId(9), 0, Cycle(0));
+        b.on_act(0, CacheLineAddr(0), DomainId(3), 0, Cycle(1));
+        b.on_act(0, CacheLineAddr(0), DomainId(9), 0, Cycle(2));
+        let fired = b.on_act(0, CacheLineAddr(0), DomainId(3), 0, Cycle(3));
+        assert_eq!(fired, Some(DomainId(3)), "2 vs 2 tie goes to lower id");
+    }
+
+    #[test]
+    fn diffuse_windows_are_unattributed() {
+        let mut b = block(ActCounterConfig::legacy(8));
+        // A streamer touching eight distinct rows overflows the shared
+        // channel total without re-activating any one of them: nobody
+        // is hammering, so the interrupt fires but charges nobody.
+        for i in 0..7 {
+            b.on_act(0, CacheLineAddr(i), DomainId(4), i, Cycle(i));
+        }
+        let fired = b.on_act(0, CacheLineAddr(7), DomainId(4), 7, Cycle(7));
+        assert_eq!(fired, None, "diffuse window must not charge anyone");
+        let ints = b.drain();
+        assert_eq!(ints.len(), 1, "the interrupt itself still fires");
+        assert_eq!(ints[0].domain, None);
+    }
+
+    #[test]
+    fn row_concentration_beats_raw_volume() {
+        let mut b = block(ActCounterConfig::legacy(8));
+        // Domain 9 issues five diffuse ACTs (more volume); domain 2
+        // re-activates one row three times (the hammer signature).
+        for i in 0..5 {
+            b.on_act(0, CacheLineAddr(i), DomainId(9), 100 + i, Cycle(i));
+        }
+        b.on_act(0, CacheLineAddr(50), DomainId(2), 7, Cycle(5));
+        b.on_act(0, CacheLineAddr(50), DomainId(2), 7, Cycle(6));
+        let fired = b.on_act(0, CacheLineAddr(50), DomainId(2), 7, Cycle(7));
+        assert_eq!(fired, Some(DomainId(2)), "concentration outranks volume");
+    }
+
+    #[test]
+    fn attribution_window_resets_at_each_overflow() {
+        let mut b = block(ActCounterConfig::legacy(2));
+        // First window: all domain 5.
+        b.on_act(0, CacheLineAddr(0), DomainId(5), 0, Cycle(0));
+        assert_eq!(
+            b.on_act(0, CacheLineAddr(0), DomainId(5), 0, Cycle(1)),
+            Some(DomainId(5))
+        );
+        // Second window: all domain 6 — history from window one must
+        // not leak into the new window's attribution.
+        b.on_act(0, CacheLineAddr(0), DomainId(6), 0, Cycle(2));
+        assert_eq!(
+            b.on_act(0, CacheLineAddr(0), DomainId(6), 0, Cycle(3)),
+            Some(DomainId(6))
+        );
     }
 }

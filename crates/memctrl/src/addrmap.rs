@@ -20,10 +20,17 @@
 //!   *subarray* bits sit at the top of the address, partitioning the
 //!   physical address space into per-subarray-group regions the host
 //!   allocator can hand to distinct trust domains (§4.1, Fig. 2).
+//! - [`MappingScheme::RubixScramble`] — Rubix-style randomized
+//!   line-to-row mapping: the interleaved layout plus a seeded
+//!   bijective permutation of the row index, so physically adjacent
+//!   rows hold logically unrelated frames. An attacker who knows its
+//!   own addresses no longer knows which *victim* frames are blast-
+//!   radius neighbors; the cost is row-buffer locality for workloads
+//!   that stream across row boundaries.
 //!
 //! Every scheme is a bijection between [`CacheLineAddr`] and
 //! [`DramCoord`]; property tests verify the round trip for arbitrary
-//! geometries.
+//! geometries (including arbitrary Rubix seeds).
 
 use hammertime_common::addr::LINES_PER_PAGE;
 use hammertime_common::geometry::BankId;
@@ -41,6 +48,13 @@ pub enum MappingScheme {
     BankPartition,
     /// Subarray-isolated interleaving (the paper's primitive).
     SubarrayIsolated,
+    /// Interleave plus a seeded bijective permutation of the row index
+    /// (Rubix-style randomized line-to-row mapping).
+    RubixScramble {
+        /// Key for the row permutation; two maps with equal seeds
+        /// translate identically.
+        seed: u64,
+    },
 }
 
 /// A field of the line-address bit layout, LSB-first.
@@ -56,6 +70,100 @@ enum Field {
     Subarray,
 }
 
+/// One round of the Rubix row permutation: multiply by an odd
+/// constant (with its precomputed modular inverse), xorshift, xor a
+/// key. Each step is bijective on `w`-bit integers, so the composition
+/// is too.
+#[derive(Debug, Clone, Copy)]
+struct RubixRound {
+    mul: u64,
+    inv: u64,
+    xor: u64,
+}
+
+/// The keyed row permutation for [`MappingScheme::RubixScramble`].
+#[derive(Debug, Clone, Copy)]
+struct RubixKeys {
+    /// Row-field width in bits (0 = single row, identity).
+    width: u32,
+    rounds: [RubixRound; 3],
+}
+
+/// SplitMix64 step (the key-derivation stream).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Multiplicative inverse of odd `a` modulo 2^64 (Newton iteration;
+/// masking the product reduces it to the inverse modulo any 2^w).
+fn odd_inverse(a: u64) -> u64 {
+    let mut inv = a; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
+    }
+    inv
+}
+
+impl RubixKeys {
+    fn derive(seed: u64, width: u32) -> RubixKeys {
+        let mut state = seed;
+        let rounds = std::array::from_fn(|_| {
+            let mul = splitmix(&mut state) | 1; // odd → invertible
+            RubixRound {
+                mul,
+                inv: odd_inverse(mul),
+                xor: splitmix(&mut state),
+            }
+        });
+        RubixKeys { width, rounds }
+    }
+
+    fn shift(&self) -> u32 {
+        (self.width / 2).max(1)
+    }
+
+    /// The forward row permutation.
+    fn permute(&self, row: u32) -> u32 {
+        if self.width == 0 {
+            return row;
+        }
+        let mask = (1u64 << self.width) - 1;
+        let s = self.shift();
+        let mut x = row as u64;
+        for r in &self.rounds {
+            x = x.wrapping_mul(r.mul) & mask;
+            x ^= x >> s;
+            x = (x ^ r.xor) & mask;
+        }
+        x as u32
+    }
+
+    /// The inverse row permutation.
+    fn invert(&self, row: u32) -> u32 {
+        if self.width == 0 {
+            return row;
+        }
+        let mask = (1u64 << self.width) - 1;
+        let s = self.shift();
+        let mut x = row as u64;
+        for r in self.rounds.iter().rev() {
+            x = (x ^ r.xor) & mask;
+            // Invert y = x ^ (x >> s) by fixpoint iteration: each pass
+            // corrects `s` more bits, and width ≤ 32.
+            let y = x;
+            for _ in 0..32 {
+                x = y ^ (x >> s);
+            }
+            x = x.wrapping_mul(r.inv) & mask;
+        }
+        x as u32
+    }
+}
+
 /// The concrete mapping for one geometry.
 #[derive(Debug, Clone)]
 pub struct AddressMap {
@@ -63,6 +171,8 @@ pub struct AddressMap {
     geometry: Geometry,
     /// (field, bit width), lowest-order field first.
     layout: Vec<(Field, u32)>,
+    /// The seeded row permutation (RubixScramble only).
+    rubix: Option<RubixKeys>,
     /// Bumped by every [`AddressMap::reconfigure`]. Caches keyed on
     /// translation results (e.g. the machine's frames-of-row memo)
     /// compare this to detect that their entries went stale.
@@ -105,7 +215,9 @@ impl AddressMap {
         let page_bits = LINES_PER_PAGE.trailing_zeros();
 
         let layout: Vec<(Field, u32)> = match scheme {
-            MappingScheme::CacheLineInterleave | MappingScheme::XorPermute => vec![
+            MappingScheme::CacheLineInterleave
+            | MappingScheme::XorPermute
+            | MappingScheme::RubixScramble { .. } => vec![
                 (Field::Channel, ch),
                 (Field::BankGroup, bg),
                 (Field::Bank, ba),
@@ -145,10 +257,15 @@ impl AddressMap {
                 ]
             }
         };
+        let rubix = match scheme {
+            MappingScheme::RubixScramble { seed } => Some(RubixKeys::derive(seed, ro)),
+            _ => None,
+        };
         Ok(AddressMap {
             scheme,
             geometry,
             layout,
+            rubix,
             generation: 0,
         })
     }
@@ -165,6 +282,7 @@ impl AddressMap {
         let fresh = AddressMap::new(scheme, self.geometry)?;
         self.scheme = fresh.scheme;
         self.layout = fresh.layout;
+        self.rubix = fresh.rubix;
         self.generation += 1;
         Ok(())
     }
@@ -235,6 +353,9 @@ impl AddressMap {
             bank = b;
             bank_group = bg;
         }
+        if let Some(rubix) = &self.rubix {
+            row = rubix.permute(row);
+        }
         Ok(DramCoord {
             channel,
             rank,
@@ -256,6 +377,12 @@ impl AddressMap {
             bank = b;
             bank_group = bg;
         }
+        // Under Rubix the coordinate's row is the scrambled one; pack
+        // the unscrambled index back into the line.
+        let row = match &self.rubix {
+            Some(rubix) => rubix.invert(coord.row),
+            None => coord.row,
+        };
         let row_in_sub = coord.row % self.geometry.rows_per_subarray;
         let subarray = coord.row / self.geometry.rows_per_subarray;
         let mut v = 0u64;
@@ -267,7 +394,7 @@ impl AddressMap {
                 Field::BankGroup => bank_group,
                 Field::Bank => bank,
                 Field::Col => coord.col,
-                Field::Row => coord.row,
+                Field::Row => row,
                 Field::RowInSub => row_in_sub,
                 Field::Subarray => subarray,
             };
@@ -374,12 +501,13 @@ impl AddressMap {
 mod tests {
     use super::*;
 
-    fn schemes() -> [MappingScheme; 4] {
+    fn schemes() -> [MappingScheme; 5] {
         [
             MappingScheme::CacheLineInterleave,
             MappingScheme::XorPermute,
             MappingScheme::BankPartition,
             MappingScheme::SubarrayIsolated,
+            MappingScheme::RubixScramble { seed: 0xA5A5 },
         ]
     }
 
@@ -500,6 +628,7 @@ mod tests {
         for scheme in [
             MappingScheme::CacheLineInterleave,
             MappingScheme::SubarrayIsolated,
+            MappingScheme::RubixScramble { seed: 17 },
         ] {
             let map = AddressMap::new(scheme, g).unwrap();
             for frame in 0..g.total_frames() {
@@ -525,6 +654,76 @@ mod tests {
     }
 
     #[test]
+    fn rubix_scrambles_rows_but_permutes_the_stripe_space() {
+        let g = Geometry::medium();
+        let plain = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        let rubix = AddressMap::new(MappingScheme::RubixScramble { seed: 0xDEAD }, g).unwrap();
+        let rows = g.rows_per_bank();
+        let mut plain_stripes = Vec::new();
+        let mut rubix_stripes = Vec::new();
+        let frames_per_stripe = g.total_frames() / rows as u64;
+        for frame in 0..g.total_frames() {
+            plain_stripes.push(plain.row_stripe_of_frame(frame).unwrap());
+            rubix_stripes.push(rubix.row_stripe_of_frame(frame).unwrap());
+        }
+        assert_ne!(plain_stripes, rubix_stripes, "scramble must move rows");
+        // Still a permutation of the stripe space: every row hosts the
+        // same number of frames as under the identity layout.
+        let mut counts = vec![0u64; rows as usize];
+        for &s in &rubix_stripes {
+            counts[s as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == frames_per_stripe));
+        // Blast-radius dilution: logically consecutive stripes land on
+        // physically non-adjacent rows for most frames.
+        let adjacent = rubix_stripes
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .filter(|w| w[0].abs_diff(w[1]) == 1)
+            .count();
+        let moved = rubix_stripes.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            adjacent * 4 < moved,
+            "scrambled neighbors should rarely stay adjacent ({adjacent}/{moved})"
+        );
+    }
+
+    #[test]
+    fn rubix_seed_selects_the_permutation() {
+        let g = Geometry::medium();
+        let a = AddressMap::new(MappingScheme::RubixScramble { seed: 1 }, g).unwrap();
+        let b = AddressMap::new(MappingScheme::RubixScramble { seed: 2 }, g).unwrap();
+        let c = AddressMap::new(MappingScheme::RubixScramble { seed: 1 }, g).unwrap();
+        let rows_a: Vec<u32> = (0..g.total_frames())
+            .map(|f| a.row_stripe_of_frame(f).unwrap())
+            .collect();
+        let rows_b: Vec<u32> = (0..g.total_frames())
+            .map(|f| b.row_stripe_of_frame(f).unwrap())
+            .collect();
+        let rows_c: Vec<u32> = (0..g.total_frames())
+            .map(|f| c.row_stripe_of_frame(f).unwrap())
+            .collect();
+        assert_ne!(rows_a, rows_b, "different seeds, different scrambles");
+        assert_eq!(rows_a, rows_c, "equal seeds translate identically");
+    }
+
+    #[test]
+    fn reconfigure_to_rubix_bumps_generation_and_round_trips() {
+        let g = Geometry::medium();
+        let mut map = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        assert_eq!(map.generation(), 0);
+        map.reconfigure(MappingScheme::RubixScramble { seed: 99 })
+            .unwrap();
+        assert_eq!(map.generation(), 1);
+        for idx in 0..g.total_lines() {
+            let line = CacheLineAddr(idx);
+            let coord = map.to_coord(line).unwrap();
+            coord.validate(&g).unwrap();
+            assert_eq!(map.to_line(&coord).unwrap(), line);
+        }
+    }
+
+    #[test]
     fn too_small_geometry_rejected_for_subarray_isolation() {
         // Only 2 bits (1 col + 1 row-in-sub) below the subarray field —
         // cannot hold a 64-line page within one subarray group.
@@ -538,5 +737,61 @@ mod tests {
             columns: 2,
         };
         assert!(AddressMap::new(MappingScheme::SubarrayIsolated, g).is_err());
+    }
+
+    mod rubix_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The raw row permutation is a bijection over the row
+            /// space for arbitrary seeds and field widths, and
+            /// `invert` is its exact inverse.
+            #[test]
+            fn row_permutation_bijects(seed in any::<u64>(), width in 0u32..13) {
+                let keys = RubixKeys::derive(seed, width);
+                let rows = 1u64 << width;
+                let mut seen = vec![false; rows as usize];
+                for r in 0..rows as u32 {
+                    let p = keys.permute(r);
+                    prop_assert!((p as u64) < rows, "out of range");
+                    prop_assert!(!seen[p as usize], "collision at {r}");
+                    seen[p as usize] = true;
+                    prop_assert_eq!(keys.invert(p), r);
+                }
+            }
+
+            /// The full line→coordinate map stays a bijection over the
+            /// line space for arbitrary seeds and geometries.
+            #[test]
+            fn line_space_bijects(
+                seed in any::<u64>(),
+                channels_log in 0u32..2,
+                banks_log in 0u32..2,
+                subarrays_log in 1u32..3,
+                rows_log in 1u32..4,
+                cols_log in 2u32..5,
+            ) {
+                let g = Geometry {
+                    channels: 1 << channels_log,
+                    ranks: 1,
+                    bank_groups: 1,
+                    banks_per_group: 1 << banks_log,
+                    subarrays_per_bank: 1 << subarrays_log,
+                    rows_per_subarray: 1 << rows_log,
+                    columns: 1 << cols_log,
+                };
+                let map = AddressMap::new(MappingScheme::RubixScramble { seed }, g).unwrap();
+                let mut seen = std::collections::HashSet::new();
+                for idx in 0..g.total_lines() {
+                    let line = CacheLineAddr(idx);
+                    let coord = map.to_coord(line).unwrap();
+                    coord.validate(&g).unwrap();
+                    prop_assert!(seen.insert((coord.channel, coord.rank, coord.bank_group, coord.bank, coord.row, coord.col)), "coordinate collision");
+                    prop_assert_eq!(map.to_line(&coord).unwrap(), line);
+                }
+                prop_assert_eq!(seen.len() as u64, g.total_lines());
+            }
+        }
     }
 }

@@ -29,12 +29,12 @@ use hammertime_check::ShadowChecker;
 use hammertime_common::geometry::BankId;
 use hammertime_common::{
     CacheLineAddr, Cycle, DetRng, DomainId, DramCoord, Error, FaultClock, FaultKind, FaultPlan,
-    Result,
+    Result, TriggerCounts,
 };
 use hammertime_dram::{BankTiming, DdrCommand, DramConfig, DramModule, DramStats, FlipEvent};
 use hammertime_telemetry::{Event, Tracer};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,6 +178,16 @@ pub struct MemCtrl {
     /// Per-channel count of remaining ACTs the stuck-ACT_COUNT fault
     /// swallows.
     stuck_acts: Vec<u64>,
+    /// Per-domain mitigation-trigger ledger: every trigger (TRR
+    /// sample, throttle delay, neighbor refresh, forced REF, ACT
+    /// interrupt) is charged to the domain whose traffic caused it.
+    /// BTreeMap for deterministic iteration; travels with tenants via
+    /// [`MemCtrl::export_triggers`] / [`MemCtrl::import_triggers`].
+    triggers: BTreeMap<u32, TriggerCounts>,
+    /// Per-channel domain of the most recent demand ACT: forced REFs
+    /// have no request context of their own, so the starvation that
+    /// forced them is attributed to the channel's latest activator.
+    last_act_domain: Vec<Option<DomainId>>,
     /// Set when the scheduler computed a command the device rejected —
     /// the controller wedges (no further commands issue) instead of
     /// panicking, and submitters see the error.
@@ -261,6 +271,8 @@ impl MemCtrl {
             faults: config.faults.map(|p| FaultClock::new(p, MC_FAULT_SALT)),
             delayed_interrupts: Vec::new(),
             stuck_acts: vec![0; g.channels as usize],
+            triggers: BTreeMap::new(),
+            last_act_domain: vec![None; g.channels as usize],
             wedged: None,
             completions_since_hit: 0,
             stats: McStats::default(),
@@ -303,12 +315,60 @@ impl MemCtrl {
         Ok(())
     }
 
-    /// Controller statistics, with the live fault-injection tally
-    /// folded in.
+    /// Controller statistics, with the live fault-injection tally and
+    /// the mitigation engine's quota-throttle count folded in.
     pub fn stats(&self) -> McStats {
         let mut s = self.stats;
         s.fault_injections = self.fault_injections();
+        s.quota_throttles = self.mitigation.quota_throttles;
         s
+    }
+
+    /// The per-domain mitigation-trigger ledger (domain id →
+    /// accumulated trigger counts).
+    pub fn trigger_ledger(&self) -> &BTreeMap<u32, TriggerCounts> {
+        &self.triggers
+    }
+
+    /// Trigger counts charged to `domain` so far (zero if none).
+    pub fn trigger_counts(&self, domain: DomainId) -> TriggerCounts {
+        self.triggers.get(&domain.0).copied().unwrap_or_default()
+    }
+
+    /// Removes and returns `domain`'s trigger counts (tenant detach).
+    /// Also clears the domain's suspect score and any stale
+    /// last-activator attribution so triggers cannot stick to the
+    /// source machine's domain slot after the tenant leaves.
+    pub fn export_triggers(&mut self, domain: DomainId) -> TriggerCounts {
+        self.mitigation.take_suspect(domain);
+        for slot in &mut self.last_act_domain {
+            if *slot == Some(domain) {
+                *slot = None;
+            }
+        }
+        self.triggers.remove(&domain.0).unwrap_or_default()
+    }
+
+    /// Merges migrated trigger counts into `domain`'s ledger entry
+    /// (tenant admit) and re-seeds the mitigation engine's suspect
+    /// score from their total, so suspicion follows the tenant.
+    pub fn import_triggers(&mut self, domain: DomainId, counts: TriggerCounts) {
+        if counts == TriggerCounts::default() {
+            return;
+        }
+        self.triggers.entry(domain.0).or_default().merge(&counts);
+        self.mitigation.seed_suspect(domain, counts.total());
+    }
+
+    /// Charges `weight` triggers of the ledger field selected by
+    /// `slot` to `domain`, and feeds the mitigation engine's suspect
+    /// scoring (BreakHammer).
+    fn charge(&mut self, domain: DomainId, weight: u64, slot: fn(&mut TriggerCounts) -> &mut u64) {
+        if weight == 0 {
+            return;
+        }
+        *slot(self.triggers.entry(domain.0).or_default()) += weight;
+        self.mitigation.charge_trigger(domain, weight);
     }
 
     /// Total controller-side faults injected so far.
@@ -1198,8 +1258,14 @@ impl MemCtrl {
                     let t_refi = self.dram.config().timing.t_refi;
                     if t_refi > 0 && c.issue_at >= due + FORCED_REF_LEAD * t_refi {
                         // This REF only got through because the forced-
-                        // refresh barrier stopped feeding the rank.
+                        // refresh barrier stopped feeding the rank. The
+                        // starvation is charged to the channel's most
+                        // recent activator — the traffic that kept the
+                        // rank busy.
                         self.stats.refs_forced += 1;
+                        if let Some(d) = self.last_act_domain[channel as usize] {
+                            self.charge(d, 1, |t| &mut t.forced_refs);
+                        }
                     }
                     self.next_ref[idx] += t_refi;
                     self.stats.refs_issued += 1;
@@ -1218,12 +1284,14 @@ impl MemCtrl {
             let is_demand = !self.queue[index].req.kind.is_maintenance();
             if is_demand {
                 let flat = bank.flat(&g);
-                match self.mitigation.on_act(flat, row, at) {
+                let domain = self.queue[index].req.domain;
+                match self.mitigation.on_act(flat, row, domain, at) {
                     ActAction::Proceed => {
                         self.throttle.remove(&(flat, row));
                     }
                     ActAction::Delay(d) => {
                         self.stats.throttle_events += 1;
+                        self.charge(domain, 1, |t| &mut t.throttle_delays);
                         // A zero-cycle delay would re-elect the same
                         // candidate at the same time forever, spinning
                         // `advance_to`; postpone by at least one cycle.
@@ -1234,6 +1302,7 @@ impl MemCtrl {
                 }
             }
         }
+        let trr_before = self.dram.trr_samples();
         let outcome = match self.dram.issue(&cmd, at) {
             Ok(o) => o,
             Err(e) => {
@@ -1273,11 +1342,17 @@ impl MemCtrl {
                 }
                 let is_demand = !p.req.kind.is_maintenance();
                 let line = p.req.line;
+                let domain = p.req.domain;
                 if is_demand {
                     // Demand ACTs feed the counters and trackers; ACTs
                     // performed *by* defenses do not, preventing
                     // defense-induced interrupt feedback loops.
                     let ch_idx = bank.channel as usize;
+                    self.last_act_domain[ch_idx] = Some(domain);
+                    // The in-DRAM TRR sampler just consumed this ACT
+                    // (if present); charge the sample to its issuer.
+                    let trr_delta = self.dram.trr_samples() - trr_before;
+                    self.charge(domain, trr_delta, |t| &mut t.trr_samples);
                     let mut counted = true;
                     if self.stuck_acts[ch_idx] > 0 {
                         // A stuck ACT_COUNT window swallows this ACT.
@@ -1298,10 +1373,21 @@ impl MemCtrl {
                         }
                     }
                     if counted {
-                        self.counters.on_act(bank.channel, line, at);
+                        // The swallowed window also skips attribution:
+                        // a saturated shared counter must not inflate
+                        // any tenant's ledger (let alone an innocent
+                        // one's suspect score).
+                        let row_key = ((bank.flat(&g) as u64) << 32) | u64::from(row);
+                        if let Some(charged) =
+                            self.counters
+                                .on_act(bank.channel, line, domain, row_key, at)
+                        {
+                            self.charge(charged, 1, |t| &mut t.act_interrupts);
+                        }
                     }
                     let flat = bank.flat(&g);
                     if let Some(radius) = self.mitigation.after_act(flat, row, at) {
+                        self.charge(domain, 1, |t| &mut t.mitigations);
                         self.spawn_neighbor_refresh(line, radius);
                     }
                 }

@@ -23,13 +23,21 @@
 //! - [`McMitigationConfig::Oracle`] — a white-box upper bound that
 //!   reads the device's true hammer pressure; no real hardware can do
 //!   this, it bounds what any refresh-centric defense could achieve.
+//! - [`McMitigationConfig::BreakHammer`] — per-tenant trigger
+//!   accounting (Canpolat et al.): instead of tracking rows, score
+//!   each *trust domain* by the mitigation triggers its requests
+//!   cause (TRR samples, neighbor refreshes, forced REFs, ACT
+//!   interrupts — fed in via [`McMitigation::charge_trigger`]) and
+//!   throttle the request quota of suspects. State is O(tenants), not
+//!   O(rows) — the scalability argument for attribution.
 //!
 //! The controller consults [`McMitigation::on_act`] before issuing an
 //! ACT (throttling) and [`McMitigation::after_act`] afterwards
 //! (neighbor-refresh decisions).
 
-use hammertime_common::{Cycle, DetRng};
+use hammertime_common::{Cycle, DetRng, DomainId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Which in-controller mitigation is active.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +96,22 @@ pub enum McMitigationConfig {
         /// Radius to refresh.
         radius: u32,
     },
+    /// BreakHammer-style per-tenant throttling: domains whose requests
+    /// cause at least `score_threshold` mitigation triggers become
+    /// suspects; a suspect's demand ACTs beyond `quota` per epoch are
+    /// delayed. Scores halve each epoch (decay), so a tenant that
+    /// stops hammering is rehabilitated.
+    BreakHammer {
+        /// Trigger count at which a domain becomes a suspect.
+        score_threshold: u64,
+        /// Demand ACTs a suspect may issue per epoch before throttling.
+        quota: u64,
+        /// Delay (cycles) imposed on each over-quota suspect ACT.
+        delay: u64,
+        /// Scoring epoch (cycles): scores halve and quota windows
+        /// reopen at each boundary.
+        epoch: u64,
+    },
 }
 
 impl McMitigationConfig {
@@ -112,6 +136,12 @@ impl McMitigationConfig {
             McMitigationConfig::Oracle { .. } => {
                 // A true per-row counter table: the unscalable ideal.
                 banks * rows_per_bank as u64 * count_bits
+            }
+            McMitigationConfig::BreakHammer { .. } => {
+                // O(tenants), independent of banks and rows: 64 tracked
+                // domains x (16-bit ASID tag + 32-bit score + 16-bit
+                // quota window).
+                64 * (16 + 32 + 16)
             }
         }
     }
@@ -212,17 +242,33 @@ enum BankState {
     PerRow(Vec<u64>),
 }
 
+/// Per-domain BreakHammer suspect state.
+#[derive(Debug, Clone, Copy, Default)]
+struct SuspectState {
+    /// Accumulated mitigation-trigger score (decays each epoch).
+    score: u64,
+    /// Demand ACTs issued this epoch while suspect.
+    window_reqs: u64,
+}
+
 /// The controller-side mitigation engine.
 #[derive(Debug, Clone)]
 pub struct McMitigation {
     config: McMitigationConfig,
     banks: Vec<BankState>,
+    /// BreakHammer suspect scores by domain id (empty for other
+    /// configs). BTreeMap for deterministic iteration.
+    suspects: BTreeMap<u32, SuspectState>,
+    epoch_start: Cycle,
     rng: DetRng,
     last_prune: Cycle,
     /// Total throttle delay imposed (cycles).
     pub throttle_cycles: u64,
     /// Neighbor-refresh operations requested.
     pub neighbor_refreshes: u64,
+    /// BreakHammer quota throttle events (over-quota suspect ACTs
+    /// delayed).
+    pub quota_throttles: u64,
 }
 
 impl McMitigation {
@@ -234,7 +280,9 @@ impl McMitigation {
         rng: DetRng,
     ) -> McMitigation {
         let mk = || match config {
-            McMitigationConfig::None | McMitigationConfig::Para { .. } => BankState::Stateless,
+            McMitigationConfig::None
+            | McMitigationConfig::Para { .. }
+            | McMitigationConfig::BreakHammer { .. } => BankState::Stateless,
             McMitigationConfig::Graphene { .. } | McMitigationConfig::TwiceLite { .. } => {
                 BankState::Table(CounterTable::default())
             }
@@ -248,10 +296,13 @@ impl McMitigation {
         McMitigation {
             config,
             banks: (0..banks).map(|_| mk()).collect(),
+            suspects: BTreeMap::new(),
+            epoch_start: Cycle::ZERO,
             rng,
             last_prune: Cycle::ZERO,
             throttle_cycles: 0,
             neighbor_refreshes: 0,
+            quota_throttles: 0,
         }
     }
 
@@ -260,8 +311,55 @@ impl McMitigation {
         self.config
     }
 
+    /// Feeds one mitigation trigger caused by `domain`'s traffic into
+    /// the suspect scoring (a BreakHammer no-op for other configs).
+    /// The controller calls this for every TRR sample, neighbor
+    /// refresh, forced REF, and ACT interrupt it attributes.
+    pub fn charge_trigger(&mut self, domain: DomainId, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        if let McMitigationConfig::BreakHammer { .. } = self.config {
+            // The host issues defense traffic (neighbor refreshes,
+            // probes); throttling it would fight the mitigation itself.
+            if domain.is_host() {
+                return;
+            }
+            self.suspects.entry(domain.0).or_default().score += weight;
+        }
+    }
+
+    /// Current BreakHammer suspect score for `domain` (0 for other
+    /// configs or unknown domains).
+    pub fn suspect_score(&self, domain: DomainId) -> u64 {
+        self.suspects.get(&domain.0).map_or(0, |s| s.score)
+    }
+
+    /// Removes and returns `domain`'s suspect score (tenant detach):
+    /// suspicion must travel with the tenant, not linger on the
+    /// machine's domain slot.
+    pub fn take_suspect(&mut self, domain: DomainId) -> u64 {
+        self.suspects.remove(&domain.0).map_or(0, |s| s.score)
+    }
+
+    /// Seeds `domain`'s suspect score (tenant admit after migration).
+    pub fn seed_suspect(&mut self, domain: DomainId, score: u64) {
+        if score == 0 {
+            return;
+        }
+        if let McMitigationConfig::BreakHammer { .. } = self.config {
+            self.suspects.entry(domain.0).or_default().score += score;
+        }
+    }
+
     /// Consulted before an ACT issues: may demand throttling.
-    pub fn on_act(&mut self, flat_bank: usize, row: u32, now: Cycle) -> ActAction {
+    pub fn on_act(
+        &mut self,
+        flat_bank: usize,
+        row: u32,
+        domain: DomainId,
+        now: Cycle,
+    ) -> ActAction {
         match self.config {
             McMitigationConfig::BlockHammer {
                 threshold,
@@ -281,6 +379,38 @@ impl McMitigation {
                 } else {
                     ActAction::Proceed
                 }
+            }
+            McMitigationConfig::BreakHammer {
+                score_threshold,
+                quota,
+                delay,
+                epoch,
+            } => {
+                if epoch > 0 && now.delta(self.epoch_start) >= epoch {
+                    self.epoch_start = now;
+                    // Decay: halve scores, reopen quota windows, drop
+                    // rehabilitated domains.
+                    self.suspects.retain(|_, s| {
+                        s.score /= 2;
+                        s.window_reqs = 0;
+                        s.score > 0
+                    });
+                }
+                if domain.is_host() {
+                    return ActAction::Proceed;
+                }
+                let Some(s) = self.suspects.get_mut(&domain.0) else {
+                    return ActAction::Proceed;
+                };
+                if s.score >= score_threshold {
+                    s.window_reqs += 1;
+                    if s.window_reqs > quota {
+                        self.throttle_cycles += delay;
+                        self.quota_throttles += 1;
+                        return ActAction::Delay(delay);
+                    }
+                }
+                ActAction::Proceed
             }
             _ => ActAction::Proceed,
         }
@@ -323,6 +453,8 @@ impl McMitigation {
                 bloom.insert(row);
                 None // BlockHammer throttles; it does not refresh.
             }
+            // BreakHammer throttles request quotas; it never refreshes.
+            McMitigationConfig::BreakHammer { .. } => None,
             McMitigationConfig::TwiceLite {
                 table_size,
                 threshold,
@@ -404,7 +536,7 @@ mod tests {
     fn none_never_acts() {
         let mut e = engine(McMitigationConfig::None);
         for i in 0..1000 {
-            assert_eq!(e.on_act(0, 5, Cycle(i)), ActAction::Proceed);
+            assert_eq!(e.on_act(0, 5, DomainId(1), Cycle(i)), ActAction::Proceed);
             assert_eq!(e.after_act(0, 5, Cycle(i)), None);
         }
         assert_eq!(e.neighbor_refreshes, 0);
@@ -476,13 +608,13 @@ mod tests {
         });
         // Cold row: never throttled.
         for i in 0..10 {
-            assert_eq!(e.on_act(0, 3, Cycle(i)), ActAction::Proceed);
+            assert_eq!(e.on_act(0, 3, DomainId(1), Cycle(i)), ActAction::Proceed);
             e.after_act(0, 3, Cycle(i));
         }
         // Hot row: throttled once the estimate crosses the threshold.
         let mut throttled = false;
         for i in 0..50 {
-            if let ActAction::Delay(d) = e.on_act(0, 9, Cycle(100 + i)) {
+            if let ActAction::Delay(d) = e.on_act(0, 9, DomainId(1), Cycle(100 + i)) {
                 assert_eq!(d, 100);
                 throttled = true;
             }
@@ -492,7 +624,10 @@ mod tests {
         assert!(e.throttle_cycles >= 100);
         // The cold row may suffer false positives only via hash
         // collisions; with 1024 counters and 60 inserts it must not.
-        assert_eq!(e.on_act(0, 500, Cycle(999)), ActAction::Proceed);
+        assert_eq!(
+            e.on_act(0, 500, DomainId(1), Cycle(999)),
+            ActAction::Proceed
+        );
     }
 
     #[test]
@@ -505,12 +640,18 @@ mod tests {
             epoch: 1_000,
         });
         for i in 0..10 {
-            e.on_act(0, 4, Cycle(i));
+            e.on_act(0, 4, DomainId(1), Cycle(i));
             e.after_act(0, 4, Cycle(i));
         }
-        assert!(matches!(e.on_act(0, 4, Cycle(20)), ActAction::Delay(_)));
+        assert!(matches!(
+            e.on_act(0, 4, DomainId(1), Cycle(20)),
+            ActAction::Delay(_)
+        ));
         // After the epoch rolls, the filter clears.
-        assert_eq!(e.on_act(0, 4, Cycle(2_000)), ActAction::Proceed);
+        assert_eq!(
+            e.on_act(0, 4, DomainId(1), Cycle(2_000)),
+            ActAction::Proceed
+        );
     }
 
     #[test]
@@ -602,5 +743,138 @@ mod tests {
         assert_eq!(para, 0);
         assert!(graphene > 0);
         assert!(oracle > graphene, "per-row counters dwarf trackers");
+        let breakhammer = McMitigationConfig::BreakHammer {
+            score_threshold: 4,
+            quota: 64,
+            delay: 500,
+            epoch: 10_000,
+        }
+        .sram_bits(banks, rows);
+        assert!(breakhammer > 0);
+        assert!(
+            breakhammer < graphene,
+            "per-tenant state must undercut per-row trackers"
+        );
+        assert_eq!(
+            breakhammer,
+            McMitigationConfig::BreakHammer {
+                score_threshold: 4,
+                quota: 64,
+                delay: 500,
+                epoch: 10_000,
+            }
+            .sram_bits(banks * 8, rows * 4),
+            "BreakHammer area is independent of geometry"
+        );
+    }
+
+    fn breakhammer() -> McMitigation {
+        engine(McMitigationConfig::BreakHammer {
+            score_threshold: 4,
+            quota: 10,
+            delay: 200,
+            epoch: 100_000,
+        })
+    }
+
+    #[test]
+    fn breakhammer_throttles_suspects_beyond_quota() {
+        let mut e = breakhammer();
+        let suspect = DomainId(3);
+        let innocent = DomainId(4);
+        for _ in 0..4 {
+            e.charge_trigger(suspect, 1);
+        }
+        assert_eq!(e.suspect_score(suspect), 4);
+        // First `quota` ACTs pass, then every ACT is delayed.
+        let mut delays = 0;
+        for i in 0..30u64 {
+            if let ActAction::Delay(d) = e.on_act(0, 5, suspect, Cycle(i)) {
+                assert_eq!(d, 200);
+                delays += 1;
+            }
+        }
+        assert_eq!(delays, 20, "10-quota window passes, 20 over-quota delay");
+        assert_eq!(e.quota_throttles, 20);
+        assert_eq!(e.throttle_cycles, 20 * 200);
+        // The innocent co-tenant is never throttled.
+        for i in 0..30u64 {
+            assert_eq!(e.on_act(0, 5, innocent, Cycle(i)), ActAction::Proceed);
+        }
+    }
+
+    #[test]
+    fn breakhammer_below_score_threshold_never_throttles() {
+        let mut e = breakhammer();
+        e.charge_trigger(DomainId(3), 3); // threshold is 4
+        for i in 0..1_000u64 {
+            assert_eq!(e.on_act(0, 5, DomainId(3), Cycle(i)), ActAction::Proceed);
+        }
+        assert_eq!(e.quota_throttles, 0);
+    }
+
+    #[test]
+    fn breakhammer_epoch_decay_rehabilitates() {
+        let mut e = breakhammer();
+        e.charge_trigger(DomainId(3), 5);
+        // Burn the quota so the domain is actively throttled.
+        for i in 0..20u64 {
+            e.on_act(0, 5, DomainId(3), Cycle(i));
+        }
+        assert!(e.quota_throttles > 0);
+        // One epoch: score 5 -> 2, below threshold; window reopens.
+        assert_eq!(
+            e.on_act(0, 5, DomainId(3), Cycle(100_001)),
+            ActAction::Proceed
+        );
+        assert_eq!(e.suspect_score(DomainId(3)), 2);
+        // Two more epochs: score decays to zero and the entry drops.
+        e.on_act(0, 5, DomainId(3), Cycle(200_002));
+        e.on_act(0, 5, DomainId(3), Cycle(300_003));
+        assert_eq!(e.suspect_score(DomainId(3)), 0);
+    }
+
+    #[test]
+    fn breakhammer_host_is_exempt() {
+        let mut e = breakhammer();
+        e.charge_trigger(DomainId::HOST, 100);
+        assert_eq!(e.suspect_score(DomainId::HOST), 0, "host never scored");
+        for i in 0..100u64 {
+            assert_eq!(e.on_act(0, 5, DomainId::HOST, Cycle(i)), ActAction::Proceed);
+        }
+    }
+
+    #[test]
+    fn suspect_score_travels_on_take_and_seed() {
+        let mut src = breakhammer();
+        src.charge_trigger(DomainId(9), 7);
+        let score = src.take_suspect(DomainId(9));
+        assert_eq!(score, 7);
+        assert_eq!(
+            src.suspect_score(DomainId(9)),
+            0,
+            "no stale-domain attribution on the source"
+        );
+        let mut dst = breakhammer();
+        dst.seed_suspect(DomainId(9), score);
+        assert_eq!(dst.suspect_score(DomainId(9)), 7);
+        // Non-BreakHammer engines drop seeds silently.
+        let mut none = engine(McMitigationConfig::None);
+        none.seed_suspect(DomainId(9), score);
+        assert_eq!(none.suspect_score(DomainId(9)), 0);
+    }
+
+    #[test]
+    fn charging_other_configs_is_inert() {
+        let mut e = engine(McMitigationConfig::BlockHammer {
+            cbf_counters: 256,
+            hashes: 2,
+            threshold: 5,
+            delay: 50,
+            epoch: 1_000,
+        });
+        e.charge_trigger(DomainId(2), 50);
+        assert_eq!(e.suspect_score(DomainId(2)), 0);
+        assert_eq!(e.on_act(0, 5, DomainId(2), Cycle(0)), ActAction::Proceed);
     }
 }

@@ -36,6 +36,10 @@ pub struct McStats {
     pub maintenance_ops: u64,
     /// ACTs postponed by throttling mitigation.
     pub throttle_events: u64,
+    /// ACTs postponed specifically by BreakHammer per-tenant quota
+    /// throttling (a subset of `throttle_events`). Mirrored from the
+    /// mitigation engine so both stats blocks count throttle work.
+    pub quota_throttles: u64,
     /// Requests rejected by the subarray-group domain check.
     pub domain_violations: u64,
     /// Scheduler step invocations. Bounds the scheduling work a run
@@ -89,6 +93,7 @@ impl McStats {
         tracer.counter_set("mc.refs_forced", self.refs_forced);
         tracer.counter_set("mc.maintenance_ops", self.maintenance_ops);
         tracer.counter_set("mc.throttle_events", self.throttle_events);
+        tracer.counter_set("mc.quota_throttles", self.quota_throttles);
         tracer.counter_set("mc.domain_violations", self.domain_violations);
         tracer.counter_set("mc.sched_steps", self.sched_steps);
         tracer.counter_set("mc.fault_injections", self.fault_injections);

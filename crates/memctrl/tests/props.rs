@@ -104,7 +104,7 @@ proptest! {
         };
         let mut b = ActCounterBlock::new(config, 1, DetRng::new(seed));
         for i in 0..acts {
-            b.on_act(0, CacheLineAddr(i), Cycle(i));
+            b.on_act(0, CacheLineAddr(i), DomainId(1), i, Cycle(i));
         }
         let min_period = threshold - window;
         prop_assert!(b.overflows <= acts / min_period.max(1) + 1);

@@ -165,12 +165,14 @@ impl SoftwareDefense for LineLocking {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hammertime_common::DomainId;
 
     fn precise(line: u64) -> ActInterrupt {
         ActInterrupt {
             channel: 0,
             time: Cycle(10),
             addr: Some(CacheLineAddr(line)),
+            domain: Some(DomainId(1)),
         }
     }
 
@@ -179,6 +181,7 @@ mod tests {
             channel: 0,
             time: Cycle(10),
             addr: None,
+            domain: None,
         }
     }
 

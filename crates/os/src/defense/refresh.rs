@@ -151,7 +151,7 @@ impl SoftwareDefense for VictimRefresh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hammertime_common::{CacheLineAddr, Geometry};
+    use hammertime_common::{CacheLineAddr, DomainId, Geometry};
     use hammertime_memctrl::addrmap::AddressMap;
     use hammertime_memctrl::MappingScheme;
 
@@ -175,6 +175,7 @@ mod tests {
             channel: 0,
             time: Cycle(5),
             addr: Some(CacheLineAddr(line)),
+            domain: Some(DomainId(1)),
         }
     }
 
@@ -186,6 +187,7 @@ mod tests {
             channel: 0,
             time: Cycle(0),
             addr: Some(line),
+            domain: Some(DomainId(1)),
         }]);
         let expected = d.topology.neighbor_row_lines(line, 2).unwrap().len();
         assert_eq!(actions.len(), expected);
@@ -246,6 +248,7 @@ mod tests {
             channel: 0,
             time: Cycle(0),
             addr: None,
+            domain: None,
         };
         assert!(d.on_act_interrupts(&[legacy]).is_empty());
         assert_eq!(d.blind_interrupts, 1);

@@ -35,6 +35,21 @@ pub enum PlacementPolicy {
         /// Guard width in row stripes (should be >= the blast radius).
         radius: u32,
     },
+    /// CATT-style kernel/user physical partitioning: the bottom
+    /// eighth of each bank's row stripes (at least one) is reserved
+    /// for the host kernel, a `radius`-stripe guard band separates it
+    /// from user tenants, and no allocation ever crosses the boundary
+    /// (requires a stripe-forming interleaved map).
+    CattPartition {
+        /// Guard width in row stripes (should be >= the blast radius).
+        radius: u32,
+    },
+}
+
+/// Kernel region size under [`PlacementPolicy::CattPartition`]: an
+/// eighth of the bank's row stripes, at least one.
+fn catt_kernel_stripes(map: &AddressMap) -> u32 {
+    (map.geometry().rows_per_bank() / 8).max(1)
 }
 
 /// The host OS physical frame allocator.
@@ -79,10 +94,21 @@ impl FrameAllocator {
                     Error::Config("ZebramGuard requires a row-stripe-forming map".into())
                 })?;
             }
+            PlacementPolicy::CattPartition { radius } => {
+                map.row_stripe_of_frame(0).map_err(|_| {
+                    Error::Config("CattPartition requires a row-stripe-forming map".into())
+                })?;
+                let kernel = catt_kernel_stripes(&map);
+                if kernel + radius >= map.geometry().rows_per_bank() {
+                    return Err(Error::Config(
+                        "CattPartition kernel region + guard band leaves no user stripes".into(),
+                    ));
+                }
+            }
             _ => {}
         }
         let free: BTreeSet<u64> = (0..map.geometry().total_frames()).collect();
-        Ok(FrameAllocator {
+        let mut alloc = FrameAllocator {
             policy,
             map,
             free,
@@ -91,7 +117,23 @@ impl FrameAllocator {
             stripe_owner: BTreeMap::new(),
             guard_stripes: BTreeSet::new(),
             guard_frames: 0,
-        })
+        };
+        if let PlacementPolicy::CattPartition { radius } = policy {
+            // Reserve the kernel/user guard band up front: its frames
+            // never enter circulation, so the boundary holds for the
+            // allocator's whole lifetime.
+            let kernel = catt_kernel_stripes(&alloc.map);
+            for s in kernel..kernel + radius {
+                if alloc.guard_stripes.insert(s) {
+                    for f in alloc.map.frames_of_row_stripe(s) {
+                        if alloc.free.remove(&f) {
+                            alloc.guard_frames += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(alloc)
     }
 
     /// The placement policy in force.
@@ -133,7 +175,9 @@ impl FrameAllocator {
                     .ok_or_else(|| Error::Exhausted("no free bank".into()))?;
                 self.domain_region.insert(domain, bank);
             }
-            PlacementPolicy::Default | PlacementPolicy::ZebramGuard { .. } => {
+            PlacementPolicy::Default
+            | PlacementPolicy::ZebramGuard { .. }
+            | PlacementPolicy::CattPartition { .. } => {
                 self.domain_region.insert(domain, 0);
             }
         }
@@ -181,6 +225,18 @@ impl FrameAllocator {
                     .copied()
             }
             PlacementPolicy::ZebramGuard { radius } => self.zebram_candidate(domain, radius),
+            PlacementPolicy::CattPartition { radius } => {
+                let kernel = catt_kernel_stripes(&self.map);
+                let first_user = kernel + radius;
+                self.free
+                    .iter()
+                    .copied()
+                    .find(|&f| match self.map.row_stripe_of_frame(f) {
+                        Ok(s) if domain.is_host() => s < kernel,
+                        Ok(s) => s >= first_user,
+                        Err(_) => false,
+                    })
+            }
         }
         .ok_or_else(|| Error::Exhausted(format!("no frame available for {domain}")))?;
 
@@ -367,6 +423,40 @@ impl FrameAllocator {
     /// claims are clamped, never recorded as phantom stripes.
     pub fn guard_stripe_set(&self) -> Vec<u32> {
         self.guard_stripes.iter().copied().collect()
+    }
+
+    /// `(kernel stripes, first user stripe)` under
+    /// [`PlacementPolicy::CattPartition`]; `None` otherwise. The guard
+    /// band occupies the stripes in between.
+    pub fn catt_regions(&self) -> Option<(u32, u32)> {
+        match self.policy {
+            PlacementPolicy::CattPartition { radius } => {
+                let kernel = catt_kernel_stripes(&self.map);
+                Some((kernel, kernel + radius))
+            }
+            _ => None,
+        }
+    }
+
+    /// `(row stripe, region)` pairs for every stripe holding allocated
+    /// frames under CATT partitioning — region 0 is the kernel side of
+    /// the boundary, region 1 the user side — in the shape
+    /// `hammertime-check`'s `lint_domain_stripes` expects. The view is
+    /// derived from the *boundary*, not per-frame owners: a
+    /// HOST-quarantined frame inside the user region stays region 1,
+    /// so quarantine churn cannot fake a partition violation. Empty
+    /// under any other policy.
+    pub fn partition_view(&self) -> Vec<(u32, u64)> {
+        let Some((kernel, _)) = self.catt_regions() else {
+            return Vec::new();
+        };
+        let mut stripes: BTreeMap<u32, u64> = BTreeMap::new();
+        for &frame in self.owner.keys() {
+            if let Ok(s) = self.map.row_stripe_of_frame(frame) {
+                stripes.insert(s, u64::from(s >= kernel));
+            }
+        }
+        stripes.into_iter().collect()
     }
 
     /// `(row stripe, owning domain)` pairs for every stripe a domain
@@ -665,6 +755,84 @@ mod tests {
                 violations
             );
         }
+    }
+
+    #[test]
+    fn catt_partition_separates_kernel_from_users() {
+        let radius = 2;
+        let m = map(MappingScheme::CacheLineInterleave);
+        let mut a = FrameAllocator::new(PlacementPolicy::CattPartition { radius }, m).unwrap();
+        assert!(a.guard_frames > 0, "the guard band must cost capacity");
+        let (kernel, first_user) = a.catt_regions().unwrap();
+        assert_eq!(first_user - kernel, radius);
+        let (host, user) = (DomainId::HOST, DomainId(1));
+        a.register_domain(host).unwrap();
+        a.register_domain(user).unwrap();
+        for _ in 0..4 {
+            let fk = a.alloc(host).unwrap();
+            let fu = a.alloc(user).unwrap();
+            assert!(a.map().row_stripe_of_frame(fk).unwrap() < kernel);
+            assert!(a.map().row_stripe_of_frame(fu).unwrap() >= first_user);
+        }
+        // The boundary view satisfies the checker's guard invariant.
+        let violations = hammertime_check::lint_domain_stripes(&a.partition_view(), radius);
+        assert!(
+            violations.is_empty(),
+            "partition violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn catt_kernel_region_exhausts_without_crossing() {
+        let m = map(MappingScheme::CacheLineInterleave);
+        let mut a = FrameAllocator::new(PlacementPolicy::CattPartition { radius: 1 }, m).unwrap();
+        let host = DomainId::HOST;
+        a.register_domain(host).unwrap();
+        let (kernel, _) = a.catt_regions().unwrap();
+        let mut kernel_frames = 0u64;
+        while let Ok(f) = a.alloc(host) {
+            assert!(
+                a.map().row_stripe_of_frame(f).unwrap() < kernel,
+                "kernel allocation crossed into the user region"
+            );
+            kernel_frames += 1;
+        }
+        // Exactly the kernel stripes' frames were allocatable.
+        let expected: u64 = (0..kernel)
+            .map(|s| a.map().frames_of_row_stripe(s).len() as u64)
+            .sum();
+        assert_eq!(kernel_frames, expected);
+    }
+
+    #[test]
+    fn catt_quarantined_host_frame_does_not_fake_a_violation() {
+        let radius = 2;
+        let m = map(MappingScheme::CacheLineInterleave);
+        let mut a = FrameAllocator::new(PlacementPolicy::CattPartition { radius }, m).unwrap();
+        let (host, user) = (DomainId::HOST, DomainId(1));
+        a.register_domain(host).unwrap();
+        a.register_domain(user).unwrap();
+        a.alloc(host).unwrap();
+        let fu = a.alloc(user).unwrap();
+        // Quarantine the user frame to the host pool (remap retire).
+        a.reassign(fu, host).unwrap();
+        // The partition view keys off the boundary, so the retired
+        // frame stays on the user side and the lint still passes.
+        let violations = hammertime_check::lint_domain_stripes(&a.partition_view(), radius);
+        assert!(violations.is_empty(), "quarantine faked: {violations:?}");
+    }
+
+    #[test]
+    fn catt_rejects_degenerate_geometries() {
+        // 8 rows/bank → kernel 1 stripe; a radius that swallows the
+        // rest of the bank must be refused at construction.
+        let g = Geometry::medium();
+        let m = AddressMap::new(MappingScheme::CacheLineInterleave, g).unwrap();
+        let rows = g.rows_per_bank();
+        assert!(
+            FrameAllocator::new(PlacementPolicy::CattPartition { radius: rows }, m).is_err(),
+            "guard band covering the whole bank must be rejected"
+        );
     }
 
     #[test]
